@@ -1,0 +1,53 @@
+//! Wall-clock throughput of the discrete-event engine itself: how fast the
+//! simulator compiles and executes representative schedules. Regressions
+//! here make the fig* harnesses painful at paper scale (Fig. 10 runs
+//! 10,240 rank programs per point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_engine::{SimConfig, Simulator};
+use dpml_fabric::presets::cluster_b;
+use dpml_topology::RankMap;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let preset = cluster_b();
+    let mut g = c.benchmark_group("engine_simulate");
+    g.sample_size(10);
+    for (name, alg, nodes, ppn) in [
+        ("rd_flat_8x8", Algorithm::RecursiveDoubling, 8u32, 8u32),
+        ("dpml_l4_8x8", Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling }, 8, 8),
+        ("dpml_l16_16x28", Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling }, 16, 28),
+    ] {
+        let spec = preset.spec(nodes, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let world = alg.build(&map, 64 * 1024).unwrap();
+        let events = Simulator::new(&cfg).run(&world).unwrap().stats.events;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &world, |b, w| {
+            b.iter(|| black_box(Simulator::new(&cfg).run(black_box(w)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_compile(c: &mut Criterion) {
+    let preset = cluster_b();
+    let spec = preset.spec(16, 28).unwrap();
+    let map = RankMap::block(&spec);
+    let mut g = c.benchmark_group("schedule_compile");
+    for (name, alg) in [
+        ("rd", Algorithm::RecursiveDoubling),
+        ("dpml_l16", Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling }),
+        ("dpml_l16_k8", Algorithm::DpmlPipelined { leaders: 16, chunks: 8 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(alg.build(black_box(&map), 1 << 20).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_schedule_compile);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Wall-clock benchmarks of the reduction kernels (DPML phase-2 compute).
+//!
+//! Measures single-pass streaming reduction and the `ppn - 1`-pass leader
+//! fold at the partition sizes DPML produces for a 1MB vector: the full
+//! vector (single leader) down to 1/16 (16 leaders) — the per-leader
+//! compute shrinkage behind Eq. (3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpml_shm::kernels::{fold_slots, reduce_into};
+use std::hint::black_box;
+
+fn bench_reduce_into(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce_into");
+    for elems in [1usize << 10, 1 << 14, 1 << 17] {
+        let src = vec![1.5f64; elems];
+        let mut acc = vec![0.25f64; elems];
+        g.throughput(Throughput::Bytes((elems * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(elems * 8), &elems, |b, _| {
+            b.iter(|| reduce_into(black_box(&mut acc), black_box(&src)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_leader_fold(c: &mut Criterion) {
+    // A 1MB vector reduced by 28 ranks: each leader folds 28 slots of
+    // (1MB / leaders) bytes. More leaders → less work per leader.
+    let mut g = c.benchmark_group("leader_fold_1mb_ppn28");
+    let total_elems = (1usize << 20) / 8;
+    let ppn = 28;
+    for leaders in [1usize, 2, 4, 8, 16] {
+        let part = total_elems / leaders;
+        let slots: Vec<Vec<f64>> = (0..ppn).map(|i| vec![i as f64; part]).collect();
+        let slot_refs: Vec<&[f64]> = slots.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0.0f64; part];
+        g.throughput(Throughput::Bytes((part * ppn * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("leaders", leaders), &leaders, |b, _| {
+            b.iter(|| fold_slots(black_box(&mut out), black_box(&slot_refs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce_into, bench_leader_fold);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation — why the engine models max-min fair sharing and injection
+//! overhead at all (DESIGN.md §4, items 1–2).
+//!
+//! Reruns the Figure 1(c) Omni-Path multi-pair experiment under three
+//! engine configurations:
+//!
+//! * `full`      — the calibrated model (per-flow cap + injection overhead)
+//! * `no-cap`    — per-flow bandwidth raised to the NIC aggregate
+//!   (every flow can saturate the link alone)
+//! * `no-inject` — injection overhead and NIC message-rate made negligible
+//!
+//! Without the per-flow cap, Zone C keeps "benefiting" from concurrency it
+//! should not; without injection costs, Zone A's linear scaling becomes
+//! infinite. Either way the leader-count tradeoff the paper exploits
+//! disappears — demonstrating the two mechanisms are load-bearing.
+
+use dpml_bench::microbench::{multi_pair_bw, PairPlacement};
+use dpml_bench::{fmt_bytes, save_results, Table};
+use dpml_fabric::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    variant: &'static str,
+    pairs: u32,
+    bytes: u64,
+    relative: f64,
+}
+
+fn variant(name: &'static str, preset: &Preset, points: &mut Vec<Point>) {
+    let sizes = [64u64, 4 * 1024, 64 * 1024, 1 << 20];
+    let pair_counts = [1u32, 4, 16, 28];
+    println!("\nvariant: {name}");
+    let mut table = Table::new(
+        std::iter::once("size".to_string()).chain(pair_counts.iter().map(|p| format!("{p} pairs"))),
+    );
+    for bytes in sizes {
+        let base = multi_pair_bw(preset, PairPlacement::InterNode, 1, bytes, 64);
+        let mut cells = vec![fmt_bytes(bytes)];
+        for pc in pair_counts {
+            let rel = multi_pair_bw(preset, PairPlacement::InterNode, pc, bytes, 64) / base;
+            cells.push(format!("{rel:.2}"));
+            points.push(Point { variant: name, pairs: pc, bytes, relative: rel });
+        }
+        table.row(cells);
+    }
+    table.print();
+}
+
+fn main() {
+    let mut points = Vec::new();
+    let full = dpml_fabric::presets::cluster_c();
+    variant("full", &full, &mut points);
+
+    let mut no_cap = dpml_fabric::presets::cluster_c();
+    no_cap.fabric.nic.per_flow_bw = no_cap.fabric.nic.node_bw;
+    variant("no-cap", &no_cap, &mut points);
+
+    let mut no_inject = dpml_fabric::presets::cluster_c();
+    no_inject.fabric.nic.proc_overhead = 1e-12;
+    no_inject.fabric.nic.node_msg_rate = 1e15;
+    variant("no-inject", &no_inject, &mut points);
+
+    let path = save_results("ablate_fairness", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

@@ -1,0 +1,63 @@
+//! Ablation — pipelining depth `k` in DPML-Pipelined (paper Section 4.2,
+//! Eq. 5; DESIGN.md §4 item 4).
+//!
+//! Sweeps `k` for large messages on the two Omni-Path clusters (where
+//! per-leader partitions remain in Zone C and pipelining should help) and
+//! on the IB cluster (where it should not).
+//!
+//! Usage: `ablate_pipeline [--nodes N]`
+
+use dpml_bench::{arg_num, fmt_bytes, fmt_us, latency_us, save_results, Table};
+use dpml_core::algorithms::Algorithm;
+use dpml_fabric::presets::{cluster_b, cluster_c, cluster_d};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cluster: &'static str,
+    bytes: u64,
+    k: u32,
+    latency_us: f64,
+}
+
+fn main() {
+    let nodes = arg_num("--nodes", 16u32);
+    let ks = [1u32, 2, 4, 8, 16];
+    let sizes = [256 * 1024u64, 1 << 20, 4 << 20];
+    let mut points = Vec::new();
+    for preset in [cluster_b(), cluster_c(), cluster_d()] {
+        let spec = preset.default_spec(nodes).expect("spec");
+        let leaders = 16u32.min(spec.ppn);
+        println!(
+            "\nDPML-Pipelined sweep on {} ({} nodes x {} ppn, l={leaders})",
+            preset.fabric.name, nodes, spec.ppn
+        );
+        let mut table = Table::new(
+            std::iter::once("size".to_string())
+                .chain(ks.iter().map(|k| format!("k={k} (us)")))
+                .chain(["best k".to_string()]),
+        );
+        for &bytes in &sizes {
+            let mut cells = vec![fmt_bytes(bytes)];
+            let mut best = (0u32, f64::INFINITY);
+            for &k in &ks {
+                let us = latency_us(
+                    &preset,
+                    &spec,
+                    Algorithm::DpmlPipelined { leaders, chunks: k },
+                    bytes,
+                );
+                cells.push(fmt_us(us));
+                if us < best.1 {
+                    best = (k, us);
+                }
+                points.push(Point { cluster: preset.id, bytes, k, latency_us: us });
+            }
+            cells.push(best.0.to_string());
+            table.row(cells);
+        }
+        table.print();
+    }
+    let path = save_results("ablate_pipeline", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

@@ -1,0 +1,70 @@
+//! Figure 1 — relative multi-pair throughput (`osu_mbw_mr` equivalent).
+//!
+//! Four panels: (a) intra-node shared memory, (b) inter-node EDR IB,
+//! (c) inter-node Omni-Path on Xeon, (d) inter-node Omni-Path on KNL.
+//! For each pair count and message size we time a 64-message window from
+//! every sender and report aggregate throughput relative to one pair.
+//! The Zone A/B/C structure of the paper's Section 4.2 should be visible
+//! in panel (c): linear scaling for small sizes, collapse to ~1 for large.
+//!
+//! Usage: `fig1 [--window N]`
+
+use dpml_bench::microbench::{multi_pair_bw, PairPlacement};
+use dpml_bench::{fmt_bytes, save_results, Table};
+use dpml_fabric::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    panel: &'static str,
+    pairs: u32,
+    bytes: u64,
+    throughput_mbps: f64,
+    relative: f64,
+}
+
+fn panel(
+    name: &'static str,
+    preset: &Preset,
+    placement: PairPlacement,
+    pair_counts: &[u32],
+    window: u32,
+    out: &mut Vec<Point>,
+) {
+    let sizes: Vec<u64> = (0..=20).step_by(2).map(|e| 1u64 << e).collect(); // 1B..1MB
+    let mut table = Table::new(
+        std::iter::once("size".to_string())
+            .chain(pair_counts.iter().map(|p| format!("{p} pair(s)"))),
+    );
+    println!("\nFigure 1({name}) — {}; relative throughput vs 1 pair", preset.fabric.name);
+    for &bytes in &sizes {
+        let base = multi_pair_bw(preset, placement, 1, bytes, window);
+        let mut cells = vec![fmt_bytes(bytes)];
+        for &pc in pair_counts {
+            let bw = multi_pair_bw(preset, placement, pc, bytes, window);
+            let rel = bw / base;
+            cells.push(format!("{rel:.2}"));
+            out.push(Point {
+                panel: name,
+                pairs: pc,
+                bytes,
+                throughput_mbps: bw / 1e6,
+                relative: rel,
+            });
+        }
+        table.row(cells);
+    }
+    table.print();
+}
+
+fn main() {
+    let window = dpml_bench::arg_num("--window", 64u32);
+    let mut points = Vec::new();
+    let xeon_pairs = [1u32, 2, 4, 8, 14];
+    panel("a:intra-node", &dpml_fabric::presets::cluster_c(), PairPlacement::IntraNode, &xeon_pairs, window, &mut points);
+    panel("b:xeon-ib", &dpml_fabric::presets::cluster_b(), PairPlacement::InterNode, &[1, 2, 4, 8, 28], window, &mut points);
+    panel("c:xeon-opa", &dpml_fabric::presets::cluster_c(), PairPlacement::InterNode, &[1, 2, 4, 8, 28], window, &mut points);
+    panel("d:knl-opa", &dpml_fabric::presets::cluster_d(), PairPlacement::InterNode, &[1, 2, 4, 8, 32], window, &mut points);
+    let path = save_results("fig1_throughput", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

@@ -1,0 +1,65 @@
+//! Figure 10 — large-scale comparison: 10,240 processes on 160 nodes of
+//! Cluster D (KNL + Omni-Path), DPML vs MVAPICH2 vs Intel MPI.
+//!
+//! The full configuration simulates 10,240 rank programs per point; use
+//! `--quick` for a thinned size sweep or `--nodes`/`--ppn` to shrink the
+//! job.
+//!
+//! Usage: `fig10_scale [--nodes 160] [--ppn 64] [--quick]`
+
+use dpml_bench::sweep::quick_sizes;
+use dpml_bench::{arg_flag, arg_num, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table};
+use dpml_core::selector::Library;
+use dpml_fabric::presets::cluster_d;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    library: &'static str,
+    bytes: u64,
+    latency_us: f64,
+}
+
+fn main() {
+    let preset = cluster_d();
+    let nodes = arg_num("--nodes", 160u32);
+    let ppn = arg_num("--ppn", 64u32);
+    let spec = preset.spec(nodes, ppn).expect("spec");
+    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    println!(
+        "Figure 10 — scale run on {} ({} nodes x {} ppn = {} procs)",
+        preset.fabric.name,
+        nodes,
+        ppn,
+        spec.world_size()
+    );
+    let libs = [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned];
+    let mut table = Table::new([
+        "size",
+        "MVAPICH2 (us)",
+        "Intel MPI (us)",
+        "DPML (us)",
+        "vs MVAPICH2",
+        "vs Intel",
+    ]);
+    let mut points = Vec::new();
+    for &bytes in &sizes {
+        let mut lat = [0.0f64; 3];
+        for (i, lib) in libs.iter().enumerate() {
+            let alg = lib.choose(&preset, &spec, bytes);
+            lat[i] = latency_us(&preset, &spec, alg, bytes);
+            points.push(Point { library: lib.name(), bytes, latency_us: lat[i] });
+        }
+        table.row([
+            fmt_bytes(bytes),
+            fmt_us(lat[0]),
+            fmt_us(lat[1]),
+            fmt_us(lat[2]),
+            format!("{:.2}x", lat[0] / lat[2]),
+            format!("{:.2}x", lat[1] / lat[2]),
+        ]);
+    }
+    table.print();
+    let path = save_results("fig10_scale", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

@@ -1,0 +1,120 @@
+//! Figure 11 — application-level evaluation.
+//!
+//! (a) HPCG DDOT time with 56/224/448 processes (28 ppn) on Cluster A:
+//!     host-based vs SHArP node-leader vs SHArP socket-leader.
+//! (b) miniAMR mesh-refinement time on Clusters C and D: MVAPICH2 vs
+//!     Intel MPI vs tuned DPML.
+//!
+//! Usage: `fig11_apps [--app hpcg|miniamr|all] [--iters N]`
+
+use dpml_bench::{arg_num, arg_value, fmt_us, save_results, Table};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_core::selector::Library;
+use dpml_fabric::presets::{cluster_a, cluster_c, cluster_d};
+use dpml_workloads::app::run_app;
+use dpml_workloads::{HpcgConfig, MiniAmrConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    app: &'static str,
+    cluster: &'static str,
+    procs: u32,
+    scheme: String,
+    comm_us: f64,
+    total_us: f64,
+}
+
+fn hpcg(points: &mut Vec<Point>) {
+    let preset = cluster_a();
+    let iters = arg_num("--iters", 20u32);
+    let cfg = HpcgConfig { iterations: iters, ..Default::default() };
+    let designs: [(&str, Algorithm); 3] = [
+        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        ("node-leader", Algorithm::SharpNodeLeader),
+        ("socket-leader", Algorithm::SharpSocketLeader),
+    ];
+    println!("Figure 11(a) — HPCG DDOT on {} ({iters} CG iterations)", preset.fabric.name);
+    let mut table =
+        Table::new(["procs", "host ddot (us)", "node-ldr (us)", "socket-ldr (us)", "best impr"]);
+    for nodes in [2u32, 8, 16] {
+        let spec = preset.spec(nodes, 28).expect("spec");
+        let profile = cfg.profile();
+        let mut comm = Vec::new();
+        for (name, alg) in designs {
+            let rep = run_app(&preset, &spec, &profile, &|_| alg).expect("hpcg run");
+            comm.push(rep.comm_us);
+            points.push(Point {
+                app: "hpcg",
+                cluster: preset.id,
+                procs: spec.world_size(),
+                scheme: name.to_string(),
+                comm_us: rep.comm_us,
+                total_us: rep.total_us,
+            });
+        }
+        let best = comm[1].min(comm[2]);
+        table.row([
+            spec.world_size().to_string(),
+            fmt_us(comm[0]),
+            fmt_us(comm[1]),
+            fmt_us(comm[2]),
+            format!("{:.0}%", (comm[0] - best) / comm[0] * 100.0),
+        ]);
+    }
+    table.print();
+}
+
+fn miniamr(points: &mut Vec<Point>) {
+    let refinements = arg_num("--iters", 10u32);
+    for preset in [cluster_c(), cluster_d()] {
+        let nodes = 16;
+        let spec = preset.default_spec(nodes).expect("spec");
+        let cfg = MiniAmrConfig { refinements, ..Default::default() };
+        let profile = cfg.profile(spec.world_size());
+        println!(
+            "\nFigure 11(b) — miniAMR refinement on {} ({} procs, {} refinements, {}B tags)",
+            preset.fabric.name,
+            spec.world_size(),
+            refinements,
+            cfg.refinement_bytes(spec.world_size()),
+        );
+        let mut table = Table::new(["library", "refine time (us)", "vs MVAPICH2"]);
+        let libs = [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned];
+        let mut base = 0.0;
+        for lib in libs {
+            let rep = run_app(&preset, &spec, &profile, &|bytes| lib.choose(&preset, &spec, bytes))
+                .expect("miniamr run");
+            if lib == Library::Mvapich2 {
+                base = rep.comm_us;
+            }
+            table.row([
+                lib.name().to_string(),
+                fmt_us(rep.comm_us),
+                format!("{:.2}x", base / rep.comm_us),
+            ]);
+            points.push(Point {
+                app: "miniamr",
+                cluster: preset.id,
+                procs: spec.world_size(),
+                scheme: lib.name().to_string(),
+                comm_us: rep.comm_us,
+                total_us: rep.total_us,
+            });
+        }
+        table.print();
+    }
+}
+
+fn main() {
+    let app = arg_value("--app").unwrap_or_else(|| "all".into());
+    let mut points = Vec::new();
+    if app == "hpcg" || app == "all" {
+        hpcg(&mut points);
+    }
+    if app == "miniamr" || app == "all" {
+        miniamr(&mut points);
+    }
+    let path = save_results("fig11_apps", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

@@ -1,0 +1,97 @@
+//! Figures 4–7 — impact of the number of leaders on MPI_Allreduce latency.
+//!
+//! Paper configurations:
+//!   Fig. 4: Cluster A, 16 nodes × 28 ppn (448 procs)
+//!   Fig. 5: Cluster B, 64 nodes × 28 ppn (1,792 procs)
+//!   Fig. 6: Cluster C, 64 nodes × 28 ppn (1,792 procs)
+//!   Fig. 7: Cluster D, 32 nodes × 32 ppn (1,024 procs)
+//!
+//! Usage: `fig4_7_leader_sweep --cluster a|b|c|d [--nodes N] [--quick]`
+
+use dpml_bench::sweep::quick_sizes;
+use dpml_bench::{arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, SizeBand, Table};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_fabric::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cluster: &'static str,
+    nodes: u32,
+    ppn: u32,
+    leaders: u32,
+    bytes: u64,
+    latency_us: f64,
+}
+
+fn main() {
+    let cluster = arg_value("--cluster").unwrap_or_else(|| "a".into());
+    let preset = Preset::by_id(&cluster).expect("--cluster must be a|b|c|d");
+    let default_nodes = match preset.id {
+        "A" => 16,
+        "B" | "C" => 64,
+        _ => 32,
+    };
+    let nodes = arg_num("--nodes", default_nodes);
+    let spec = preset.default_spec(nodes).expect("cluster spec");
+    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    let leader_counts = [1u32, 2, 4, 8, 16];
+    let fig = match preset.id {
+        "A" => "4",
+        "B" => "5",
+        "C" => "6",
+        _ => "7",
+    };
+    println!(
+        "Figure {fig} — leader sweep on {} ({} nodes x {} ppn = {} procs)",
+        preset.fabric.name,
+        nodes,
+        spec.ppn,
+        spec.world_size()
+    );
+
+    let mut points = Vec::new();
+    for band in SizeBand::all() {
+        let band_sizes: Vec<u64> = sizes.iter().copied().filter(|&s| SizeBand::of(s) == band).collect();
+        if band_sizes.is_empty() {
+            continue;
+        }
+        let mut table = Table::new(
+            std::iter::once("size".to_string())
+                .chain(leader_counts.iter().map(|l| format!("l={l} (us)")))
+                .chain(["best".to_string()]),
+        );
+        println!("\npanel: {}", band.label());
+        for &bytes in &band_sizes {
+            let mut cells = vec![fmt_bytes(bytes)];
+            let mut best = (0u32, f64::INFINITY);
+            for &l in &leader_counts {
+                let l = l.min(spec.ppn);
+                let us = latency_us(
+                    &preset,
+                    &spec,
+                    Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling },
+                    bytes,
+                );
+                if us < best.1 {
+                    best = (l, us);
+                }
+                cells.push(fmt_us(us));
+                points.push(Point {
+                    cluster: preset.id,
+                    nodes,
+                    ppn: spec.ppn,
+                    leaders: l,
+                    bytes,
+                    latency_us: us,
+                });
+            }
+            cells.push(format!("l={}", best.0));
+            table.row(cells);
+        }
+        table.print();
+    }
+    let name = format!("fig{fig}_leader_sweep_{}", preset.id.to_lowercase());
+    let path = save_results(&name, &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

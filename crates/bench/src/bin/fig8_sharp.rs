@@ -1,0 +1,53 @@
+//! Figure 8 — SHArP-based designs vs the host-based scheme, 16 nodes on
+//! Cluster A, at 1/4/28 processes per node, small messages (≤ 4KB where
+//! the paper shows the host-based design overtaking SHArP).
+//!
+//! Usage: `fig8_sharp [--nodes N]`
+
+use dpml_bench::{arg_num, fmt_bytes, fmt_us, latency_us, save_results, Table};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_fabric::presets::cluster_a;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    ppn: u32,
+    design: &'static str,
+    bytes: u64,
+    latency_us: f64,
+}
+
+fn main() {
+    let preset = cluster_a();
+    let nodes = arg_num("--nodes", 16u32);
+    let designs: [(&'static str, Algorithm); 3] = [
+        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        ("node-leader", Algorithm::SharpNodeLeader),
+        ("socket-leader", Algorithm::SharpSocketLeader),
+    ];
+    let sizes: Vec<u64> = (2..=12).map(|e| 1u64 << e).collect(); // 4B .. 4KB
+    let mut points = Vec::new();
+    println!("Figure 8 — SHArP designs on {} ({nodes} nodes)", preset.fabric.name);
+    for ppn in [1u32, 4, 28] {
+        let spec = preset.spec(nodes, ppn).expect("spec");
+        let mut table = Table::new(["size", "host (us)", "node-ldr (us)", "socket-ldr (us)", "best"]);
+        println!("\nppn = {ppn} ({} procs)", spec.world_size());
+        for &bytes in &sizes {
+            let mut cells = vec![fmt_bytes(bytes)];
+            let mut best = ("", f64::INFINITY);
+            for (name, alg) in designs {
+                let us = latency_us(&preset, &spec, alg, bytes);
+                cells.push(fmt_us(us));
+                if us < best.1 {
+                    best = (name, us);
+                }
+                points.push(Point { ppn, design: name, bytes, latency_us: us });
+            }
+            cells.push(best.0.to_string());
+            table.row(cells);
+        }
+        table.print();
+    }
+    let path = save_results("fig8_sharp", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

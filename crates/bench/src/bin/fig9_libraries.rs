@@ -1,0 +1,78 @@
+//! Figure 9 — the proposed (tuned) DPML design vs MVAPICH2 and Intel MPI
+//! on all four clusters. Intel MPI is omitted on Clusters A and B, as in
+//! the paper ("Intel MPI was not available on Cluster A and B").
+//!
+//! Usage: `fig9_libraries [--cluster a|b|c|d] [--nodes N] [--quick]`
+
+use dpml_bench::sweep::quick_sizes;
+use dpml_bench::{arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table};
+use dpml_core::selector::Library;
+use dpml_fabric::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cluster: &'static str,
+    library: &'static str,
+    bytes: u64,
+    latency_us: f64,
+}
+
+fn run_cluster(preset: &Preset, nodes: u32, sizes: &[u64], points: &mut Vec<Point>) {
+    let spec = preset.default_spec(nodes).expect("spec");
+    let libs: Vec<Library> = if preset.id == "A" || preset.id == "B" {
+        vec![Library::Mvapich2, Library::DpmlTuned]
+    } else {
+        vec![Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned]
+    };
+    println!(
+        "\nFigure 9 — {} ({} nodes x {} ppn = {} procs)",
+        preset.fabric.name,
+        nodes,
+        spec.ppn,
+        spec.world_size()
+    );
+    let mut header: Vec<String> = vec!["size".into()];
+    header.extend(libs.iter().map(|l| format!("{} (us)", l.name())));
+    header.push("DPML speedup".into());
+    let mut table = Table::new(header);
+    for &bytes in sizes {
+        let mut cells = vec![fmt_bytes(bytes)];
+        let mut best_other = f64::INFINITY;
+        let mut dpml = f64::INFINITY;
+        for lib in &libs {
+            let alg = lib.choose(preset, &spec, bytes);
+            let us = latency_us(preset, &spec, alg, bytes);
+            cells.push(fmt_us(us));
+            if *lib == Library::DpmlTuned {
+                dpml = us;
+            } else {
+                best_other = best_other.min(us);
+            }
+            points.push(Point { cluster: preset.id, library: lib.name(), bytes, latency_us: us });
+        }
+        cells.push(format!("{:.2}x", best_other / dpml));
+        table.row(cells);
+    }
+    table.print();
+}
+
+fn main() {
+    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    let mut points = Vec::new();
+    let clusters: Vec<Preset> = match arg_value("--cluster") {
+        Some(c) => vec![Preset::by_id(&c).expect("--cluster must be a|b|c|d")],
+        None => dpml_fabric::presets::all_presets(),
+    };
+    for preset in clusters {
+        let default_nodes = match preset.id {
+            "A" => 16,
+            "B" | "C" => 64,
+            _ => 32,
+        };
+        let nodes = arg_num("--nodes", default_nodes);
+        run_cluster(&preset, nodes, &sizes, &mut points);
+    }
+    let path = save_results("fig9_libraries", &points).expect("write results");
+    println!("\nsaved {} points to {}", points.len(), path.display());
+}

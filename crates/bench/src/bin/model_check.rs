@@ -1,0 +1,90 @@
+//! Cost-model validation — paper Section 5 (Table 1, Eqs. 1–7).
+//!
+//! Compares the analytic DPML cost (Eq. 7) and the flat recursive-doubling
+//! cost (Eq. 1) against the discrete-event simulation on Cluster B shapes,
+//! and prints the model's predicted-best leader count next to the
+//! simulated-best. The analytic model ignores contention and message-rate
+//! queueing, so agreement is expected within a modest factor for
+//! medium/large messages and to diverge for tiny ones (documented in
+//! EXPERIMENTS.md).
+//!
+//! Usage: `model_check [--nodes N]`
+
+use dpml_bench::{arg_num, fmt_bytes, latency_us, save_results, Table};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_fabric::presets::cluster_b;
+use dpml_model::{best_leader_count, CostParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bytes: u64,
+    leaders: u32,
+    model_us: f64,
+    sim_us: f64,
+    ratio: f64,
+}
+
+fn main() {
+    let preset = cluster_b();
+    let nodes = arg_num("--nodes", 16u32);
+    let spec = preset.default_spec(nodes).expect("spec");
+    println!(
+        "Cost-model check on {} ({} nodes x {} ppn)",
+        preset.fabric.name, nodes, spec.ppn
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(["size", "l", "model (us)", "sim (us)", "sim/model"]);
+    for bytes in [4096u64, 65536, 512 * 1024, 1 << 20] {
+        for leaders in [1u32, 4, 16] {
+            let cp = CostParams::from_fabric(&preset.fabric, &spec, leaders, bytes, 1);
+            let model_us = cp.t_allreduce() * 1e6;
+            let sim_us = latency_us(
+                &preset,
+                &spec,
+                Algorithm::Dpml { leaders, inner: FlatAlg::RecursiveDoubling },
+                bytes,
+            );
+            table.row([
+                fmt_bytes(bytes),
+                leaders.to_string(),
+                format!("{model_us:.1}"),
+                format!("{sim_us:.1}"),
+                format!("{:.2}", sim_us / model_us),
+            ]);
+            rows.push(Row { bytes, leaders, model_us, sim_us, ratio: sim_us / model_us });
+        }
+    }
+    table.print();
+
+    println!("\nPredicted vs simulated best leader count:");
+    let mut table = Table::new(["size", "model best l", "sim best l"]);
+    for bytes in [4096u64, 65536, 512 * 1024, 1 << 20] {
+        let cp = CostParams::from_fabric(&preset.fabric, &spec, 1, bytes, 1);
+        let model_best = best_leader_count(&cp);
+        let sim_best = [1u32, 2, 4, 8, 16]
+            .into_iter()
+            .min_by(|&a, &b| {
+                let la = latency_us(
+                    &preset,
+                    &spec,
+                    Algorithm::Dpml { leaders: a, inner: FlatAlg::RecursiveDoubling },
+                    bytes,
+                );
+                let lb = latency_us(
+                    &preset,
+                    &spec,
+                    Algorithm::Dpml { leaders: b, inner: FlatAlg::RecursiveDoubling },
+                    bytes,
+                );
+                la.total_cmp(&lb)
+            })
+            .expect("candidates");
+        table.row([fmt_bytes(bytes), model_best.to_string(), sim_best.to_string()]);
+    }
+    table.print();
+
+    let path = save_results("model_check", &rows).expect("write results");
+    println!("\nsaved {} rows to {}", rows.len(), path.display());
+}

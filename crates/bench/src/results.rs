@@ -1,0 +1,54 @@
+//! JSON result persistence for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Serialize `value` as pretty JSON to `<dir>/<name>.json`, creating the
+/// directory if needed. Returns the written path.
+pub fn save_results_in<T: Serialize>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    value: &T,
+) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable results");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Save under the conventional `results/` directory of the working tree.
+pub fn save_results<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    save_results_in("results", name, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: u64,
+        y: f64,
+    }
+
+    #[test]
+    fn writes_json_file() {
+        let dir = std::env::temp_dir().join(format!("dpml-results-{}", std::process::id()));
+        let path = save_results_in(&dir, "unit-test", &vec![Point { x: 1, y: 2.5 }]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("2.5"));
+        assert!(path.ends_with("unit-test.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrites_existing() {
+        let dir = std::env::temp_dir().join(format!("dpml-results2-{}", std::process::id()));
+        save_results_in(&dir, "f", &1u32).unwrap();
+        let path = save_results_in(&dir, "f", &2u32).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap().trim(), "2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,431 @@
+//! Data Partitioning-based Multi-Leader allreduce — paper Section 4.1
+//! (Figure 2) and the pipelined variant of Section 4.2.
+//!
+//! With `l` leaders per node and input vector `V` of `n` bytes split into
+//! partitions `P_0..P_{l-1}`:
+//!
+//! 1. **Local copy to shared memory** — every local rank `i` writes `D_ij`
+//!    (its contribution to partition `j`) into slot `i` of leader `j`'s
+//!    shared region: `l` concurrent shared-memory gathers.
+//! 2. **Intra-node reduction by leaders** — leader `j` folds the `ppn`
+//!    slots of partition `j` (`ppn - 1` passes over `n/l` bytes), all
+//!    leaders in parallel.
+//! 3. **Inter-node allreduce by leaders** — leader `j` allreduces partition
+//!    `j` with the `j`-th leaders of all other nodes: `l` concurrent
+//!    inter-node collectives on `n/l`-byte messages.
+//! 4. **Local copy to individual processes** — each leader publishes its
+//!    fully-reduced partition; every rank copies all `l` partitions out.
+//!
+//! `DPML-Pipelined` further splits each leader's partition into `k`
+//! sub-partitions whose phase-3 exchanges proceed as `k` interleaved
+//! non-blocking allreduces, keeping Omni-Path in its high-message-rate zone
+//! even for very large vectors.
+
+use crate::algorithms::flat::{emit_flat_range, prev_pow2};
+use crate::algorithms::{BuildError, FlatAlg};
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::{LeaderPolicy, LeaderSet, NodeId, RankMap};
+
+/// Emit phases 1 and 2 (shared-memory gather + leader reduction) plus the
+/// gather barrier. Returns the leader set and per-leader partitions.
+fn emit_local_phases(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    range: ByteRange,
+    leaders: u32,
+) -> Result<(LeaderSet, Vec<ByteRange>), BuildError> {
+    let spec = *map.spec();
+    let ppn = spec.ppn;
+    if leaders == 0 || leaders > ppn {
+        return Err(BuildError::TooManyLeaders { leaders, ppn });
+    }
+    let set = LeaderPolicy::PerNode(leaders)
+        .build(map)
+        .map_err(|_| BuildError::TooManyLeaders { leaders, ppn })?;
+    let l = set.leaders_per_node();
+    let parts: Vec<ByteRange> = (0..l).map(|j| range.subrange(l, j)).collect();
+
+    // Shared slots: slot(j, i) = leader j's region, writer local rank i.
+    let slot_base = b.fresh_shared(l * ppn);
+    let slot = |j: u32, i: u32| BufKey::Shared(slot_base + j * ppn + i);
+
+    for node in 0..spec.num_nodes {
+        let node = NodeId(node);
+        let members = map.ranks_on_node(node);
+        let gather_done = b.fresh_barrier();
+        w.register_barrier(gather_done, members.clone());
+
+        for (i, &r) in members.iter().enumerate() {
+            let my_socket = map.socket_of(r);
+            let prog = w.rank(r);
+            // Phase 1: deposit each partition into the owning leader's
+            // region (cross-socket when the leader lives on the other
+            // socket).
+            for j in 0..l {
+                if parts[j as usize].is_empty() {
+                    continue;
+                }
+                let leader_rank = set.leader_rank(node, j);
+                let cross = map.socket_of(leader_rank) != my_socket;
+                prog.copy(BUF_INPUT, slot(j, i as u32), parts[j as usize], cross);
+            }
+            prog.barrier(gather_done);
+            // Phase 2: leaders fold their partition across all ppn slots.
+            if let Some(j) = set.leader_index(r) {
+                let part = parts[j as usize];
+                if !part.is_empty() {
+                    prog.copy(slot(j, 0), BUF_RESULT, part, false);
+                    if ppn > 1 {
+                        let srcs: Vec<BufKey> = (1..ppn).map(|i2| slot(j, i2)).collect();
+                        prog.reduce(srcs, BUF_RESULT, part);
+                    }
+                }
+            }
+        }
+    }
+    Ok((set, parts))
+}
+
+/// Emit phase 4 (publish + local broadcast copies).
+fn emit_broadcast_phase(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    set: &LeaderSet,
+    parts: &[ByteRange],
+) {
+    let spec = *map.spec();
+    let l = set.leaders_per_node();
+    let bcast_base = b.fresh_shared(l);
+    for node in 0..spec.num_nodes {
+        let node = NodeId(node);
+        let members = map.ranks_on_node(node);
+        let publish_done = b.fresh_barrier();
+        w.register_barrier(publish_done, members.clone());
+        for &r in &members {
+            let my_socket = map.socket_of(r);
+            let my_leader = set.leader_index(r);
+            let prog = w.rank(r);
+            if let Some(j) = my_leader {
+                if !parts[j as usize].is_empty() {
+                    prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), parts[j as usize], false);
+                }
+            }
+            prog.barrier(publish_done);
+            for j in 0..l {
+                if Some(j) == my_leader || parts[j as usize].is_empty() {
+                    continue;
+                }
+                let leader_rank = set.leader_rank(node, j);
+                let cross = map.socket_of(leader_rank) != my_socket;
+                prog.copy(BufKey::Shared(bcast_base + j), BUF_RESULT, parts[j as usize], cross);
+            }
+        }
+    }
+}
+
+/// Emit the full DPML allreduce with a blocking phase-3 algorithm.
+pub fn emit_dpml(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    range: ByteRange,
+    leaders: u32,
+    inner: FlatAlg,
+) -> Result<(), BuildError> {
+    let (set, parts) = emit_local_phases(w, b, map, range, leaders)?;
+    // Phase 3: l concurrent inter-node allreduces, one per leader index.
+    for j in 0..set.leaders_per_node() {
+        if parts[j as usize].is_empty() {
+            continue;
+        }
+        let comm = set.leader_comm(j);
+        emit_flat_range(w, b, &comm, BUF_RESULT, parts[j as usize], inner);
+    }
+    emit_broadcast_phase(w, b, map, &set, &parts);
+    Ok(())
+}
+
+/// Emit DPML with the phase-3 allreduce pipelined over `k` sub-partitions
+/// (Section 4.2). The `k` chunks advance as interleaved non-blocking
+/// recursive-doubling allreduces: while chunk `c`'s received data is being
+/// reduced, chunk `c+1`'s messages are already in flight.
+pub fn emit_dpml_pipelined(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    range: ByteRange,
+    leaders: u32,
+    k: u32,
+) -> Result<(), BuildError> {
+    if k == 0 {
+        return Err(BuildError::ZeroChunks);
+    }
+    let (set, parts) = emit_local_phases(w, b, map, range, leaders)?;
+    for j in 0..set.leaders_per_node() {
+        let part = parts[j as usize];
+        if part.is_empty() {
+            continue;
+        }
+        let comm = set.leader_comm(j);
+        emit_pipelined_rd(w, b, &comm, BUF_RESULT, part, k);
+    }
+    emit_broadcast_phase(w, b, map, &set, &parts);
+    Ok(())
+}
+
+/// Pipelined recursive doubling: `k` chunk-allreduces interleaved at step
+/// granularity. Non-power-of-two member counts fold extras in/out exactly
+/// like plain recursive doubling (whole-range pre/post exchanges).
+fn emit_pipelined_rd(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[dpml_topology::Rank],
+    buf: BufKey,
+    range: ByteRange,
+    k: u32,
+) {
+    let p = comm.len();
+    if p <= 1 || range.is_empty() {
+        return;
+    }
+    let chunks: Vec<ByteRange> = (0..k).map(|c| range.subrange(k, c)).collect();
+    let scratch_base = b.fresh_priv(k);
+    let scratch = |c: u32| BufKey::Priv(scratch_base + c);
+
+    // Fold extras (same prologue as plain RD, over the whole range).
+    let pof2 = prev_pow2(p);
+    let rem = p - pof2;
+    let pre_tag = b.fresh_tags(1);
+    let whole_scratch = BufKey::Priv(b.fresh_priv(1));
+    for i in 0..rem {
+        let even = comm[2 * i];
+        let odd = comm[2 * i + 1];
+        w.rank(odd).send(even, pre_tag, buf, range);
+        let pe = w.rank(even);
+        pe.recv(odd, pre_tag, whole_scratch);
+        pe.reduce(vec![whole_scratch], buf, range);
+    }
+    let core: Vec<dpml_topology::Rank> =
+        (0..pof2).map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] }).collect();
+
+    let steps = pof2.trailing_zeros();
+    let tag0 = b.fresh_tags(steps * k);
+    let tag = |step: u32, c: u32| tag0 + step * k + c;
+
+    // Software-pipelined steps: post all chunks' exchanges for a step, then
+    // for each chunk wait + reduce + (if not last step) immediately post
+    // the next step's exchange for that chunk before touching the next
+    // chunk. Request ids are tracked per chunk.
+    for (i, &me) in core.iter().enumerate() {
+        if steps == 0 {
+            break;
+        }
+        let mut pending = Vec::with_capacity(k as usize);
+        let peer0 = core[i ^ 1];
+        {
+            let prog = w.rank(me);
+            for c in 0..k {
+                if chunks[c as usize].is_empty() {
+                    pending.push(None);
+                    continue;
+                }
+                let s = prog.isend(peer0, tag(0, c), buf, chunks[c as usize]);
+                let r = prog.irecv(peer0, tag(0, c), scratch(c));
+                pending.push(Some((s, r)));
+            }
+        }
+        for step in 0..steps {
+            let next_peer = if step + 1 < steps { Some(core[i ^ (1 << (step + 1))]) } else { None };
+            let prog = w.rank(me);
+            for c in 0..k {
+                let Some((s, r)) = pending[c as usize] else { continue };
+                prog.wait_all(vec![s, r]);
+                prog.reduce(vec![scratch(c)], buf, chunks[c as usize]);
+                if let Some(np) = next_peer {
+                    let s2 = prog.isend(np, tag(step + 1, c), buf, chunks[c as usize]);
+                    let r2 = prog.irecv(np, tag(step + 1, c), scratch(c));
+                    pending[c as usize] = Some((s2, r2));
+                }
+            }
+        }
+    }
+
+    // Unfold extras.
+    let post_tag = b.fresh_tags(1);
+    for i in 0..rem {
+        let even = comm[2 * i];
+        let odd = comm[2 * i + 1];
+        w.rank(even).send(odd, post_tag, buf, range);
+        w.rank(odd).recv(even, post_tag, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::{cluster_b, cluster_c};
+    use dpml_topology::ClusterSpec;
+
+    fn sim(nodes: u32, ppn: u32) -> (RankMap, SimConfig) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        (map, cfg)
+    }
+
+    fn run_dpml(nodes: u32, ppn: u32, n: u64, l: u32, inner: FlatAlg) -> dpml_engine::RunReport {
+        let (map, cfg) = sim(nodes, ppn);
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_dpml(&mut w, &mut b, &map, ByteRange::whole(n), l, inner).unwrap();
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap_or_else(|e| panic!("l={l} nodes={nodes} ppn={ppn}: {e}"));
+        rep
+    }
+
+    #[test]
+    fn dpml_correct_basic() {
+        run_dpml(4, 4, 4096, 2, FlatAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn dpml_correct_all_leader_counts() {
+        for l in [1, 2, 4, 7, 8] {
+            run_dpml(4, 8, 10_000, l, FlatAlg::RecursiveDoubling);
+        }
+    }
+
+    #[test]
+    fn dpml_correct_non_pow2_nodes() {
+        run_dpml(6, 4, 2048, 4, FlatAlg::RecursiveDoubling);
+        run_dpml(5, 3, 999, 3, FlatAlg::Rabenseifner);
+    }
+
+    #[test]
+    fn dpml_correct_all_inner_algorithms() {
+        for inner in [FlatAlg::RecursiveDoubling, FlatAlg::Rabenseifner, FlatAlg::Ring] {
+            run_dpml(4, 4, 1 << 16, 4, inner);
+        }
+    }
+
+    #[test]
+    fn dpml_tiny_vector_more_leaders_than_bytes() {
+        run_dpml(2, 8, 4, 8, FlatAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn dpml_single_node() {
+        let rep = run_dpml(1, 8, 8192, 4, FlatAlg::RecursiveDoubling);
+        assert_eq!(rep.stats.inter_node_messages, 0);
+    }
+
+    #[test]
+    fn dpml_rejects_bad_leader_counts() {
+        let (map, _) = sim(2, 4);
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), 64);
+        let mut b = ProgramBuilder::new();
+        assert_eq!(
+            emit_dpml(&mut w, &mut b, &map, ByteRange::whole(64), 5, FlatAlg::Ring),
+            Err(BuildError::TooManyLeaders { leaders: 5, ppn: 4 })
+        );
+        assert_eq!(
+            emit_dpml(&mut w, &mut b, &map, ByteRange::whole(64), 0, FlatAlg::Ring),
+            Err(BuildError::TooManyLeaders { leaders: 0, ppn: 4 })
+        );
+    }
+
+    #[test]
+    fn dpml_inter_node_bytes_shrink_with_leaders() {
+        // Each leader ships 1/l of the vector per RD step: total inter-node
+        // bytes are independent of l, but per-message size shrinks.
+        let n = 1 << 20;
+        let r1 = run_dpml(4, 8, n, 1, FlatAlg::RecursiveDoubling);
+        let r4 = run_dpml(4, 8, n, 4, FlatAlg::RecursiveDoubling);
+        assert_eq!(r1.stats.inter_node_bytes, r4.stats.inter_node_bytes);
+        assert_eq!(r4.stats.inter_node_messages, 4 * r1.stats.inter_node_messages);
+    }
+
+    #[test]
+    fn dpml_large_messages_benefit_from_leaders() {
+        // The paper's central claim (Figs. 4-7): more leaders cut latency
+        // for large messages.
+        let n = 1 << 20;
+        let t1 = run_dpml(8, 28, n, 1, FlatAlg::RecursiveDoubling).makespan();
+        let t4 = run_dpml(8, 28, n, 4, FlatAlg::RecursiveDoubling).makespan();
+        let t16 = run_dpml(8, 28, n, 16, FlatAlg::RecursiveDoubling).makespan();
+        assert!(t4.seconds() < t1.seconds(), "t1={t1} t4={t4}");
+        assert!(t16.seconds() < t4.seconds(), "t4={t4} t16={t16}");
+        assert!(
+            t1.seconds() / t16.seconds() > 2.0,
+            "expected >2x speedup, got {:.2}",
+            t1.seconds() / t16.seconds()
+        );
+    }
+
+    fn run_pipelined(nodes: u32, ppn: u32, n: u64, l: u32, k: u32) -> dpml_engine::RunReport {
+        let (map, cfg) = sim(nodes, ppn);
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_dpml_pipelined(&mut w, &mut b, &map, ByteRange::whole(n), l, k).unwrap();
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap_or_else(|e| panic!("l={l} k={k}: {e}"));
+        rep
+    }
+
+    #[test]
+    fn pipelined_correct_various_k() {
+        for k in [1, 2, 3, 8] {
+            run_pipelined(4, 4, 100_000, 4, k);
+        }
+    }
+
+    #[test]
+    fn pipelined_correct_non_pow2_nodes() {
+        run_pipelined(6, 4, 65536, 4, 4);
+    }
+
+    #[test]
+    fn pipelined_k1_matches_plain_message_counts() {
+        let n = 1 << 18;
+        let plain = run_dpml(4, 4, n, 4, FlatAlg::RecursiveDoubling);
+        let piped = run_pipelined(4, 4, n, 4, 1);
+        assert_eq!(plain.stats.inter_node_messages, piped.stats.inter_node_messages);
+    }
+
+    #[test]
+    fn pipelined_zero_chunks_rejected() {
+        let (map, _) = sim(2, 2);
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), 64);
+        let mut b = ProgramBuilder::new();
+        assert_eq!(
+            emit_dpml_pipelined(&mut w, &mut b, &map, ByteRange::whole(64), 2, 0),
+            Err(BuildError::ZeroChunks)
+        );
+    }
+
+    #[test]
+    fn pipelined_helps_on_omni_path_large_messages() {
+        // On the Omni-Path model (per-flow ≈ node bandwidth), chunking very
+        // large per-leader messages overlaps latency with transfer.
+        let preset = cluster_c();
+        let spec = ClusterSpec::new(8, 2, 14, 28).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let n = 4 << 20;
+        let run_k = |k: u32| {
+            let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+            let mut b = ProgramBuilder::new();
+            emit_dpml_pipelined(&mut w, &mut b, &map, ByteRange::whole(n), 16, k).unwrap();
+            let rep = Simulator::new(&cfg).run(&w).unwrap();
+            rep.verify_allreduce().unwrap();
+            rep.makespan().seconds()
+        };
+        let t1 = run_k(1);
+        let t8 = run_k(8);
+        assert!(t8 < t1, "pipelining should help: k1={t1} k8={t8}");
+    }
+}

@@ -1,0 +1,425 @@
+//! Flat (non-hierarchical) allreduce algorithms.
+//!
+//! These are the classic schedules every MPI library ships (Thakur,
+//! Rabenseifner & Gropp 2005) and the baselines the paper compares DPML
+//! against. All emitters operate on an arbitrary *communicator* (an ordered
+//! rank list) and an arbitrary byte sub-range of the vector so that the
+//! hierarchical designs can reuse them as their inter-leader stage.
+
+use crate::algorithms::FlatAlg;
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::Rank;
+
+/// `copy(sendbuf, recvbuf)` — the local prologue every flat allreduce
+/// starts with (MPI semantics: the input must not be clobbered).
+pub fn emit_initial_copy(w: &mut WorldProgram, ranks: &[Rank], range: ByteRange) {
+    for &r in ranks {
+        w.rank(r).copy(BUF_INPUT, BUF_RESULT, range, false);
+    }
+}
+
+/// Largest power of two `<= p`.
+pub(crate) fn prev_pow2(p: usize) -> usize {
+    debug_assert!(p >= 1);
+    1 << (usize::BITS - 1 - p.leading_zeros())
+}
+
+/// Dispatch a flat allreduce over `comm` on `buf ∩ range`.
+pub fn emit_flat_range(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+    alg: FlatAlg,
+) {
+    match alg {
+        FlatAlg::RecursiveDoubling => emit_recursive_doubling_range(w, b, comm, buf, range),
+        FlatAlg::Rabenseifner => emit_rabenseifner_range(w, b, comm, buf, range),
+        FlatAlg::Ring => emit_ring_range(w, b, comm, buf, range),
+    }
+}
+
+/// Fold the non-power-of-two "extra" ranks into a power-of-two core:
+/// each odd rank of the first `2*rem` sends its data to the even partner,
+/// which reduces. Returns the core communicator (length `prev_pow2(p)`).
+fn emit_pow2_prologue(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+    scratch: BufKey,
+) -> Vec<Rank> {
+    let p = comm.len();
+    let pof2 = prev_pow2(p);
+    let rem = p - pof2;
+    let tag = b.fresh_tags(1);
+    for i in 0..rem {
+        let even = comm[2 * i];
+        let odd = comm[2 * i + 1];
+        w.rank(odd).send(even, tag, buf, range);
+        let pe = w.rank(even);
+        pe.recv(odd, tag, scratch);
+        pe.reduce(vec![scratch], buf, range);
+    }
+    (0..pof2).map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] }).collect()
+}
+
+/// Ship the final result from core ranks back to the folded-out extras.
+fn emit_pow2_epilogue(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+) {
+    let p = comm.len();
+    let rem = p - prev_pow2(p);
+    let tag = b.fresh_tags(1);
+    for i in 0..rem {
+        let even = comm[2 * i];
+        let odd = comm[2 * i + 1];
+        w.rank(even).send(odd, tag, buf, range);
+        w.rank(odd).recv(even, tag, buf); // payload is the final value
+    }
+}
+
+/// Recursive doubling on a sub-range.
+pub fn emit_recursive_doubling_range(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+) {
+    let p = comm.len();
+    if p <= 1 || range.is_empty() {
+        return;
+    }
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let core = emit_pow2_prologue(w, b, comm, buf, range, scratch);
+    let pof2 = core.len();
+    let steps = pof2.trailing_zeros();
+    let tag0 = b.fresh_tags(steps);
+    for step in 0..steps {
+        let tag = tag0 + step;
+        for (i, &me) in core.iter().enumerate() {
+            let peer = core[i ^ (1 << step)];
+            let prog = w.rank(me);
+            let s = prog.isend(peer, tag, buf, range);
+            let r = prog.irecv(peer, tag, scratch);
+            prog.wait_all(vec![s, r]);
+            prog.reduce(vec![scratch], buf, range);
+        }
+    }
+    emit_pow2_epilogue(w, b, comm, buf, range);
+}
+
+/// Split a range into its lower and upper halves.
+fn halves(r: ByteRange) -> (ByteRange, ByteRange) {
+    let mid = r.start + r.len() / 2;
+    (ByteRange::new(r.start, mid), ByteRange::new(mid, r.end))
+}
+
+/// Rabenseifner (reduce-scatter + allgather) on a sub-range.
+pub fn emit_rabenseifner_range(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+) {
+    let p = comm.len();
+    if p <= 1 || range.is_empty() {
+        return;
+    }
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let core = emit_pow2_prologue(w, b, comm, buf, range, scratch);
+    let pof2 = core.len();
+    let steps = pof2.trailing_zeros();
+    if steps == 0 {
+        emit_pow2_epilogue(w, b, comm, buf, range);
+        return;
+    }
+    // Reduce-scatter by recursive halving.
+    let mut owned = vec![range; pof2];
+    let rs_tag0 = b.fresh_tags(steps);
+    for step in 0..steps {
+        let tag = rs_tag0 + step;
+        for (i, &me) in core.iter().enumerate() {
+            let peer = core[i ^ (1 << step)];
+            let (low, high) = halves(owned[i]);
+            let (keep, give) = if i & (1 << step) == 0 { (low, high) } else { (high, low) };
+            let prog = w.rank(me);
+            let s = prog.isend(peer, tag, buf, give);
+            let r = prog.irecv(peer, tag, scratch);
+            prog.wait_all(vec![s, r]);
+            prog.reduce(vec![scratch], buf, keep);
+            owned[i] = keep;
+        }
+    }
+    // Allgather by recursive doubling (reverse order).
+    let ag_tag0 = b.fresh_tags(steps);
+    for step in (0..steps).rev() {
+        let tag = ag_tag0 + step;
+        let mut next_owned = owned.clone();
+        for (i, &me) in core.iter().enumerate() {
+            let pi = i ^ (1 << step);
+            let peer = core[pi];
+            let prog = w.rank(me);
+            let s = prog.isend(peer, tag, buf, owned[i]);
+            let r = prog.irecv(peer, tag, buf); // disjoint range: plain placement
+            prog.wait_all(vec![s, r]);
+            let merged = ByteRange::new(
+                owned[i].start.min(owned[pi].start),
+                owned[i].end.max(owned[pi].end),
+            );
+            next_owned[i] = merged;
+        }
+        owned = next_owned;
+    }
+    emit_pow2_epilogue(w, b, comm, buf, range);
+}
+
+/// Ring reduce-scatter + ring allgather on a sub-range (any `p`).
+pub fn emit_ring_range(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+) {
+    let p = comm.len();
+    if p <= 1 || range.is_empty() {
+        return;
+    }
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let chunks: Vec<ByteRange> = (0..p as u32).map(|i| range.subrange(p as u32, i)).collect();
+    let rs_tag0 = b.fresh_tags((p - 1) as u32);
+    // Reduce-scatter: after p-1 steps rank i fully owns chunk (i+1) mod p.
+    for s in 0..p - 1 {
+        let tag = rs_tag0 + s as u32;
+        for (i, &me) in comm.iter().enumerate() {
+            let next = comm[(i + 1) % p];
+            let prev = comm[(i + p - 1) % p];
+            let send_chunk = chunks[(i + p - s) % p];
+            let recv_chunk = chunks[(i + p - s - 1) % p];
+            let prog = w.rank(me);
+            let snd = prog.isend(next, tag, buf, send_chunk);
+            let rcv = prog.irecv(prev, tag, scratch);
+            prog.wait_all(vec![snd, rcv]);
+            prog.reduce(vec![scratch], buf, recv_chunk);
+        }
+    }
+    // Allgather ring.
+    let ag_tag0 = b.fresh_tags((p - 1) as u32);
+    for s in 0..p - 1 {
+        let tag = ag_tag0 + s as u32;
+        for (i, &me) in comm.iter().enumerate() {
+            let next = comm[(i + 1) % p];
+            let prev = comm[(i + p - 1) % p];
+            let send_chunk = chunks[(i + 1 + p - s) % p];
+            let prog = w.rank(me);
+            let snd = prog.isend(next, tag, buf, send_chunk);
+            let rcv = prog.irecv(prev, tag, buf);
+            prog.wait_all(vec![snd, rcv]);
+        }
+    }
+}
+
+/// Binomial-tree reduce to `comm[0]`, then binomial broadcast.
+pub fn emit_binomial_range(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    buf: BufKey,
+    range: ByteRange,
+) {
+    let p = comm.len();
+    if p <= 1 || range.is_empty() {
+        return;
+    }
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let steps = usize::BITS - (p - 1).leading_zeros(); // ceil(lg p)
+    let red_tag0 = b.fresh_tags(steps);
+    for step in 0..steps {
+        let mask = 1usize << step;
+        let tag = red_tag0 + step;
+        for (i, &me) in comm.iter().enumerate() {
+            if i % (2 * mask) == mask {
+                w.rank(me).send(comm[i - mask], tag, buf, range);
+            } else if i % (2 * mask) == 0 && i + mask < p {
+                let prog = w.rank(me);
+                prog.recv(comm[i + mask], tag, scratch);
+                prog.reduce(vec![scratch], buf, range);
+            }
+        }
+    }
+    let bc_tag0 = b.fresh_tags(steps);
+    for step in (0..steps).rev() {
+        let mask = 1usize << step;
+        let tag = bc_tag0 + step;
+        for (i, &me) in comm.iter().enumerate() {
+            if i % (2 * mask) == 0 && i + mask < p {
+                w.rank(me).send(comm[i + mask], tag, buf, range);
+            } else if i % (2 * mask) == mask {
+                w.rank(me).recv(comm[i - mask], tag, buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn run(alg: FlatAlg, nodes: u32, ppn: u32, n: u64) -> dpml_engine::RunReport {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_initial_copy(&mut w, &comm, ByteRange::whole(n));
+        emit_flat_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::whole(n), alg);
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        rep
+    }
+
+    #[test]
+    fn prev_pow2_values() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(28), 16);
+        assert_eq!(prev_pow2(64), 64);
+    }
+
+    #[test]
+    fn rd_power_of_two() {
+        run(FlatAlg::RecursiveDoubling, 8, 1, 4096);
+    }
+
+    #[test]
+    fn rd_non_power_of_two() {
+        run(FlatAlg::RecursiveDoubling, 6, 1, 4096);
+        run(FlatAlg::RecursiveDoubling, 5, 1, 100);
+    }
+
+    #[test]
+    fn rd_multi_rank_nodes() {
+        run(FlatAlg::RecursiveDoubling, 4, 7, 512);
+    }
+
+    #[test]
+    fn rabenseifner_power_of_two() {
+        run(FlatAlg::Rabenseifner, 8, 1, 1 << 16);
+    }
+
+    #[test]
+    fn rabenseifner_non_power_of_two() {
+        run(FlatAlg::Rabenseifner, 7, 1, 1000);
+        run(FlatAlg::Rabenseifner, 12, 1, 333);
+    }
+
+    #[test]
+    fn rabenseifner_odd_sizes() {
+        // Range length not divisible by p: halving must stay consistent.
+        run(FlatAlg::Rabenseifner, 8, 1, 1001);
+        run(FlatAlg::Rabenseifner, 16, 1, 17);
+    }
+
+    #[test]
+    fn ring_various_sizes() {
+        run(FlatAlg::Ring, 3, 1, 999);
+        run(FlatAlg::Ring, 8, 1, 1 << 18);
+        run(FlatAlg::Ring, 5, 2, 1 << 10);
+    }
+
+    #[test]
+    fn ring_tiny_vector() {
+        // p > n: some chunks empty.
+        run(FlatAlg::Ring, 8, 1, 3);
+    }
+
+    #[test]
+    fn binomial_all_sizes() {
+        for p in [2u32, 3, 4, 7, 8, 9] {
+            let preset = cluster_b();
+            let spec = ClusterSpec::new(p, 2, 14, 1).unwrap();
+            let map = RankMap::block(&spec);
+            let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+            let comm: Vec<Rank> = map.all_ranks().collect();
+            let mut w = dpml_engine::WorldProgram::new(p, 256);
+            let mut b = ProgramBuilder::new();
+            emit_initial_copy(&mut w, &comm, ByteRange::whole(256));
+            emit_binomial_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::whole(256));
+            let rep = Simulator::new(&cfg).run(&w).unwrap();
+            rep.verify_allreduce().unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let rep = run(FlatAlg::RecursiveDoubling, 1, 1, 64);
+        assert_eq!(rep.stats.messages, 0);
+    }
+
+    #[test]
+    fn rd_message_count_matches_lg_p() {
+        let rep = run(FlatAlg::RecursiveDoubling, 8, 1, 4096);
+        // 8 ranks x lg(8)=3 steps x 1 msg each direction = 24 messages.
+        assert_eq!(rep.stats.messages, 24);
+    }
+
+    #[test]
+    fn rabenseifner_moves_fewer_bytes_than_rd() {
+        let n = 1 << 20;
+        let rd = run(FlatAlg::RecursiveDoubling, 8, 1, n);
+        let rab = run(FlatAlg::Rabenseifner, 8, 1, n);
+        // RD ships lg(p)*n per rank (3n at p=8); Rabenseifner ships
+        // 2n(1 - 1/p) per rank (1.75n at p=8): expect a ~14/24 ratio.
+        assert!(
+            rab.stats.inter_node_bytes * 3 < rd.stats.inter_node_bytes * 2,
+            "rab {} vs rd {}",
+            rab.stats.inter_node_bytes,
+            rd.stats.inter_node_bytes
+        );
+        assert!(rab.makespan() < rd.makespan());
+    }
+
+    #[test]
+    fn ring_beats_rd_for_large_messages_small_comm() {
+        let n = 4 << 20;
+        let rd = run(FlatAlg::RecursiveDoubling, 4, 1, n);
+        let ring = run(FlatAlg::Ring, 4, 1, n);
+        assert!(ring.makespan() < rd.makespan());
+    }
+
+    /// Sub-range composition: run three flat allreduces on disjoint
+    /// sub-ranges over different sub-communicators, with the rest of the
+    /// vector reduced by... nothing — verify the sub-ranges only.
+    #[test]
+    fn subrange_composition() {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(4, 2, 14, 1).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let n = 300u64;
+        let mut w = dpml_engine::WorldProgram::new(4, n);
+        let mut b = ProgramBuilder::new();
+        emit_initial_copy(&mut w, &comm, ByteRange::whole(n));
+        emit_recursive_doubling_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::new(0, 100));
+        emit_ring_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::new(100, 200));
+        emit_rabenseifner_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::new(200, 300));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! The classic single-leader hierarchical allreduce (paper Section 2.1).
+//!
+//! This is the "default host-based scheme" of the paper's figures: the
+//! design MVAPICH2-2.2 uses for shared-memory-aware allreduce. Per node:
+//!
+//! 1. every local rank copies its input into its slot of the node's shared
+//!    region,
+//! 2. the node leader (local rank 0) folds all `ppn` slots — `ppn - 1`
+//!    reduction passes on one core, the bottleneck DPML removes,
+//! 3. leaders run an inter-node allreduce,
+//! 4. the leader publishes the result in shared memory and every local rank
+//!    copies it out.
+
+use crate::algorithms::flat::emit_flat_range;
+use crate::algorithms::{BuildError, FlatAlg};
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::{LeaderPolicy, NodeId, RankMap};
+
+/// Emit the single-leader hierarchical allreduce.
+pub fn emit_single_leader(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    range: ByteRange,
+    inner: FlatAlg,
+) -> Result<(), BuildError> {
+    let spec = *map.spec();
+    let ppn = spec.ppn;
+    let whole = range;
+    let set = LeaderPolicy::NodeLevel.build(map).expect("one leader always fits");
+
+    // Shared ids: one gather slot per local rank, one broadcast slot.
+    let gather_base = b.fresh_shared(ppn);
+    let bcast_slot = BufKey::Shared(b.fresh_shared(1));
+
+    // Intra-node phases, one barrier pair per node.
+    for node in 0..spec.num_nodes {
+        let node = NodeId(node);
+        let members = map.ranks_on_node(node);
+        let gather_done = b.fresh_barrier();
+        w.register_barrier(gather_done, members.clone());
+
+        let leader = members[0];
+        let leader_socket = map.socket_of(leader);
+        for (i, &r) in members.iter().enumerate() {
+            let cross = map.socket_of(r) != leader_socket;
+            let slot = BufKey::Shared(gather_base + i as u32);
+            let prog = w.rank(r);
+            // Phase 1: everyone deposits into the leader's region.
+            prog.copy(BUF_INPUT, slot, whole, cross);
+            prog.barrier(gather_done);
+            if r == leader {
+                // Phase 2: leader folds ppn slots: one seed copy + ppn-1
+                // reduction passes.
+                prog.copy(BufKey::Shared(gather_base), BUF_RESULT, whole, false);
+                if ppn > 1 {
+                    let srcs: Vec<BufKey> =
+                        (1..ppn).map(|j| BufKey::Shared(gather_base + j)).collect();
+                    prog.reduce(srcs, BUF_RESULT, whole);
+                }
+            }
+        }
+        // Phase 4 is emitted after the inter-leader stage below (each
+        // rank's program is sequential, so per-rank emission order is what
+        // orders the phases).
+    }
+
+    // Phase 3: inter-node allreduce among leaders.
+    let leader_comm = set.leader_comm(0);
+    emit_flat_range(w, b, &leader_comm, BUF_RESULT, whole, inner);
+
+    // Phase 4: publish + broadcast.
+    for node in 0..spec.num_nodes {
+        let node = NodeId(node);
+        let members = map.ranks_on_node(node);
+        let publish_done = b.fresh_barrier();
+        w.register_barrier(publish_done, members.clone());
+        let leader = members[0];
+        let leader_socket = map.socket_of(leader);
+        for &r in &members {
+            let prog = w.rank(r);
+            if r == leader {
+                prog.copy(BUF_RESULT, bcast_slot, whole, false);
+            }
+            prog.barrier(publish_done);
+            if r != leader {
+                let cross = map.socket_of(r) != leader_socket;
+                prog.copy(bcast_slot, BUF_RESULT, whole, cross);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::ClusterSpec;
+
+    fn run(nodes: u32, ppn: u32, n: u64, inner: FlatAlg) -> dpml_engine::RunReport {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_single_leader(&mut w, &mut b, &map, ByteRange::whole(n), inner).unwrap();
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        rep
+    }
+
+    #[test]
+    fn correct_small_cluster() {
+        run(2, 4, 1024, FlatAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn correct_non_pow2_nodes_and_ppn() {
+        run(3, 5, 997, FlatAlg::RecursiveDoubling);
+        run(6, 3, 512, FlatAlg::Rabenseifner);
+    }
+
+    #[test]
+    fn correct_single_node() {
+        let rep = run(1, 8, 4096, FlatAlg::RecursiveDoubling);
+        assert_eq!(rep.stats.inter_node_messages, 0);
+    }
+
+    #[test]
+    fn correct_single_rank_per_node() {
+        run(4, 1, 2048, FlatAlg::Ring);
+    }
+
+    #[test]
+    fn only_leaders_talk_inter_node() {
+        let rep = run(4, 4, 1 << 16, FlatAlg::RecursiveDoubling);
+        // 4 leaders, lg(4)=2 RD steps, 1 msg each per step, both directions.
+        assert_eq!(rep.stats.inter_node_messages, 4 * 2);
+    }
+
+    #[test]
+    fn full_paper_shape_16x28() {
+        let rep = run(16, 28, 8192, FlatAlg::RecursiveDoubling);
+        assert!(rep.latency_us() > 0.0);
+    }
+}

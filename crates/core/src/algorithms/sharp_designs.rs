@@ -1,0 +1,158 @@
+//! SHArP-offloaded allreduce designs — paper Section 4.3.
+//!
+//! Both designs gather locally to a small number of leader processes, run a
+//! *single* in-network aggregation over all leaders, and broadcast locally:
+//!
+//! * **Node-level leader**: one leader per node. Simple, but on dual-socket
+//!   nodes half the ranks pay the inter-socket penalty during both gather
+//!   and broadcast.
+//! * **Socket-level leader**: one leader per socket. Gather/broadcast stay
+//!   socket-local; the SHArP group doubles in size (2h members) but remains
+//!   far below the fabric's concurrency limits.
+
+use crate::algorithms::BuildError;
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::{LeaderPolicy, NodeId, RankMap};
+
+/// Emit a SHArP-offloaded allreduce with the given leader policy
+/// (`NodeLevel` or `SocketLevel`).
+pub fn emit_sharp_leader(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    map: &RankMap,
+    range: ByteRange,
+    policy: LeaderPolicy,
+) -> Result<(), BuildError> {
+    let spec = *map.spec();
+    let ppn = spec.ppn;
+    let whole = range;
+    let set = policy.build(map).expect("node/socket leader policies always fit");
+    let l = set.leaders_per_node();
+
+    // One SHArP group containing every leader of every node.
+    let group = b.fresh_group();
+    let mut group_members = Vec::with_capacity((spec.num_nodes * l) as usize);
+    for node in 0..spec.num_nodes {
+        for j in 0..l {
+            group_members.push(set.leader_rank(NodeId(node), j));
+        }
+    }
+    w.register_sharp_group(group, group_members);
+
+    // Shared slots: gather slot per local rank + bcast slot per leader.
+    let gather_base = b.fresh_shared(ppn);
+    let bcast_base = b.fresh_shared(l);
+
+    for node in 0..spec.num_nodes {
+        let node = NodeId(node);
+        let members = map.ranks_on_node(node);
+        let gather_done = b.fresh_barrier();
+        let publish_done = b.fresh_barrier();
+        w.register_barrier(gather_done, members.clone());
+        w.register_barrier(publish_done, members.clone());
+
+        for &r in &members {
+            let local = map.local_of(r);
+            let my_leader_j = set.leader_for_local(&spec, local);
+            let leader_rank = set.leader_rank(node, my_leader_j);
+            let cross = map.socket_of(leader_rank) != map.socket_of(r);
+            let prog = w.rank(r);
+            // Gather: deposit into own slot of the responsible leader's
+            // region.
+            prog.copy(BUF_INPUT, BufKey::Shared(gather_base + local.0), whole, cross);
+            prog.barrier(gather_done);
+            if let Some(j) = set.leader_index(r) {
+                // Leader folds the slots of the ranks it serves.
+                let served: Vec<u32> = (0..ppn)
+                    .filter(|&i| set.leader_for_local(&spec, dpml_topology::LocalRank(i)) == j)
+                    .collect();
+                let first = served[0];
+                let prog = w.rank(r);
+                prog.copy(BufKey::Shared(gather_base + first), BUF_RESULT, whole, false);
+                if served.len() > 1 {
+                    let srcs: Vec<BufKey> =
+                        served[1..].iter().map(|&i| BufKey::Shared(gather_base + i)).collect();
+                    prog.reduce(srcs, BUF_RESULT, whole);
+                }
+                // In-network aggregation across all leaders everywhere.
+                prog.sharp(group, BUF_RESULT, BUF_RESULT, whole);
+                // Publish for the local broadcast.
+                prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), whole, false);
+            }
+            let prog = w.rank(r);
+            prog.barrier(publish_done);
+            if set.leader_index(r).is_none() {
+                let cross2 = map.socket_of(leader_rank) != map.socket_of(r);
+                prog.copy(BufKey::Shared(bcast_base + my_leader_j), BUF_RESULT, whole, cross2);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_a;
+    use dpml_sharp::SharpFabric;
+    use dpml_topology::ClusterSpec;
+
+    fn run(nodes: u32, ppn: u32, n: u64, policy: LeaderPolicy) -> dpml_engine::RunReport {
+        let preset = cluster_a();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let oracle = SharpFabric::new(
+            preset.fabric.sharp.expect("cluster A has SHArP"),
+            cfg.tree.clone(),
+            map.clone(),
+        );
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_sharp_leader(&mut w, &mut b, &map, ByteRange::whole(n), policy).unwrap();
+        let rep = Simulator::new(&cfg).with_sharp(&oracle).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        rep
+    }
+
+    #[test]
+    fn node_leader_correct() {
+        let rep = run(4, 4, 1024, LeaderPolicy::NodeLevel);
+        assert_eq!(rep.stats.sharp_ops, 1);
+        assert_eq!(rep.stats.inter_node_messages, 0);
+    }
+
+    #[test]
+    fn socket_leader_correct() {
+        let rep = run(4, 8, 1024, LeaderPolicy::SocketLevel);
+        assert_eq!(rep.stats.sharp_ops, 1);
+    }
+
+    #[test]
+    fn single_ppn_designs_equivalent() {
+        // With one process per node the two designs are the same schedule
+        // (paper Section 6.3).
+        let a = run(8, 1, 256, LeaderPolicy::NodeLevel);
+        let b = run(8, 1, 256, LeaderPolicy::SocketLevel);
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn socket_leader_beats_node_leader_at_full_subscription() {
+        // The cross-socket gather/broadcast penalty (Section 4.3).
+        let node = run(8, 28, 2048, LeaderPolicy::NodeLevel);
+        let socket = run(8, 28, 2048, LeaderPolicy::SocketLevel);
+        assert!(
+            socket.makespan() < node.makespan(),
+            "socket {} vs node {}",
+            socket.latency_us(),
+            node.latency_us()
+        );
+    }
+
+    #[test]
+    fn odd_ppn_socket_leader() {
+        run(3, 5, 500, LeaderPolicy::SocketLevel);
+    }
+}

@@ -1,0 +1,230 @@
+//! Allgather: every rank contributes its block; everyone ends with all
+//! blocks. Verified with [`crate::collectives::expected_block_identity`].
+
+use crate::collectives::blocks;
+use dpml_engine::program::{ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::Rank;
+use serde::{Deserialize, Serialize};
+
+/// Allgather algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllgatherAlg {
+    /// Recursive doubling (`lg p` steps, power-of-two member counts only —
+    /// others fall back to [`AllgatherAlg::Bruck`]).
+    RecursiveDoubling,
+    /// Ring (`p - 1` steps, bandwidth-optimal).
+    Ring,
+    /// Bruck's dissemination algorithm (`ceil(lg p)` steps, any `p`).
+    Bruck,
+}
+
+/// Wrap-around block span `[first, first+count)` (mod `p`) as one or two
+/// contiguous vector ranges.
+fn block_span(bl: &[ByteRange], p: usize, first: usize, count: usize) -> Vec<ByteRange> {
+    debug_assert!(count >= 1 && count <= p);
+    let first = first % p;
+    let mut out = Vec::with_capacity(2);
+    if first + count <= p {
+        let (a, b) = (bl[first], bl[first + count - 1]);
+        if a.start < b.end {
+            out.push(ByteRange::new(a.start, b.end));
+        }
+    } else {
+        let (a, b) = (bl[first], bl[p - 1]);
+        if a.start < b.end {
+            out.push(ByteRange::new(a.start, b.end));
+        }
+        let wrap = first + count - p;
+        let (c, d) = (bl[0], bl[wrap - 1]);
+        if c.start < d.end {
+            out.push(ByteRange::new(c.start, d.end));
+        }
+    }
+    out
+}
+
+/// Emit an allgather over `comm` on the whole `n`-byte vector: member `i`
+/// contributes block `i`.
+pub fn emit_allgather(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    n: u64,
+    alg: AllgatherAlg,
+) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    // Everyone seeds its own block.
+    for (i, &r) in comm.iter().enumerate() {
+        if !bl[i].is_empty() {
+            w.rank(r).copy(BUF_INPUT, BUF_RESULT, bl[i], false);
+        }
+    }
+    if p <= 1 {
+        return;
+    }
+    match alg {
+        AllgatherAlg::RecursiveDoubling if p.is_power_of_two() => {
+            emit_rd(w, b, comm, &bl);
+        }
+        AllgatherAlg::RecursiveDoubling | AllgatherAlg::Bruck => emit_bruck(w, b, comm, &bl),
+        AllgatherAlg::Ring => emit_ring(w, b, comm, &bl),
+    }
+}
+
+/// Recursive doubling: at step `k` exchange the `2^k` blocks currently
+/// held with the partner `idx ^ 2^k`; held blocks stay contiguous and
+/// aligned, so each message is one range.
+fn emit_rd(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], bl: &[ByteRange]) {
+    let p = comm.len();
+    let steps = p.trailing_zeros();
+    let tag0 = b.fresh_tags(steps);
+    for step in 0..steps {
+        let chunk = 1usize << step;
+        let tag = tag0 + step;
+        for (i, &me) in comm.iter().enumerate() {
+            let peer_idx = i ^ chunk;
+            // I currently hold the aligned group of `chunk` blocks that
+            // contains my index; my peer holds the sibling group.
+            let mine_first = (i / chunk) * chunk;
+            let theirs_first = (peer_idx / chunk) * chunk;
+            let mine = ByteRange::new(bl[mine_first].start, bl[mine_first + chunk - 1].end);
+            let prog = w.rank(me);
+            let s = prog.isend(comm[peer_idx], tag, BUF_RESULT, mine);
+            let r = prog.irecv(comm[peer_idx], tag, BUF_RESULT);
+            prog.wait_all(vec![s, r]);
+            let _ = theirs_first;
+        }
+    }
+}
+
+/// Ring: `p - 1` steps, each forwarding the block received last step.
+fn emit_ring(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], bl: &[ByteRange]) {
+    let p = comm.len();
+    let tag0 = b.fresh_tags((p - 1) as u32);
+    for s in 0..p - 1 {
+        let tag = tag0 + s as u32;
+        for (i, &me) in comm.iter().enumerate() {
+            let next = comm[(i + 1) % p];
+            let prev = comm[(i + p - 1) % p];
+            let send_block = bl[(i + p - s) % p];
+            let prog = w.rank(me);
+            let snd = prog.isend(next, tag, BUF_RESULT, send_block);
+            let rcv = prog.irecv(prev, tag, BUF_RESULT);
+            prog.wait_all(vec![snd, rcv]);
+        }
+    }
+}
+
+/// Bruck / dissemination: at step `k` (span `c = 2^k`), rank `i` receives
+/// from `(i + c) mod p` the blocks `[i + c, i + 2c)` (clipped to `p`
+/// total) and sends its own first blocks to `(i - c) mod p`. Wrapping
+/// spans ship as up to two messages.
+fn emit_bruck(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], bl: &[ByteRange]) {
+    let p = comm.len();
+    let steps = usize::BITS - (p - 1).leading_zeros();
+    // Reserve two tags per step (wrap split).
+    let tag0 = b.fresh_tags(steps * 2);
+    let mut held = 1usize; // blocks currently held: [i, i + held) mod p
+    for step in 0..steps {
+        let c = held.min(p - held); // how many more blocks this step moves
+        if c == 0 {
+            break;
+        }
+        let t0 = tag0 + step * 2;
+        for (i, &me) in comm.iter().enumerate() {
+            let dst = comm[(i + p - held) % p];
+            let src = comm[(i + held) % p];
+            // I send blocks [i, i + c) to the rank `held` behind me, and
+            // receive blocks [i + held, i + held + c) from `held` ahead.
+            let send_ranges = block_span(bl, p, i, c);
+            let incoming = block_span(bl, p, (i + held) % p, c);
+            let prog = w.rank(me);
+            let mut reqs = Vec::with_capacity(4);
+            for (j, range) in send_ranges.iter().enumerate() {
+                reqs.push(prog.isend(dst, t0 + j as u32, BUF_RESULT, *range));
+            }
+            // The incoming span may split differently from the outgoing
+            // one; post one receive per incoming piece.
+            for (j, _) in incoming.iter().enumerate() {
+                reqs.push(prog.irecv(src, t0 + j as u32, BUF_RESULT));
+            }
+            prog.wait_all(reqs);
+        }
+        held += c;
+    }
+    debug_assert_eq!(held, p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::expected_block_identity;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn run(nodes: u32, ppn: u32, n: u64, alg: AllgatherAlg) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_allgather(&mut w, &mut b, &comm, n, alg);
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        let expected = expected_block_identity(n, map.world_size());
+        for r in 0..map.world_size() {
+            rep.verify_rank_segments(r, &expected)
+                .unwrap_or_else(|e| panic!("{alg:?} {nodes}x{ppn} {n}B rank {r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rd_power_of_two() {
+        run(8, 1, 4096, AllgatherAlg::RecursiveDoubling);
+        run(4, 4, 997, AllgatherAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn rd_falls_back_for_non_pow2() {
+        run(6, 1, 600, AllgatherAlg::RecursiveDoubling);
+    }
+
+    #[test]
+    fn ring_any_p() {
+        run(3, 1, 1000, AllgatherAlg::Ring);
+        run(5, 2, 64, AllgatherAlg::Ring);
+        run(8, 1, 1 << 16, AllgatherAlg::Ring);
+    }
+
+    #[test]
+    fn bruck_any_p() {
+        for p in [2u32, 3, 5, 7, 8, 12] {
+            run(p, 1, 1200, AllgatherAlg::Bruck);
+        }
+    }
+
+    #[test]
+    fn bruck_multi_rank_nodes() {
+        run(3, 3, 900, AllgatherAlg::Bruck);
+    }
+
+    #[test]
+    fn tiny_vector() {
+        run(8, 1, 3, AllgatherAlg::Bruck);
+        run(8, 1, 3, AllgatherAlg::Ring);
+    }
+
+    #[test]
+    fn block_span_wraps() {
+        let bl = blocks(100, 4);
+        let spans = block_span(&bl, 4, 3, 2); // blocks 3, 0
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], ByteRange::new(75, 100));
+        assert_eq!(spans[1], ByteRange::new(0, 25));
+        let spans = block_span(&bl, 4, 1, 2);
+        assert_eq!(spans, vec![ByteRange::new(25, 75)]);
+    }
+}

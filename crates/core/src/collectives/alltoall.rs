@@ -1,0 +1,131 @@
+//! All-to-all personalized exchange.
+//!
+//! Every rank holds a distinct chunk for every other rank; after the
+//! collective, rank `j` holds rank `i`'s chunk in block `i` for all `i`.
+//!
+//! Coverage modeling note: the symbolic tracker records *who contributed*
+//! a byte range, not which of the sender's chunks it was, so rank `i`'s
+//! personalized chunk for every destination is represented by its identity
+//! block `i`. The message *pattern* — `p - 1` distinct point-to-point
+//! transfers of `n/p` bytes per rank, nothing forwardable — is exactly
+//! all-to-all's, which is what the timing model and the verification
+//! (every pairwise delivery observed) care about.
+
+use crate::collectives::blocks;
+use dpml_engine::program::{ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::Rank;
+use serde::{Deserialize, Serialize};
+
+/// All-to-all algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlltoallAlg {
+    /// Shifted exchange: at step `s`, send to `(i + s) mod p` and receive
+    /// from `(i - s) mod p` (the classic large-message schedule).
+    PairwiseShift,
+    /// XOR pairing: at step `s`, exchange with `i ^ s` (power-of-two
+    /// member counts only — others fall back to shifting).
+    PairwiseXor,
+}
+
+/// Emit an all-to-all over `comm` on the whole `n`-byte vector.
+pub fn emit_alltoall(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    n: u64,
+    alg: AlltoallAlg,
+) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    // Own chunk "arrives" locally.
+    for (i, &r) in comm.iter().enumerate() {
+        if !bl[i].is_empty() {
+            w.rank(r).copy(BUF_INPUT, BUF_RESULT, bl[i], false);
+        }
+    }
+    if p == 1 {
+        return;
+    }
+    let tag0 = b.fresh_tags((p - 1) as u32);
+    let xor = matches!(alg, AlltoallAlg::PairwiseXor) && p.is_power_of_two();
+    for s in 1..p {
+        let tag = tag0 + (s - 1) as u32;
+        for (i, &me) in comm.iter().enumerate() {
+            let (to, from) = if xor {
+                (comm[i ^ s], comm[i ^ s])
+            } else {
+                (comm[(i + s) % p], comm[(i + p - s) % p])
+            };
+            let prog = w.rank(me);
+            let mut reqs = Vec::with_capacity(2);
+            if !bl[i].is_empty() {
+                reqs.push(prog.isend(to, tag, BUF_INPUT, bl[i]));
+            }
+            let from_idx = comm.iter().position(|&r| r == from).expect("member");
+            if !bl[from_idx].is_empty() {
+                reqs.push(prog.irecv(from, tag, BUF_RESULT));
+            }
+            if !reqs.is_empty() {
+                prog.wait_all(reqs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::expected_block_identity;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn run(nodes: u32, ppn: u32, n: u64, alg: AlltoallAlg) -> dpml_engine::RunReport {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_alltoall(&mut w, &mut b, &comm, n, alg);
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        let expected = expected_block_identity(n, map.world_size());
+        for r in 0..map.world_size() {
+            rep.verify_rank_segments(r, &expected)
+                .unwrap_or_else(|e| panic!("{alg:?} {nodes}x{ppn} {n}B rank {r}: {e}"));
+        }
+        rep
+    }
+
+    #[test]
+    fn shift_any_p() {
+        for p in [2u32, 3, 5, 8] {
+            run(p, 1, 1000, AlltoallAlg::PairwiseShift);
+        }
+        run(3, 3, 900, AlltoallAlg::PairwiseShift);
+    }
+
+    #[test]
+    fn xor_power_of_two() {
+        run(8, 1, 1024, AlltoallAlg::PairwiseXor);
+        run(4, 2, 640, AlltoallAlg::PairwiseXor);
+    }
+
+    #[test]
+    fn xor_falls_back_non_pow2() {
+        run(6, 1, 600, AlltoallAlg::PairwiseXor);
+    }
+
+    #[test]
+    fn message_pattern_is_quadratic() {
+        let rep = run(8, 1, 8000, AlltoallAlg::PairwiseShift);
+        // p(p-1) point-to-point messages, nothing forwarded.
+        assert_eq!(rep.stats.messages, 8 * 7);
+    }
+
+    #[test]
+    fn tiny_vector() {
+        run(8, 1, 3, AlltoallAlg::PairwiseShift);
+    }
+}

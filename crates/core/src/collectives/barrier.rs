@@ -1,0 +1,149 @@
+//! Barrier: synchronization-only collectives (timing, no data).
+
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram};
+use dpml_topology::{NodeId, Rank, RankMap};
+use serde::{Deserialize, Serialize};
+
+/// Barrier algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BarrierAlg {
+    /// Dissemination over zero-byte messages: `ceil(lg p)` rounds, at
+    /// round `k` signal `(i + 2^k) mod p` and wait for `(i - 2^k) mod p`.
+    Dissemination,
+    /// Hierarchical: intra-node shared-memory barrier, dissemination among
+    /// node leaders, intra-node release — the shape MPI libraries use at
+    /// full subscription.
+    Hierarchical,
+}
+
+/// Emit a dissemination barrier over an explicit communicator.
+pub fn emit_dissemination(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank]) {
+    let p = comm.len();
+    if p <= 1 {
+        return;
+    }
+    let steps = usize::BITS - (p - 1).leading_zeros();
+    let tag0 = b.fresh_tags(steps);
+    let sink = BufKey::Priv(b.fresh_priv(1));
+    for step in 0..steps {
+        let d = 1usize << step;
+        let tag = tag0 + step;
+        for (i, &me) in comm.iter().enumerate() {
+            let to = comm[(i + d) % p];
+            let from = comm[(i + p - d) % p];
+            let prog = w.rank(me);
+            let s = prog.isend(to, tag, sink, ByteRange::new(0, 0));
+            let r = prog.irecv(from, tag, sink);
+            prog.wait_all(vec![s, r]);
+        }
+    }
+}
+
+/// Emit a whole-world barrier with the chosen algorithm.
+pub fn emit_barrier(w: &mut WorldProgram, b: &mut ProgramBuilder, map: &RankMap, alg: BarrierAlg) {
+    match alg {
+        BarrierAlg::Dissemination => {
+            let comm: Vec<Rank> = map.all_ranks().collect();
+            emit_dissemination(w, b, &comm);
+        }
+        BarrierAlg::Hierarchical => {
+            let spec = *map.spec();
+            // Arrive: intra-node barrier per node.
+            for node in 0..spec.num_nodes {
+                let members = map.ranks_on_node(NodeId(node));
+                let arrive = b.fresh_barrier();
+                w.register_barrier(arrive, members.clone());
+                for &r in &members {
+                    w.rank(r).barrier(arrive);
+                }
+            }
+            // Leaders synchronize across nodes.
+            let leaders: Vec<Rank> =
+                (0..spec.num_nodes).map(|n| map.ranks_on_node(NodeId(n))[0]).collect();
+            emit_dissemination(w, b, &leaders);
+            // Release: second intra-node barrier.
+            for node in 0..spec.num_nodes {
+                let members = map.ranks_on_node(NodeId(node));
+                let release = b.fresh_barrier();
+                w.register_barrier(release, members.clone());
+                for &r in &members {
+                    w.rank(r).barrier(release);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_engine::program::{BUF_INPUT, BUF_RESULT};
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::ClusterSpec;
+
+    fn sim(nodes: u32, ppn: u32) -> (RankMap, SimConfig) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        (map, cfg)
+    }
+
+    /// A barrier must hold everyone until the slowest rank arrives.
+    fn check_holds_stragglers(alg: BarrierAlg, nodes: u32, ppn: u32) {
+        let (map, cfg) = sim(nodes, ppn);
+        let n = 64u64;
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        // Rank 0 is 1ms late.
+        w.rank(Rank(0)).compute(1e-3);
+        emit_barrier(&mut w, &mut b, &map, alg);
+        for r in map.all_ranks() {
+            w.rank(r).copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+        }
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        for (i, t) in rep.finish_times.iter().enumerate() {
+            assert!(
+                t.seconds() >= 1e-3,
+                "{alg:?}: rank {i} escaped the barrier at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn dissemination_holds_stragglers() {
+        check_holds_stragglers(BarrierAlg::Dissemination, 4, 2);
+        check_holds_stragglers(BarrierAlg::Dissemination, 5, 1);
+    }
+
+    #[test]
+    fn hierarchical_holds_stragglers() {
+        check_holds_stragglers(BarrierAlg::Hierarchical, 4, 4);
+        check_holds_stragglers(BarrierAlg::Hierarchical, 3, 5);
+    }
+
+    #[test]
+    fn hierarchical_sends_fewer_inter_node_messages() {
+        let (map, cfg) = sim(8, 8);
+        let run = |alg| {
+            let mut w = dpml_engine::WorldProgram::new(map.world_size(), 8);
+            let mut b = ProgramBuilder::new();
+            emit_barrier(&mut w, &mut b, &map, alg);
+            Simulator::new(&cfg).run(&w).unwrap().stats.inter_node_messages
+        };
+        let flat = run(BarrierAlg::Dissemination);
+        let hier = run(BarrierAlg::Hierarchical);
+        assert!(hier < flat, "hier {hier} !< flat {flat}");
+    }
+
+    #[test]
+    fn single_rank_barrier_is_free() {
+        let (map, cfg) = sim(1, 1);
+        let mut w = dpml_engine::WorldProgram::new(1, 8);
+        let mut b = ProgramBuilder::new();
+        emit_barrier(&mut w, &mut b, &map, BarrierAlg::Dissemination);
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        assert_eq!(rep.stats.messages, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Gather (binomial tree to a root) and Scatter (binomial tree from a
+//! root). Block `i` of the vector is rank `i`'s personal block.
+
+use crate::collectives::blocks;
+use dpml_engine::program::{ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::Rank;
+
+/// Wrap-around block span `[first, first+count)` (mod `p`) as ranges.
+fn span_ranges(bl: &[ByteRange], p: usize, first: usize, count: usize) -> Vec<ByteRange> {
+    let mut out = Vec::with_capacity(2);
+    if first + count <= p {
+        let r = ByteRange::new(bl[first].start, bl[first + count - 1].end);
+        if !r.is_empty() {
+            out.push(r);
+        }
+    } else {
+        let a = ByteRange::new(bl[first].start, bl[p - 1].end);
+        if !a.is_empty() {
+            out.push(a);
+        }
+        let b = ByteRange::new(bl[0].start, bl[first + count - p - 1].end);
+        if !b.is_empty() {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Emit a binomial gather to `root`: afterwards the root's result buffer
+/// holds block `i` from member `i` for every `i` (verify with
+/// `expected_block_identity` at the root only).
+pub fn emit_gather(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: u64, root: Rank) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    let root_idx = comm.iter().position(|&r| r == root).expect("root in comm");
+    // Everyone seeds its own block into its result buffer, which doubles
+    // as the staging area for the subtree it forwards.
+    for (i, &r) in comm.iter().enumerate() {
+        if !bl[i].is_empty() {
+            w.rank(r).copy(BUF_INPUT, BUF_RESULT, bl[i], false);
+        }
+    }
+    if p == 1 {
+        return;
+    }
+    let steps = usize::BITS - (p - 1).leading_zeros();
+    let tag0 = b.fresh_tags(steps * 2);
+    // Work in root-relative index space: rel = (i - root) mod p. After the
+    // step with mask m, relative rank `rel` (with rel & m == 0) holds the
+    // blocks of relative ranks [rel, rel + 2m) ∩ [0, p).
+    for step in 0..steps {
+        let mask = 1usize << step;
+        let t0 = tag0 + step * 2;
+        for rel in 0..p {
+            let i = (rel + root_idx) % p;
+            let me = comm[i];
+            if rel & mask != 0 {
+                // Send my whole accumulated subtree to rel - mask.
+                let have = (2 * mask).min(p - rel).min(mask);
+                // I currently hold relative blocks [rel, rel + have).
+                let parent = comm[(rel - mask + root_idx) % p];
+                for (j, range) in
+                    span_ranges(&bl, p, (rel + root_idx) % p, have).into_iter().enumerate()
+                {
+                    w.rank(me).send(parent, t0 + j as u32, BUF_RESULT, range);
+                }
+            } else if rel + mask < p {
+                // Receive the child's subtree: relative blocks
+                // [rel + mask, rel + 2*mask) ∩ [0, p).
+                let child_rel = rel + mask;
+                let child_count = mask.min(p - child_rel);
+                let child = comm[(child_rel + root_idx) % p];
+                let pieces = span_ranges(&bl, p, (child_rel + root_idx) % p, child_count).len();
+                for j in 0..pieces {
+                    w.rank(me).recv(child, t0 + j as u32, BUF_RESULT);
+                }
+            }
+        }
+    }
+}
+
+/// Emit a binomial scatter from `root`: afterwards every member `i` holds
+/// the root's contribution over block `i` (verify with
+/// `expected_scatter_block`).
+pub fn emit_scatter(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: u64, root: Rank) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    let root_idx = comm.iter().position(|&r| r == root).expect("root in comm");
+    // Root stages the whole vector.
+    w.rank(root).copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+    if p == 1 {
+        return;
+    }
+    let steps = usize::BITS - (p - 1).leading_zeros();
+    let tag0 = b.fresh_tags(steps * 2);
+    // Reverse of gather: at the step with mask m (descending), relative
+    // rank rel (rel & below-mask bits == 0, rel & m == 0) sends relative
+    // blocks [rel + m, rel + 2m) ∩ [0, p) to rel + m.
+    for step in (0..steps).rev() {
+        let mask = 1usize << step;
+        let t0 = tag0 + step * 2;
+        for rel in 0..p {
+            if rel % (2 * mask) != 0 {
+                continue;
+            }
+            let child_rel = rel + mask;
+            if child_rel >= p {
+                continue;
+            }
+            let me = comm[(rel + root_idx) % p];
+            let child = comm[(child_rel + root_idx) % p];
+            let count = mask.min(p - child_rel);
+            let pieces = span_ranges(&bl, p, (child_rel + root_idx) % p, count);
+            for (j, range) in pieces.iter().enumerate() {
+                w.rank(me).send(child, t0 + j as u32, BUF_RESULT, *range);
+            }
+            for j in 0..pieces.len() {
+                w.rank(child).recv(me, t0 + j as u32, BUF_RESULT);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{expected_block_identity, expected_scatter_block};
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn sim(nodes: u32, ppn: u32) -> (RankMap, SimConfig) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        (map, cfg)
+    }
+
+    fn run_gather(nodes: u32, ppn: u32, n: u64, root: u32) {
+        let (map, cfg) = sim(nodes, ppn);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_gather(&mut w, &mut b, &comm, n, Rank(root));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        let expected = expected_block_identity(n, map.world_size());
+        rep.verify_rank_segments(root, &expected)
+            .unwrap_or_else(|e| panic!("gather {nodes}x{ppn} {n}B root {root}: {e}"));
+    }
+
+    fn run_scatter(nodes: u32, ppn: u32, n: u64, root: u32) {
+        let (map, cfg) = sim(nodes, ppn);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_scatter(&mut w, &mut b, &comm, n, Rank(root));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        let p = map.world_size();
+        for r in 0..p {
+            let expected = expected_scatter_block(n, p, r, root);
+            rep.verify_rank_segments(r, &expected)
+                .unwrap_or_else(|e| panic!("scatter {nodes}x{ppn} {n}B root {root} rank {r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gather_to_rank_zero() {
+        run_gather(8, 1, 4096, 0);
+        run_gather(4, 4, 997, 0);
+        run_gather(5, 1, 500, 0);
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        run_gather(8, 1, 800, 3);
+        run_gather(6, 1, 660, 5);
+    }
+
+    #[test]
+    fn scatter_from_rank_zero() {
+        run_scatter(8, 1, 4096, 0);
+        run_scatter(5, 1, 505, 0);
+        run_scatter(4, 4, 1024, 0);
+    }
+
+    #[test]
+    fn scatter_from_nonzero_root() {
+        run_scatter(8, 1, 808, 6);
+        run_scatter(7, 1, 700, 2);
+    }
+
+    #[test]
+    fn single_rank_collectives() {
+        run_gather(1, 1, 64, 0);
+        run_scatter(1, 1, 64, 0);
+    }
+
+    #[test]
+    fn tiny_vectors() {
+        run_gather(8, 1, 3, 0);
+        run_scatter(8, 1, 3, 0);
+    }
+}

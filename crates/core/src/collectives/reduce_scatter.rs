@@ -1,0 +1,171 @@
+//! Reduce-scatter: element-wise reduction of all ranks' vectors, with
+//! rank `i` keeping (only) block `i` of the result.
+
+use crate::collectives::blocks;
+use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_topology::Rank;
+use serde::{Deserialize, Serialize};
+
+/// Reduce-scatter algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceScatterAlg {
+    /// Recursive halving (`lg p` steps, power-of-two member counts only —
+    /// others fall back to [`ReduceScatterAlg::Ring`]).
+    RecursiveHalving,
+    /// Ring (`p - 1` steps).
+    Ring,
+}
+
+/// Emit a reduce-scatter over `comm` on the whole `n`-byte vector.
+pub fn emit_reduce_scatter(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    n: u64,
+    alg: ReduceScatterAlg,
+) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    if p == 1 {
+        if !bl[0].is_empty() {
+            w.rank(comm[0]).copy(BUF_INPUT, BUF_RESULT, bl[0], false);
+        }
+        return;
+    }
+    match alg {
+        ReduceScatterAlg::RecursiveHalving if p.is_power_of_two() => {
+            emit_halving(w, b, comm, n);
+        }
+        ReduceScatterAlg::RecursiveHalving | ReduceScatterAlg::Ring => {
+            emit_ring(w, b, comm, &bl);
+        }
+    }
+}
+
+/// Recursive halving with descending masks, so rank `i` ends owning block
+/// `i` in natural order: at the step with mask `m`, keep the half of your
+/// current *block span* containing your own block (bit `lg m` of the
+/// index), send the other. Splits follow block boundaries so the final
+/// ranges are exactly `blocks(n, p)` even when `p` does not divide `n`.
+fn emit_halving(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: u64) {
+    let p = comm.len();
+    let bl = blocks(n, p as u32);
+    let span = |lo: usize, hi: usize| ByteRange::new(bl[lo].start, bl[hi - 1].end);
+    let whole = ByteRange::whole(n);
+    // Seed accumulators with the full input.
+    for &r in comm {
+        w.rank(r).copy(BUF_INPUT, BUF_RESULT, whole, false);
+    }
+    let steps = p.trailing_zeros();
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let tag0 = b.fresh_tags(steps);
+    // Owned block span per rank: [lo, hi).
+    let mut owned = vec![(0usize, p); p];
+    for step in (0..steps).rev() {
+        let mask = 1usize << step;
+        let tag = tag0 + step;
+        for (i, &me) in comm.iter().enumerate() {
+            let peer = comm[i ^ mask];
+            let (lo, hi) = owned[i];
+            let mid = (lo + hi) / 2;
+            let ((klo, khi), (glo, ghi)) =
+                if i & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            let keep = span(klo, khi);
+            let give = span(glo, ghi);
+            let prog = w.rank(me);
+            let s = prog.isend(peer, tag, BUF_RESULT, give);
+            let r = prog.irecv(peer, tag, scratch);
+            prog.wait_all(vec![s, r]);
+            if !keep.is_empty() {
+                prog.reduce(vec![scratch], BUF_RESULT, keep);
+            }
+            owned[i] = (klo, khi);
+        }
+    }
+    debug_assert!(owned.iter().enumerate().all(|(i, &(lo, hi))| lo == i && hi == i + 1));
+}
+
+/// Ring reduce-scatter relabeled so rank `i` ends with block `i` (the
+/// plain ring ends at block `(i + 1) mod p`; we shift the chunk schedule
+/// by one).
+fn emit_ring(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], bl: &[ByteRange]) {
+    let p = comm.len();
+    for &r in comm {
+        w.rank(r).copy(BUF_INPUT, BUF_RESULT, ByteRange::new(bl[0].start, bl[p - 1].end), false);
+    }
+    let scratch = BufKey::Priv(b.fresh_priv(1));
+    let tag0 = b.fresh_tags((p - 1) as u32);
+    for s in 0..p - 1 {
+        let tag = tag0 + s as u32;
+        for (i, &me) in comm.iter().enumerate() {
+            let next = comm[(i + 1) % p];
+            let prev = comm[(i + p - 1) % p];
+            // Virtual index v = i - 1 so the final fully-reduced chunk is
+            // block i instead of block (i + 1) mod p.
+            let send_chunk = bl[(i + 2 * p - 1 - s) % p];
+            let recv_chunk = bl[(i + 2 * p - 2 - s) % p];
+            let prog = w.rank(me);
+            let snd = prog.isend(next, tag, BUF_RESULT, send_chunk);
+            let rcv = prog.irecv(prev, tag, scratch);
+            prog.wait_all(vec![snd, rcv]);
+            prog.reduce(vec![scratch], BUF_RESULT, recv_chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::expected_reduce_scatter_block;
+    use dpml_engine::{SimConfig, Simulator};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn run(nodes: u32, ppn: u32, n: u64, alg: ReduceScatterAlg) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let map = RankMap::block(&spec);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let comm: Vec<Rank> = map.all_ranks().collect();
+        let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
+        let mut b = ProgramBuilder::new();
+        emit_reduce_scatter(&mut w, &mut b, &comm, n, alg);
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        let p = map.world_size();
+        for r in 0..p {
+            let expected = expected_reduce_scatter_block(n, p, r);
+            rep.verify_rank_segments(r, &expected)
+                .unwrap_or_else(|e| panic!("{alg:?} {nodes}x{ppn} {n}B rank {r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn halving_power_of_two() {
+        run(8, 1, 4096, ReduceScatterAlg::RecursiveHalving);
+        run(4, 4, 1 << 16, ReduceScatterAlg::RecursiveHalving);
+    }
+
+    #[test]
+    fn halving_odd_vector_lengths() {
+        run(8, 1, 1001, ReduceScatterAlg::RecursiveHalving);
+        run(16, 1, 17, ReduceScatterAlg::RecursiveHalving);
+    }
+
+    #[test]
+    fn halving_falls_back_non_pow2() {
+        run(6, 1, 660, ReduceScatterAlg::RecursiveHalving);
+    }
+
+    #[test]
+    fn ring_any_p() {
+        for p in [2u32, 3, 5, 8] {
+            run(p, 1, 1000, ReduceScatterAlg::Ring);
+        }
+        run(3, 4, 840, ReduceScatterAlg::Ring);
+    }
+
+    #[test]
+    fn single_rank() {
+        run(1, 1, 64, ReduceScatterAlg::Ring);
+    }
+}

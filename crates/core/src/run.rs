@@ -1,0 +1,160 @@
+//! One-call convenience wrapper: compile, simulate, verify.
+
+use crate::algorithms::Algorithm;
+use dpml_engine::{RunReport, SimConfig, Simulator};
+use dpml_fabric::Preset;
+use dpml_sharp::SharpFabric;
+use dpml_topology::{ClusterSpec, Placement, RankMap};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one verified allreduce simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllreduceReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Completion latency in microseconds.
+    pub latency_us: f64,
+    /// The full engine report.
+    pub report: RunReport,
+}
+
+/// Error from [`run_allreduce`].
+#[derive(Debug)]
+pub enum RunError {
+    /// Schedule compilation failed.
+    Build(crate::algorithms::BuildError),
+    /// Simulation failed (deadlock, missing oracle, ...).
+    Sim(dpml_engine::sim::SimError),
+    /// The simulated collective produced a wrong result.
+    Verify(dpml_engine::VerifyError),
+    /// A SHArP design was requested on a fabric without SHArP.
+    NoSharpOnFabric,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Build(e) => write!(f, "build: {e}"),
+            RunError::Sim(e) => write!(f, "simulation: {e}"),
+            RunError::Verify(e) => write!(f, "verification: {e}"),
+            RunError::NoSharpOnFabric => write!(f, "SHArP design on a fabric without SHArP"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<crate::algorithms::BuildError> for RunError {
+    fn from(e: crate::algorithms::BuildError) -> Self {
+        RunError::Build(e)
+    }
+}
+
+impl From<dpml_engine::sim::SimError> for RunError {
+    fn from(e: dpml_engine::sim::SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+impl From<dpml_engine::VerifyError> for RunError {
+    fn from(e: dpml_engine::VerifyError) -> Self {
+        RunError::Verify(e)
+    }
+}
+
+/// Compile `alg` for `bytes` on the given cluster, simulate it, verify the
+/// result, and report the latency. Uses the paper's block rank placement.
+pub fn run_allreduce(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    alg: Algorithm,
+    bytes: u64,
+) -> Result<AllreduceReport, RunError> {
+    run_allreduce_placed(preset, spec, Placement::Block, alg, bytes)
+}
+
+/// [`run_allreduce`] with an explicit rank placement (block vs cyclic) —
+/// used by the placement ablation: flat algorithms degrade badly under
+/// cyclic placement while DPML's node-aware structure does not.
+pub fn run_allreduce_placed(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    placement: Placement,
+    alg: Algorithm,
+    bytes: u64,
+) -> Result<AllreduceReport, RunError> {
+    let map = match placement {
+        Placement::Block => RankMap::block(spec),
+        Placement::Cyclic => RankMap::cyclic(spec),
+    };
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let world = alg.build(&map, bytes)?;
+    let report = if alg.needs_sharp() {
+        let params = preset.fabric.sharp.ok_or(RunError::NoSharpOnFabric)?;
+        let oracle = SharpFabric::new(params, cfg.tree.clone(), map);
+        Simulator::new(&cfg).with_sharp(&oracle).run(&world)?
+    } else {
+        Simulator::new(&cfg).run(&world)?
+    };
+    report.verify_allreduce()?;
+    Ok(AllreduceReport {
+        algorithm: alg.name(),
+        bytes,
+        latency_us: report.latency_us(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FlatAlg;
+    use dpml_fabric::presets::{cluster_a, cluster_b};
+
+    #[test]
+    fn runs_and_verifies() {
+        let p = cluster_b();
+        let spec = p.spec(4, 4).unwrap();
+        let rep = run_allreduce(
+            &p,
+            &spec,
+            Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling },
+            65536,
+        )
+        .unwrap();
+        assert!(rep.latency_us > 0.0);
+        assert_eq!(rep.algorithm, "dpml-l4");
+    }
+
+    #[test]
+    fn sharp_on_non_sharp_fabric_is_an_error() {
+        let p = cluster_b();
+        let spec = p.spec(4, 4).unwrap();
+        let err = run_allreduce(&p, &spec, Algorithm::SharpNodeLeader, 256).unwrap_err();
+        assert!(matches!(err, RunError::NoSharpOnFabric));
+    }
+
+    #[test]
+    fn sharp_runs_on_cluster_a() {
+        let p = cluster_a();
+        let spec = p.spec(4, 4).unwrap();
+        let rep = run_allreduce(&p, &spec, Algorithm::SharpSocketLeader, 256).unwrap();
+        assert_eq!(rep.report.stats.sharp_ops, 1);
+    }
+
+    #[test]
+    fn build_error_propagates() {
+        let p = cluster_b();
+        let spec = p.spec(4, 4).unwrap();
+        let err = run_allreduce(
+            &p,
+            &spec,
+            Algorithm::Dpml { leaders: 9, inner: FlatAlg::Ring },
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Build(_)));
+    }
+}

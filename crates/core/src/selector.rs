@@ -1,0 +1,261 @@
+//! Per-message-size algorithm selection, emulating the dispatch logic of
+//! the paper's comparison libraries (Section 6.4).
+//!
+//! Real MPI libraries pick an allreduce algorithm from tuned tables keyed
+//! on message size, processes per node, and interconnect. The paper
+//! compares "the best configuration of the proposed algorithm against the
+//! best algorithm chosen by the MPI library"; we mirror that by giving each
+//! library a selection function and, for DPML, the empirically tuned leader
+//! counts the paper reports (e.g. 4 leaders at 8KB on Clusters A/B but 16
+//! on C/D; 16 leaders for Zone-C sizes everywhere).
+
+use crate::algorithms::{Algorithm, FlatAlg};
+use dpml_fabric::Preset;
+use dpml_topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// A library whose algorithm dispatch we emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Library {
+    /// MVAPICH2-2.2-style dispatch: shared-memory single-leader design for
+    /// small/medium messages, flat reduce-scatter + allgather for large.
+    Mvapich2,
+    /// Intel MPI 2017-style dispatch: similar structure, more aggressive
+    /// switch to bandwidth-optimal algorithms for large messages.
+    IntelMpi,
+    /// The paper's proposal with the tuned per-cluster leader tables
+    /// (DPML / DPML-Pipelined; SHArP for small messages where available).
+    DpmlTuned,
+}
+
+impl Library {
+    /// Human-readable name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Library::Mvapich2 => "MVAPICH2",
+            Library::IntelMpi => "Intel MPI",
+            Library::DpmlTuned => "DPML (proposed)",
+        }
+    }
+
+    /// Choose the algorithm this library would run for `bytes` on the given
+    /// cluster.
+    pub fn choose(&self, preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
+        match self {
+            Library::Mvapich2 => mvapich2(spec, bytes),
+            Library::IntelMpi => intel_mpi(spec, bytes),
+            Library::DpmlTuned => dpml_tuned(preset, spec, bytes),
+        }
+    }
+}
+
+fn clamp_leaders(l: u32, ppn: u32) -> u32 {
+    l.min(ppn).max(1)
+}
+
+/// MVAPICH2-2.2 equivalent: the shared-memory-aware single-leader design
+/// at every size (recursive doubling among leaders for latency-bound
+/// sizes, reduce-scatter+allgather for bandwidth-bound ones). Keeping the
+/// hierarchy for large messages is what leaves the node leader doing all
+/// `ppn - 1` reduction passes — the bottleneck the paper's 3x+ speedups
+/// come from.
+fn mvapich2(spec: &ClusterSpec, bytes: u64) -> Algorithm {
+    if spec.ppn == 1 {
+        // No shared-memory hierarchy to exploit.
+        return if bytes <= 16 * 1024 {
+            Algorithm::RecursiveDoubling
+        } else {
+            Algorithm::Rabenseifner
+        };
+    }
+    if bytes <= 16 * 1024 {
+        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+    } else {
+        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+    }
+}
+
+/// Intel MPI 2017 equivalent: single-leader for small/medium, but it
+/// abandons the hierarchy for a flat reduce-scatter + allgather at large
+/// sizes — which is why the paper sees Intel MPI well ahead of MVAPICH2 at
+/// scale (Fig. 10) while DPML still beats both.
+fn intel_mpi(spec: &ClusterSpec, bytes: u64) -> Algorithm {
+    if spec.ppn == 1 {
+        return if bytes <= 4 * 1024 {
+            Algorithm::RecursiveDoubling
+        } else {
+            Algorithm::Rabenseifner
+        };
+    }
+    if bytes <= 4 * 1024 {
+        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+    } else if bytes <= 64 * 1024 {
+        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+    } else {
+        Algorithm::Rabenseifner
+    }
+}
+
+/// The paper's tuned DPML dispatch (Section 6.4): empirical best leader
+/// count per (cluster, message size), SHArP socket-leader for small
+/// messages on SHArP-capable fabrics, DPML-Pipelined for Zone-C sizes on
+/// Omni-Path.
+fn dpml_tuned(preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
+    let ppn = spec.ppn;
+    let sharp_capable = preset.fabric.has_sharp();
+    let omni_path = preset.id == "C" || preset.id == "D";
+
+    if bytes <= 512 {
+        if sharp_capable {
+            return if spec.sockets_per_node > 1 && ppn > 1 {
+                Algorithm::SharpSocketLeader
+            } else {
+                Algorithm::SharpNodeLeader
+            };
+        }
+        return if ppn == 1 {
+            Algorithm::RecursiveDoubling
+        } else {
+            Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+        };
+    }
+
+    // Medium and large: DPML with the tuned leader count.
+    let leaders = if bytes <= 8 * 1024 {
+        // Paper: 4 leaders at 8KB on A/B, 16 on C/D.
+        if omni_path {
+            clamp_leaders(16, ppn)
+        } else {
+            clamp_leaders(4, ppn)
+        }
+    } else if bytes <= 64 * 1024 {
+        clamp_leaders(8.max(if omni_path { 16 } else { 8 }), ppn)
+    } else {
+        // "16 leaders is almost always the best choice for Zone-C sizes."
+        clamp_leaders(16, ppn)
+    };
+
+    if omni_path && bytes >= 1 << 20 {
+        // Very large on Omni-Path: pipeline to stay in the high
+        // message-rate zone (Section 4.2).
+        let chunk_bytes = 64 * 1024;
+        let per_leader = bytes / leaders as u64;
+        let k = (per_leader / chunk_bytes).clamp(1, 16) as u32;
+        Algorithm::DpmlPipelined { leaders, chunks: k }
+    } else {
+        Algorithm::Dpml { leaders, inner: FlatAlg::RecursiveDoubling }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_fabric::presets::{cluster_a, cluster_b, cluster_c, cluster_d};
+
+    fn spec_of(p: &Preset, nodes: u32) -> ClusterSpec {
+        p.default_spec(nodes).unwrap()
+    }
+
+    #[test]
+    fn mvapich2_dispatch_shape() {
+        let p = cluster_b();
+        let s = spec_of(&p, 16);
+        assert!(matches!(
+            Library::Mvapich2.choose(&p, &s, 1024),
+            Algorithm::SingleLeader { .. }
+        ));
+        assert!(matches!(
+            Library::Mvapich2.choose(&p, &s, 1 << 20),
+            Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+        ));
+    }
+
+    #[test]
+    fn intel_dispatch_shape() {
+        let p = cluster_c();
+        let s = spec_of(&p, 16);
+        assert!(matches!(
+            Library::IntelMpi.choose(&p, &s, 512),
+            Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+        ));
+        assert!(matches!(
+            Library::IntelMpi.choose(&p, &s, 64 * 1024),
+            Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+        ));
+    }
+
+    #[test]
+    fn dpml_uses_sharp_only_on_cluster_a() {
+        let a = cluster_a();
+        let sa = spec_of(&a, 16);
+        assert!(matches!(Library::DpmlTuned.choose(&a, &sa, 128), Algorithm::SharpSocketLeader));
+        let b = cluster_b();
+        let sb = spec_of(&b, 16);
+        assert!(!Library::DpmlTuned.choose(&b, &sb, 128).needs_sharp());
+    }
+
+    #[test]
+    fn dpml_leader_table_matches_paper_8kb() {
+        // 8KB: 4 leaders on A/B, 16 on C/D (Section 6.4).
+        let cases = [(cluster_a(), 4u32), (cluster_b(), 4), (cluster_c(), 16), (cluster_d(), 16)];
+        for (p, expect) in cases {
+            let s = spec_of(&p, 16);
+            match Library::DpmlTuned.choose(&p, &s, 8 * 1024) {
+                Algorithm::Dpml { leaders, .. } => {
+                    assert_eq!(leaders, expect.min(s.ppn), "cluster {}", p.id)
+                }
+                other => panic!("cluster {}: {other:?}", p.id),
+            }
+        }
+    }
+
+    #[test]
+    fn dpml_pipelines_very_large_on_omni_path() {
+        let d = cluster_d();
+        let s = spec_of(&d, 32);
+        assert!(matches!(
+            Library::DpmlTuned.choose(&d, &s, 4 << 20),
+            Algorithm::DpmlPipelined { .. }
+        ));
+        let b = cluster_b();
+        let sb = spec_of(&b, 32);
+        assert!(matches!(Library::DpmlTuned.choose(&b, &sb, 4 << 20), Algorithm::Dpml { .. }));
+    }
+
+    #[test]
+    fn leaders_never_exceed_ppn() {
+        for p in [cluster_a(), cluster_b(), cluster_c(), cluster_d()] {
+            let s = p.spec(4, 2).unwrap();
+            for bytes in [64u64, 8192, 1 << 20] {
+                match Library::DpmlTuned.choose(&p, &s, bytes) {
+                    Algorithm::Dpml { leaders, .. } | Algorithm::DpmlPipelined { leaders, .. } => {
+                        assert!(leaders <= 2)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ppn1_avoids_shared_memory_designs() {
+        let b = cluster_b();
+        let s = b.spec(16, 1).unwrap();
+        for lib in [Library::Mvapich2, Library::IntelMpi] {
+            for bytes in [64u64, 8192, 1 << 20] {
+                let alg = lib.choose(&b, &s, bytes);
+                assert!(
+                    !matches!(alg, Algorithm::SingleLeader { .. }),
+                    "{} chose {alg:?} at ppn=1",
+                    lib.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Library::Mvapich2.name(), "MVAPICH2");
+        assert_eq!(Library::DpmlTuned.name(), "DPML (proposed)");
+    }
+}

@@ -1,0 +1,541 @@
+//! Symbolic data tracking for collective verification.
+//!
+//! Every buffer in the simulator carries a [`CoverageMap`]: for each byte
+//! range of the logical reduction vector, *which ranks' contributions* the
+//! buffer currently holds. A correct allreduce must end with every rank
+//! holding the full set `{0..p}` over the whole vector `[0, n)`.
+//!
+//! Tracking is exact (byte-range granularity, bitset rank sets), so schedule
+//! bugs — a missing wait, a partition copied to the wrong leader, a
+//! double-reduced segment — surface as verification failures rather than
+//! silently producing plausible timings.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of ranks, as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RankSet {
+    words: Vec<u64>,
+}
+
+impl RankSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        RankSet { words: Vec::new() }
+    }
+
+    /// A singleton set.
+    pub fn singleton(rank: u32) -> Self {
+        let mut s = RankSet::empty();
+        s.insert(rank);
+        s
+    }
+
+    /// The full set `{0, ..., p-1}`.
+    pub fn full(p: u32) -> Self {
+        let mut s = RankSet::empty();
+        for r in 0..p {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Insert a rank.
+    pub fn insert(&mut self, rank: u32) {
+        let w = (rank / 64) as usize;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (rank % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rank: u32) -> bool {
+        let w = (rank / 64) as usize;
+        self.words.get(w).is_some_and(|&word| word & (1u64 << (rank % 64)) != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RankSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Set cardinality.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if this set intersects `other`.
+    pub fn intersects(&self, other: &RankSet) -> bool {
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Canonical form: trailing zero words stripped (needed for `Eq` to be
+    /// semantic equality).
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    /// Semantic equality (ignores trailing zero words).
+    pub fn set_eq(&self, other: &RankSet) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.normalize();
+        b.normalize();
+        a == b
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| (wi as u32) * 64 + b)
+        })
+    }
+}
+
+/// A half-open byte range `[start, end)` of the logical vector.
+pub type Seg = (u64, u64);
+
+/// Maps disjoint byte ranges of the logical vector to the rank sets whose
+/// contributions they hold.
+///
+/// Invariants: segments are sorted, non-empty, pairwise disjoint, and
+/// adjacent segments with equal rank sets are coalesced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CoverageMap {
+    segs: Vec<(u64, u64, RankSet)>,
+}
+
+impl CoverageMap {
+    /// An empty buffer: holds nothing.
+    pub fn empty() -> Self {
+        CoverageMap { segs: Vec::new() }
+    }
+
+    /// A buffer holding a single rank's contribution over `[start, end)`.
+    pub fn singleton(rank: u32, start: u64, end: u64) -> Self {
+        if start >= end {
+            return CoverageMap::empty();
+        }
+        CoverageMap { segs: vec![(start, end, RankSet::singleton(rank))] }
+    }
+
+    /// Number of internal segments (for tests / diagnostics).
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Total bytes covered (by at least one contribution).
+    pub fn covered_bytes(&self) -> u64 {
+        self.segs.iter().map(|(s, e, _)| e - s).sum()
+    }
+
+    /// The rank set held at byte offset `at`, if any.
+    pub fn at(&self, at: u64) -> Option<&RankSet> {
+        self.segs.iter().find(|(s, e, _)| *s <= at && at < *e).map(|(_, _, r)| r)
+    }
+
+    /// Extract the sub-map covering `[start, end)`.
+    pub fn restrict(&self, start: u64, end: u64) -> CoverageMap {
+        if start >= end {
+            return CoverageMap::empty();
+        }
+        let mut out = CoverageMap::empty();
+        for (s, e, set) in &self.segs {
+            let ns = (*s).max(start);
+            let ne = (*e).min(end);
+            if ns < ne {
+                out.segs.push((ns, ne, set.clone()));
+            }
+        }
+        out
+    }
+
+    /// Remove all coverage within `[start, end)`.
+    pub fn clear_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut out: Vec<(u64, u64, RankSet)> = Vec::with_capacity(self.segs.len() + 2);
+        for (s, e, set) in self.segs.drain(..) {
+            if e <= start || s >= end {
+                out.push((s, e, set));
+                continue;
+            }
+            if s < start {
+                out.push((s, start, set.clone()));
+            }
+            if e > end {
+                out.push((end, e, set));
+            }
+        }
+        self.segs = out;
+        self.coalesce();
+    }
+
+    /// Overwrite `[start, end)` with `src`'s contents over the same range
+    /// (bytes `src` does not cover become uncovered). This is the semantics
+    /// of a plain copy or a received message: payload *replaces* buffer
+    /// content.
+    pub fn overwrite(&mut self, src: &CoverageMap, start: u64, end: u64) {
+        self.clear_range(start, end);
+        let add = src.restrict(start, end);
+        self.segs.extend(add.segs);
+        self.segs.sort_by_key(|(s, _, _)| *s);
+        self.coalesce();
+        self.assert_invariants();
+    }
+
+    /// Pointwise-union `src`'s contents over `[start, end)` into this map —
+    /// the semantics of a reduction: contributions combine.
+    pub fn union_merge(&mut self, src: &CoverageMap, start: u64, end: u64) {
+        let add = src.restrict(start, end);
+        if add.is_empty() {
+            return;
+        }
+        // Boundary sweep: gather all cut points, rebuild the affected range.
+        let lo = add.segs.first().unwrap().0.min(start);
+        let hi = add.segs.last().unwrap().1.max(lo);
+        let mine = self.restrict(lo, hi);
+        let mut cuts: Vec<u64> = Vec::new();
+        for (s, e, _) in mine.segs.iter().chain(add.segs.iter()) {
+            cuts.push(*s);
+            cuts.push(*e);
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut rebuilt: Vec<(u64, u64, RankSet)> = Vec::new();
+        for w in cuts.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let a = mine.at(s);
+            let b = add.at(s);
+            let set = match (a, b) {
+                (None, None) => continue,
+                (Some(x), None) => x.clone(),
+                (None, Some(y)) => y.clone(),
+                (Some(x), Some(y)) => {
+                    let mut u = x.clone();
+                    u.union_with(y);
+                    u
+                }
+            };
+            rebuilt.push((s, e, set));
+        }
+        self.clear_range(lo, hi);
+        self.segs.extend(rebuilt);
+        self.segs.sort_by_key(|(s, _, _)| *s);
+        self.coalesce();
+        self.assert_invariants();
+    }
+
+    /// True when `[start, end)` is fully covered and every byte holds
+    /// exactly `expected`.
+    pub fn covers_exactly(&self, start: u64, end: u64, expected: &RankSet) -> bool {
+        if start >= end {
+            return true;
+        }
+        let mut cursor = start;
+        for (s, e, set) in &self.segs {
+            if *e <= cursor {
+                continue;
+            }
+            if *s > cursor {
+                return false; // gap
+            }
+            if !set.set_eq(expected) {
+                return false;
+            }
+            cursor = *e;
+            if cursor >= end {
+                return true;
+            }
+        }
+        cursor >= end
+    }
+
+    /// Merge adjacent segments with identical sets.
+    fn coalesce(&mut self) {
+        let mut out: Vec<(u64, u64, RankSet)> = Vec::with_capacity(self.segs.len());
+        for (s, e, set) in self.segs.drain(..) {
+            if s >= e {
+                continue;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.1 == s && last.2.set_eq(&set) {
+                    last.1 = e;
+                    continue;
+                }
+            }
+            out.push((s, e, set));
+        }
+        self.segs = out;
+    }
+
+    #[inline]
+    fn assert_invariants(&self) {
+        debug_assert!(
+            self.segs.windows(2).all(|w| w[0].1 <= w[1].0),
+            "coverage segments overlap or unsorted"
+        );
+        debug_assert!(self.segs.iter().all(|(s, e, _)| s < e), "empty segment");
+    }
+
+    /// Iterate over `(start, end, set)` segments.
+    pub fn segments(&self) -> impl Iterator<Item = (u64, u64, &RankSet)> {
+        self.segs.iter().map(|(s, e, set)| (*s, *e, set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rankset_basics() {
+        let mut s = RankSet::singleton(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        s.insert(100);
+        assert!(s.contains(100));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 100]);
+    }
+
+    #[test]
+    fn rankset_union_and_eq() {
+        let mut a = RankSet::singleton(1);
+        let b = RankSet::singleton(200);
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+        // Semantic equality ignores width.
+        let mut wide = RankSet::singleton(1);
+        wide.insert(200);
+        assert!(a.set_eq(&wide));
+        let narrow = RankSet::singleton(1);
+        assert!(!a.set_eq(&narrow));
+    }
+
+    #[test]
+    fn rankset_full() {
+        let f = RankSet::full(130);
+        assert_eq!(f.count(), 130);
+        assert!(f.contains(0));
+        assert!(f.contains(129));
+        assert!(!f.contains(130));
+    }
+
+    #[test]
+    fn singleton_map_and_restrict() {
+        let m = CoverageMap::singleton(2, 0, 100);
+        let r = m.restrict(25, 75);
+        assert_eq!(r.covered_bytes(), 50);
+        assert!(r.covers_exactly(25, 75, &RankSet::singleton(2)));
+        assert!(!r.covers_exactly(0, 75, &RankSet::singleton(2)));
+    }
+
+    #[test]
+    fn empty_range_singleton_is_empty() {
+        assert!(CoverageMap::singleton(0, 5, 5).is_empty());
+        assert!(CoverageMap::singleton(0, 7, 5).is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut m = CoverageMap::singleton(0, 0, 100);
+        let src = CoverageMap::singleton(1, 40, 60);
+        m.overwrite(&src, 40, 60);
+        assert!(m.covers_exactly(0, 40, &RankSet::singleton(0)));
+        assert!(m.covers_exactly(40, 60, &RankSet::singleton(1)));
+        assert!(m.covers_exactly(60, 100, &RankSet::singleton(0)));
+        assert_eq!(m.covered_bytes(), 100);
+    }
+
+    #[test]
+    fn overwrite_with_uncovered_src_clears() {
+        let mut m = CoverageMap::singleton(0, 0, 100);
+        m.overwrite(&CoverageMap::empty(), 10, 20);
+        assert_eq!(m.covered_bytes(), 90);
+        assert!(m.at(15).is_none());
+    }
+
+    #[test]
+    fn union_merge_combines_contributions() {
+        let mut m = CoverageMap::singleton(0, 0, 100);
+        let src = CoverageMap::singleton(1, 0, 100);
+        m.union_merge(&src, 0, 100);
+        let mut both = RankSet::singleton(0);
+        both.insert(1);
+        assert!(m.covers_exactly(0, 100, &both));
+        assert_eq!(m.num_segments(), 1, "coalescing failed");
+    }
+
+    #[test]
+    fn union_merge_partial_overlap() {
+        let mut m = CoverageMap::singleton(0, 0, 50);
+        let src = CoverageMap::singleton(1, 25, 75);
+        m.union_merge(&src, 0, 100);
+        assert!(m.covers_exactly(0, 25, &RankSet::singleton(0)));
+        let mut both = RankSet::singleton(0);
+        both.insert(1);
+        assert!(m.covers_exactly(25, 50, &both));
+        assert!(m.covers_exactly(50, 75, &RankSet::singleton(1)));
+        assert!(m.at(80).is_none());
+    }
+
+    #[test]
+    fn union_merge_respects_range_restriction() {
+        let mut m = CoverageMap::empty();
+        let src = CoverageMap::singleton(1, 0, 100);
+        m.union_merge(&src, 30, 40);
+        assert_eq!(m.covered_bytes(), 10);
+        assert!(m.covers_exactly(30, 40, &RankSet::singleton(1)));
+    }
+
+    #[test]
+    fn clear_range_splits_segments() {
+        let mut m = CoverageMap::singleton(0, 0, 100);
+        m.clear_range(30, 40);
+        assert_eq!(m.covered_bytes(), 90);
+        assert_eq!(m.num_segments(), 2);
+    }
+
+    #[test]
+    fn covers_exactly_detects_gap_and_wrong_set() {
+        let mut m = CoverageMap::singleton(0, 0, 40);
+        m.union_merge(&CoverageMap::singleton(0, 60, 100), 0, 100);
+        let s0 = RankSet::singleton(0);
+        assert!(!m.covers_exactly(0, 100, &s0)); // gap 40..60
+        assert!(m.covers_exactly(0, 40, &s0));
+        assert!(!m.covers_exactly(0, 40, &RankSet::singleton(1)));
+    }
+
+    #[test]
+    fn allreduce_style_accumulation() {
+        // Simulate: 4 ranks' contributions merged pairwise, then checked.
+        let p = 4;
+        let n = 64;
+        let mut acc = CoverageMap::singleton(0, 0, n);
+        for r in 1..p {
+            acc.union_merge(&CoverageMap::singleton(r, 0, n), 0, n);
+        }
+        assert!(acc.covers_exactly(0, n, &RankSet::full(p)));
+    }
+
+    /// Naive per-byte reference model for property tests.
+    #[derive(Clone, PartialEq, Debug)]
+    struct NaiveMap {
+        bytes: Vec<Option<RankSet>>,
+    }
+
+    impl NaiveMap {
+        fn new(n: u64) -> Self {
+            NaiveMap { bytes: vec![None; n as usize] }
+        }
+        fn from_cov(m: &CoverageMap, n: u64) -> Self {
+            let mut out = NaiveMap::new(n);
+            for (s, e, set) in m.segments() {
+                for b in s..e.min(n) {
+                    out.bytes[b as usize] = Some(set.clone());
+                }
+            }
+            out
+        }
+        fn overwrite(&mut self, src: &NaiveMap, start: u64, end: u64) {
+            for b in start..end.min(self.bytes.len() as u64) {
+                self.bytes[b as usize] = src.bytes[b as usize].clone();
+            }
+        }
+        fn union_merge(&mut self, src: &NaiveMap, start: u64, end: u64) {
+            for b in start..end.min(self.bytes.len() as u64) {
+                match (&mut self.bytes[b as usize], &src.bytes[b as usize]) {
+                    (Some(a), Some(x)) => a.union_with(x),
+                    (slot @ None, Some(x)) => *slot = Some(x.clone()),
+                    _ => {}
+                }
+            }
+        }
+        fn semantically_eq(&self, other: &NaiveMap) -> bool {
+            self.bytes.iter().zip(other.bytes.iter()).all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => x.set_eq(y),
+                _ => false,
+            })
+        }
+    }
+
+    use proptest::prelude::*;
+
+    const N: u64 = 48;
+
+    fn arb_map() -> impl Strategy<Value = CoverageMap> {
+        proptest::collection::vec((0u32..6, 0u64..N, 0u64..N), 0..6).prop_map(|ops| {
+            let mut m = CoverageMap::empty();
+            for (r, a, b) in ops {
+                let (s, e) = if a <= b { (a, b) } else { (b, a) };
+                m.union_merge(&CoverageMap::singleton(r, s, e), s, e);
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overwrite_matches_naive(a in arb_map(), b in arb_map(), x in 0u64..N, y in 0u64..N) {
+            let (s, e) = if x <= y { (x, y) } else { (y, x) };
+            let mut fast = a.clone();
+            fast.overwrite(&b, s, e);
+            let mut slow = NaiveMap::from_cov(&a, N);
+            slow.overwrite(&NaiveMap::from_cov(&b, N), s, e);
+            prop_assert!(NaiveMap::from_cov(&fast, N).semantically_eq(&slow));
+        }
+
+        #[test]
+        fn prop_union_matches_naive(a in arb_map(), b in arb_map(), x in 0u64..N, y in 0u64..N) {
+            let (s, e) = if x <= y { (x, y) } else { (y, x) };
+            let mut fast = a.clone();
+            fast.union_merge(&b, s, e);
+            let mut slow = NaiveMap::from_cov(&a, N);
+            slow.union_merge(&NaiveMap::from_cov(&b, N), s, e);
+            prop_assert!(NaiveMap::from_cov(&fast, N).semantically_eq(&slow));
+        }
+
+        #[test]
+        fn prop_segments_stay_canonical(a in arb_map(), b in arb_map()) {
+            let mut m = a.clone();
+            m.union_merge(&b, 0, N);
+            let segs: Vec<_> = m.segments().map(|(s, e, _)| (s, e)).collect();
+            for w in segs.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", segs);
+            }
+            for (s, e) in &segs {
+                prop_assert!(s < e);
+            }
+        }
+
+        #[test]
+        fn prop_union_is_commutative(a in arb_map(), b in arb_map()) {
+            let mut ab = a.clone();
+            ab.union_merge(&b, 0, N);
+            let mut ba = b.clone();
+            ba.union_merge(&a, 0, N);
+            prop_assert!(NaiveMap::from_cov(&ab, N).semantically_eq(&NaiveMap::from_cov(&ba, N)));
+        }
+    }
+}

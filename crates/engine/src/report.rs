@@ -1,0 +1,233 @@
+//! Simulation results and collective-correctness verification.
+
+use crate::coverage::{CoverageMap, RankSet};
+use crate::time::SimTime;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A failed verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VerifyError {
+    /// The rank's result buffer does not hold all contributions over the
+    /// whole vector.
+    IncompleteResult {
+        /// Which rank.
+        rank: u32,
+        /// Bytes it covers with the correct full set.
+        correct_bytes: u64,
+        /// Vector length expected.
+        expected_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::IncompleteResult { rank, correct_bytes, expected_bytes } => write!(
+                f,
+                "rank {rank}: result holds a fully-reduced value over only \
+                 {correct_bytes}/{expected_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Aggregate statistics from one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Point-to-point messages sent (inter- and intra-node).
+    pub messages: u64,
+    /// Of which crossed the network (inter-node).
+    pub inter_node_messages: u64,
+    /// Total payload bytes sent inter-node.
+    pub inter_node_bytes: u64,
+    /// Shared-memory copy operations.
+    pub copies: u64,
+    /// Local reduction operations.
+    pub reduces: u64,
+    /// SHArP operations completed.
+    pub sharp_ops: u64,
+    /// Discrete events processed.
+    pub events: u64,
+    /// Peak concurrent fluid flows.
+    pub peak_flows: usize,
+}
+
+/// The result of simulating a [`crate::program::WorldProgram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-rank completion times.
+    pub finish_times: Vec<SimTime>,
+    /// Per-rank final coverage of the conventional result buffer.
+    pub result_coverage: Vec<CoverageMap>,
+    /// Vector length in bytes.
+    pub vector_bytes: u64,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Execution timeline, when requested via
+    /// [`crate::Simulator::with_trace`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// The collective's completion time: when the last rank finished.
+    pub fn makespan(&self) -> SimTime {
+        self.finish_times.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Makespan in microseconds (the unit of every figure in the paper).
+    pub fn latency_us(&self) -> f64 {
+        self.makespan().micros()
+    }
+
+    /// Verify an allreduce: every rank's result buffer must hold every
+    /// rank's contribution over the whole vector.
+    pub fn verify_allreduce(&self) -> Result<(), VerifyError> {
+        let p = self.finish_times.len() as u32;
+        let full = RankSet::full(p);
+        self.verify_result_equals(&full)
+    }
+
+    /// Verify that every rank's result equals an arbitrary expected
+    /// contribution set (e.g. a subset for partial reductions).
+    pub fn verify_result_equals(&self, expected: &RankSet) -> Result<(), VerifyError> {
+        for (r, cov) in self.result_coverage.iter().enumerate() {
+            if !cov.covers_exactly(0, self.vector_bytes, expected) {
+                let correct = cov
+                    .segments()
+                    .filter(|(_, _, set)| set.set_eq(expected))
+                    .map(|(s, e, _)| e - s)
+                    .sum();
+                return Err(VerifyError::IncompleteResult {
+                    rank: r as u32,
+                    correct_bytes: correct,
+                    expected_bytes: self.vector_bytes,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify an arbitrary per-rank coverage pattern: rank `rank`'s result
+    /// buffer must hold exactly `expected[i].1` over each byte range
+    /// `expected[i].0` (ranges outside the list are unconstrained). This is
+    /// the primitive behind the allgather / reduce-scatter / alltoall
+    /// checks in `dpml-core::collectives`.
+    pub fn verify_rank_segments(
+        &self,
+        rank: u32,
+        expected: &[((u64, u64), RankSet)],
+    ) -> Result<(), VerifyError> {
+        let cov = &self.result_coverage[rank as usize];
+        for ((start, end), set) in expected {
+            if !cov.covers_exactly(*start, *end, set) {
+                let correct = cov
+                    .restrict(*start, *end)
+                    .segments()
+                    .filter(|(_, _, s)| s.set_eq(set))
+                    .map(|(s, e, _)| e - s)
+                    .sum();
+                return Err(VerifyError::IncompleteResult {
+                    rank,
+                    correct_bytes: correct,
+                    expected_bytes: end - start,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify a rooted reduce: only `root` must hold the full result.
+    pub fn verify_reduce_at(&self, root: u32) -> Result<(), VerifyError> {
+        let p = self.finish_times.len() as u32;
+        let full = RankSet::full(p);
+        let cov = &self.result_coverage[root as usize];
+        if !cov.covers_exactly(0, self.vector_bytes, &full) {
+            let correct = cov
+                .segments()
+                .filter(|(_, _, set)| set.set_eq(&full))
+                .map(|(s, e, _)| e - s)
+                .sum();
+            return Err(VerifyError::IncompleteResult {
+                rank: root,
+                correct_bytes: correct,
+                expected_bytes: self.vector_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p: u32, n: u64, good: bool) -> RunReport {
+        let cov = (0..p)
+            .map(|r| {
+                if good || r != 1 {
+                    let mut m = CoverageMap::empty();
+                    for c in 0..p {
+                        m.union_merge(&CoverageMap::singleton(c, 0, n), 0, n);
+                    }
+                    m
+                } else {
+                    CoverageMap::singleton(r, 0, n)
+                }
+            })
+            .collect();
+        RunReport {
+            finish_times: (0..p).map(|i| SimTime::new(i as f64 * 1e-6)).collect(),
+            result_coverage: cov,
+            vector_bytes: n,
+            stats: RunStats::default(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let r = report(4, 64, true);
+        assert_eq!(r.makespan(), SimTime::new(3e-6));
+        assert!((r.latency_us() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_passes_for_complete_allreduce() {
+        assert!(report(4, 64, true).verify_allreduce().is_ok());
+    }
+
+    #[test]
+    fn verify_fails_for_incomplete_rank() {
+        let err = report(4, 64, false).verify_allreduce().unwrap_err();
+        match err {
+            VerifyError::IncompleteResult { rank, correct_bytes, expected_bytes } => {
+                assert_eq!(rank, 1);
+                assert_eq!(correct_bytes, 0);
+                assert_eq!(expected_bytes, 64);
+            }
+        }
+    }
+
+    #[test]
+    fn verify_reduce_at_checks_only_root() {
+        let r = report(4, 64, false); // rank 1 incomplete
+        assert!(r.verify_reduce_at(0).is_ok());
+        assert!(r.verify_reduce_at(1).is_err());
+    }
+
+    #[test]
+    fn empty_report_makespan_zero() {
+        let r = RunReport {
+            finish_times: vec![],
+            result_coverage: vec![],
+            vector_bytes: 0,
+            stats: RunStats::default(),
+            trace: None,
+        };
+        assert_eq!(r.makespan(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,1332 @@
+//! The discrete-event executor.
+//!
+//! See the crate docs for the timing model. Implementation notes:
+//!
+//! * Every rank is a sequential interpreter over its [`crate::program::Program`]; blocking
+//!   instructions suspend it until an event resumes it.
+//! * Transfers (network messages, copies, reductions) are fluid flows in a
+//!   [`FluidSystem`]; after any flow-set change the rates are recomputed and
+//!   a generation-stamped `FlowWake` event is scheduled at the earliest
+//!   predicted completion. Stale wakes are ignored.
+//! * Intra-node point-to-point messages do not touch the NIC: they move
+//!   through a shared-memory bounce buffer. The copy-in occupies the
+//!   sending core for the full payload; the copy-out is a fluid flow
+//!   bounded by the receiver core and the node memory bus — together the
+//!   "cost of extra copies" the paper attributes to flat algorithms
+//!   (Section 3).
+//! * Event ties are broken by insertion sequence, making runs deterministic.
+
+use crate::coverage::CoverageMap;
+use crate::program::{BufKey, ByteRange, Instr, ReqId, Tag, WorldProgram, BUF_RESULT};
+use crate::report::{RunReport, RunStats};
+use crate::resources::{FluidSystem, FlowId, ResourceId};
+use crate::time::SimTime;
+use crate::trace::{MsgTrace, Span, SpanKind, Trace};
+use dpml_fabric::Fabric;
+use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Provides SHArP operation timing to the engine (implemented by
+/// `dpml-sharp`; the engine stays independent of the aggregation model).
+pub trait SharpOracle {
+    /// Duration of one aggregation operation over `members` with `bytes`
+    /// of payload per member.
+    fn op_time(&self, members: &[Rank], bytes: u64) -> f64;
+    /// How many operations the switch tree processes concurrently.
+    fn max_concurrent_ops(&self) -> u32;
+}
+
+/// Static configuration of a simulation: who is where, and how fast
+/// everything is.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Rank placement.
+    pub map: RankMap,
+    /// Speed model.
+    pub fabric: Fabric,
+    /// Switch fabric.
+    pub tree: SwitchTree,
+}
+
+impl SimConfig {
+    /// Build a config; the switch tree is derived from the spec.
+    pub fn new(map: RankMap, fabric: Fabric, switch: SwitchTreeSpec) -> Self {
+        let tree = SwitchTree::build(map.spec().num_nodes, switch).expect("valid switch spec");
+        SimConfig { map, fabric, tree }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No runnable events remain but some ranks have not finished.
+    Deadlock {
+        /// `(rank, program counter, reason)` for each stuck rank.
+        blocked: Vec<(u32, usize, String)>,
+    },
+    /// A `Sharp` instruction was executed but no oracle was configured.
+    NoSharpOracle,
+    /// A barrier or group id was not registered in the world program.
+    UnknownGroup(&'static str, u32),
+    /// Event budget exceeded (runaway program guard).
+    EventBudgetExceeded(u64),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} ranks blocked; first: ", blocked.len())?;
+                if let Some((r, pc, why)) = blocked.first() {
+                    write!(f, "rank {r} at pc {pc} ({why})")?;
+                }
+                Ok(())
+            }
+            SimError::NoSharpOracle => write!(f, "Sharp instruction without a SharpOracle"),
+            SimError::UnknownGroup(kind, id) => write!(f, "unregistered {kind} id {id}"),
+            SimError::EventBudgetExceeded(n) => write!(f, "exceeded event budget ({n})"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Resume(u32),
+    Inject(usize),
+    NicService(u32),
+    CopyStart(u32),
+    ReduceStart(u32),
+    FlowWake(u64),
+    MsgArrive(usize),
+    SharpDone(usize),
+    RecomputePoint,
+}
+
+/// Rate-recompute quantization window, seconds. Flow-set changes within
+/// one window share a single max-min recomputation; a newly added flow may
+/// therefore start up to this much late. 25ns is far below every modeled
+/// latency constant (the smallest is the ~150ns shared-memory copy
+/// startup) but coalesces the 1/node_msg_rate-staggered NIC injections
+/// that would otherwise each trigger a global refill.
+const RECOMPUTE_QUANTUM: f64 = 25e-9;
+
+#[derive(Debug, Clone, PartialEq)]
+enum ReqState {
+    SendPending,
+    RecvPending { dst: BufKey },
+    SharpPending,
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Ready,
+    Busy,
+    OnWait,
+    OnBarrier,
+    OnSharp,
+    Done,
+}
+
+#[derive(Debug)]
+enum ApplyKind {
+    Overwrite,
+    Union,
+}
+
+#[derive(Debug)]
+struct PendingLocal {
+    kind: LocalKind,
+    dst: BufKey,
+    range: ByteRange,
+}
+
+#[derive(Debug)]
+enum LocalKind {
+    Copy { src: BufKey, cross_socket: bool },
+    Reduce { srcs: Vec<BufKey> },
+}
+
+struct RankState {
+    pc: usize,
+    status: Status,
+    blocked_span: Option<(SpanKind, SimTime, u64)>,
+    bufs: HashMap<u32, CoverageMap>,
+    reqs: Vec<ReqState>,
+    waiting: Vec<ReqId>,
+    pending_local: Option<PendingLocal>,
+    pending_apply: Option<(BufKey, ByteRange, CoverageMap, ApplyKind)>,
+    finish: Option<SimTime>,
+}
+
+struct Msg {
+    src: Rank,
+    dst: Rank,
+    tag: Tag,
+    range: ByteRange,
+    payload: CoverageMap,
+    send_req: (u32, u32),
+    eager: bool,
+    intra: bool,
+    cross_socket: bool,
+    hops: u32,
+    injected_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlowToken {
+    Net(usize),
+    Local(u32),
+}
+
+struct BarrierState {
+    arrived: u32,
+    released: bool,
+}
+
+struct SharpOpState {
+    group: u32,
+    arrived: u32,
+    accum: CoverageMap,
+    range: Option<ByteRange>,
+    /// `(rank, destination buffer, request index)` — the request index is
+    /// `None` for blocking participants (resumed directly) and `Some` for
+    /// non-blocking ones (completed through their request).
+    dsts: Vec<(Rank, BufKey, Option<u32>)>,
+    started: bool,
+    done: bool,
+}
+
+/// The simulator. Construct once per run.
+pub struct Simulator<'a> {
+    cfg: &'a SimConfig,
+    sharp: Option<&'a dyn SharpOracle>,
+    event_budget: u64,
+    trace: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// New simulator over a config, without SHArP capability.
+    pub fn new(cfg: &'a SimConfig) -> Self {
+        Simulator { cfg, sharp: None, event_budget: 2_000_000_000, trace: false }
+    }
+
+    /// Attach a SHArP oracle (required to execute `Sharp` instructions).
+    pub fn with_sharp(mut self, oracle: &'a dyn SharpOracle) -> Self {
+        self.sharp = Some(oracle);
+        self
+    }
+
+    /// Override the runaway-guard event budget.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Collect a full execution timeline (see [`crate::trace::Trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Execute a world program to completion.
+    pub fn run(&self, world: &WorldProgram) -> Result<RunReport, SimError> {
+        let mut st = SimState::new(self.cfg, world, self.sharp, self.event_budget, self.trace);
+        st.run()?;
+        Ok(st.report(world))
+    }
+}
+
+struct SimState<'a> {
+    cfg: &'a SimConfig,
+    world: &'a WorldProgram,
+    oracle: Option<&'a dyn SharpOracle>,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
+    ranks: Vec<RankState>,
+    shared: Vec<HashMap<u32, CoverageMap>>,
+    msgs: Vec<Msg>,
+    recv_waiting: HashMap<(u32, u32, Tag), VecDeque<(u32, u32)>>,
+    arrived: HashMap<(u32, u32, Tag), VecDeque<usize>>,
+    nic_queue: Vec<VecDeque<usize>>,
+    nic_busy: Vec<bool>,
+    fluid: FluidSystem<FlowToken>,
+    flow_gen: u64,
+    flow_of_msg: HashMap<usize, FlowId>,
+    flow_of_rank: HashMap<u32, FlowId>,
+    barriers: HashMap<u32, BarrierState>,
+    sharp_ops: Vec<SharpOpState>,
+    sharp_op_of_group: HashMap<u32, usize>,
+    sharp_queue: VecDeque<usize>,
+    sharp_active: u32,
+    stats: RunStats,
+    event_budget: u64,
+    last_recompute: SimTime,
+    recompute_pending: bool,
+    trace: Option<Trace>,
+    // Resource ids
+    res_tx: Vec<ResourceId>,
+    res_rx: Vec<ResourceId>,
+    res_mem: Vec<ResourceId>,
+    res_leaf_up: Vec<ResourceId>,
+    res_leaf_down: Vec<ResourceId>,
+    res_proc_tx: Vec<ResourceId>,
+    res_proc_rx: Vec<ResourceId>,
+    res_proc_cpu: Vec<ResourceId>,
+}
+
+impl<'a> SimState<'a> {
+    fn new(
+        cfg: &'a SimConfig,
+        world: &'a WorldProgram,
+        oracle: Option<&'a dyn SharpOracle>,
+        event_budget: u64,
+        trace: bool,
+    ) -> Self {
+        let p = world.world_size();
+        assert_eq!(p, cfg.map.world_size(), "program size must match cluster");
+        let h = cfg.map.spec().num_nodes as usize;
+        let mut fluid = FluidSystem::new();
+        let nic = &cfg.fabric.nic;
+        let mem = &cfg.fabric.mem;
+        let res_tx = (0..h).map(|_| fluid.add_resource(nic.node_bw)).collect();
+        let res_rx = (0..h).map(|_| fluid.add_resource(nic.node_bw)).collect();
+        let res_mem = (0..h).map(|_| fluid.add_resource(mem.node_mem_bw)).collect();
+        let leaves = cfg.tree.num_leaves() as usize;
+        let uplink_cap = cfg.tree.spec().nodes_per_leaf as f64
+            * nic.node_bw
+            * cfg.tree.spec().core_bandwidth_fraction();
+        let res_leaf_up = (0..leaves).map(|_| fluid.add_resource(uplink_cap)).collect();
+        let res_leaf_down = (0..leaves).map(|_| fluid.add_resource(uplink_cap)).collect();
+        // Per-process ceilings: a single rank cannot drive more than one
+        // flow's worth of NIC bandwidth no matter how many messages it has
+        // in flight (one QP / one injection pipeline), and its shared-memory
+        // copy-out rate is bounded by one core's copy bandwidth.
+        let res_proc_tx = (0..p).map(|_| fluid.add_resource(nic.per_flow_bw)).collect();
+        let res_proc_rx = (0..p).map(|_| fluid.add_resource(nic.per_flow_bw)).collect();
+        let res_proc_cpu = (0..p).map(|_| fluid.add_resource(mem.per_proc_copy_bw)).collect();
+
+        let ranks = (0..p)
+            .map(|r| {
+                let mut bufs = HashMap::new();
+                bufs.insert(0, world.initial_input(Rank(r)));
+                RankState {
+                    pc: 0,
+                    status: Status::Ready,
+                    blocked_span: None,
+                    bufs,
+                    reqs: Vec::new(),
+                    waiting: Vec::new(),
+                    pending_local: None,
+                    pending_apply: None,
+                    finish: None,
+                }
+            })
+            .collect();
+
+        let mut st = SimState {
+            cfg,
+            world,
+            oracle,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            ranks,
+            shared: (0..h).map(|_| HashMap::new()).collect(),
+            msgs: Vec::new(),
+            recv_waiting: HashMap::new(),
+            arrived: HashMap::new(),
+            nic_queue: (0..h).map(|_| VecDeque::new()).collect(),
+            nic_busy: vec![false; h],
+            fluid,
+            flow_gen: 0,
+            flow_of_msg: HashMap::new(),
+            flow_of_rank: HashMap::new(),
+            barriers: HashMap::new(),
+            sharp_ops: Vec::new(),
+            sharp_op_of_group: HashMap::new(),
+            sharp_queue: VecDeque::new(),
+            sharp_active: 0,
+            stats: RunStats::default(),
+            event_budget,
+            last_recompute: SimTime::ZERO,
+            recompute_pending: false,
+            trace: trace.then(Trace::default),
+            res_tx,
+            res_rx,
+            res_mem,
+            res_leaf_up,
+            res_leaf_down,
+            res_proc_tx,
+            res_proc_rx,
+            res_proc_cpu,
+        };
+        for r in 0..p {
+            st.push(SimTime::ZERO, Ev::Resume(r));
+        }
+        st
+    }
+
+    /// Mark the start of a blocking span (traced runs only).
+    fn begin_span(&mut self, r: u32, kind: SpanKind, bytes: u64) {
+        if self.trace.is_some() {
+            self.ranks[r as usize].blocked_span = Some((kind, self.now, bytes));
+        }
+    }
+
+    /// Close the rank's open span, if any, at the current time.
+    fn end_span(&mut self, r: u32) {
+        if let Some(trace) = self.trace.as_mut() {
+            if let Some((kind, start, bytes)) = self.ranks[r as usize].blocked_span.take() {
+                trace.spans.push(Span {
+                    rank: r,
+                    kind,
+                    start: start.seconds(),
+                    end: self.now.seconds(),
+                    bytes,
+                });
+            }
+        }
+    }
+
+    fn push(&mut self, t: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((t, self.seq, ev)));
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        let mut processed: u64 = 0;
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            processed += 1;
+            if processed > self.event_budget {
+                return Err(SimError::EventBudgetExceeded(self.event_budget));
+            }
+            debug_assert!(t >= self.now, "event in the past");
+            if t > self.now {
+                self.fluid.advance_to(t);
+                self.now = t;
+            }
+            self.handle(ev)?;
+            // Drain every event at this exact timestamp before recomputing
+            // fluid rates: synchronized collectives start/finish thousands
+            // of flows at the same instant, and one shared recompute turns
+            // O(events × flows) into O(timestamps × flows).
+            while self.events.peek().is_some_and(|Reverse((t2, _, _))| *t2 <= self.now) {
+                let Reverse((_, _, ev2)) = self.events.pop().expect("peeked");
+                processed += 1;
+                if processed > self.event_budget {
+                    return Err(SimError::EventBudgetExceeded(self.event_budget));
+                }
+                self.handle(ev2)?;
+            }
+            if self.fluid.is_dirty() {
+                // `0.99 *` guards against f64 rounding: `(t + q) - t` can
+                // land a ULP below `q`, which would otherwise re-defer the
+                // recompute point at its own timestamp forever.
+                if self.now - self.last_recompute >= 0.99 * RECOMPUTE_QUANTUM
+                    || self.now == SimTime::ZERO
+                {
+                    self.reschedule_flows();
+                } else if !self.recompute_pending {
+                    // Defer: coalesce further changes into one refill at
+                    // the end of the quantum.
+                    self.recompute_pending = true;
+                    self.push(self.now.after(RECOMPUTE_QUANTUM), Ev::RecomputePoint);
+                }
+            }
+        }
+        self.stats.events = processed;
+        if self.ranks.iter().any(|r| r.finish.is_none()) {
+            let blocked = self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.finish.is_none())
+                .map(|(i, r)| (i as u32, r.pc, format!("{:?}", r.status)))
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+        Ok(())
+    }
+
+    fn reschedule_flows(&mut self) {
+        self.last_recompute = self.now;
+        self.fluid.advance_to(self.now);
+        self.fluid.recompute();
+        self.flow_gen += 1;
+        self.stats.peak_flows = self.stats.peak_flows.max(self.fluid.active_flows());
+        if let Some((t, _)) = self.fluid.next_completion() {
+            let gen = self.flow_gen;
+            self.push(t.max(self.now), Ev::FlowWake(gen));
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::Resume(r) => {
+                if self.ranks[r as usize].status != Status::Done {
+                    self.end_span(r);
+                    self.ranks[r as usize].status = Status::Ready;
+                    self.run_rank(r)?;
+                }
+            }
+            Ev::Inject(m) => self.inject(m),
+            Ev::NicService(node) => self.nic_service(node),
+            Ev::CopyStart(r) | Ev::ReduceStart(r) => self.local_start(r),
+            Ev::FlowWake(gen) => {
+                if gen == self.flow_gen {
+                    self.flow_wake()?;
+                }
+            }
+            Ev::MsgArrive(m) => self.msg_arrive(m)?,
+            Ev::SharpDone(op) => self.sharp_done(op)?,
+            Ev::RecomputePoint => {
+                self.recompute_pending = false;
+                if self.fluid.is_dirty() {
+                    self.reschedule_flows();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- program interpretation ------------------------------------------
+
+    fn run_rank(&mut self, r: u32) -> Result<(), SimError> {
+        loop {
+            let pc = self.ranks[r as usize].pc;
+            let prog = &self.world.programs[r as usize];
+            if pc >= prog.instrs.len() {
+                self.ranks[r as usize].status = Status::Done;
+                self.ranks[r as usize].finish = Some(self.now);
+                return Ok(());
+            }
+            let instr = prog.instrs[pc].clone();
+            match instr {
+                Instr::ISend { to, tag, src, range } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::SendInject, range.len());
+                    self.exec_isend(r, to, tag, src, range);
+                    return Ok(()); // busy for the injection overhead
+                }
+                Instr::IRecv { from, tag, dst } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.exec_irecv(r, from, tag, dst)?;
+                    // continues immediately
+                }
+                Instr::WaitAll { reqs } => {
+                    let all_done = reqs
+                        .iter()
+                        .all(|q| self.ranks[r as usize].reqs[q.0 as usize] == ReqState::Done);
+                    if all_done {
+                        self.ranks[r as usize].pc += 1;
+                        continue;
+                    }
+                    self.ranks[r as usize].waiting = reqs;
+                    self.ranks[r as usize].status = Status::OnWait;
+                    self.begin_span(r, SpanKind::Wait, 0);
+                    return Ok(());
+                }
+                Instr::Copy { src, dst, range, cross_socket } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::Copy, range.len());
+                    self.ranks[r as usize].pending_local =
+                        Some(PendingLocal { kind: LocalKind::Copy { src, cross_socket }, dst, range });
+                    self.ranks[r as usize].status = Status::Busy;
+                    let lat = self.cfg.fabric.mem.copy_latency(cross_socket);
+                    self.push(self.now.after(lat), Ev::CopyStart(r));
+                    self.stats.copies += 1;
+                    return Ok(());
+                }
+                Instr::Reduce { srcs, dst, range } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::Reduce, range.len() * srcs.len() as u64);
+                    self.ranks[r as usize].pending_local =
+                        Some(PendingLocal { kind: LocalKind::Reduce { srcs }, dst, range });
+                    self.ranks[r as usize].status = Status::Busy;
+                    let lat = self.cfg.fabric.compute.reduce_latency;
+                    self.push(self.now.after(lat), Ev::ReduceStart(r));
+                    self.stats.reduces += 1;
+                    return Ok(());
+                }
+                Instr::Compute { seconds } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::Compute, 0);
+                    self.ranks[r as usize].status = Status::Busy;
+                    self.push(self.now.after(seconds.max(0.0)), Ev::Resume(r));
+                    return Ok(());
+                }
+                Instr::Barrier { id } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::Barrier, 0);
+                    self.exec_barrier(r, id)?;
+                    return Ok(());
+                }
+                Instr::Sharp { group, src, dst, range } => {
+                    self.ranks[r as usize].pc += 1;
+                    self.begin_span(r, SpanKind::Sharp, range.len());
+                    self.exec_sharp(r, group, src, dst, range, None)?;
+                    return Ok(());
+                }
+                Instr::ISharp { group, src, dst, range } => {
+                    self.ranks[r as usize].pc += 1;
+                    let req_idx = self.ranks[r as usize].reqs.len() as u32;
+                    self.ranks[r as usize].reqs.push(ReqState::SharpPending);
+                    self.exec_sharp(r, group, src, dst, range, Some(req_idx))?;
+                    // Non-blocking: continue interpreting.
+                }
+            }
+        }
+    }
+
+    // ---- buffers -----------------------------------------------------------
+
+    fn buf_snapshot(&self, r: u32, key: BufKey, range: ByteRange) -> CoverageMap {
+        match key {
+            BufKey::Priv(id) => self.ranks[r as usize]
+                .bufs
+                .get(&id)
+                .map(|b| b.restrict(range.start, range.end))
+                .unwrap_or_default(),
+            BufKey::Shared(id) => {
+                let node = self.cfg.map.node_of(Rank(r)).index();
+                self.shared[node]
+                    .get(&id)
+                    .map(|b| b.restrict(range.start, range.end))
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    fn buf_apply(&mut self, r: u32, key: BufKey, range: ByteRange, payload: &CoverageMap, kind: &ApplyKind) {
+        let buf = match key {
+            BufKey::Priv(id) => self.ranks[r as usize].bufs.entry(id).or_default(),
+            BufKey::Shared(id) => {
+                let node = self.cfg.map.node_of(Rank(r)).index();
+                self.shared[node].entry(id).or_default()
+            }
+        };
+        match kind {
+            ApplyKind::Overwrite => buf.overwrite(payload, range.start, range.end),
+            ApplyKind::Union => buf.union_merge(payload, range.start, range.end),
+        }
+    }
+
+    // ---- sends / receives ---------------------------------------------------
+
+    fn exec_isend(&mut self, r: u32, to: Rank, tag: Tag, src: BufKey, range: ByteRange) {
+        let payload = self.buf_snapshot(r, src, range);
+        let src_node = self.cfg.map.node_of(Rank(r));
+        let dst_node = self.cfg.map.node_of(to);
+        let intra = src_node == dst_node;
+        let cross_socket = intra && !self.cfg.map.same_socket(Rank(r), to);
+        let hops = self.cfg.tree.hop_count(src_node, dst_node).expect("valid nodes");
+        let eager = range.len() <= self.cfg.fabric.nic.eager_threshold;
+        let req_idx = self.ranks[r as usize].reqs.len() as u32;
+        self.ranks[r as usize].reqs.push(if eager || intra {
+            ReqState::Done
+        } else {
+            ReqState::SendPending
+        });
+        let m = self.msgs.len();
+        self.msgs.push(Msg {
+            src: Rank(r),
+            dst: to,
+            tag,
+            range,
+            payload,
+            send_req: (r, req_idx),
+            eager: eager || intra,
+            intra,
+            cross_socket,
+            hops,
+            injected_at: None,
+        });
+        self.stats.messages += 1;
+        if !intra {
+            self.stats.inter_node_messages += 1;
+            self.stats.inter_node_bytes += range.len();
+        }
+        // Intra-node transfers go through a shared-memory bounce buffer:
+        // the sender's own core performs the copy-in, so the send occupies
+        // the sender for the full copy duration; inter-node sends only pay
+        // the injection overhead before the NIC takes over.
+        let overhead = if intra {
+            self.cfg.fabric.mem.copy_latency(cross_socket)
+                + range.len() as f64 / self.cfg.fabric.mem.copy_bw(cross_socket)
+        } else {
+            self.cfg.fabric.nic.proc_overhead
+        };
+        self.ranks[r as usize].status = Status::Busy;
+        self.push(self.now.after(overhead), Ev::Inject(m));
+        self.push(self.now.after(overhead), Ev::Resume(r));
+    }
+
+    fn inject(&mut self, m: usize) {
+        self.msgs[m].injected_at = Some(self.now);
+        if self.msgs[m].intra {
+            // Shared-memory path: the copy-in was charged to the sender at
+            // ISend time; this flow is the receiver-side copy-out, bounded
+            // by the receiver core's copy bandwidth and the node bus.
+            let node = self.cfg.map.node_of(self.msgs[m].src).index();
+            let dst = self.msgs[m].dst.index();
+            let bytes = self.msgs[m].range.len() as f64;
+            let cap = self.cfg.fabric.mem.copy_bw(self.msgs[m].cross_socket);
+            let fid = self.fluid.add_flow(
+                vec![self.res_mem[node], self.res_proc_cpu[dst]],
+                cap,
+                bytes,
+                FlowToken::Net(m),
+            );
+            self.flow_of_msg.insert(m, fid);
+        } else {
+            let node = self.cfg.map.node_of(self.msgs[m].src).index();
+            self.nic_queue[node].push_back(m);
+            if !self.nic_busy[node] {
+                self.nic_busy[node] = true;
+                let svc = 1.0 / self.cfg.fabric.nic.node_msg_rate;
+                self.push(self.now.after(svc), Ev::NicService(node as u32));
+            }
+        }
+    }
+
+    fn nic_service(&mut self, node: u32) {
+        let Some(m) = self.nic_queue[node as usize].pop_front() else {
+            self.nic_busy[node as usize] = false;
+            return;
+        };
+        // Start the wire flow for this message.
+        let src_node = self.cfg.map.node_of(self.msgs[m].src);
+        let dst_node = self.cfg.map.node_of(self.msgs[m].dst);
+        let mut claims = vec![
+            self.res_proc_tx[self.msgs[m].src.index()],
+            self.res_proc_rx[self.msgs[m].dst.index()],
+            self.res_tx[src_node.index()],
+            self.res_rx[dst_node.index()],
+        ];
+        let src_leaf = self.cfg.tree.leaf_of(src_node).expect("valid node");
+        let dst_leaf = self.cfg.tree.leaf_of(dst_node).expect("valid node");
+        if src_leaf != dst_leaf {
+            claims.push(self.res_leaf_up[src_leaf.index()]);
+            claims.push(self.res_leaf_down[dst_leaf.index()]);
+        }
+        let bytes = self.msgs[m].range.len() as f64;
+        let cap = self.cfg.fabric.nic.per_flow_bw;
+        let fid = self.fluid.add_flow(claims, cap, bytes, FlowToken::Net(m));
+        self.flow_of_msg.insert(m, fid);
+        // Keep serving the queue.
+        if self.nic_queue[node as usize].is_empty() {
+            self.nic_busy[node as usize] = false;
+        } else {
+            let svc = 1.0 / self.cfg.fabric.nic.node_msg_rate;
+            self.push(self.now.after(svc), Ev::NicService(node));
+        }
+    }
+
+    fn exec_irecv(&mut self, r: u32, from: Rank, tag: Tag, dst: BufKey) -> Result<(), SimError> {
+        let req_idx = self.ranks[r as usize].reqs.len() as u32;
+        self.ranks[r as usize].reqs.push(ReqState::RecvPending { dst });
+        let key = (r, from.0, tag);
+        if let Some(q) = self.arrived.get_mut(&key) {
+            if let Some(m) = q.pop_front() {
+                if q.is_empty() {
+                    self.arrived.remove(&key);
+                }
+                self.deliver(m, r, req_idx);
+                return Ok(());
+            }
+        }
+        self.recv_waiting.entry(key).or_default().push_back((r, req_idx));
+        Ok(())
+    }
+
+    fn deliver(&mut self, m: usize, r: u32, req_idx: u32) {
+        let (dst, range, payload) = {
+            let msg = &self.msgs[m];
+            let dst = match &self.ranks[r as usize].reqs[req_idx as usize] {
+                ReqState::RecvPending { dst } => *dst,
+                other => panic!("delivering to non-recv request {other:?}"),
+            };
+            (dst, msg.range, msg.payload.clone())
+        };
+        self.buf_apply(r, dst, range, &payload, &ApplyKind::Overwrite);
+        self.ranks[r as usize].reqs[req_idx as usize] = ReqState::Done;
+        self.maybe_unblock_wait(r);
+    }
+
+    fn maybe_unblock_wait(&mut self, r: u32) {
+        if self.ranks[r as usize].status != Status::OnWait {
+            return;
+        }
+        let ok = self.ranks[r as usize]
+            .waiting
+            .iter()
+            .all(|q| self.ranks[r as usize].reqs[q.0 as usize] == ReqState::Done);
+        if ok {
+            self.ranks[r as usize].waiting.clear();
+            self.ranks[r as usize].status = Status::Ready;
+            self.push(self.now, Ev::Resume(r));
+        }
+    }
+
+    fn msg_arrive(&mut self, m: usize) -> Result<(), SimError> {
+        if let Some(trace) = self.trace.as_mut() {
+            let msg = &self.msgs[m];
+            trace.messages.push(MsgTrace {
+                src: msg.src.0,
+                dst: msg.dst.0,
+                bytes: msg.range.len(),
+                injected: msg.injected_at.unwrap_or(SimTime::ZERO).seconds(),
+                delivered: self.now.seconds(),
+                intra_node: msg.intra,
+            });
+        }
+        // Rendezvous send completes on delivery-side arrival.
+        let (sr, sreq) = self.msgs[m].send_req;
+        if !self.msgs[m].eager && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending {
+            self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
+            self.maybe_unblock_wait(sr);
+        }
+        let key = (self.msgs[m].dst.0, self.msgs[m].src.0, self.msgs[m].tag);
+        if let Some(q) = self.recv_waiting.get_mut(&key) {
+            if let Some((r, req_idx)) = q.pop_front() {
+                if q.is_empty() {
+                    self.recv_waiting.remove(&key);
+                }
+                self.deliver(m, r, req_idx);
+                return Ok(());
+            }
+        }
+        self.arrived.entry(key).or_default().push_back(m);
+        Ok(())
+    }
+
+    // ---- local copy / reduce -------------------------------------------------
+
+    fn local_start(&mut self, r: u32) {
+        let pending = self.ranks[r as usize].pending_local.take().expect("pending local op");
+        let node = self.cfg.map.node_of(Rank(r)).index();
+        let (payload, kind, bytes, cap) = match pending.kind {
+            LocalKind::Copy { src, cross_socket } => {
+                let p = self.buf_snapshot(r, src, pending.range);
+                let cap = self.cfg.fabric.mem.copy_bw(cross_socket);
+                (p, ApplyKind::Overwrite, pending.range.len() as f64, cap)
+            }
+            LocalKind::Reduce { srcs } => {
+                let mut acc = CoverageMap::empty();
+                for s in &srcs {
+                    let p = self.buf_snapshot(r, *s, pending.range);
+                    acc.union_merge(&p, pending.range.start, pending.range.end);
+                }
+                let passes = srcs.len() as f64;
+                let cap = self.cfg.fabric.compute.per_core_reduce_bw;
+                (acc, ApplyKind::Union, pending.range.len() as f64 * passes, cap)
+            }
+        };
+        self.ranks[r as usize].pending_apply = Some((pending.dst, pending.range, payload, kind));
+        let fid = self.fluid.add_flow(vec![self.res_mem[node]], cap, bytes, FlowToken::Local(r));
+        self.flow_of_rank.insert(r, fid);
+    }
+
+    // ---- flow completion -------------------------------------------------------
+
+    fn flow_wake(&mut self) -> Result<(), SimError> {
+        self.fluid.advance_to(self.now);
+        let drained = self.fluid.drained_flows();
+        for fid in drained {
+            let Some(token) = self.fluid.remove_flow(fid) else { continue };
+            match token {
+                FlowToken::Net(m) => {
+                    self.flow_of_msg.remove(&m);
+                    let lat = if self.msgs[m].intra {
+                        0.0
+                    } else {
+                        self.cfg.fabric.nic.latency_for_hops(self.msgs[m].hops)
+                    };
+                    self.push(self.now.after(lat), Ev::MsgArrive(m));
+                }
+                FlowToken::Local(r) => {
+                    self.flow_of_rank.remove(&r);
+                    let (dst, range, payload, kind) =
+                        self.ranks[r as usize].pending_apply.take().expect("pending apply");
+                    self.buf_apply(r, dst, range, &payload, &kind);
+                    self.push(self.now, Ev::Resume(r));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- barriers ------------------------------------------------------------
+
+    fn exec_barrier(&mut self, r: u32, id: u32) -> Result<(), SimError> {
+        let members = self
+            .world
+            .barriers
+            .get(&id)
+            .ok_or(SimError::UnknownGroup("barrier", id))?;
+        let total = members.len() as u32;
+        let st = self.barriers.entry(id).or_insert(BarrierState { arrived: 0, released: false });
+        assert!(!st.released, "barrier {id} reused after release");
+        st.arrived += 1;
+        self.ranks[r as usize].status = Status::OnBarrier;
+        if st.arrived == total {
+            st.released = true;
+            // Dissemination-style cost: lg(members) cache-line rounds.
+            let rounds = if total <= 1 { 0 } else { (total - 1).ilog2() + 1 };
+            let cost = self.cfg.fabric.mem.copy_latency * rounds as f64;
+            let members = members.clone();
+            for m in members {
+                self.push(self.now.after(cost), Ev::Resume(m.0));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- SHArP -----------------------------------------------------------------
+
+    fn exec_sharp(
+        &mut self,
+        r: u32,
+        group: u32,
+        src: BufKey,
+        dst: BufKey,
+        range: ByteRange,
+        req: Option<u32>,
+    ) -> Result<(), SimError> {
+        if self.oracle.is_none() {
+            return Err(SimError::NoSharpOracle);
+        }
+        let members = self
+            .world
+            .sharp_groups
+            .get(&group)
+            .ok_or(SimError::UnknownGroup("sharp group", group))?;
+        let total = members.len() as u32;
+        let op_idx = match self.sharp_op_of_group.get(&group) {
+            Some(&i) if !self.sharp_ops[i].done => i,
+            _ => {
+                let i = self.sharp_ops.len();
+                self.sharp_ops.push(SharpOpState {
+                    group,
+                    arrived: 0,
+                    accum: CoverageMap::empty(),
+                    range: None,
+                    dsts: Vec::new(),
+                    started: false,
+                    done: false,
+                });
+                self.sharp_op_of_group.insert(group, i);
+                i
+            }
+        };
+        let payload = self.buf_snapshot(r, src, range);
+        let op = &mut self.sharp_ops[op_idx];
+        assert!(!op.started, "sharp group {group} joined after start");
+        if let Some(prev) = op.range {
+            assert_eq!(prev, range, "sharp group {group} members disagree on range");
+        }
+        op.range = Some(range);
+        op.accum.union_merge(&payload, range.start, range.end);
+        op.dsts.push((Rank(r), dst, req));
+        op.arrived += 1;
+        if req.is_none() {
+            self.ranks[r as usize].status = Status::OnSharp;
+        }
+        if op.arrived == total {
+            self.sharp_queue.push_back(op_idx);
+            self.try_start_sharp();
+        }
+        Ok(())
+    }
+
+    fn try_start_sharp(&mut self) {
+        let oracle = self.oracle.expect("oracle checked at exec");
+        while self.sharp_active < oracle.max_concurrent_ops() {
+            let Some(op_idx) = self.sharp_queue.pop_front() else { return };
+            let (group, bytes) = {
+                let op = &mut self.sharp_ops[op_idx];
+                op.started = true;
+                (op.group, op.range.map(|r| r.len()).unwrap_or(0))
+            };
+            let members = &self.world.sharp_groups[&group];
+            let dur = oracle.op_time(members, bytes);
+            self.sharp_active += 1;
+            self.push(self.now.after(dur), Ev::SharpDone(op_idx));
+        }
+    }
+
+    fn sharp_done(&mut self, op_idx: usize) -> Result<(), SimError> {
+        let (accum, range, dsts) = {
+            let op = &mut self.sharp_ops[op_idx];
+            op.done = true;
+            (op.accum.clone(), op.range.expect("range set"), std::mem::take(&mut op.dsts))
+        };
+        for (rank, dst, req) in dsts {
+            self.buf_apply(rank.0, dst, range, &accum, &ApplyKind::Overwrite);
+            match req {
+                None => self.push(self.now, Ev::Resume(rank.0)),
+                Some(idx) => {
+                    self.ranks[rank.index()].reqs[idx as usize] = ReqState::Done;
+                    self.maybe_unblock_wait(rank.0);
+                }
+            }
+        }
+        self.sharp_active -= 1;
+        self.stats.sharp_ops += 1;
+        self.try_start_sharp();
+        Ok(())
+    }
+
+    // ---- reporting --------------------------------------------------------------
+
+    fn report(&mut self, world: &WorldProgram) -> RunReport {
+        let result_key = match BUF_RESULT {
+            BufKey::Priv(id) => id,
+            _ => unreachable!(),
+        };
+        RunReport {
+            finish_times: self.ranks.iter().map(|r| r.finish.expect("finished")).collect(),
+            result_coverage: self
+                .ranks
+                .iter()
+                .map(|r| r.bufs.get(&result_key).cloned().unwrap_or_default())
+                .collect(),
+            vector_bytes: world.vector_bytes,
+            stats: self.stats,
+            trace: self.trace.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{WorldProgram, BUF_INPUT, BUF_RESULT};
+    use dpml_fabric::presets::cluster_b;
+    use dpml_topology::{ClusterSpec, RankMap};
+
+    fn config(nodes: u32, ppn: u32) -> SimConfig {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        SimConfig::new(RankMap::block(&spec), preset.fabric, preset.switch)
+    }
+
+    /// Two ranks on different nodes exchange their vectors and reduce.
+    #[test]
+    fn two_rank_exchange_and_reduce() {
+        let cfg = config(2, 1);
+        let n = 1 << 20;
+        let mut w = WorldProgram::new(2, n);
+        for r in 0..2u32 {
+            let peer = Rank(1 - r);
+            let p = w.rank(Rank(r));
+            let tmp = BufKey::Priv(2);
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            p.sendrecv(peer, 0, BUF_INPUT, ByteRange::whole(n), tmp);
+            p.reduce(vec![tmp], BUF_RESULT, ByteRange::whole(n));
+        }
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        // Sanity: ~1MB at 3GB/s per flow plus overheads → a few hundred us.
+        let us = rep.latency_us();
+        assert!(us > 300.0 && us < 3000.0, "latency {us}us");
+        assert_eq!(rep.stats.inter_node_messages, 2);
+    }
+
+    #[test]
+    fn missing_recv_deadlocks() {
+        let cfg = config(2, 1);
+        let mut w = WorldProgram::new(2, 1024);
+        // Rank 0 waits for a message nobody sends.
+        w.rank(Rank(0)).recv(Rank(1), 0, BUF_RESULT);
+        let err = Simulator::new(&cfg).run(&w).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn message_order_is_fifo_per_tag() {
+        let cfg = config(2, 1);
+        let n = 100;
+        let mut w = WorldProgram::new(2, n);
+        // Rank 0 sends [0,50) then [50,100); rank 1 receives into result.
+        let p0 = w.rank(Rank(0));
+        p0.send(Rank(1), 7, BUF_INPUT, ByteRange::new(0, 50));
+        p0.send(Rank(1), 7, BUF_INPUT, ByteRange::new(50, 100));
+        let p1 = w.rank(Rank(1));
+        p1.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+        p1.recv(Rank(0), 7, BufKey::Priv(2));
+        p1.recv(Rank(0), 7, BufKey::Priv(2));
+        p1.reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        // Rank 1's scratch got both halves; result = {0,1} over second half
+        // only if both recvs landed in order without clobbering... the
+        // second recv overwrites [50,100) only. Verify via coverage of the
+        // scratch-reduced result: rank 1 holds {0,1} everywhere.
+        let full = crate::coverage::RankSet::full(2);
+        assert!(rep.result_coverage[1].covers_exactly(0, n, &full));
+    }
+
+    #[test]
+    fn intra_node_messages_bypass_nic() {
+        let cfg = config(1, 2);
+        let n = 1 << 16;
+        let mut w = WorldProgram::new(2, n);
+        for r in 0..2u32 {
+            let peer = Rank(1 - r);
+            let p = w.rank(Rank(r));
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            p.sendrecv(peer, 0, BUF_INPUT, ByteRange::whole(n), BufKey::Priv(2));
+            p.reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        }
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        assert_eq!(rep.stats.inter_node_messages, 0);
+        assert_eq!(rep.stats.messages, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_node() {
+        let cfg = config(1, 4);
+        let mut w = WorldProgram::new(4, 64);
+        w.register_barrier(0, (0..4).map(Rank).collect());
+        for r in 0..4u32 {
+            let p = w.rank(Rank(r));
+            if r == 0 {
+                p.compute(1e-3); // slow rank
+            }
+            p.barrier(0);
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(64), false);
+        }
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        // Everyone finishes after rank 0's 1ms compute.
+        for t in &rep.finish_times {
+            assert!(t.seconds() >= 1e-3);
+        }
+    }
+
+    #[test]
+    fn unknown_barrier_errors() {
+        let cfg = config(1, 2);
+        let mut w = WorldProgram::new(2, 64);
+        w.rank(Rank(0)).barrier(99);
+        let err = Simulator::new(&cfg).run(&w).unwrap_err();
+        assert_eq!(err, SimError::UnknownGroup("barrier", 99));
+    }
+
+    #[test]
+    fn sharp_without_oracle_errors() {
+        let cfg = config(2, 1);
+        let mut w = WorldProgram::new(2, 64);
+        w.register_sharp_group(0, vec![Rank(0), Rank(1)]);
+        for r in 0..2u32 {
+            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(64));
+        }
+        let err = Simulator::new(&cfg).run(&w).unwrap_err();
+        assert_eq!(err, SimError::NoSharpOracle);
+    }
+
+    struct FixedOracle(f64, u32);
+    impl SharpOracle for FixedOracle {
+        fn op_time(&self, _members: &[Rank], _bytes: u64) -> f64 {
+            self.0
+        }
+        fn max_concurrent_ops(&self) -> u32 {
+            self.1
+        }
+    }
+
+    #[test]
+    fn sharp_reduces_group() {
+        let cfg = config(4, 1);
+        let n = 256;
+        let mut w = WorldProgram::new(4, n);
+        w.register_sharp_group(0, (0..4).map(Rank).collect());
+        for r in 0..4u32 {
+            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+        }
+        let oracle = FixedOracle(5e-6, 2);
+        let rep = Simulator::new(&cfg).with_sharp(&oracle).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        assert_eq!(rep.stats.sharp_ops, 1);
+        assert!(rep.latency_us() >= 5.0);
+    }
+
+    #[test]
+    fn sharp_concurrency_limit_queues_ops() {
+        // Two groups, limit 1 → ops serialize: makespan ≈ 2 * op_time.
+        let cfg = config(4, 1);
+        let n = 128;
+        let mut w = WorldProgram::new(4, n);
+        w.register_sharp_group(0, vec![Rank(0), Rank(1)]);
+        w.register_sharp_group(1, vec![Rank(2), Rank(3)]);
+        for r in 0..2u32 {
+            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+        }
+        for r in 2..4u32 {
+            w.rank(Rank(r)).sharp(1, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+        }
+        let serial = FixedOracle(10e-6, 1);
+        let rep1 = Simulator::new(&cfg).with_sharp(&serial).run(&w).unwrap();
+        let parallel = FixedOracle(10e-6, 2);
+        let rep2 = Simulator::new(&cfg).with_sharp(&parallel).run(&w).unwrap();
+        assert!(rep1.latency_us() >= 20.0, "serialized: {}", rep1.latency_us());
+        assert!(rep2.latency_us() < 20.0, "parallel: {}", rep2.latency_us());
+    }
+
+    #[test]
+    fn concurrent_flows_share_nic_fairly() {
+        // 4 pairs inter-node (senders node 0, receivers node 1), large
+        // messages: aggregate limited by node_bw = 12 GB/s; each flow capped
+        // at 3 GB/s → 4 pairs ≈ 4x one pair's throughput (Fig 1(b)).
+        let n = 4 << 20;
+        let one = run_pairs(1, n);
+        let four = run_pairs(4, n);
+        // Relative throughput = (4 pairs' aggregate rate) / (1 pair's rate).
+        let rel = 4.0 * one / four;
+        assert!(rel > 3.3 && rel < 4.3, "relative throughput {rel}");
+    }
+
+    fn run_pairs(pairs: u32, n: u64) -> f64 {
+        let cfg = config(2, pairs.max(1));
+        let mut w = WorldProgram::new(2 * pairs, n);
+        let map = &cfg.map;
+        for i in 0..pairs {
+            // sender on node 0 = rank i; receiver on node 1 = rank pairs + i
+            let s = map.rank_at(dpml_topology::NodeId(0), dpml_topology::LocalRank(i));
+            let d = map.rank_at(dpml_topology::NodeId(1), dpml_topology::LocalRank(i));
+            w.rank(s).send(d, i, BUF_INPUT, ByteRange::whole(n));
+            w.rank(d).recv(s, i, BufKey::Priv(2));
+        }
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.makespan().seconds()
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let cfg = config(2, 1);
+        let n = 64;
+        let mut w = WorldProgram::new(2, n);
+        for i in 0..100u32 {
+            w.rank(Rank(0)).send(Rank(1), i, BUF_INPUT, ByteRange::whole(n));
+            w.rank(Rank(1)).recv(Rank(0), i, BufKey::Priv(2));
+        }
+        let err = Simulator::new(&cfg).with_event_budget(10).run(&w).unwrap_err();
+        assert_eq!(err, SimError::EventBudgetExceeded(10));
+    }
+
+    /// Regression test for the recompute-quantization infinite loop:
+    /// events denser than the 25ns quantum (here: a long chain of tiny
+    /// eager sends whose NIC injections stagger at 1/node_msg_rate) must
+    /// complete with a bounded event count, not re-defer a RecomputePoint
+    /// at its own timestamp forever.
+    #[test]
+    fn dense_event_chains_terminate_with_bounded_events() {
+        let cfg = config(2, 4);
+        let n = 64u64;
+        let mut w = WorldProgram::new(8, n);
+        for i in 0..200u32 {
+            let s = Rank(i % 4);
+            let d = Rank(4 + (i % 4));
+            let sr = w.rank(s).isend(d, i, BUF_INPUT, ByteRange::whole(n));
+            w.rank(s).wait_all(vec![sr]);
+            let dr = w.rank(d).irecv(s, i, BufKey::Priv(2));
+            w.rank(d).wait_all(vec![dr]);
+        }
+        let rep = Simulator::new(&cfg).with_event_budget(2_000_000).run(&w).unwrap();
+        assert!(rep.stats.events < 100_000, "events {}", rep.stats.events);
+        assert_eq!(rep.stats.messages, 200);
+    }
+
+    /// The quantization window may delay a flow's start by at most 25ns;
+    /// latencies must not shift by more than a handful of windows.
+    #[test]
+    fn quantization_error_is_bounded() {
+        let cfg = config(2, 1);
+        let n = 1u64 << 16;
+        let mut w = WorldProgram::new(2, n);
+        w.rank(Rank(0)).send(Rank(1), 0, BUF_INPUT, ByteRange::whole(n));
+        w.rank(Rank(1)).recv(Rank(0), 0, BufKey::Priv(2));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        // Analytic: overhead + nic service + transfer + latency.
+        let nic = &cfg.fabric.nic;
+        let expect = nic.proc_overhead
+            + 1.0 / nic.node_msg_rate
+            + n as f64 / nic.per_flow_bw
+            + nic.latency_for_hops(cfg.tree.hop_count(dpml_topology::NodeId(0), dpml_topology::NodeId(1)).unwrap());
+        let got = rep.makespan().seconds();
+        assert!(
+            (got - expect).abs() <= 100e-9,
+            "expected {expect}s within 100ns, got {got}s"
+        );
+    }
+
+    #[test]
+    fn trace_captures_phases_and_messages() {
+        let cfg = config(2, 2);
+        let n = 1u64 << 14;
+        let mut w = WorldProgram::new(4, n);
+        w.register_barrier(0, vec![Rank(0), Rank(1)]);
+        w.register_barrier(1, vec![Rank(2), Rank(3)]);
+        for r in 0..4u32 {
+            let p = w.rank(Rank(r));
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            p.compute(2e-6);
+            p.barrier(r / 2);
+        }
+        // One inter-node exchange between the node leaders.
+        w.rank(Rank(0)).sendrecv(Rank(2), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
+        w.rank(Rank(2)).sendrecv(Rank(0), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
+        w.rank(Rank(0)).reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        w.rank(Rank(2)).reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+
+        let rep = Simulator::new(&cfg).with_trace().run(&w).unwrap();
+        let trace = rep.trace.as_ref().expect("trace requested");
+        use crate::trace::SpanKind;
+        assert!(trace.total_time(SpanKind::Copy) > 0.0);
+        assert!((trace.total_time(SpanKind::Compute) - 4.0 * 2e-6).abs() < 1e-12);
+        assert!(trace.total_time(SpanKind::Barrier) > 0.0);
+        assert_eq!(trace.messages.len(), 2);
+        assert!(trace.messages.iter().all(|m| m.delivered > m.injected && !m.intra_node));
+        // Spans nest within the makespan.
+        for sp in &trace.spans {
+            assert!(sp.end <= rep.makespan().seconds() + 1e-15);
+            assert!(sp.start <= sp.end);
+        }
+        // Chrome export parses.
+        let json = trace.to_chrome_json();
+        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+        // Untraced runs carry no trace and identical timing.
+        let rep2 = Simulator::new(&cfg).run(&w).unwrap();
+        assert!(rep2.trace.is_none());
+        assert_eq!(rep2.makespan(), rep.makespan());
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let n = 1 << 18;
+        let mk = || {
+            let cfg = config(4, 4);
+            let mut w = WorldProgram::new(16, n);
+            // Ring exchange.
+            for r in 0..16u32 {
+                let next = Rank((r + 1) % 16);
+                let prev = Rank((r + 15) % 16);
+                let p = w.rank(Rank(r));
+                p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+                let s = p.isend(next, 0, BUF_INPUT, ByteRange::whole(n));
+                let q = p.irecv(prev, 0, BufKey::Priv(2));
+                p.wait_all(vec![s, q]);
+                p.reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+            }
+            Simulator::new(&cfg).run(&w).unwrap().makespan().seconds()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual time: a totally ordered, non-NaN wrapper over `f64` seconds.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// Construction rejects NaN so that `Ord` is total; the event queue relies
+/// on this.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wrap a seconds value. Panics on NaN or negative time.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "SimTime cannot be NaN");
+        assert!(seconds >= 0.0, "SimTime cannot be negative: {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start (the unit of the paper's plots).
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Saturating advance by `dt` seconds (dt must be finite, >= 0).
+    #[inline]
+    pub fn after(self, dt: f64) -> Self {
+        debug_assert!(dt >= 0.0 && dt.is_finite(), "bad dt {dt}");
+        SimTime(self.0 + dt)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 < 1e-3 {
+            write!(f, "{:.3}us", self.micros())
+        } else if self.0 < 1.0 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.6}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.max(a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5e-6) + 0.5e-6;
+        assert!((t.micros() - 2.0).abs() < 1e-9);
+        assert!((t - SimTime::new(1.0e-6) - 1.0e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::new(2.5e-6)), "2.500us");
+        assert_eq!(format!("{}", SimTime::new(2.5e-3)), "2.500ms");
+        assert_eq!(format!("{}", SimTime::new(2.5)), "2.500000s");
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution timelines: what every rank was doing, when.
+//!
+//! Enable with [`crate::Simulator::with_trace`]; the report then carries a
+//! [`Trace`] with one span per completed operation (copies, reductions,
+//! compute, blocking waits, SHArP ops) and one per message (injection →
+//! delivery). Export to the Chrome tracing format
+//! (`chrome://tracing` / Perfetto) with [`Trace::to_chrome_json`] to see
+//! DPML's four phases laid out across ranks.
+
+use serde::{Deserialize, Serialize};
+
+/// What a span was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Sender-side injection of a message (overhead + shm copy-in).
+    SendInject,
+    /// Shared-memory copy.
+    Copy,
+    /// Local reduction.
+    Reduce,
+    /// Application compute.
+    Compute,
+    /// Blocked in a wait (recv/send completion).
+    Wait,
+    /// Blocked in a barrier.
+    Barrier,
+    /// Blocked in a (blocking) SHArP operation.
+    Sharp,
+}
+
+impl SpanKind {
+    /// Display name for trace viewers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::SendInject => "send",
+            SpanKind::Copy => "copy",
+            SpanKind::Reduce => "reduce",
+            SpanKind::Compute => "compute",
+            SpanKind::Wait => "wait",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Sharp => "sharp",
+        }
+    }
+}
+
+/// One operation span on one rank's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Rank the span belongs to.
+    pub rank: u32,
+    /// Operation kind.
+    pub kind: SpanKind,
+    /// Start, seconds of virtual time.
+    pub start: f64,
+    /// End, seconds of virtual time.
+    pub end: f64,
+    /// Bytes involved (0 for compute/waits).
+    pub bytes: u64,
+}
+
+/// One message's life: injection at the sender to delivery at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MsgTrace {
+    /// Sender rank.
+    pub src: u32,
+    /// Receiver rank.
+    pub dst: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Injection time, seconds.
+    pub injected: f64,
+    /// Delivery time, seconds.
+    pub delivered: f64,
+    /// True for intra-node (shared-memory) transfers.
+    pub intra_node: bool,
+}
+
+/// A complete execution timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-rank operation spans, in completion order.
+    pub spans: Vec<Span>,
+    /// Message lifetimes, in delivery order.
+    pub messages: Vec<MsgTrace>,
+}
+
+impl Trace {
+    /// Total time attributed to a kind across all ranks, seconds.
+    pub fn total_time(&self, kind: SpanKind) -> f64 {
+        self.spans.iter().filter(|s| s.kind == kind).map(|s| s.end - s.start).sum()
+    }
+
+    /// Spans of one rank, in start order.
+    pub fn rank_timeline(&self, rank: u32) -> Vec<Span> {
+        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.rank == rank).collect();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Export as Chrome tracing JSON (load in `chrome://tracing` or
+    /// Perfetto; one "thread" per rank, microsecond timestamps).
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            events.push(serde_json::json!({
+                "ph": "X",
+                "name": s.kind.name(),
+                "pid": 0,
+                "tid": s.rank,
+                "ts": s.start * 1e6,
+                "dur": (s.end - s.start) * 1e6,
+                "args": { "bytes": s.bytes },
+            }));
+        }
+        for (i, m) in self.messages.iter().enumerate() {
+            // Flow events: arrow from sender to receiver.
+            events.push(serde_json::json!({
+                "ph": "s", "id": i, "name": "msg", "cat": "msg",
+                "pid": 0, "tid": m.src, "ts": m.injected * 1e6,
+            }));
+            events.push(serde_json::json!({
+                "ph": "f", "id": i, "name": "msg", "cat": "msg", "bp": "e",
+                "pid": 0, "tid": m.dst, "ts": m.delivered * 1e6,
+            }));
+        }
+        serde_json::json!({ "traceEvents": events }).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                Span { rank: 0, kind: SpanKind::Copy, start: 0.0, end: 1e-6, bytes: 100 },
+                Span { rank: 0, kind: SpanKind::Reduce, start: 1e-6, end: 3e-6, bytes: 200 },
+                Span { rank: 1, kind: SpanKind::Copy, start: 0.0, end: 2e-6, bytes: 100 },
+            ],
+            messages: vec![MsgTrace {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                injected: 1e-6,
+                delivered: 2e-6,
+                intra_node: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let t = sample();
+        assert!((t.total_time(SpanKind::Copy) - 3e-6).abs() < 1e-18);
+        assert!((t.total_time(SpanKind::Reduce) - 2e-6).abs() < 1e-18);
+        assert_eq!(t.total_time(SpanKind::Compute), 0.0);
+    }
+
+    #[test]
+    fn rank_timeline_is_sorted_and_filtered() {
+        let t = sample();
+        let tl = t.rank_timeline(0);
+        assert_eq!(tl.len(), 2);
+        assert!(tl[0].start <= tl[1].start);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let json = sample().to_chrome_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 3 + 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! CPU reduction-throughput model.
+//!
+//! The reduction kernel (`MPI_SUM` over floats in the paper's experiments)
+//! streams two operand vectors and writes one result, so its throughput is
+//! bounded both by per-core arithmetic/load-store capability and — when many
+//! leaders reduce concurrently — by the node memory bus (shared with copies
+//! in `MemoryModel`). A single Xeon core reduces a few GB/s; a single KNL
+//! core is several times slower, which is exactly why distributing the
+//! `ppn - 1` reductions across `l` leaders (DPML phase 2) matters most on
+//! many-core machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core compute speed parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Sustained single-core reduction throughput, bytes/second of *input
+    /// combined* (i.e. one `+=` pass over `n` bytes costs `n / reduce_bw`).
+    /// This is `1/c` in the paper's cost model.
+    pub per_core_reduce_bw: f64,
+    /// Fixed per-invocation overhead of a reduction kernel call, seconds.
+    pub reduce_latency: f64,
+}
+
+impl ComputeModel {
+    /// Sanity-check parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.per_core_reduce_bw <= 0.0 {
+            return Err("per_core_reduce_bw must be positive".into());
+        }
+        if self.reduce_latency < 0.0 {
+            return Err("reduce_latency must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Time for one core to fold `passes` operand vectors of `bytes` bytes
+    /// into an accumulator (`passes = ppn - 1` for a full local reduction).
+    pub fn reduce_time(&self, bytes: u64, passes: u32) -> f64 {
+        if passes == 0 {
+            return 0.0;
+        }
+        self.reduce_latency + passes as f64 * bytes as f64 / self.per_core_reduce_bw
+    }
+
+    /// The per-byte reduction cost `c` of the paper's Table 1.
+    #[inline]
+    pub fn cost_per_byte(&self) -> f64 {
+        1.0 / self.per_core_reduce_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> ComputeModel {
+        ComputeModel { per_core_reduce_bw: 3.0e9, reduce_latency: 50e-9 }
+    }
+
+    #[test]
+    fn validates() {
+        assert!(xeon().validate().is_ok());
+        let bad = ComputeModel { per_core_reduce_bw: 0.0, reduce_latency: 0.0 };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn zero_passes_is_free() {
+        assert_eq!(xeon().reduce_time(1 << 20, 0), 0.0);
+    }
+
+    #[test]
+    fn reduce_time_linear_in_passes() {
+        let c = xeon();
+        let t1 = c.reduce_time(3_000_000, 1);
+        let t27 = c.reduce_time(3_000_000, 27);
+        // 27 passes ≈ 27x the streaming time (latency amortized once).
+        assert!((t27 - 50e-9) / (t1 - 50e-9) - 27.0 < 1e-9);
+    }
+
+    #[test]
+    fn cost_per_byte_inverts_bandwidth() {
+        assert!((xeon().cost_per_byte() - 1.0 / 3.0e9).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,146 @@
+//! NIC and wire model.
+//!
+//! A point-to-point message of `n` bytes from a process on node S to a
+//! process on node R experiences, under this model:
+//!
+//! 1. **Injection overhead** `proc_overhead` on the sending core (serialized
+//!    per process — this is LogGP's `o` and bounds the per-process message
+//!    rate at `1 / proc_overhead`).
+//! 2. **NIC message processing**: each NIC serializes message *starts*
+//!    through a server with rate `node_msg_rate` (aggregate across all local
+//!    processes). For small messages this is the resource whose saturation
+//!    ends Zone A of the paper's Figure 1(c).
+//! 3. **Fluid transfer**: the payload drains at a rate that is max-min
+//!    fair-shared over (a) the sender NIC's `node_bw`, (b) the receiver
+//!    NIC's `node_bw`, subject to the per-flow ceiling `per_flow_bw`
+//!    (a single process/QP cannot always drive the full link — true on IB
+//!    where DPML's concurrent leaders win even at large sizes, nearly false
+//!    on Omni-Path where Zone C is flat).
+//! 4. **Wire latency**: `base_latency + hops * per_hop_latency`.
+
+use serde::{Deserialize, Serialize};
+
+/// Network interface + wire speed parameters (per direction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicModel {
+    /// End-to-end 0-byte latency floor between adjacent nodes, seconds.
+    pub base_latency: f64,
+    /// Additional latency per switch hop, seconds.
+    pub per_hop_latency: f64,
+    /// Per-message CPU injection overhead on the sending process, seconds.
+    pub proc_overhead: f64,
+    /// Maximum sustained bandwidth of a single flow (one sender process to
+    /// one receiver process), bytes/second.
+    pub per_flow_bw: f64,
+    /// Aggregate NIC bandwidth per node per direction, bytes/second.
+    pub node_bw: f64,
+    /// Aggregate NIC message rate per node, messages/second.
+    pub node_msg_rate: f64,
+    /// Eager/rendezvous switch-over size, bytes. Messages at or below this
+    /// size complete at the sender as soon as they are injected; larger
+    /// messages hold the sender until the transfer drains (rendezvous).
+    pub eager_threshold: u64,
+}
+
+impl NicModel {
+    /// Sanity-check parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_latency < 0.0 || self.per_hop_latency < 0.0 || self.proc_overhead < 0.0 {
+            return Err("latencies must be non-negative".into());
+        }
+        if self.per_flow_bw <= 0.0 || self.node_bw <= 0.0 || self.node_msg_rate <= 0.0 {
+            return Err("bandwidths and message rate must be positive".into());
+        }
+        if self.per_flow_bw > self.node_bw + 1e-9 {
+            return Err("per_flow_bw cannot exceed node_bw".into());
+        }
+        Ok(())
+    }
+
+    /// Wire latency for a path with `hops` switch hops.
+    #[inline]
+    pub fn latency_for_hops(&self, hops: u32) -> f64 {
+        self.base_latency + self.per_hop_latency * hops as f64
+    }
+
+    /// Uncontended transfer time for an `n`-byte message over `hops` hops
+    /// (closed form, used by analytic checks; the engine computes the same
+    /// thing dynamically with contention).
+    pub fn isolated_transfer_time(&self, bytes: u64, hops: u32) -> f64 {
+        self.proc_overhead + self.latency_for_hops(hops) + bytes as f64 / self.per_flow_bw
+    }
+
+    /// The message size at which a single flow transitions from being
+    /// message-rate-bound to bandwidth-bound (the Zone A → Zone B edge for
+    /// one process): below this size the per-message overhead dominates.
+    pub fn zone_a_edge(&self) -> f64 {
+        self.proc_overhead * self.per_flow_bw
+    }
+
+    /// The number of concurrent flows beyond which the aggregate NIC
+    /// bandwidth, not the per-flow cap, limits throughput (the Zone C
+    /// saturation point — ~1 for Omni-Path, ~4 for EDR IB under our
+    /// calibration).
+    pub fn bw_saturation_flows(&self) -> f64 {
+        self.node_bw / self.per_flow_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> NicModel {
+        NicModel {
+            base_latency: 1.0e-6,
+            per_hop_latency: 100e-9,
+            proc_overhead: 0.4e-6,
+            per_flow_bw: 3.0e9,
+            node_bw: 12.0e9,
+            node_msg_rate: 150e6,
+            eager_threshold: 8192,
+        }
+    }
+
+    #[test]
+    fn validates_good_params() {
+        assert!(nic().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_flow_exceeding_node_bw() {
+        let mut n = nic();
+        n.per_flow_bw = 13e9;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_latency() {
+        let mut n = nic();
+        n.base_latency = -1.0;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let n = nic();
+        assert!((n.latency_for_hops(0) - 1.0e-6).abs() < 1e-15);
+        assert!((n.latency_for_hops(4) - 1.4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn isolated_transfer_time_monotone_in_size() {
+        let n = nic();
+        let t1 = n.isolated_transfer_time(1024, 2);
+        let t2 = n.isolated_transfer_time(1 << 20, 2);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn zone_edges_are_sensible() {
+        let n = nic();
+        // 0.4us * 3 GB/s = 1200 bytes: small messages are overhead-bound.
+        assert!((n.zone_a_edge() - 1200.0).abs() < 1.0);
+        assert!((n.bw_saturation_flows() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Parameters of the in-network aggregation (SHArP) capability.
+//!
+//! SHArP (Graham et al., COM-HPC'16; paper Section 2.2) performs reductions
+//! *inside the switch ASICs* as data moves up a reduction tree, so a
+//! small-message allreduce costs roughly one tree traversal up plus a
+//! multicast down, instead of `lg p` host round trips. Two properties shape
+//! the paper's designs and are modeled here:
+//!
+//! * aggregation is fast but the payload per operation is limited, and the
+//!   switch supports only a **small number of concurrent operations and
+//!   groups** — which is why the paper uses one (node-level) or two
+//!   (socket-level) SHArP processes per node rather than every DPML leader;
+//! * large messages gain nothing (the streaming aggregation rate is far
+//!   below host NIC bandwidth), so SHArP wins only below a few KB (Fig. 8
+//!   shows the host-based design overtaking at 4 KB).
+
+use serde::{Deserialize, Serialize};
+
+/// SHArP capability parameters for a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharpParams {
+    /// Latency added per tree level traversed (up or down), seconds.
+    pub per_hop_latency: f64,
+    /// Streaming aggregation bandwidth of a switch ALU, bytes/second.
+    /// Far below `NicModel::node_bw` — the reason SHArP loses at 4KB+.
+    pub agg_bw: f64,
+    /// Fixed software overhead of posting one SHArP operation from the
+    /// host (driver + HCA doorbell), seconds.
+    pub post_overhead: f64,
+    /// Maximum payload of a single SHArP operation, bytes. Larger
+    /// reductions must be chunked (and quickly become uncompetitive).
+    pub max_payload: u64,
+    /// Maximum operations the switch tree processes concurrently; further
+    /// operations queue. This is the scalability ceiling that rules out
+    /// one-SHArP-stream-per-DPML-leader (Section 4.3).
+    pub max_concurrent_ops: u32,
+    /// Maximum number of SHArP groups (communicators) that can exist.
+    pub max_groups: u32,
+}
+
+impl SharpParams {
+    /// Sanity-check parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.per_hop_latency < 0.0 || self.post_overhead < 0.0 {
+            return Err("latencies must be non-negative".into());
+        }
+        if self.agg_bw <= 0.0 {
+            return Err("agg_bw must be positive".into());
+        }
+        if self.max_payload == 0 {
+            return Err("max_payload must be non-zero".into());
+        }
+        if self.max_concurrent_ops == 0 || self.max_groups == 0 {
+            return Err("concurrency limits must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// Default parameters for a Switch-IB 2 EDR fabric (Cluster A).
+    ///
+    /// Calibrated so the host-based design overtakes SHArP at 4KB (the
+    /// paper's Fig. 8 crossover): early SHArP silicon aggregates small
+    /// payloads (~1KB chunks) at well below line rate.
+    pub fn switch_ib2() -> Self {
+        SharpParams {
+            per_hop_latency: 300e-9,
+            agg_bw: 0.2e9,
+            post_overhead: 600e-9,
+            max_payload: 1024,
+            max_concurrent_ops: 2,
+            max_groups: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        assert!(SharpParams::switch_ib2().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_limits() {
+        let mut p = SharpParams::switch_ib2();
+        p.max_concurrent_ops = 0;
+        assert!(p.validate().is_err());
+        let mut p = SharpParams::switch_ib2();
+        p.max_payload = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn aggregation_is_slower_than_nic_bandwidth() {
+        // The design premise: switch ALU streaming << NIC line rate.
+        let p = SharpParams::switch_ib2();
+        assert!(p.agg_bw < 12.0e9);
+    }
+}

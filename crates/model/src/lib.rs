@@ -1,0 +1,14 @@
+//! Analytic cost model of allreduce operations — paper Section 5.
+//!
+//! Implements Table 1's notation and Equations (1)–(7), extending
+//! Rabenseifner's classic model by treating shared-memory copies differently
+//! from inter-node transfers. Used to (a) cross-validate the discrete-event
+//! engine on contention-free configurations, (b) drive the leader-count
+//! optimizer, and (c) regenerate the paper's analytical discussion
+//! (Section 5.3).
+
+pub mod cost;
+pub mod optimizer;
+
+pub use cost::{CostBreakdown, CostParams};
+pub use optimizer::{best_leader_count, leader_sweep};

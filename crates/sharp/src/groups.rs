@@ -1,0 +1,143 @@
+//! SHArP group (communicator) accounting.
+//!
+//! The switch firmware supports only a handful of simultaneously existing
+//! aggregation groups. The paper's evaluation found this limit makes
+//! "one SHArP stream per DPML leader" unscalable, motivating the node-level
+//! and socket-level leader designs (Section 4.3). This registry enforces
+//! the limit so higher layers fail loudly when they over-allocate.
+
+use dpml_topology::Rank;
+use std::collections::HashMap;
+
+/// Group allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The fabric's group limit is exhausted.
+    LimitExceeded {
+        /// Configured maximum.
+        max_groups: u32,
+    },
+    /// A group id was registered twice.
+    Duplicate(u32),
+    /// Unknown group id.
+    Unknown(u32),
+    /// Groups must have at least one member.
+    Empty,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::LimitExceeded { max_groups } => {
+                write!(f, "SHArP group limit exceeded (max {max_groups})")
+            }
+            GroupError::Duplicate(id) => write!(f, "SHArP group {id} registered twice"),
+            GroupError::Unknown(id) => write!(f, "unknown SHArP group {id}"),
+            GroupError::Empty => write!(f, "SHArP group needs members"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// Tracks live SHArP groups against the fabric limit.
+#[derive(Debug, Clone)]
+pub struct GroupRegistry {
+    max_groups: u32,
+    groups: HashMap<u32, Vec<Rank>>,
+}
+
+impl GroupRegistry {
+    /// Registry with the fabric's group capacity.
+    pub fn new(max_groups: u32) -> Self {
+        GroupRegistry { max_groups, groups: HashMap::new() }
+    }
+
+    /// Register a group. Fails when the limit is reached.
+    pub fn create(&mut self, id: u32, members: Vec<Rank>) -> Result<(), GroupError> {
+        if members.is_empty() {
+            return Err(GroupError::Empty);
+        }
+        if self.groups.contains_key(&id) {
+            return Err(GroupError::Duplicate(id));
+        }
+        if self.groups.len() as u32 >= self.max_groups {
+            return Err(GroupError::LimitExceeded { max_groups: self.max_groups });
+        }
+        self.groups.insert(id, members);
+        Ok(())
+    }
+
+    /// Destroy a group, freeing capacity.
+    pub fn destroy(&mut self, id: u32) -> Result<(), GroupError> {
+        self.groups.remove(&id).map(|_| ()).ok_or(GroupError::Unknown(id))
+    }
+
+    /// Members of a group.
+    pub fn members(&self, id: u32) -> Result<&[Rank], GroupError> {
+        self.groups.get(&id).map(|v| v.as_slice()).ok_or(GroupError::Unknown(id))
+    }
+
+    /// Live group count.
+    pub fn live(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// Remaining capacity.
+    pub fn available(&self) -> u32 {
+        self.max_groups - self.live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_destroy() {
+        let mut g = GroupRegistry::new(2);
+        g.create(0, vec![Rank(0), Rank(1)]).unwrap();
+        assert_eq!(g.live(), 1);
+        assert_eq!(g.members(0).unwrap().len(), 2);
+        g.destroy(0).unwrap();
+        assert_eq!(g.live(), 0);
+        assert_eq!(g.destroy(0), Err(GroupError::Unknown(0)));
+    }
+
+    #[test]
+    fn enforces_limit() {
+        let mut g = GroupRegistry::new(2);
+        g.create(0, vec![Rank(0)]).unwrap();
+        g.create(1, vec![Rank(1)]).unwrap();
+        assert_eq!(
+            g.create(2, vec![Rank(2)]),
+            Err(GroupError::LimitExceeded { max_groups: 2 })
+        );
+        g.destroy(0).unwrap();
+        g.create(2, vec![Rank(2)]).unwrap();
+        assert_eq!(g.available(), 0);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let mut g = GroupRegistry::new(4);
+        g.create(0, vec![Rank(0)]).unwrap();
+        assert_eq!(g.create(0, vec![Rank(1)]), Err(GroupError::Duplicate(0)));
+        assert_eq!(g.create(1, vec![]), Err(GroupError::Empty));
+    }
+
+    #[test]
+    fn per_dpml_leader_groups_exceed_fabric_limit() {
+        // The paper's scalability argument: 16 leaders/node would need 16
+        // groups, but Switch-IB2-class fabrics expose ~8.
+        let mut g = GroupRegistry::new(8);
+        let mut failed = None;
+        for j in 0..16u32 {
+            if let Err(e) = g.create(j, vec![Rank(j)]) {
+                failed = Some(e);
+                break;
+            }
+        }
+        assert_eq!(failed, Some(GroupError::LimitExceeded { max_groups: 8 }));
+    }
+}

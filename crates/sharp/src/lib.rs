@@ -1,0 +1,26 @@
+//! In-network aggregation (SHArP) model.
+//!
+//! SHArP (Scalable Hierarchical Aggregation Protocol; paper Section 2.2)
+//! builds *reduction trees* out of network elements: the leaves are the
+//! member hosts' leaf switches, interior vertices are aggregation nodes, and
+//! data is reduced as it moves up the tree, then multicast back down. A
+//! small-message allreduce therefore costs one traversal up + one down,
+//! instead of `lg p` host round trips.
+//!
+//! This crate implements:
+//!
+//! * [`SharpFabric`] — computes per-operation latency from the switch
+//!   topology (tree depth, per-hop latency, streaming aggregation
+//!   bandwidth, chunking over the payload limit) and implements the
+//!   engine's [`dpml_engine::SharpOracle`] so simulated `Sharp`
+//!   instructions take realistic time and queue on the fabric-wide
+//!   concurrency limit;
+//! * [`GroupRegistry`] — enforces the small limit on concurrently existing
+//!   SHArP groups, the constraint that drives the paper's one-leader-per-
+//!   node/socket designs (Section 4.3).
+
+pub mod fabric;
+pub mod groups;
+
+pub use fabric::SharpFabric;
+pub use groups::{GroupError, GroupRegistry};

@@ -1,0 +1,411 @@
+//! End-to-end DPML on a thread cluster.
+//!
+//! Threads are grouped into virtual nodes (`nodes × ppn` ranks). Within a
+//! node, phases 1/2/4 run on real shared memory exactly as in
+//! [`crate::intranode`]; phase 3 runs recursive doubling between same-index
+//! leaders of different nodes over the [`crate::mailbox`] fabric. This
+//! validates the complete four-phase algorithm numerically — the thread
+//! analogue of what `dpml-core` + `dpml-engine` validate symbolically.
+
+use crate::barrier::{BarrierToken, SpinBarrier};
+use crate::intranode::{leader_local, partition_elems};
+use crate::kernels::{fold_slots, reduce_into};
+use crate::mailbox::{Mailbox, Network};
+use crate::region::SharedSlots;
+
+/// A virtual cluster of `nodes × ppn` rank threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCluster {
+    nodes: usize,
+    ppn: usize,
+}
+
+/// Recursive doubling over `mail`/`net` among `members` (global ranks);
+/// `acc` is reduced in place to the members' element-wise sum. Handles any
+/// member count via the usual fold-extras prologue/epilogue.
+fn recursive_doubling(
+    net: &Network,
+    mail: &mut Mailbox,
+    members: &[usize],
+    me: usize,
+    acc: &mut Vec<f64>,
+    tag_base: u64,
+) {
+    let p = members.len();
+    if p <= 1 {
+        return;
+    }
+    let my_idx = members.iter().position(|&m| m == me).expect("member");
+    let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - pof2;
+
+    // Prologue: fold odd extras into their even partners.
+    if my_idx < 2 * rem {
+        if my_idx % 2 == 1 {
+            net.send(me, members[my_idx - 1], tag_base, acc.clone());
+            // Wait for the final value in the epilogue.
+            *acc = mail.recv_from(members[my_idx - 1], tag_base + 1000);
+            return;
+        } else {
+            let got = mail.recv_from(members[my_idx + 1], tag_base);
+            reduce_into(acc, &got);
+        }
+    }
+    let core_idx = if my_idx < 2 * rem { my_idx / 2 } else { my_idx - rem };
+    let core_rank = |i: usize| if i < rem { members[2 * i] } else { members[i + rem] };
+
+    let steps = pof2.trailing_zeros();
+    for step in 0..steps {
+        let peer = core_rank(core_idx ^ (1 << step));
+        net.send(me, peer, tag_base + 1 + step as u64, acc.clone());
+        let got = mail.recv_from(peer, tag_base + 1 + step as u64);
+        reduce_into(acc, &got);
+    }
+
+    // Epilogue: return final values to folded-out extras.
+    if my_idx < 2 * rem && my_idx % 2 == 0 {
+        net.send(me, members[my_idx + 1], tag_base + 1000, acc.clone());
+    }
+}
+
+impl ThreadCluster {
+    /// Cluster of `nodes` virtual nodes with `ppn` ranks each.
+    pub fn new(nodes: usize, ppn: usize) -> Self {
+        assert!(nodes >= 1 && ppn >= 1);
+        ThreadCluster { nodes, ppn }
+    }
+
+    /// Total ranks.
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.ppn
+    }
+
+    /// Full four-phase DPML allreduce with `leaders` per node. `inputs` is
+    /// indexed by global rank (node-major); returns each rank's result.
+    pub fn allreduce_dpml(&self, inputs: &[Vec<f64>], leaders: usize) -> Vec<Vec<f64>> {
+        let p = self.world_size();
+        assert_eq!(inputs.len(), p, "one input per rank");
+        let n = inputs[0].len();
+        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        let l = leaders;
+        assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range");
+
+        let parts = partition_elems(n, l);
+        let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
+        let gathers: Vec<SharedSlots> =
+            (0..self.nodes).map(|_| SharedSlots::new(l * self.ppn, max_len)).collect();
+        let publishes: Vec<SharedSlots> =
+            (0..self.nodes).map(|_| SharedSlots::new(l, max_len)).collect();
+        let barriers: Vec<SpinBarrier> =
+            (0..self.nodes).map(|_| SpinBarrier::new(self.ppn)).collect();
+        let (net, boxes) = Network::new(p);
+        let mut boxes: Vec<Option<Mailbox>> = boxes.into_iter().map(Some).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|g| {
+                    let node = g / self.ppn;
+                    let t = g % self.ppn;
+                    let gather = &gathers[node];
+                    let publish = &publishes[node];
+                    let barrier = &barriers[node];
+                    let parts = &parts;
+                    let input = &inputs[g];
+                    let net = net.clone();
+                    let mut mail = boxes[g].take().expect("mailbox taken once");
+                    let nodes = self.nodes;
+                    let ppn = self.ppn;
+                    scope.spawn(move || {
+                        let mut tok = BarrierToken::new();
+                        // Phase 1.
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: slot (j, t) written only by thread t.
+                            let slot = unsafe { gather.slot_mut(j * ppn + t) };
+                            slot[..e - s].copy_from_slice(&input[s..e]);
+                        }
+                        tok.wait(barrier);
+                        // Phases 2 + 3 (leaders only).
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            if leader_local(j, l, ppn) != t {
+                                continue;
+                            }
+                            let plen = e - s;
+                            let mut acc = vec![0.0; plen];
+                            if plen > 0 {
+                                // SAFETY: phase-1 writers barrier-separated.
+                                unsafe {
+                                    let slots: Vec<&[f64]> =
+                                        (0..ppn).map(|i| &gather.slot(j * ppn + i)[..plen]).collect();
+                                    fold_slots(&mut acc, &slots);
+                                }
+                            }
+                            // Phase 3: inter-node RD among leader-j ranks.
+                            let members: Vec<usize> =
+                                (0..nodes).map(|m| m * ppn + leader_local(j, l, ppn)).collect();
+                            recursive_doubling(
+                                &net,
+                                &mut mail,
+                                &members,
+                                g,
+                                &mut acc,
+                                (j as u64) << 32,
+                            );
+                            // Publish.
+                            // SAFETY: publish slot j has unique writer.
+                            unsafe {
+                                publish.slot_mut(j)[..plen].copy_from_slice(&acc);
+                            }
+                        }
+                        tok.wait(barrier);
+                        // Phase 4.
+                        let mut out = vec![0.0; n];
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: publish writers barrier-separated.
+                            let slot = unsafe { publish.slot(j) };
+                            out[s..e].copy_from_slice(&slot[..e - s]);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+
+    /// Four-phase DPML with the phase-3 allreduce pipelined over `k`
+    /// sub-partitions, mirroring `dpml-core`'s `DPML-Pipelined` schedule
+    /// numerically: each leader splits its partition into `k` chunks and
+    /// runs `k` interleaved recursive-doubling exchanges.
+    pub fn allreduce_dpml_pipelined(
+        &self,
+        inputs: &[Vec<f64>],
+        leaders: usize,
+        k: usize,
+    ) -> Vec<Vec<f64>> {
+        assert!(k >= 1, "need at least one chunk");
+        let p = self.world_size();
+        assert_eq!(inputs.len(), p, "one input per rank");
+        let n = inputs[0].len();
+        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        let l = leaders;
+        assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range");
+
+        let parts = partition_elems(n, l);
+        let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
+        let gathers: Vec<SharedSlots> =
+            (0..self.nodes).map(|_| SharedSlots::new(l * self.ppn, max_len)).collect();
+        let publishes: Vec<SharedSlots> =
+            (0..self.nodes).map(|_| SharedSlots::new(l, max_len)).collect();
+        let barriers: Vec<SpinBarrier> =
+            (0..self.nodes).map(|_| SpinBarrier::new(self.ppn)).collect();
+        let (net, boxes) = Network::new(p);
+        let mut boxes: Vec<Option<Mailbox>> = boxes.into_iter().map(Some).collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|g| {
+                    let node = g / self.ppn;
+                    let t = g % self.ppn;
+                    let gather = &gathers[node];
+                    let publish = &publishes[node];
+                    let barrier = &barriers[node];
+                    let parts = &parts;
+                    let input = &inputs[g];
+                    let net = net.clone();
+                    let mut mail = boxes[g].take().expect("mailbox taken once");
+                    let nodes = self.nodes;
+                    let ppn = self.ppn;
+                    scope.spawn(move || {
+                        let mut tok = BarrierToken::new();
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: slot (j, t) written only by thread t.
+                            let slot = unsafe { gather.slot_mut(j * ppn + t) };
+                            slot[..e - s].copy_from_slice(&input[s..e]);
+                        }
+                        tok.wait(barrier);
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            if leader_local(j, l, ppn) != t {
+                                continue;
+                            }
+                            let plen = e - s;
+                            let mut acc = vec![0.0; plen];
+                            if plen > 0 {
+                                // SAFETY: phase-1 writers barrier-separated.
+                                unsafe {
+                                    let slots: Vec<&[f64]> =
+                                        (0..ppn).map(|i| &gather.slot(j * ppn + i)[..plen]).collect();
+                                    fold_slots(&mut acc, &slots);
+                                }
+                            }
+                            let members: Vec<usize> =
+                                (0..nodes).map(|m| m * ppn + leader_local(j, l, ppn)).collect();
+                            // Phase 3, pipelined: k chunk-allreduces.
+                            let chunks = partition_elems(plen, k);
+                            for (c, &(cs, ce)) in chunks.iter().enumerate() {
+                                let mut chunk_acc = acc[cs..ce].to_vec();
+                                recursive_doubling(
+                                    &net,
+                                    &mut mail,
+                                    &members,
+                                    g,
+                                    &mut chunk_acc,
+                                    ((j * k + c) as u64) << 32,
+                                );
+                                acc[cs..ce].copy_from_slice(&chunk_acc);
+                            }
+                            // SAFETY: publish slot j has unique writer.
+                            unsafe {
+                                publish.slot_mut(j)[..plen].copy_from_slice(&acc);
+                            }
+                        }
+                        tok.wait(barrier);
+                        let mut out = vec![0.0; n];
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: publish writers barrier-separated.
+                            let slot = unsafe { publish.slot(j) };
+                            out[s..e].copy_from_slice(&slot[..e - s]);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+
+    /// Flat recursive doubling over all ranks (cross-check baseline).
+    pub fn allreduce_recursive_doubling(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let p = self.world_size();
+        assert_eq!(inputs.len(), p);
+        let (net, boxes) = Network::new(p);
+        let mut boxes: Vec<Option<Mailbox>> = boxes.into_iter().map(Some).collect();
+        let members: Vec<usize> = (0..p).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|g| {
+                    let net = net.clone();
+                    let mut mail = boxes[g].take().expect("mailbox taken once");
+                    let members = members.clone();
+                    let input = &inputs[g];
+                    scope.spawn(move || {
+                        let mut acc = input.clone();
+                        recursive_doubling(&net, &mut mail, &members, g, &mut acc, 0);
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+
+    /// Serial reference.
+    pub fn serial(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut acc = vec![0.0; inputs[0].len()];
+        for i in inputs {
+            reduce_into(&mut acc, i);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+
+    fn inputs(p: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..p)
+            .map(|r| (0..n).map(|i| ((r * 13 + i * 17) % 101) as f64 / 4.0 - 12.0).collect())
+            .collect()
+    }
+
+    fn check_dpml(nodes: usize, ppn: usize, n: usize, l: usize) {
+        let c = ThreadCluster::new(nodes, ppn);
+        let ins = inputs(c.world_size(), n);
+        let got = c.allreduce_dpml(&ins, l);
+        let expect = c.serial(&ins);
+        for g in &got {
+            assert_close(g, &expect, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dpml_basic() {
+        check_dpml(4, 4, 1000, 2);
+    }
+
+    #[test]
+    fn dpml_all_leader_counts() {
+        for l in [1, 2, 3, 4] {
+            check_dpml(4, 4, 777, l);
+        }
+    }
+
+    #[test]
+    fn dpml_non_pow2_nodes() {
+        check_dpml(3, 2, 500, 2);
+        check_dpml(5, 3, 301, 3);
+        check_dpml(6, 4, 64, 4);
+    }
+
+    #[test]
+    fn dpml_single_node() {
+        check_dpml(1, 8, 4096, 4);
+    }
+
+    #[test]
+    fn dpml_single_rank_nodes() {
+        check_dpml(4, 1, 256, 1);
+    }
+
+    #[test]
+    fn dpml_tiny_vector() {
+        check_dpml(2, 4, 3, 4);
+    }
+
+    #[test]
+    fn pipelined_dpml_matches_serial() {
+        for (nodes, ppn, l, k) in [(4usize, 4usize, 2usize, 3usize), (3, 2, 2, 4), (2, 4, 4, 1)] {
+            let c = ThreadCluster::new(nodes, ppn);
+            let ins = inputs(c.world_size(), 501);
+            let got = c.allreduce_dpml_pipelined(&ins, l, k);
+            let expect = c.serial(&ins);
+            for g in &got {
+                assert_close(g, &expect, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_rd_matches_serial() {
+        let c = ThreadCluster::new(4, 2);
+        let ins = inputs(8, 321);
+        let got = c.allreduce_recursive_doubling(&ins);
+        let expect = c.serial(&ins);
+        for g in &got {
+            assert_close(g, &expect, 1e-10);
+        }
+    }
+
+    #[test]
+    fn flat_rd_non_pow2_world() {
+        let c = ThreadCluster::new(3, 2); // p = 6
+        let ins = inputs(6, 100);
+        let got = c.allreduce_recursive_doubling(&ins);
+        let expect = c.serial(&ins);
+        for g in &got {
+            assert_close(g, &expect, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dpml_and_flat_agree() {
+        let c = ThreadCluster::new(4, 4);
+        let ins = inputs(16, 512);
+        let a = c.allreduce_dpml(&ins, 4);
+        let b = c.allreduce_recursive_doubling(&ins);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_close(x, y, 1e-10);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Intra-node multi-leader allreduce on real threads.
+//!
+//! Executes phases 1, 2, and 4 of the paper's Figure 2 (the intra-node
+//! part of DPML) with genuine shared memory: each thread is a rank, slots
+//! live in a [`SharedSlots`] bank, and phases are separated by a
+//! [`SpinBarrier`]. With `leaders = 1` this is exactly the classic
+//! single-leader design the paper improves upon.
+
+use crate::barrier::{BarrierToken, SpinBarrier};
+use crate::kernels::{fold_slots_op, reduce_into, ReduceOp, SumOp};
+use crate::region::SharedSlots;
+
+/// Intra-node algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraAlgo {
+    /// One leader performs all `ppn - 1` reduction passes.
+    SingleLeader,
+    /// `leaders` leaders each own `1/leaders` of the vector (DPML).
+    MultiLeader {
+        /// Leader count (`l`), `1 ..= ppn`.
+        leaders: usize,
+    },
+}
+
+impl IntraAlgo {
+    fn leader_count(&self) -> usize {
+        match *self {
+            IntraAlgo::SingleLeader => 1,
+            IntraAlgo::MultiLeader { leaders } => leaders,
+        }
+    }
+}
+
+/// Split `n` elements into `parts` contiguous index ranges (earlier parts
+/// take the remainder) — element-space mirror of the engine's
+/// `ByteRange::partition`.
+pub fn partition_elems(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((cursor, cursor + len));
+        cursor += len;
+    }
+    out
+}
+
+/// Leader-local-rank for leader index `j` of `l` over `ppn` ranks —
+/// the same even stride as `dpml_topology::LeaderPolicy::PerNode`.
+pub fn leader_local(j: usize, l: usize, ppn: usize) -> usize {
+    j * ppn / l
+}
+
+/// A single simulated node running `ppn` rank-threads.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRuntime {
+    ppn: usize,
+}
+
+impl NodeRuntime {
+    /// Runtime for `ppn` ranks.
+    pub fn new(ppn: usize) -> Self {
+        assert!(ppn >= 1);
+        NodeRuntime { ppn }
+    }
+
+    /// Ranks per node.
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    /// Allreduce (`MPI_SUM`) over `ppn` per-rank input vectors; returns
+    /// each rank's result vector. Panics if `inputs.len() != ppn`, lengths
+    /// differ, or the leader count is out of range.
+    pub fn allreduce(&self, inputs: &[Vec<f64>], algo: IntraAlgo) -> Vec<Vec<f64>> {
+        self.allreduce_op(SumOp, inputs, algo)
+    }
+
+    /// Allreduce under an arbitrary operator (`MPI_MAX`, `MPI_MIN`, ...).
+    pub fn allreduce_op<O: ReduceOp<f64>>(
+        &self,
+        op: O,
+        inputs: &[Vec<f64>],
+        algo: IntraAlgo,
+    ) -> Vec<Vec<f64>> {
+        assert_eq!(inputs.len(), self.ppn, "one input per rank");
+        let n = inputs[0].len();
+        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        let l = algo.leader_count();
+        assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range 1..={}", self.ppn);
+
+        let parts = partition_elems(n, l);
+        let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
+        let gather = SharedSlots::new(l * self.ppn, max_len);
+        let publish = SharedSlots::new(l, max_len);
+        let barrier = SpinBarrier::new(self.ppn);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.ppn)
+                .map(|t| {
+                    let gather = &gather;
+                    let publish = &publish;
+                    let barrier = &barrier;
+                    let parts = &parts;
+                    let input = &inputs[t];
+                    scope.spawn(move || {
+                        let mut tok = BarrierToken::new();
+                        // Phase 1: deposit each partition into the owning
+                        // leader's region, slot index = writer rank.
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: slot (j, t) is written only by
+                            // thread t this epoch.
+                            let slot = unsafe { gather.slot_mut(j * self.ppn + t) };
+                            slot[..e - s].copy_from_slice(&input[s..e]);
+                        }
+                        tok.wait(barrier);
+                        // Phase 2: leaders fold their partition.
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            if leader_local(j, l, self.ppn) != t || e == s {
+                                continue;
+                            }
+                            let plen = e - s;
+                            // SAFETY: barrier separates phase-1 writers
+                            // from these reads; publish slot j has this
+                            // thread as unique writer.
+                            unsafe {
+                                let slots: Vec<&[f64]> = (0..self.ppn)
+                                    .map(|i| &gather.slot(j * self.ppn + i)[..plen])
+                                    .collect();
+                                fold_slots_op(op, &mut publish.slot_mut(j)[..plen], &slots);
+                            }
+                        }
+                        tok.wait(barrier);
+                        // Phase 4: copy all partitions out.
+                        let mut out = vec![0.0; n];
+                        for (j, &(s, e)) in parts.iter().enumerate() {
+                            // SAFETY: publish writers are barrier-separated.
+                            let slot = unsafe { publish.slot(j) };
+                            out[s..e].copy_from_slice(&slot[..e - s]);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+
+    /// Reference tree-free allreduce: serial sum broadcast to all ranks
+    /// (for differential testing).
+    pub fn serial(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut acc = vec![0.0; inputs[0].len()];
+        for i in inputs {
+            reduce_into(&mut acc, i);
+        }
+        vec![acc; self.ppn]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::assert_close;
+
+    fn inputs(ppn: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..ppn)
+            .map(|r| (0..n).map(|i| ((r * 31 + i * 7) % 97) as f64 - 48.0).collect())
+            .collect()
+    }
+
+    fn check(ppn: usize, n: usize, algo: IntraAlgo) {
+        let rt = NodeRuntime::new(ppn);
+        let ins = inputs(ppn, n);
+        let got = rt.allreduce(&ins, algo);
+        let expect = rt.serial(&ins);
+        assert_eq!(got.len(), ppn);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert_close(g, e, 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_elems_distributes_remainder() {
+        assert_eq!(partition_elems(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(partition_elems(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn leader_stride_matches_topology_policy() {
+        // ppn=28, l=4 → locals 0, 7, 14, 21 (same as LeaderPolicy).
+        let locals: Vec<usize> = (0..4).map(|j| leader_local(j, 4, 28)).collect();
+        assert_eq!(locals, vec![0, 7, 14, 21]);
+    }
+
+    #[test]
+    fn allreduce_op_max_and_min() {
+        use crate::kernels::{serial_reference_op, MaxOp, MinOp};
+        let rt = NodeRuntime::new(4);
+        let ins = inputs(4, 333);
+        let got = rt.allreduce_op(MaxOp, &ins, IntraAlgo::MultiLeader { leaders: 2 });
+        let expect = serial_reference_op(MaxOp, &ins);
+        for g in &got {
+            assert_eq!(g, &expect);
+        }
+        let got = rt.allreduce_op(MinOp, &ins, IntraAlgo::MultiLeader { leaders: 4 });
+        let expect = serial_reference_op(MinOp, &ins);
+        for g in &got {
+            assert_eq!(g, &expect);
+        }
+    }
+
+    #[test]
+    fn single_leader_correct() {
+        check(4, 1000, IntraAlgo::SingleLeader);
+    }
+
+    #[test]
+    fn multi_leader_correct_all_counts() {
+        for l in [1, 2, 3, 4, 7, 8] {
+            check(8, 10_000, IntraAlgo::MultiLeader { leaders: l });
+        }
+    }
+
+    #[test]
+    fn vector_shorter_than_leader_count() {
+        check(8, 3, IntraAlgo::MultiLeader { leaders: 8 });
+    }
+
+    #[test]
+    fn single_rank_node() {
+        check(1, 64, IntraAlgo::SingleLeader);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let rt = NodeRuntime::new(4);
+        let ins = vec![vec![]; 4];
+        let got = rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: 2 });
+        assert!(got.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_leaders_panics() {
+        let rt = NodeRuntime::new(2);
+        rt.allreduce(&inputs(2, 8), IntraAlgo::MultiLeader { leaders: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_inputs_panic() {
+        let rt = NodeRuntime::new(2);
+        rt.allreduce(&[vec![1.0], vec![1.0, 2.0]], IntraAlgo::SingleLeader);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_matches_serial(
+            ppn in 1usize..9,
+            n in 0usize..300,
+            l_seed in 0usize..8,
+            seed in 0u64..1000,
+        ) {
+            let l = 1 + l_seed % ppn;
+            let ins: Vec<Vec<f64>> = (0..ppn)
+                .map(|r| {
+                    (0..n)
+                        .map(|i| {
+                            let x = seed
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add((r * n + i) as u64);
+                            ((x >> 33) % 1000) as f64 / 10.0 - 50.0
+                        })
+                        .collect()
+                })
+                .collect();
+            let rt = NodeRuntime::new(ppn);
+            let got = rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: l });
+            let expect = rt.serial(&ins);
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert_close(g, e, 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Strongly-typed identifiers for ranks, nodes, sockets, and switches.
+//!
+//! All identifiers are thin wrappers around `u32`, ordered and hashable so
+//! they can key maps in the engine. `From<u32>`/`From<usize>` conversions
+//! keep call sites terse while preventing accidental cross-kind mixups.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize` for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A global process rank (MPI `COMM_WORLD` rank equivalent).
+    Rank
+);
+id_type!(
+    /// A compute node within the cluster.
+    NodeId
+);
+id_type!(
+    /// A process's rank *within its node* (0..ppn).
+    LocalRank
+);
+id_type!(
+    /// A CPU socket within a node.
+    SocketId
+);
+id_type!(
+    /// A switch in the fabric (leaf or core).
+    SwitchId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_order() {
+        let a = Rank::from(3u32);
+        let b = Rank::from(7usize);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(format!("{a}"), "Rank3");
+    }
+
+    #[test]
+    fn distinct_kinds_are_distinct_types() {
+        // Compile-time property; just exercise construction.
+        let n = NodeId(1);
+        let s = SocketId(1);
+        assert_eq!(n.0, s.0);
+    }
+
+    #[test]
+    fn ids_hash_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<NodeId, u32> = HashMap::new();
+        m.insert(NodeId(4), 42);
+        assert_eq!(m[&NodeId(4)], 42);
+    }
+}

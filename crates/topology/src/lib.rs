@@ -1,0 +1,68 @@
+//! Cluster topology for the DPML reproduction.
+//!
+//! This crate describes the *shape* of an HPC system: compute nodes, sockets,
+//! the mapping of MPI-style ranks onto nodes, the switch fabric connecting
+//! nodes, and the leader-selection policies used by hierarchical and
+//! multi-leader collectives (paper Sections 2.1, 4.1, 4.3).
+//!
+//! It is intentionally free of any timing information — hardware *speeds*
+//! live in `dpml-fabric`, and the discrete-event execution lives in
+//! `dpml-engine`.
+//!
+//! # Example
+//!
+//! ```
+//! use dpml_topology::{ClusterSpec, LeaderPolicy, NodeId, RankMap};
+//!
+//! // Cluster A of the paper: 16 nodes x 2 sockets x 14 cores, 28 ppn.
+//! let spec = ClusterSpec::new(16, 2, 14, 28).unwrap();
+//! let map = RankMap::block(&spec);
+//! assert_eq!(map.world_size(), 448);
+//!
+//! let leaders = LeaderPolicy::PerNode(4).leaders_of_node(&spec, NodeId(0));
+//! assert_eq!(leaders.len(), 4);
+//! ```
+
+pub mod cluster;
+pub mod ids;
+pub mod leaders;
+pub mod rank_map;
+pub mod switch;
+
+pub use cluster::ClusterSpec;
+pub use ids::{LocalRank, NodeId, Rank, SocketId, SwitchId};
+pub use leaders::{LeaderPolicy, LeaderSet};
+pub use rank_map::{Placement, RankMap};
+pub use switch::{SwitchTree, SwitchTreeSpec};
+
+/// Errors produced while constructing topology objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A dimension (nodes, sockets, cores, ppn) was zero.
+    ZeroDimension(&'static str),
+    /// Requested more processes per node than hardware threads available.
+    Oversubscribed { ppn: u32, cores: u32 },
+    /// Requested more leaders than processes per node.
+    TooManyLeaders { leaders: u32, ppn: u32 },
+    /// A rank, node, or switch index was out of range.
+    OutOfRange { what: &'static str, index: u64, limit: u64 },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::ZeroDimension(d) => write!(f, "topology dimension `{d}` must be non-zero"),
+            TopologyError::Oversubscribed { ppn, cores } => {
+                write!(f, "ppn {ppn} oversubscribes {cores} cores per node")
+            }
+            TopologyError::TooManyLeaders { leaders, ppn } => {
+                write!(f, "{leaders} leaders requested but only {ppn} processes per node")
+            }
+            TopologyError::OutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,116 @@
+//! Data-parallel deep-learning skeleton.
+//!
+//! The paper's introduction singles out this workload: *"many applications
+//! in newer fields such as deep learning applications extensively use
+//! medium and large message reductions"* (citing Awan et al.'s NCCL/MPI
+//! broadcast work). Synchronous data-parallel SGD allreduces the gradient
+//! of every parameter bucket each step — exactly the medium/large-message
+//! regime DPML targets.
+
+use crate::app::{AppProfile, AppStep};
+use serde::{Deserialize, Serialize};
+
+/// Data-parallel training skeleton parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DnnConfig {
+    /// Training steps to run.
+    pub steps: u32,
+    /// Model parameters (each 4-byte f32 gradients).
+    pub parameters: u64,
+    /// Gradient bucket size in bytes (frameworks allreduce per bucket,
+    /// typically 1–25 MB; we default lower so simulations stay fast).
+    pub bucket_bytes: u64,
+    /// Forward+backward compute time per step, seconds.
+    pub compute_per_step: f64,
+}
+
+impl Default for DnnConfig {
+    fn default() -> Self {
+        DnnConfig {
+            steps: 4,
+            parameters: 2_000_000,      // an 8 MB (f32) model
+            bucket_bytes: 1 << 20,      // 1 MB buckets
+            compute_per_step: 5e-3,
+        }
+    }
+}
+
+impl DnnConfig {
+    /// Gradient bytes per step.
+    pub fn gradient_bytes(&self) -> u64 {
+        self.parameters * 4
+    }
+
+    /// Number of allreduce buckets per step.
+    pub fn buckets_per_step(&self) -> u64 {
+        self.gradient_bytes().div_ceil(self.bucket_bytes).max(1)
+    }
+
+    /// The communication profile: per step, backprop compute then one
+    /// allreduce per gradient bucket.
+    pub fn profile(&self) -> AppProfile {
+        let total = self.gradient_bytes();
+        let full = self.buckets_per_step();
+        let mut steps = Vec::new();
+        for _ in 0..self.steps {
+            steps.push(AppStep::Compute(self.compute_per_step));
+            let mut remaining = total;
+            for _ in 0..full {
+                let b = remaining.min(self.bucket_bytes);
+                steps.push(AppStep::Allreduce(b.max(4)));
+                remaining = remaining.saturating_sub(b);
+            }
+        }
+        AppProfile { name: "dnn-sgd".into(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::run_app;
+    use dpml_core::selector::Library;
+    use dpml_fabric::presets::cluster_d;
+
+    #[test]
+    fn profile_shape() {
+        let cfg = DnnConfig { steps: 2, ..Default::default() };
+        let p = cfg.profile();
+        assert_eq!(cfg.buckets_per_step(), 8);
+        assert_eq!(p.allreduce_calls(), 16);
+        assert_eq!(p.max_allreduce_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn uneven_last_bucket() {
+        let cfg = DnnConfig { parameters: 300_000, bucket_bytes: 1 << 20, ..Default::default() };
+        // 1.2MB of gradients → 1MB + 0.2MB buckets.
+        assert_eq!(cfg.buckets_per_step(), 2);
+        let p = DnnConfig { steps: 1, ..cfg }.profile();
+        assert_eq!(p.allreduce_calls(), 2);
+    }
+
+    #[test]
+    fn dpml_beats_mvapich2_on_gradients() {
+        // The intro's motivation: large-message reductions dominate
+        // data-parallel training, and DPML wins there.
+        let preset = cluster_d();
+        let spec = preset.spec(8, 32).unwrap();
+        let cfg = DnnConfig { steps: 2, ..Default::default() };
+        let profile = cfg.profile();
+        let mva = run_app(&preset, &spec, &profile, &|b| {
+            Library::Mvapich2.choose(&preset, &spec, b)
+        })
+        .unwrap();
+        let dpml = run_app(&preset, &spec, &profile, &|b| {
+            Library::DpmlTuned.choose(&preset, &spec, b)
+        })
+        .unwrap();
+        assert!(
+            dpml.comm_us * 2.0 < mva.comm_us,
+            "gradient allreduce should be >2x faster: {} vs {}",
+            dpml.comm_us,
+            mva.comm_us
+        );
+    }
+}

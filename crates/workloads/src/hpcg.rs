@@ -1,0 +1,110 @@
+//! HPCG-like conjugate-gradient skeleton (paper Section 6.5).
+//!
+//! Per CG iteration, HPCG's communication profile is dominated by:
+//!
+//! * a sparse matrix-vector product + preconditioner sweep (local compute
+//!   whose cost scales with the rank's local rows — weak scaling keeps it
+//!   constant as ranks are added),
+//! * **two `DDOT` dot products**, each ending in an 8-byte
+//!   `MPI_Allreduce(MPI_SUM, MPI_DOUBLE, count = 1)` — the count does not
+//!   grow with the job, which is why the fraction of time spent in DDOT
+//!   (and hence SHArP's benefit) shrinks at larger scale (the paper's 35%
+//!   at 56 processes vs 10% at 224).
+
+use crate::app::{AppProfile, AppStep};
+use serde::{Deserialize, Serialize};
+
+/// HPCG skeleton parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HpcgConfig {
+    /// CG iterations to run.
+    pub iterations: u32,
+    /// Local rows per rank (weak scaling: constant as ranks grow).
+    pub local_rows: u64,
+    /// Effective flops per row per iteration (27-pt stencil SpMV + SymGS).
+    pub flops_per_row: f64,
+    /// Sustained per-core compute rate, flops/second.
+    pub core_flops: f64,
+}
+
+impl Default for HpcgConfig {
+    fn default() -> Self {
+        // 16^3 local domain at HPCG-like arithmetic intensity on a Haswell
+        // core: a few tens of microseconds of compute per iteration, so the
+        // DDOT allreduce is a visible fraction at small scale (as in the
+        // paper's 56-process runs).
+        HpcgConfig {
+            iterations: 50,
+            local_rows: 16 * 16 * 16,
+            flops_per_row: 2.0 * 27.0 + 10.0,
+            core_flops: 3.0e9,
+        }
+    }
+}
+
+impl HpcgConfig {
+    /// Local compute time per CG iteration, seconds.
+    pub fn compute_per_iteration(&self) -> f64 {
+        self.local_rows as f64 * self.flops_per_row / self.core_flops
+    }
+
+    /// The communication profile: per iteration, compute then two 8-byte
+    /// DDOT allreduces (each preceded by the local dot-product pass).
+    pub fn profile(&self) -> AppProfile {
+        let mut steps = Vec::with_capacity(self.iterations as usize * 4);
+        let spmv = self.compute_per_iteration();
+        let local_dot = self.local_rows as f64 * 2.0 / self.core_flops;
+        for _ in 0..self.iterations {
+            steps.push(AppStep::Compute(spmv));
+            steps.push(AppStep::Compute(local_dot));
+            steps.push(AppStep::Allreduce(8));
+            steps.push(AppStep::Compute(local_dot));
+            steps.push(AppStep::Allreduce(8));
+        }
+        AppProfile { name: "hpcg-ddot".into(), steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::run_app;
+    use dpml_core::algorithms::{Algorithm, FlatAlg};
+    use dpml_fabric::presets::cluster_a;
+
+    #[test]
+    fn profile_shape() {
+        let cfg = HpcgConfig { iterations: 3, ..Default::default() };
+        let p = cfg.profile();
+        assert_eq!(p.allreduce_calls(), 6);
+        assert_eq!(p.max_allreduce_bytes(), 8);
+        assert!(p.compute_seconds() > 0.0);
+    }
+
+    #[test]
+    fn ddot_size_is_scale_invariant() {
+        let p1 = HpcgConfig::default().profile();
+        assert_eq!(p1.max_allreduce_bytes(), 8);
+    }
+
+    #[test]
+    fn sharp_beats_host_based_on_ddot() {
+        // Fig. 11(a): SHArP designs beat the host-based scheme because the
+        // DDOT allreduce is tiny.
+        let preset = cluster_a();
+        let spec = preset.spec(2, 28).unwrap(); // 56 processes, as in the paper
+        let cfg = HpcgConfig { iterations: 10, ..Default::default() };
+        let profile = cfg.profile();
+        let host = run_app(&preset, &spec, &profile, &|_| Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        })
+        .unwrap();
+        let sharp = run_app(&preset, &spec, &profile, &|_| Algorithm::SharpSocketLeader).unwrap();
+        assert!(
+            sharp.comm_us < host.comm_us,
+            "sharp {} vs host {}",
+            sharp.comm_us,
+            host.comm_us
+        );
+    }
+}

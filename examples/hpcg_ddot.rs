@@ -1,0 +1,53 @@
+//! HPCG's DDOT kernel under the three designs of the paper's Fig. 11(a):
+//! host-based, SHArP node-leader, SHArP socket-leader — on the SHArP-capable
+//! Cluster A model.
+//!
+//! Run with: `cargo run --release --example hpcg_ddot`
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::fabric::presets::cluster_a;
+use dpml::workloads::app::run_app;
+use dpml::workloads::HpcgConfig;
+
+fn main() {
+    let preset = cluster_a();
+    let cfg = HpcgConfig { iterations: 25, ..Default::default() };
+    println!(
+        "HPCG skeleton: {} CG iterations, 2 x 8-byte DDOT allreduces each,\n\
+         {:.1}us of stencil compute per iteration\n",
+        cfg.iterations,
+        cfg.compute_per_iteration() * 1e6
+    );
+
+    let designs: [(&str, Algorithm); 3] = [
+        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        ("SHArP node-leader", Algorithm::SharpNodeLeader),
+        ("SHArP socket-leader", Algorithm::SharpSocketLeader),
+    ];
+
+    for nodes in [2u32, 8, 16] {
+        let spec = preset.spec(nodes, 28).expect("spec");
+        let profile = cfg.profile();
+        println!("{} processes ({} nodes x 28 ppn):", spec.world_size(), nodes);
+        let mut host_comm = 0.0;
+        for (name, alg) in designs {
+            let rep = run_app(&preset, &spec, &profile, &|_| alg).expect("app run");
+            if name == "host-based" {
+                host_comm = rep.comm_us;
+            }
+            println!(
+                "  {:<20} total {:>9.1}us  ddot/comm {:>8.1}us  improvement {:>5.1}%",
+                name,
+                rep.total_us,
+                rep.comm_us,
+                (host_comm - rep.comm_us) / host_comm * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "The DDOT payload is 8 bytes regardless of scale, so the SHArP win on\n\
+         communication is constant while compute grows — the paper's shrinking\n\
+         35% → 10% overall improvement (Section 6.5)."
+    );
+}

@@ -1,0 +1,46 @@
+//! miniAMR's mesh-refinement step under three MPI libraries — the paper's
+//! Fig. 11(b), on the Omni-Path cluster models.
+//!
+//! Run with: `cargo run --release --example miniamr_refine`
+
+use dpml::core::selector::Library;
+use dpml::fabric::presets::{cluster_c, cluster_d};
+use dpml::workloads::app::run_app;
+use dpml::workloads::MiniAmrConfig;
+
+fn main() {
+    let cfg = MiniAmrConfig { refinements: 10, ..Default::default() };
+    for preset in [cluster_c(), cluster_d()] {
+        let spec = preset.default_spec(16).expect("spec");
+        let profile = cfg.profile(spec.world_size());
+        println!(
+            "{} — {} ranks, {} refinements, {}-byte refinement allreduces",
+            preset.fabric.name,
+            spec.world_size(),
+            cfg.refinements,
+            cfg.refinement_bytes(spec.world_size())
+        );
+        let mut base = 0.0;
+        for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
+            let rep = run_app(&preset, &spec, &profile, &|bytes| {
+                lib.choose(&preset, &spec, bytes)
+            })
+            .expect("app run");
+            if lib == Library::Mvapich2 {
+                base = rep.comm_us;
+            }
+            println!(
+                "  {:<16} refinement comm {:>10.1}us   {:>5.2}x vs MVAPICH2",
+                lib.name(),
+                rep.comm_us,
+                base / rep.comm_us
+            );
+        }
+        println!();
+    }
+    println!(
+        "Refinement allreduces grow with the global block count, landing in\n\
+         DPML's medium/large sweet spot — the 20-60% application-level wins\n\
+         of the paper's Section 6.6."
+    );
+}

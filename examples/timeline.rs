@@ -1,0 +1,46 @@
+//! Trace a DPML allreduce and export a Chrome-tracing timeline: see the
+//! four phases of the paper's Figure 2 laid out across ranks.
+//!
+//! Run with: `cargo run --release --example timeline`
+//! then load `dpml_timeline.json` in chrome://tracing or ui.perfetto.dev.
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::engine::{SimConfig, Simulator, SpanKind};
+use dpml::fabric::presets::cluster_b;
+use dpml::topology::RankMap;
+
+fn main() {
+    let preset = cluster_b();
+    let spec = preset.spec(4, 8).expect("4 nodes x 8 ranks");
+    let map = RankMap::block(&spec);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let alg = Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling };
+    let world = alg.build(&map, 256 * 1024).expect("schedule");
+
+    let rep = Simulator::new(&cfg).with_trace().run(&world).expect("simulate");
+    rep.verify_allreduce().expect("verified");
+    let trace = rep.trace.as_ref().expect("trace enabled");
+
+    println!(
+        "{} on {} ranks: {:.1}us, {} spans, {} messages traced",
+        alg.name(),
+        spec.world_size(),
+        rep.latency_us(),
+        trace.spans.len(),
+        trace.messages.len()
+    );
+    println!("\ntime by activity (all ranks):");
+    for kind in [
+        SpanKind::Copy,
+        SpanKind::Reduce,
+        SpanKind::SendInject,
+        SpanKind::Wait,
+        SpanKind::Barrier,
+    ] {
+        println!("  {:<8} {:>10.1} us", kind.name(), trace.total_time(kind) * 1e6);
+    }
+
+    let path = "dpml_timeline.json";
+    std::fs::write(path, trace.to_chrome_json()).expect("write trace");
+    println!("\nwrote {path} — open it in chrome://tracing or ui.perfetto.dev");
+}

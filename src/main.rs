@@ -1,0 +1,319 @@
+//! `dpml` — command-line front end to the simulator and algorithm library.
+//!
+//! ```text
+//! dpml info
+//! dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K
+//! dpml sweep    --cluster b --nodes 16 --alg dpml:16 [--alg rd ...]
+//! dpml compare  --cluster d --nodes 8  --bytes 512K
+//! dpml tune     --cluster c --nodes 8  [--out tuned.json]
+//! dpml app      --app hpcg|miniamr --cluster a --nodes 8
+//! ```
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::core::run::run_allreduce;
+use dpml::core::selector::Library;
+use dpml::core::tuner::{default_candidates, tune};
+use dpml::fabric::presets::{all_presets, Preset};
+use dpml::topology::ClusterSpec;
+use dpml::workloads::app::run_app;
+use dpml::workloads::{HpcgConfig, MiniAmrConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == flag {
+            out.push(args[i + 1].clone());
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse sizes like `64`, `4K`, `2M`.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().map(|v| v * mult).map_err(|e| format!("bad size `{s}`: {e}"))
+}
+
+/// Parse algorithm specs:
+/// `rd | rabenseifner | ring | binomial | single-leader[:rd|rab|ring]
+///  | dpml:<l>[:rd|rab|ring] | dpml-pipelined:<l>:<k>
+///  | sharp-node | sharp-socket`.
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let flat = |name: &str| -> Result<FlatAlg, String> {
+        match name {
+            "rd" => Ok(FlatAlg::RecursiveDoubling),
+            "rab" | "rabenseifner" => Ok(FlatAlg::Rabenseifner),
+            "ring" => Ok(FlatAlg::Ring),
+            other => Err(format!("unknown inner algorithm `{other}`")),
+        }
+    };
+    match parts[0] {
+        "rd" | "recursive-doubling" => Ok(Algorithm::RecursiveDoubling),
+        "rab" | "rabenseifner" => Ok(Algorithm::Rabenseifner),
+        "ring" => Ok(Algorithm::Ring),
+        "binomial" => Ok(Algorithm::BinomialReduceBcast),
+        "single-leader" => {
+            let inner = if parts.len() > 1 { flat(parts[1])? } else { FlatAlg::RecursiveDoubling };
+            Ok(Algorithm::SingleLeader { inner })
+        }
+        "dpml" => {
+            let leaders: u32 = parts
+                .get(1)
+                .ok_or("dpml needs a leader count, e.g. dpml:16")?
+                .parse()
+                .map_err(|e| format!("bad leader count: {e}"))?;
+            let inner = if parts.len() > 2 { flat(parts[2])? } else { FlatAlg::RecursiveDoubling };
+            Ok(Algorithm::Dpml { leaders, inner })
+        }
+        "dpml-pipelined" => {
+            let leaders: u32 = parts
+                .get(1)
+                .ok_or("dpml-pipelined needs leaders, e.g. dpml-pipelined:16:8")?
+                .parse()
+                .map_err(|e| format!("bad leader count: {e}"))?;
+            let chunks: u32 = parts
+                .get(2)
+                .ok_or("dpml-pipelined needs a chunk count, e.g. dpml-pipelined:16:8")?
+                .parse()
+                .map_err(|e| format!("bad chunk count: {e}"))?;
+            Ok(Algorithm::DpmlPipelined { leaders, chunks })
+        }
+        "sharp-node" => Ok(Algorithm::SharpNodeLeader),
+        "sharp-socket" => Ok(Algorithm::SharpSocketLeader),
+        other => Err(format!("unknown algorithm `{other}` (see `dpml info`)")),
+    }
+}
+
+fn cluster_and_spec(args: &[String]) -> Result<(Preset, ClusterSpec), String> {
+    let id = arg_value(args, "--cluster").unwrap_or_else(|| "c".into());
+    let preset = Preset::by_id(&id).ok_or(format!("unknown cluster `{id}` (a|b|c|d)"))?;
+    let nodes: u32 = arg_value(args, "--nodes")
+        .map(|v| v.parse().map_err(|e| format!("bad --nodes: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let ppn: u32 = arg_value(args, "--ppn")
+        .map(|v| v.parse().map_err(|e| format!("bad --ppn: {e}")))
+        .transpose()?
+        .unwrap_or(preset.default_ppn);
+    let spec = preset.spec(nodes, ppn).map_err(|e| e.to_string())?;
+    Ok((preset, spec))
+}
+
+fn cmd_info() {
+    println!("cluster presets (--cluster):");
+    for p in all_presets() {
+        println!(
+            "  {}  {}  ({} sockets x {} cores, default ppn {}, up to {} nodes)",
+            p.id.to_lowercase(),
+            p.fabric.name,
+            p.sockets_per_node,
+            p.cores_per_socket,
+            p.default_ppn,
+            p.max_nodes
+        );
+    }
+    println!("\nalgorithms (--alg):");
+    for a in [
+        "rd", "rabenseifner", "ring", "binomial", "single-leader[:rd|rab|ring]",
+        "dpml:<leaders>[:rd|rab|ring]", "dpml-pipelined:<leaders>:<chunks>",
+        "sharp-node (cluster a only)", "sharp-socket (cluster a only)",
+    ] {
+        println!("  {a}");
+    }
+    println!("\nsizes accept K/M suffixes: 64, 4K, 2M");
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let alg = parse_algorithm(&arg_value(args, "--alg").ok_or("--alg required")?)?;
+    let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
+    let rep = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+    println!(
+        "{} on {} ({} x {} = {} ranks), {} bytes:",
+        alg.name(),
+        preset.fabric.name,
+        spec.num_nodes,
+        spec.ppn,
+        spec.world_size(),
+        bytes
+    );
+    println!("  latency          {:>12.2} us (verified correct)", rep.latency_us);
+    let st = rep.report.stats;
+    println!("  messages         {:>12}", st.messages);
+    println!("  inter-node       {:>12} msgs, {} bytes", st.inter_node_messages, st.inter_node_bytes);
+    println!("  shm copies       {:>12}", st.copies);
+    println!("  reductions       {:>12}", st.reduces);
+    println!("  sharp ops        {:>12}", st.sharp_ops);
+    println!("  sim events       {:>12}", st.events);
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let alg_specs = arg_values(args, "--alg");
+    if alg_specs.is_empty() {
+        return Err("at least one --alg required".into());
+    }
+    let algs: Vec<Algorithm> =
+        alg_specs.iter().map(|s| parse_algorithm(s)).collect::<Result<_, _>>()?;
+    println!(
+        "sweep on {} ({} x {} = {} ranks)",
+        preset.fabric.name,
+        spec.num_nodes,
+        spec.ppn,
+        spec.world_size()
+    );
+    print!("{:>8}", "size");
+    for a in &algs {
+        print!("  {:>16}", a.name());
+    }
+    println!();
+    let mut bytes = 4u64;
+    while bytes <= 1 << 20 {
+        print!("{bytes:>8}");
+        for &a in &algs {
+            match run_allreduce(&preset, &spec, a, bytes) {
+                Ok(rep) => print!("  {:>14.1}us", rep.latency_us),
+                Err(e) => {
+                    let _ = e;
+                    print!("  {:>16}", "-")
+                }
+            }
+        }
+        println!();
+        bytes *= 4;
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
+    println!(
+        "library comparison on {} ({} ranks) at {} bytes:",
+        preset.fabric.name,
+        spec.world_size(),
+        bytes
+    );
+    for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
+        let alg = lib.choose(&preset, &spec, bytes);
+        let rep = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+        println!("  {:<16} -> {:<16} {:>12.2} us", lib.name(), alg.name(), rep.latency_us);
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let sizes: Vec<u64> = (2..=20).map(|e| 1u64 << e).collect();
+    let cands = default_candidates(&preset, &spec);
+    println!(
+        "tuning {} candidates over {} sizes on {} ({} ranks)...",
+        cands.len(),
+        sizes.len(),
+        preset.fabric.name,
+        spec.world_size()
+    );
+    let table = tune(&preset, &spec, &sizes, &cands);
+    println!("{:>10}  {:<18} {:>12}", "<= size", "algorithm", "latency");
+    for e in &table.entries {
+        println!("{:>10}  {:<18} {:>10.2}us", e.max_bytes, e.algorithm.name(), e.latency_us);
+    }
+    if let Some(out) = arg_value(args, "--out") {
+        let json = serde_json::to_string_pretty(&table).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("table written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_app(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let app = arg_value(args, "--app").ok_or("--app hpcg|miniamr required")?;
+    match app.as_str() {
+        "hpcg" => {
+            let cfg = HpcgConfig { iterations: 20, ..Default::default() };
+            let profile = cfg.profile();
+            println!("HPCG skeleton on {} ({} ranks):", preset.fabric.name, spec.world_size());
+            let designs: Vec<(&str, Algorithm)> = if preset.fabric.has_sharp() {
+                vec![
+                    ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+                    ("sharp-node", Algorithm::SharpNodeLeader),
+                    ("sharp-socket", Algorithm::SharpSocketLeader),
+                ]
+            } else {
+                vec![("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling })]
+            };
+            for (name, alg) in designs {
+                let rep = run_app(&preset, &spec, &profile, &|_| alg).map_err(|e| e.to_string())?;
+                println!(
+                    "  {:<12} total {:>10.1}us  ddot {:>9.1}us",
+                    name, rep.total_us, rep.comm_us
+                );
+            }
+        }
+        "miniamr" => {
+            let cfg = MiniAmrConfig { refinements: 10, ..Default::default() };
+            let profile = cfg.profile(spec.world_size());
+            println!(
+                "miniAMR skeleton on {} ({} ranks, {}B refinement tags):",
+                preset.fabric.name,
+                spec.world_size(),
+                cfg.refinement_bytes(spec.world_size())
+            );
+            for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
+                let rep = run_app(&preset, &spec, &profile, &|b| lib.choose(&preset, &spec, b))
+                    .map_err(|e| e.to_string())?;
+                println!("  {:<16} refine comm {:>10.1}us", lib.name(), rep.comm_us);
+            }
+        }
+        other => return Err(format!("unknown app `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = if args.is_empty() { &args[..] } else { &args[1..] };
+    let result = match cmd {
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        "simulate" => cmd_simulate(rest),
+        "sweep" => cmd_sweep(rest),
+        "compare" => cmd_compare(rest),
+        "tune" => cmd_tune(rest),
+        "app" => cmd_app(rest),
+        "help" | "--help" | "-h" => {
+            println!(
+                "usage: dpml <info|simulate|sweep|compare|tune|app> [options]\n\
+                 try: dpml info\n     \
+                 dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
+                 dpml compare --cluster d --nodes 8 --bytes 512K\n     \
+                 dpml tune --cluster b --nodes 8 --out tuned.json\n     \
+                 dpml app --app miniamr --cluster c --nodes 8"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `dpml help`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
