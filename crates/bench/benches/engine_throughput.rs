@@ -16,12 +16,29 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(10);
     for (name, alg, nodes, ppn) in [
         ("rd_flat_8x8", Algorithm::RecursiveDoubling, 8u32, 8u32),
-        ("dpml_l4_8x8", Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling }, 8, 8),
-        ("dpml_l16_16x28", Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling }, 16, 28),
+        (
+            "dpml_l4_8x8",
+            Algorithm::Dpml {
+                leaders: 4,
+                inner: FlatAlg::RecursiveDoubling,
+            },
+            8,
+            8,
+        ),
+        (
+            "dpml_l16_16x28",
+            Algorithm::Dpml {
+                leaders: 16,
+                inner: FlatAlg::RecursiveDoubling,
+            },
+            16,
+            28,
+        ),
     ] {
         let spec = preset.spec(nodes, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let cfg =
+            SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).expect("topology");
         let world = alg.build(&map, 64 * 1024).unwrap();
         let events = Simulator::new(&cfg).run(&world).unwrap().stats.events;
         g.throughput(Throughput::Elements(events));
@@ -39,8 +56,20 @@ fn bench_schedule_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("schedule_compile");
     for (name, alg) in [
         ("rd", Algorithm::RecursiveDoubling),
-        ("dpml_l16", Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling }),
-        ("dpml_l16_k8", Algorithm::DpmlPipelined { leaders: 16, chunks: 8 }),
+        (
+            "dpml_l16",
+            Algorithm::Dpml {
+                leaders: 16,
+                inner: FlatAlg::RecursiveDoubling,
+            },
+        ),
+        (
+            "dpml_l16_k8",
+            Algorithm::DpmlPipelined {
+                leaders: 16,
+                chunks: 8,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(alg.build(black_box(&map), 1 << 20).unwrap()));

@@ -10,21 +10,31 @@ use dpml_shm::{IntraAlgo, NodeRuntime};
 use std::hint::black_box;
 
 fn bench_intranode(c: &mut Criterion) {
-    let ppn = 8usize.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8));
+    let ppn = 8usize.min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8),
+    );
     let rt = NodeRuntime::new(ppn);
     for elems in [1usize << 12, 1 << 16] {
-        let inputs: Vec<Vec<f64>> =
-            (0..ppn).map(|r| (0..elems).map(|i| (r * elems + i) as f64).collect()).collect();
+        let inputs: Vec<Vec<f64>> = (0..ppn)
+            .map(|r| (0..elems).map(|i| (r * elems + i) as f64).collect())
+            .collect();
         let mut g = c.benchmark_group(format!("intranode_allreduce_{}B", elems * 8));
         g.throughput(Throughput::Bytes((elems * 8 * ppn) as u64));
         g.sample_size(20);
-        let mut counts: Vec<usize> = [1usize, 2, 4, ppn].into_iter().filter(|&l| l <= ppn).collect();
+        let mut counts: Vec<usize> = [1usize, 2, 4, ppn]
+            .into_iter()
+            .filter(|&l| l <= ppn)
+            .collect();
         counts.sort_unstable();
         counts.dedup();
         for leaders in counts {
             g.bench_with_input(BenchmarkId::new("leaders", leaders), &leaders, |b, &l| {
                 b.iter(|| {
-                    black_box(rt.allreduce(black_box(&inputs), IntraAlgo::MultiLeader { leaders: l }))
+                    black_box(
+                        rt.allreduce(black_box(&inputs), IntraAlgo::MultiLeader { leaders: l }),
+                    )
                 });
             });
         }

@@ -25,7 +25,10 @@ fn bench_leader_sweep_path(c: &mut Criterion) {
                     run_allreduce(
                         &preset,
                         &spec,
-                        Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling },
+                        Algorithm::Dpml {
+                            leaders: l,
+                            inner: FlatAlg::RecursiveDoubling,
+                        },
                         64 * 1024,
                     )
                     .unwrap(),
@@ -58,7 +61,9 @@ fn bench_sharp_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_path");
     g.sample_size(10);
     g.bench_function("sharp_socket_256b", |b| {
-        b.iter(|| black_box(run_allreduce(&preset, &spec, Algorithm::SharpSocketLeader, 256).unwrap()));
+        b.iter(|| {
+            black_box(run_allreduce(&preset, &spec, Algorithm::SharpSocketLeader, 256).unwrap())
+        });
     });
     g.finish();
 }
@@ -66,7 +71,10 @@ fn bench_sharp_path(c: &mut Criterion) {
 fn bench_app_path(c: &mut Criterion) {
     let preset = cluster_a();
     let spec = preset.spec(2, 28).unwrap();
-    let cfg = HpcgConfig { iterations: 5, ..Default::default() };
+    let cfg = HpcgConfig {
+        iterations: 5,
+        ..Default::default()
+    };
     let profile = cfg.profile();
     let mut g = c.benchmark_group("fig11_path");
     g.sample_size(10);

@@ -40,7 +40,12 @@ fn variant(name: &'static str, preset: &Preset, points: &mut Vec<Point>) {
         for pc in pair_counts {
             let rel = multi_pair_bw(preset, PairPlacement::InterNode, pc, bytes, 64) / base;
             cells.push(format!("{rel:.2}"));
-            points.push(Point { variant: name, pairs: pc, bytes, relative: rel });
+            points.push(Point {
+                variant: name,
+                pairs: pc,
+                bytes,
+                relative: rel,
+            });
         }
         table.row(cells);
     }

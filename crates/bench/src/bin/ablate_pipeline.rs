@@ -51,7 +51,12 @@ fn main() {
                 if us < best.1 {
                     best = (k, us);
                 }
-                points.push(Point { cluster: preset.id, bytes, k, latency_us: us });
+                points.push(Point {
+                    cluster: preset.id,
+                    bytes,
+                    k,
+                    latency_us: us,
+                });
             }
             cells.push(best.0.to_string());
             table.row(cells);

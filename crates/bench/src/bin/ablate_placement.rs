@@ -30,15 +30,23 @@ fn main() {
     let algs = [
         Algorithm::RecursiveDoubling,
         Algorithm::Rabenseifner,
-        Algorithm::Dpml { leaders: 8, inner: FlatAlg::RecursiveDoubling },
+        Algorithm::Dpml {
+            leaders: 8,
+            inner: FlatAlg::RecursiveDoubling,
+        },
     ];
     println!(
         "placement ablation on {} ({} nodes x {} ppn)",
         preset.fabric.name, nodes, spec.ppn
     );
     let mut points = Vec::new();
-    let mut table =
-        Table::new(["algorithm", "size", "block (us)", "cyclic (us)", "cyclic penalty"]);
+    let mut table = Table::new([
+        "algorithm",
+        "size",
+        "block (us)",
+        "cyclic (us)",
+        "cyclic penalty",
+    ]);
     for alg in algs {
         for bytes in [4 * 1024u64, 256 * 1024] {
             let block = run_allreduce_placed(&preset, &spec, Placement::Block, alg, bytes)
@@ -54,8 +62,18 @@ fn main() {
                 fmt_us(cyclic),
                 format!("{:.2}x", cyclic / block),
             ]);
-            points.push(Point { algorithm: alg.name(), placement: "block", bytes, latency_us: block });
-            points.push(Point { algorithm: alg.name(), placement: "cyclic", bytes, latency_us: cyclic });
+            points.push(Point {
+                algorithm: alg.name(),
+                placement: "block",
+                bytes,
+                latency_us: block,
+            });
+            points.push(Point {
+                algorithm: alg.name(),
+                placement: "cyclic",
+                bytes,
+                latency_us: cyclic,
+            });
         }
     }
     table.print();

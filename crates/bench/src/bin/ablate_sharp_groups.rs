@@ -33,7 +33,7 @@ fn run_per_leader(nodes: u32, leaders: u32, bytes: u64, max_ops: u32) -> f64 {
     let preset = cluster_a();
     let spec = preset.spec(nodes, 28).expect("spec");
     let map = RankMap::block(&spec);
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).expect("topology");
     let mut params = preset.fabric.sharp.expect("sharp");
     params.max_concurrent_ops = max_ops;
     let oracle = SharpFabric::new(params, cfg.tree.clone(), map.clone());
@@ -41,7 +41,10 @@ fn run_per_leader(nodes: u32, leaders: u32, bytes: u64, max_ops: u32) -> f64 {
     let mut b = ProgramBuilder::new();
     emit_sharp_per_dpml_leader(&mut w, &mut b, &map, ByteRange::whole(bytes), leaders)
         .expect("build");
-    let rep = Simulator::new(&cfg).with_sharp(&oracle).run(&w).expect("run");
+    let rep = Simulator::new(&cfg)
+        .with_sharp(&oracle)
+        .run(&w)
+        .expect("run");
     rep.verify_allreduce().expect("verified");
     rep.latency_us()
 }
@@ -52,7 +55,10 @@ fn main() {
     let spec = preset.spec(nodes, 28).expect("spec");
     let mut points = Vec::new();
 
-    println!("SHArP design ablation on {} ({nodes} nodes x 28 ppn)", preset.fabric.name);
+    println!(
+        "SHArP design ablation on {} ({nodes} nodes x 28 ppn)",
+        preset.fabric.name
+    );
 
     // 1. Group-limit demonstration.
     let params = SharpParams::switch_ib2();
@@ -62,9 +68,7 @@ fn main() {
         match reg.create(j, vec![dpml_topology::Rank(j)]) {
             Ok(()) => created += 1,
             Err(e) => {
-                println!(
-                    "\ngroup limit: created {created} of 16 per-leader groups, then: {e}"
-                );
+                println!("\ngroup limit: created {created} of 16 per-leader groups, then: {e}");
                 break;
             }
         }
@@ -72,8 +76,13 @@ fn main() {
 
     // 2. Per-leader SHArP vs the paper's designs (fabric default: 2 ops).
     println!("\nPer-leader SHArP vs node-/socket-level designs (switch budget = 2 ops):");
-    let mut table =
-        Table::new(["size", "socket-ldr (us)", "node-ldr (us)", "per-leader l=4", "per-leader l=8"]);
+    let mut table = Table::new([
+        "size",
+        "socket-ldr (us)",
+        "node-ldr (us)",
+        "per-leader l=4",
+        "per-leader l=8",
+    ]);
     for bytes in [256u64, 1024, 4096] {
         let socket = run_allreduce(&preset, &spec, Algorithm::SharpSocketLeader, bytes)
             .expect("socket")
@@ -83,14 +92,25 @@ fn main() {
             .latency_us;
         let l4 = run_per_leader(nodes, 4, bytes, 2);
         let l8 = run_per_leader(nodes, 8, bytes, 2);
-        table.row([fmt_bytes(bytes), fmt_us(socket), fmt_us(node), fmt_us(l4), fmt_us(l8)]);
+        table.row([
+            fmt_bytes(bytes),
+            fmt_us(socket),
+            fmt_us(node),
+            fmt_us(l4),
+            fmt_us(l8),
+        ]);
         for (design, us) in [
             ("socket-leader".to_string(), socket),
             ("node-leader".to_string(), node),
             ("per-leader-l4".to_string(), l4),
             ("per-leader-l8".to_string(), l8),
         ] {
-            points.push(Point { design, bytes, max_concurrent_ops: 2, latency_us: us });
+            points.push(Point {
+                design,
+                bytes,
+                max_concurrent_ops: 2,
+                latency_us: us,
+            });
         }
     }
     table.print();

@@ -36,7 +36,10 @@ fn panel(
         std::iter::once("size".to_string())
             .chain(pair_counts.iter().map(|p| format!("{p} pair(s)"))),
     );
-    println!("\nFigure 1({name}) — {}; relative throughput vs 1 pair", preset.fabric.name);
+    println!(
+        "\nFigure 1({name}) — {}; relative throughput vs 1 pair",
+        preset.fabric.name
+    );
     for &bytes in &sizes {
         let base = multi_pair_bw(preset, placement, 1, bytes, window);
         let mut cells = vec![fmt_bytes(bytes)];
@@ -61,10 +64,38 @@ fn main() {
     let window = dpml_bench::arg_num("--window", 64u32);
     let mut points = Vec::new();
     let xeon_pairs = [1u32, 2, 4, 8, 14];
-    panel("a:intra-node", &dpml_fabric::presets::cluster_c(), PairPlacement::IntraNode, &xeon_pairs, window, &mut points);
-    panel("b:xeon-ib", &dpml_fabric::presets::cluster_b(), PairPlacement::InterNode, &[1, 2, 4, 8, 28], window, &mut points);
-    panel("c:xeon-opa", &dpml_fabric::presets::cluster_c(), PairPlacement::InterNode, &[1, 2, 4, 8, 28], window, &mut points);
-    panel("d:knl-opa", &dpml_fabric::presets::cluster_d(), PairPlacement::InterNode, &[1, 2, 4, 8, 32], window, &mut points);
+    panel(
+        "a:intra-node",
+        &dpml_fabric::presets::cluster_c(),
+        PairPlacement::IntraNode,
+        &xeon_pairs,
+        window,
+        &mut points,
+    );
+    panel(
+        "b:xeon-ib",
+        &dpml_fabric::presets::cluster_b(),
+        PairPlacement::InterNode,
+        &[1, 2, 4, 8, 28],
+        window,
+        &mut points,
+    );
+    panel(
+        "c:xeon-opa",
+        &dpml_fabric::presets::cluster_c(),
+        PairPlacement::InterNode,
+        &[1, 2, 4, 8, 28],
+        window,
+        &mut points,
+    );
+    panel(
+        "d:knl-opa",
+        &dpml_fabric::presets::cluster_d(),
+        PairPlacement::InterNode,
+        &[1, 2, 4, 8, 32],
+        window,
+        &mut points,
+    );
     let path = save_results("fig1_throughput", &points).expect("write results");
     println!("\nsaved {} points to {}", points.len(), path.display());
 }

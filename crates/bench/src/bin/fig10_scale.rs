@@ -8,7 +8,9 @@
 //! Usage: `fig10_scale [--nodes 160] [--ppn 64] [--quick]`
 
 use dpml_bench::sweep::quick_sizes;
-use dpml_bench::{arg_flag, arg_num, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table};
+use dpml_bench::{
+    arg_flag, arg_num, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table,
+};
 use dpml_core::selector::Library;
 use dpml_fabric::presets::cluster_d;
 use serde::Serialize;
@@ -25,7 +27,11 @@ fn main() {
     let nodes = arg_num("--nodes", 160u32);
     let ppn = arg_num("--ppn", 64u32);
     let spec = preset.spec(nodes, ppn).expect("spec");
-    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    let sizes = if arg_flag("--quick") {
+        quick_sizes()
+    } else {
+        paper_sizes()
+    };
     println!(
         "Figure 10 — scale run on {} ({} nodes x {} ppn = {} procs)",
         preset.fabric.name,
@@ -48,7 +54,11 @@ fn main() {
         for (i, lib) in libs.iter().enumerate() {
             let alg = lib.choose(&preset, &spec, bytes);
             lat[i] = latency_us(&preset, &spec, alg, bytes);
-            points.push(Point { library: lib.name(), bytes, latency_us: lat[i] });
+            points.push(Point {
+                library: lib.name(),
+                bytes,
+                latency_us: lat[i],
+            });
         }
         table.row([
             fmt_bytes(bytes),

@@ -28,15 +28,31 @@ struct Point {
 fn hpcg(points: &mut Vec<Point>) {
     let preset = cluster_a();
     let iters = arg_num("--iters", 20u32);
-    let cfg = HpcgConfig { iterations: iters, ..Default::default() };
+    let cfg = HpcgConfig {
+        iterations: iters,
+        ..Default::default()
+    };
     let designs: [(&str, Algorithm); 3] = [
-        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        (
+            "host-based",
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            },
+        ),
         ("node-leader", Algorithm::SharpNodeLeader),
         ("socket-leader", Algorithm::SharpSocketLeader),
     ];
-    println!("Figure 11(a) — HPCG DDOT on {} ({iters} CG iterations)", preset.fabric.name);
-    let mut table =
-        Table::new(["procs", "host ddot (us)", "node-ldr (us)", "socket-ldr (us)", "best impr"]);
+    println!(
+        "Figure 11(a) — HPCG DDOT on {} ({iters} CG iterations)",
+        preset.fabric.name
+    );
+    let mut table = Table::new([
+        "procs",
+        "host ddot (us)",
+        "node-ldr (us)",
+        "socket-ldr (us)",
+        "best impr",
+    ]);
     for nodes in [2u32, 8, 16] {
         let spec = preset.spec(nodes, 28).expect("spec");
         let profile = cfg.profile();
@@ -70,7 +86,10 @@ fn miniamr(points: &mut Vec<Point>) {
     for preset in [cluster_c(), cluster_d()] {
         let nodes = 16;
         let spec = preset.default_spec(nodes).expect("spec");
-        let cfg = MiniAmrConfig { refinements, ..Default::default() };
+        let cfg = MiniAmrConfig {
+            refinements,
+            ..Default::default()
+        };
         let profile = cfg.profile(spec.world_size());
         println!(
             "\nFigure 11(b) — miniAMR refinement on {} ({} procs, {} refinements, {}B tags)",
@@ -83,8 +102,10 @@ fn miniamr(points: &mut Vec<Point>) {
         let libs = [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned];
         let mut base = 0.0;
         for lib in libs {
-            let rep = run_app(&preset, &spec, &profile, &|bytes| lib.choose(&preset, &spec, bytes))
-                .expect("miniamr run");
+            let rep = run_app(&preset, &spec, &profile, &|bytes| {
+                lib.choose(&preset, &spec, bytes)
+            })
+            .expect("miniamr run");
             if lib == Library::Mvapich2 {
                 base = rep.comm_us;
             }

@@ -9,7 +9,10 @@
 //! Usage: `fig4_7_leader_sweep --cluster a|b|c|d [--nodes N] [--quick]`
 
 use dpml_bench::sweep::quick_sizes;
-use dpml_bench::{arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, SizeBand, Table};
+use dpml_bench::{
+    arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results,
+    SizeBand, Table,
+};
 use dpml_core::algorithms::{Algorithm, FlatAlg};
 use dpml_fabric::Preset;
 use serde::Serialize;
@@ -34,7 +37,11 @@ fn main() {
     };
     let nodes = arg_num("--nodes", default_nodes);
     let spec = preset.default_spec(nodes).expect("cluster spec");
-    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    let sizes = if arg_flag("--quick") {
+        quick_sizes()
+    } else {
+        paper_sizes()
+    };
     let leader_counts = [1u32, 2, 4, 8, 16];
     let fig = match preset.id {
         "A" => "4",
@@ -52,7 +59,11 @@ fn main() {
 
     let mut points = Vec::new();
     for band in SizeBand::all() {
-        let band_sizes: Vec<u64> = sizes.iter().copied().filter(|&s| SizeBand::of(s) == band).collect();
+        let band_sizes: Vec<u64> = sizes
+            .iter()
+            .copied()
+            .filter(|&s| SizeBand::of(s) == band)
+            .collect();
         if band_sizes.is_empty() {
             continue;
         }
@@ -70,7 +81,10 @@ fn main() {
                 let us = latency_us(
                     &preset,
                     &spec,
-                    Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling },
+                    Algorithm::Dpml {
+                        leaders: l,
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
                     bytes,
                 );
                 if us < best.1 {

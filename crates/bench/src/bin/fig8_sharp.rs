@@ -21,16 +21,30 @@ fn main() {
     let preset = cluster_a();
     let nodes = arg_num("--nodes", 16u32);
     let designs: [(&'static str, Algorithm); 3] = [
-        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        (
+            "host-based",
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            },
+        ),
         ("node-leader", Algorithm::SharpNodeLeader),
         ("socket-leader", Algorithm::SharpSocketLeader),
     ];
     let sizes: Vec<u64> = (2..=12).map(|e| 1u64 << e).collect(); // 4B .. 4KB
     let mut points = Vec::new();
-    println!("Figure 8 — SHArP designs on {} ({nodes} nodes)", preset.fabric.name);
+    println!(
+        "Figure 8 — SHArP designs on {} ({nodes} nodes)",
+        preset.fabric.name
+    );
     for ppn in [1u32, 4, 28] {
         let spec = preset.spec(nodes, ppn).expect("spec");
-        let mut table = Table::new(["size", "host (us)", "node-ldr (us)", "socket-ldr (us)", "best"]);
+        let mut table = Table::new([
+            "size",
+            "host (us)",
+            "node-ldr (us)",
+            "socket-ldr (us)",
+            "best",
+        ]);
         println!("\nppn = {ppn} ({} procs)", spec.world_size());
         for &bytes in &sizes {
             let mut cells = vec![fmt_bytes(bytes)];
@@ -41,7 +55,12 @@ fn main() {
                 if us < best.1 {
                     best = (name, us);
                 }
-                points.push(Point { ppn, design: name, bytes, latency_us: us });
+                points.push(Point {
+                    ppn,
+                    design: name,
+                    bytes,
+                    latency_us: us,
+                });
             }
             cells.push(best.0.to_string());
             table.row(cells);

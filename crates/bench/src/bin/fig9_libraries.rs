@@ -5,7 +5,9 @@
 //! Usage: `fig9_libraries [--cluster a|b|c|d] [--nodes N] [--quick]`
 
 use dpml_bench::sweep::quick_sizes;
-use dpml_bench::{arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table};
+use dpml_bench::{
+    arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table,
+};
 use dpml_core::selector::Library;
 use dpml_fabric::Preset;
 use serde::Serialize;
@@ -49,7 +51,12 @@ fn run_cluster(preset: &Preset, nodes: u32, sizes: &[u64], points: &mut Vec<Poin
             } else {
                 best_other = best_other.min(us);
             }
-            points.push(Point { cluster: preset.id, library: lib.name(), bytes, latency_us: us });
+            points.push(Point {
+                cluster: preset.id,
+                library: lib.name(),
+                bytes,
+                latency_us: us,
+            });
         }
         cells.push(format!("{:.2}x", best_other / dpml));
         table.row(cells);
@@ -58,7 +65,11 @@ fn run_cluster(preset: &Preset, nodes: u32, sizes: &[u64], points: &mut Vec<Poin
 }
 
 fn main() {
-    let sizes = if arg_flag("--quick") { quick_sizes() } else { paper_sizes() };
+    let sizes = if arg_flag("--quick") {
+        quick_sizes()
+    } else {
+        paper_sizes()
+    };
     let mut points = Vec::new();
     let clusters: Vec<Preset> = match arg_value("--cluster") {
         Some(c) => vec![Preset::by_id(&c).expect("--cluster must be a|b|c|d")],

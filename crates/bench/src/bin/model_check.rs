@@ -43,7 +43,10 @@ fn main() {
             let sim_us = latency_us(
                 &preset,
                 &spec,
-                Algorithm::Dpml { leaders, inner: FlatAlg::RecursiveDoubling },
+                Algorithm::Dpml {
+                    leaders,
+                    inner: FlatAlg::RecursiveDoubling,
+                },
                 bytes,
             );
             table.row([
@@ -53,7 +56,13 @@ fn main() {
                 format!("{sim_us:.1}"),
                 format!("{:.2}", sim_us / model_us),
             ]);
-            rows.push(Row { bytes, leaders, model_us, sim_us, ratio: sim_us / model_us });
+            rows.push(Row {
+                bytes,
+                leaders,
+                model_us,
+                sim_us,
+                ratio: sim_us / model_us,
+            });
         }
     }
     table.print();
@@ -69,19 +78,29 @@ fn main() {
                 let la = latency_us(
                     &preset,
                     &spec,
-                    Algorithm::Dpml { leaders: a, inner: FlatAlg::RecursiveDoubling },
+                    Algorithm::Dpml {
+                        leaders: a,
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
                     bytes,
                 );
                 let lb = latency_us(
                     &preset,
                     &spec,
-                    Algorithm::Dpml { leaders: b, inner: FlatAlg::RecursiveDoubling },
+                    Algorithm::Dpml {
+                        leaders: b,
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
                     bytes,
                 );
                 la.total_cmp(&lb)
             })
             .expect("candidates");
-        table.row([fmt_bytes(bytes), model_best.to_string(), sim_best.to_string()]);
+        table.row([
+            fmt_bytes(bytes),
+            model_best.to_string(),
+            sim_best.to_string(),
+        ]);
     }
     table.print();
 

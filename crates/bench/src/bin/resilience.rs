@@ -1,0 +1,191 @@
+//! Resilience sweep — how gracefully does each design degrade under
+//! injected faults? (DESIGN.md §7; EXPERIMENTS.md `resilience` row.)
+//!
+//! Runs the canonical fault scenario ([`FaultPlan::canonical`]: OS noise,
+//! a fabric-wide brownout, and a deep flap on node 0) at increasing
+//! intensity against recursive doubling, DPML, and the SHArP socket-leader
+//! design on Cluster A, reporting the slowdown relative to each
+//! algorithm's own fault-free baseline. A second section exercises the
+//! SHArP degradation ladder: group denial and flaky operations, showing
+//! the fallback completing (and verifying) on a host-based schedule.
+//!
+//! Usage: `resilience [--nodes N] [--seed S]`
+
+use dpml_bench::{arg_num, fmt_bytes, fmt_us, save_results, Table};
+use dpml_core::algorithms::{Algorithm, FlatAlg};
+use dpml_core::resilience::{run_allreduce_resilient, FaultPolicy};
+use dpml_fabric::presets::cluster_a;
+use dpml_faults::{FaultPlan, SharpFaults};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    algorithm: String,
+    bytes: u64,
+    intensity: f64,
+    latency_us: f64,
+    slowdown: f64,
+    sharp_retries: u32,
+    fell_back: bool,
+    completed_with: String,
+}
+
+#[derive(Serialize)]
+struct Degradation {
+    scenario: String,
+    algorithm: String,
+    bytes: u64,
+    latency_us: f64,
+    sharp_retries: u32,
+    fell_back: bool,
+    completed_with: String,
+}
+
+#[derive(Serialize)]
+struct Results {
+    nodes: u32,
+    ppn: u32,
+    seed: u64,
+    sweep: Vec<Point>,
+    degradation: Vec<Degradation>,
+}
+
+const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+fn main() {
+    let nodes = arg_num("--nodes", 8u32);
+    let seed = arg_num("--seed", 7u64);
+    let preset = cluster_a();
+    let spec = preset.spec(nodes, 28).expect("spec");
+    let policy = FaultPolicy::default();
+
+    // Each design at a size it is actually dispatched for (Section 6.4):
+    // SHArP for the latency zone, recursive doubling small/medium, DPML
+    // medium/large.
+    let cases: [(Algorithm, u64); 3] = [
+        (Algorithm::RecursiveDoubling, 16 * 1024),
+        (
+            Algorithm::Dpml {
+                leaders: 8,
+                inner: FlatAlg::RecursiveDoubling,
+            },
+            256 * 1024,
+        ),
+        (Algorithm::SharpSocketLeader, 256),
+    ];
+
+    println!(
+        "resilience sweep on {} ({nodes} nodes x {} ppn), seed {seed}",
+        preset.fabric.name, spec.ppn
+    );
+
+    let mut sweep = Vec::new();
+    let mut table = Table::new([
+        "algorithm",
+        "bytes",
+        "intensity",
+        "latency",
+        "slowdown",
+        "note",
+    ]);
+    for (alg, bytes) in cases {
+        let mut baseline_us = None;
+        for intensity in INTENSITIES {
+            let plan = FaultPlan::canonical(seed, intensity);
+            let rep = run_allreduce_resilient(&preset, &spec, alg, bytes, &plan, policy)
+                .expect("faulted run completes");
+            let base = *baseline_us.get_or_insert(rep.latency_us);
+            let slowdown = rep.latency_us / base;
+            let note = if rep.fell_back {
+                format!("fell back to {}", rep.completed_with)
+            } else if rep.sharp_retries > 0 {
+                format!("{} retries", rep.sharp_retries)
+            } else {
+                String::new()
+            };
+            table.row([
+                rep.report.algorithm.clone(),
+                fmt_bytes(bytes),
+                format!("{intensity:.2}"),
+                fmt_us(rep.latency_us),
+                format!("{slowdown:.2}x"),
+                note,
+            ]);
+            sweep.push(Point {
+                algorithm: rep.report.algorithm.clone(),
+                bytes,
+                intensity,
+                latency_us: rep.latency_us,
+                slowdown,
+                sharp_retries: rep.sharp_retries,
+                fell_back: rep.fell_back,
+                completed_with: rep.completed_with,
+            });
+        }
+    }
+    table.print();
+
+    // SHArP degradation ladder: denial falls straight back to a host
+    // schedule; a flaky fabric retries then succeeds. Both verify.
+    println!("\nSHArP degradation ladder (socket-leader, 256B):");
+    let mut degradation = Vec::new();
+    let mut ladder = Table::new(["scenario", "latency", "retries", "completed with"]);
+    let scenarios: [(&str, SharpFaults); 2] = [
+        (
+            "group denial",
+            SharpFaults {
+                deny_groups: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "flaky ops (2 failures)",
+            SharpFaults {
+                flaky_attempts: 2,
+                op_timeout: 1e-4,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, sharp) in scenarios {
+        let plan = FaultPlan {
+            sharp,
+            ..FaultPlan::zero()
+        };
+        let rep = run_allreduce_resilient(
+            &preset,
+            &spec,
+            Algorithm::SharpSocketLeader,
+            256,
+            &plan,
+            policy,
+        )
+        .expect("degraded run completes");
+        ladder.row([
+            name.to_string(),
+            fmt_us(rep.latency_us),
+            rep.sharp_retries.to_string(),
+            rep.completed_with.clone(),
+        ]);
+        degradation.push(Degradation {
+            scenario: name.to_string(),
+            algorithm: Algorithm::SharpSocketLeader.name(),
+            bytes: 256,
+            latency_us: rep.latency_us,
+            sharp_retries: rep.sharp_retries,
+            fell_back: rep.fell_back,
+            completed_with: rep.completed_with,
+        });
+    }
+    ladder.print();
+
+    let results = Results {
+        nodes,
+        ppn: spec.ppn,
+        seed,
+        sweep,
+        degradation,
+    };
+    let path = save_results("resilience", &results).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -25,7 +25,9 @@ pub fn latency_us(preset: &Preset, spec: &ClusterSpec, alg: Algorithm, bytes: u6
 /// Fetch `--flag value` from argv; `None` when absent.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True when `--flag` is present.
@@ -38,7 +40,9 @@ pub fn arg_num<T: std::str::FromStr>(flag: &str, default: T) -> T
 where
     T::Err: std::fmt::Debug,
 {
-    arg_value(flag).map(|v| v.parse().expect("numeric flag")).unwrap_or(default)
+    arg_value(flag)
+        .map(|v| v.parse().expect("numeric flag"))
+        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -54,7 +58,10 @@ mod tests {
         let us = latency_us(
             &p,
             &spec,
-            Algorithm::Dpml { leaders: 2, inner: FlatAlg::RecursiveDoubling },
+            Algorithm::Dpml {
+                leaders: 2,
+                inner: FlatAlg::RecursiveDoubling,
+            },
             4096,
         );
         assert!(us > 0.0);

@@ -34,25 +34,33 @@ pub fn multi_pair_bw(
     };
     let spec = preset.spec(nodes, ppn.min(cores)).expect("bench spec");
     let map = RankMap::block(&spec);
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let cfg =
+        SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).expect("bench topology");
     let mut w = WorldProgram::new(map.world_size(), bytes.max(1));
     let half = spec.ppn / 2;
     for i in 0..pairs {
         let (s, d) = match placement {
             PairPlacement::IntraNode => {
                 assert!(i < half, "at most ppn/2 intra-node pairs");
-                (map.rank_at(NodeId(0), LocalRank(i)), map.rank_at(NodeId(0), LocalRank(half + i)))
+                (
+                    map.rank_at(NodeId(0), LocalRank(i)),
+                    map.rank_at(NodeId(0), LocalRank(half + i)),
+                )
             }
-            PairPlacement::InterNode => {
-                (map.rank_at(NodeId(0), LocalRank(i)), map.rank_at(NodeId(1), LocalRank(i)))
-            }
+            PairPlacement::InterNode => (
+                map.rank_at(NodeId(0), LocalRank(i)),
+                map.rank_at(NodeId(1), LocalRank(i)),
+            ),
         };
         let sp = w.rank(s);
-        let reqs: Vec<_> =
-            (0..window).map(|m| sp.isend(d, m, BUF_INPUT, ByteRange::whole(bytes))).collect();
+        let reqs: Vec<_> = (0..window)
+            .map(|m| sp.isend(d, m, BUF_INPUT, ByteRange::whole(bytes)))
+            .collect();
         sp.wait_all(reqs);
         let dp = w.rank(d);
-        let reqs: Vec<_> = (0..window).map(|m| dp.irecv(s, m, BufKey::Priv(2))).collect();
+        let reqs: Vec<_> = (0..window)
+            .map(|m| dp.irecv(s, m, BufKey::Priv(2)))
+            .collect();
         dp.wait_all(reqs);
     }
     let rep = Simulator::new(&cfg).run(&w).expect("bandwidth program");

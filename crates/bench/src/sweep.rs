@@ -82,8 +82,14 @@ mod tests {
     fn panels_cover_paper_axes() {
         assert_eq!(SizeBand::Small.sizes().first(), Some(&4));
         assert_eq!(SizeBand::Small.sizes().last(), Some(&2048));
-        assert_eq!(SizeBand::Medium.sizes(), vec![4096, 8192, 16384, 32768, 65536]);
-        assert_eq!(SizeBand::Large.sizes(), vec![131072, 262144, 524288, 1048576]);
+        assert_eq!(
+            SizeBand::Medium.sizes(),
+            vec![4096, 8192, 16384, 32768, 65536]
+        );
+        assert_eq!(
+            SizeBand::Large.sizes(),
+            vec![131072, 262144, 524288, 1048576]
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use crate::algorithms::flat::{emit_flat_range, prev_pow2};
 use crate::algorithms::{BuildError, FlatAlg};
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::{LeaderPolicy, LeaderSet, NodeId, RankMap};
 
 /// Emit phases 1 and 2 (shared-memory gather + leader reduction) plus the
@@ -109,7 +111,12 @@ fn emit_broadcast_phase(
             let prog = w.rank(r);
             if let Some(j) = my_leader {
                 if !parts[j as usize].is_empty() {
-                    prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), parts[j as usize], false);
+                    prog.copy(
+                        BUF_RESULT,
+                        BufKey::Shared(bcast_base + j),
+                        parts[j as usize],
+                        false,
+                    );
                 }
             }
             prog.barrier(publish_done);
@@ -119,7 +126,12 @@ fn emit_broadcast_phase(
                 }
                 let leader_rank = set.leader_rank(node, j);
                 let cross = map.socket_of(leader_rank) != my_socket;
-                prog.copy(BufKey::Shared(bcast_base + j), BUF_RESULT, parts[j as usize], cross);
+                prog.copy(
+                    BufKey::Shared(bcast_base + j),
+                    BUF_RESULT,
+                    parts[j as usize],
+                    cross,
+                );
             }
         }
     }
@@ -207,8 +219,9 @@ fn emit_pipelined_rd(
         pe.recv(odd, pre_tag, whole_scratch);
         pe.reduce(vec![whole_scratch], buf, range);
     }
-    let core: Vec<dpml_topology::Rank> =
-        (0..pof2).map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] }).collect();
+    let core: Vec<dpml_topology::Rank> = (0..pof2)
+        .map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] })
+        .collect();
 
     let steps = pof2.trailing_zeros();
     let tag0 = b.fresh_tags(steps * k);
@@ -237,10 +250,16 @@ fn emit_pipelined_rd(
             }
         }
         for step in 0..steps {
-            let next_peer = if step + 1 < steps { Some(core[i ^ (1 << (step + 1))]) } else { None };
+            let next_peer = if step + 1 < steps {
+                Some(core[i ^ (1 << (step + 1))])
+            } else {
+                None
+            };
             let prog = w.rank(me);
             for c in 0..k {
-                let Some((s, r)) = pending[c as usize] else { continue };
+                let Some((s, r)) = pending[c as usize] else {
+                    continue;
+                };
                 prog.wait_all(vec![s, r]);
                 prog.reduce(vec![scratch(c)], buf, chunks[c as usize]);
                 if let Some(np) = next_peer {
@@ -273,7 +292,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         (map, cfg)
     }
 
@@ -283,7 +302,8 @@ mod tests {
         let mut b = ProgramBuilder::new();
         emit_dpml(&mut w, &mut b, &map, ByteRange::whole(n), l, inner).unwrap();
         let rep = Simulator::new(&cfg).run(&w).unwrap();
-        rep.verify_allreduce().unwrap_or_else(|e| panic!("l={l} nodes={nodes} ppn={ppn}: {e}"));
+        rep.verify_allreduce()
+            .unwrap_or_else(|e| panic!("l={l} nodes={nodes} ppn={ppn}: {e}"));
         rep
     }
 
@@ -307,7 +327,11 @@ mod tests {
 
     #[test]
     fn dpml_correct_all_inner_algorithms() {
-        for inner in [FlatAlg::RecursiveDoubling, FlatAlg::Rabenseifner, FlatAlg::Ring] {
+        for inner in [
+            FlatAlg::RecursiveDoubling,
+            FlatAlg::Rabenseifner,
+            FlatAlg::Ring,
+        ] {
             run_dpml(4, 4, 1 << 16, 4, inner);
         }
     }
@@ -346,7 +370,10 @@ mod tests {
         let r1 = run_dpml(4, 8, n, 1, FlatAlg::RecursiveDoubling);
         let r4 = run_dpml(4, 8, n, 4, FlatAlg::RecursiveDoubling);
         assert_eq!(r1.stats.inter_node_bytes, r4.stats.inter_node_bytes);
-        assert_eq!(r4.stats.inter_node_messages, 4 * r1.stats.inter_node_messages);
+        assert_eq!(
+            r4.stats.inter_node_messages,
+            4 * r1.stats.inter_node_messages
+        );
     }
 
     #[test]
@@ -372,7 +399,8 @@ mod tests {
         let mut b = ProgramBuilder::new();
         emit_dpml_pipelined(&mut w, &mut b, &map, ByteRange::whole(n), l, k).unwrap();
         let rep = Simulator::new(&cfg).run(&w).unwrap();
-        rep.verify_allreduce().unwrap_or_else(|e| panic!("l={l} k={k}: {e}"));
+        rep.verify_allreduce()
+            .unwrap_or_else(|e| panic!("l={l} k={k}: {e}"));
         rep
     }
 
@@ -393,7 +421,10 @@ mod tests {
         let n = 1 << 18;
         let plain = run_dpml(4, 4, n, 4, FlatAlg::RecursiveDoubling);
         let piped = run_pipelined(4, 4, n, 4, 1);
-        assert_eq!(plain.stats.inter_node_messages, piped.stats.inter_node_messages);
+        assert_eq!(
+            plain.stats.inter_node_messages,
+            piped.stats.inter_node_messages
+        );
     }
 
     #[test]
@@ -414,7 +445,7 @@ mod tests {
         let preset = cluster_c();
         let spec = ClusterSpec::new(8, 2, 14, 28).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).unwrap();
         let n = 4 << 20;
         let run_k = |k: u32| {
             let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);

@@ -17,7 +17,9 @@
 //!   `ablate_sharp_groups` quantifies it.
 
 use crate::algorithms::BuildError;
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::{LeaderPolicy, NodeId, Rank, RankMap};
 
 /// Binomial-tree reduce of `buf ∩ range` over `comm` to `comm[0]`.
@@ -156,7 +158,12 @@ pub fn emit_dpml_reduce(
         let prog = w.rank(r);
         if let Some(j) = set.leader_index(r) {
             if !parts[j as usize].is_empty() {
-                prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), parts[j as usize], false);
+                prog.copy(
+                    BUF_RESULT,
+                    BufKey::Shared(bcast_base + j),
+                    parts[j as usize],
+                    false,
+                );
             }
         }
         prog.barrier(publish_done);
@@ -167,7 +174,12 @@ pub fn emit_dpml_reduce(
                     continue;
                 }
                 let cross = map.socket_of(set.leader_rank(root_node, j)) != map.socket_of(r);
-                prog.copy(BufKey::Shared(bcast_base + j), BUF_RESULT, parts[j as usize], cross);
+                prog.copy(
+                    BufKey::Shared(bcast_base + j),
+                    BUF_RESULT,
+                    parts[j as usize],
+                    cross,
+                );
             }
         }
     }
@@ -213,13 +225,23 @@ pub fn emit_dpml_bcast(
                         continue;
                     }
                     let cross = map.socket_of(set.leader_rank(root_node, j)) != map.socket_of(r);
-                    prog.copy(BUF_INPUT, BufKey::Shared(scatter_base + j), parts[j as usize], cross);
+                    prog.copy(
+                        BUF_INPUT,
+                        BufKey::Shared(scatter_base + j),
+                        parts[j as usize],
+                        cross,
+                    );
                 }
             }
             prog.barrier(scatter_done);
             if let Some(j) = set.leader_index(r) {
                 if !parts[j as usize].is_empty() {
-                    prog.copy(BufKey::Shared(scatter_base + j), BUF_RESULT, parts[j as usize], false);
+                    prog.copy(
+                        BufKey::Shared(scatter_base + j),
+                        BUF_RESULT,
+                        parts[j as usize],
+                        false,
+                    );
                 }
             }
         }
@@ -251,7 +273,12 @@ pub fn emit_dpml_bcast(
             let prog = w.rank(r);
             if let Some(j) = my_leader {
                 if !parts[j as usize].is_empty() {
-                    prog.copy(BUF_RESULT, BufKey::Shared(publish_base + j), parts[j as usize], false);
+                    prog.copy(
+                        BUF_RESULT,
+                        BufKey::Shared(publish_base + j),
+                        parts[j as usize],
+                        false,
+                    );
                 }
             }
             prog.barrier(publish_done);
@@ -260,7 +287,12 @@ pub fn emit_dpml_bcast(
                     continue;
                 }
                 let cross = map.socket_of(set.leader_rank(node, j)) != map.socket_of(r);
-                prog.copy(BufKey::Shared(publish_base + j), BUF_RESULT, parts[j as usize], cross);
+                prog.copy(
+                    BufKey::Shared(publish_base + j),
+                    BUF_RESULT,
+                    parts[j as usize],
+                    cross,
+                );
             }
         }
     }
@@ -286,7 +318,9 @@ pub fn emit_sharp_nonblocking_overlap(
     let spec = *map.spec();
     let ppn = spec.ppn;
     let whole = range;
-    let set = policy.build(map).expect("node/socket leader policies always fit");
+    let set = policy
+        .build(map)
+        .expect("node/socket leader policies always fit");
     let l = set.leaders_per_node();
 
     let group = b.fresh_group();
@@ -315,7 +349,12 @@ pub fn emit_sharp_nonblocking_overlap(
             let leader_rank = set.leader_rank(node, my_leader_j);
             let cross = map.socket_of(leader_rank) != map.socket_of(r);
             let prog = w.rank(r);
-            prog.copy(BUF_INPUT, BufKey::Shared(gather_base + local.0), whole, cross);
+            prog.copy(
+                BUF_INPUT,
+                BufKey::Shared(gather_base + local.0),
+                whole,
+                cross,
+            );
             prog.barrier(gather_done);
             if let Some(j) = set.leader_index(r) {
                 let served: Vec<u32> = (0..ppn)
@@ -323,10 +362,17 @@ pub fn emit_sharp_nonblocking_overlap(
                     .collect();
                 let first = served[0];
                 let prog = w.rank(r);
-                prog.copy(BufKey::Shared(gather_base + first), BUF_RESULT, whole, false);
+                prog.copy(
+                    BufKey::Shared(gather_base + first),
+                    BUF_RESULT,
+                    whole,
+                    false,
+                );
                 if served.len() > 1 {
-                    let srcs: Vec<BufKey> =
-                        served[1..].iter().map(|&i| BufKey::Shared(gather_base + i)).collect();
+                    let srcs: Vec<BufKey> = served[1..]
+                        .iter()
+                        .map(|&i| BufKey::Shared(gather_base + i))
+                        .collect();
                     prog.reduce(srcs, BUF_RESULT, whole);
                 }
                 // Post the offloaded aggregation, overlap compute, wait.
@@ -341,7 +387,12 @@ pub fn emit_sharp_nonblocking_overlap(
             prog.barrier(publish_done);
             if set.leader_index(r).is_none() {
                 let cross2 = map.socket_of(leader_rank) != map.socket_of(r);
-                prog.copy(BufKey::Shared(bcast_base + my_leader_j), BUF_RESULT, whole, cross2);
+                prog.copy(
+                    BufKey::Shared(bcast_base + my_leader_j),
+                    BUF_RESULT,
+                    whole,
+                    cross2,
+                );
             }
         }
     }
@@ -419,7 +470,12 @@ pub fn emit_sharp_per_dpml_leader(
                     continue;
                 }
                 let cross = map.socket_of(set.leader_rank(node, j)) != my_socket;
-                prog.copy(BufKey::Shared(bcast_base + j), BUF_RESULT, parts[j as usize], cross);
+                prog.copy(
+                    BufKey::Shared(bcast_base + j),
+                    BUF_RESULT,
+                    parts[j as usize],
+                    cross,
+                );
             }
         }
     }
@@ -439,7 +495,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         (map, cfg)
     }
 
@@ -452,7 +508,8 @@ mod tests {
             let mut b = ProgramBuilder::new();
             emit_dpml_reduce(&mut w, &mut b, &map, ByteRange::whole(n), 4, root).unwrap();
             let rep = Simulator::new(&cfg).run(&w).unwrap();
-            rep.verify_reduce_at(root.0).unwrap_or_else(|e| panic!("root {root}: {e}"));
+            rep.verify_reduce_at(root.0)
+                .unwrap_or_else(|e| panic!("root {root}: {e}"));
         }
     }
 
@@ -464,7 +521,8 @@ mod tests {
             let mut b = ProgramBuilder::new();
             emit_dpml_reduce(&mut w, &mut b, &map, ByteRange::whole(777), l, Rank(0)).unwrap();
             let rep = Simulator::new(&cfg).run(&w).unwrap();
-            rep.verify_reduce_at(0).unwrap_or_else(|e| panic!("{nodes}x{ppn} l={l}: {e}"));
+            rep.verify_reduce_at(0)
+                .unwrap_or_else(|e| panic!("{nodes}x{ppn} l={l}: {e}"));
         }
     }
 
@@ -500,7 +558,7 @@ mod tests {
         let preset = cluster_a();
         let spec = ClusterSpec::new(8, 2, 14, 8).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).unwrap();
         let oracle = SharpFabric::new(
             preset.fabric.sharp.expect("sharp"),
             cfg.tree.clone(),
@@ -558,7 +616,7 @@ mod tests {
         for (nodes, ppn) in [(2u32, 2u32), (4, 8), (3, 5)] {
             let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
             let map = RankMap::block(&spec);
-            let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+            let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).unwrap();
             let oracle = SharpFabric::new(
                 preset.fabric.sharp.expect("sharp"),
                 cfg.tree.clone(),
@@ -576,7 +634,8 @@ mod tests {
             )
             .unwrap();
             let rep = Simulator::new(&cfg).with_sharp(&oracle).run(&w).unwrap();
-            rep.verify_allreduce().unwrap_or_else(|e| panic!("{nodes}x{ppn}: {e}"));
+            rep.verify_allreduce()
+                .unwrap_or_else(|e| panic!("{nodes}x{ppn}: {e}"));
         }
     }
 
@@ -585,7 +644,7 @@ mod tests {
         let preset = cluster_a();
         let spec = ClusterSpec::new(8, 2, 14, 28).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).unwrap();
         let oracle = SharpFabric::new(
             preset.fabric.sharp.expect("sharp"),
             cfg.tree.clone(),

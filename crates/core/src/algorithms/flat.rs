@@ -7,7 +7,9 @@
 //! hierarchical designs can reuse them as their inter-leader stage.
 
 use crate::algorithms::FlatAlg;
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::Rank;
 
 /// `copy(sendbuf, recvbuf)` — the local prologue every flat allreduce
@@ -63,7 +65,9 @@ fn emit_pow2_prologue(
         pe.recv(odd, tag, scratch);
         pe.reduce(vec![scratch], buf, range);
     }
-    (0..pof2).map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] }).collect()
+    (0..pof2)
+        .map(|i| if i < rem { comm[2 * i] } else { comm[i + rem] })
+        .collect()
 }
 
 /// Ship the final result from core ranks back to the folded-out extras.
@@ -150,7 +154,11 @@ pub fn emit_rabenseifner_range(
         for (i, &me) in core.iter().enumerate() {
             let peer = core[i ^ (1 << step)];
             let (low, high) = halves(owned[i]);
-            let (keep, give) = if i & (1 << step) == 0 { (low, high) } else { (high, low) };
+            let (keep, give) = if i & (1 << step) == 0 {
+                (low, high)
+            } else {
+                (high, low)
+            };
             let prog = w.rank(me);
             let s = prog.isend(peer, tag, buf, give);
             let r = prog.irecv(peer, tag, scratch);
@@ -281,7 +289,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         let comm: Vec<Rank> = map.all_ranks().collect();
         let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
         let mut b = ProgramBuilder::new();
@@ -354,14 +362,15 @@ mod tests {
             let preset = cluster_b();
             let spec = ClusterSpec::new(p, 2, 14, 1).unwrap();
             let map = RankMap::block(&spec);
-            let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+            let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
             let comm: Vec<Rank> = map.all_ranks().collect();
             let mut w = dpml_engine::WorldProgram::new(p, 256);
             let mut b = ProgramBuilder::new();
             emit_initial_copy(&mut w, &comm, ByteRange::whole(256));
             emit_binomial_range(&mut w, &mut b, &comm, BUF_RESULT, ByteRange::whole(256));
             let rep = Simulator::new(&cfg).run(&w).unwrap();
-            rep.verify_allreduce().unwrap_or_else(|e| panic!("p={p}: {e}"));
+            rep.verify_allreduce()
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
         }
     }
 
@@ -410,7 +419,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(4, 2, 14, 1).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         let comm: Vec<Rank> = map.all_ranks().collect();
         let n = 300u64;
         let mut w = dpml_engine::WorldProgram::new(4, n);

@@ -13,7 +13,9 @@
 
 use crate::algorithms::flat::emit_flat_range;
 use crate::algorithms::{BuildError, FlatAlg};
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::{LeaderPolicy, NodeId, RankMap};
 
 /// Emit the single-leader hierarchical allreduce.
@@ -27,7 +29,9 @@ pub fn emit_single_leader(
     let spec = *map.spec();
     let ppn = spec.ppn;
     let whole = range;
-    let set = LeaderPolicy::NodeLevel.build(map).expect("one leader always fits");
+    let set = LeaderPolicy::NodeLevel
+        .build(map)
+        .expect("one leader always fits");
 
     // Shared ids: one gather slot per local rank, one broadcast slot.
     let gather_base = b.fresh_shared(ppn);
@@ -103,7 +107,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
         let mut b = ProgramBuilder::new();
         emit_single_leader(&mut w, &mut b, &map, ByteRange::whole(n), inner).unwrap();

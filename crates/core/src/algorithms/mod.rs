@@ -83,7 +83,10 @@ impl Algorithm {
     /// True when the schedule issues `Sharp` instructions (requires a
     /// SHArP-capable fabric and oracle).
     pub fn needs_sharp(&self) -> bool {
-        matches!(self, Algorithm::SharpNodeLeader | Algorithm::SharpSocketLeader)
+        matches!(
+            self,
+            Algorithm::SharpNodeLeader | Algorithm::SharpSocketLeader
+        )
     }
 
     /// Compile the schedule for a cluster and message size.
@@ -187,8 +190,22 @@ mod tests {
 
     #[test]
     fn names_are_distinct_and_stable() {
-        assert_eq!(Algorithm::Dpml { leaders: 8, inner: FlatAlg::RecursiveDoubling }.name(), "dpml-l8");
-        assert_eq!(Algorithm::DpmlPipelined { leaders: 16, chunks: 4 }.name(), "dpml-l16-k4");
+        assert_eq!(
+            Algorithm::Dpml {
+                leaders: 8,
+                inner: FlatAlg::RecursiveDoubling
+            }
+            .name(),
+            "dpml-l8"
+        );
+        assert_eq!(
+            Algorithm::DpmlPipelined {
+                leaders: 16,
+                chunks: 4
+            }
+            .name(),
+            "dpml-l16-k4"
+        );
         assert_eq!(Algorithm::SharpSocketLeader.name(), "sharp-socket-leader");
     }
 
@@ -203,6 +220,10 @@ mod tests {
     fn needs_sharp_only_for_sharp_designs() {
         assert!(Algorithm::SharpNodeLeader.needs_sharp());
         assert!(Algorithm::SharpSocketLeader.needs_sharp());
-        assert!(!Algorithm::Dpml { leaders: 4, inner: FlatAlg::Ring }.needs_sharp());
+        assert!(!Algorithm::Dpml {
+            leaders: 4,
+            inner: FlatAlg::Ring
+        }
+        .needs_sharp());
     }
 }

@@ -11,7 +11,9 @@
 //!   far below the fabric's concurrency limits.
 
 use crate::algorithms::BuildError;
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::{LeaderPolicy, NodeId, RankMap};
 
 /// Emit a SHArP-offloaded allreduce with the given leader policy
@@ -26,7 +28,9 @@ pub fn emit_sharp_leader(
     let spec = *map.spec();
     let ppn = spec.ppn;
     let whole = range;
-    let set = policy.build(map).expect("node/socket leader policies always fit");
+    let set = policy
+        .build(map)
+        .expect("node/socket leader policies always fit");
     let l = set.leaders_per_node();
 
     // One SHArP group containing every leader of every node.
@@ -59,7 +63,12 @@ pub fn emit_sharp_leader(
             let prog = w.rank(r);
             // Gather: deposit into own slot of the responsible leader's
             // region.
-            prog.copy(BUF_INPUT, BufKey::Shared(gather_base + local.0), whole, cross);
+            prog.copy(
+                BUF_INPUT,
+                BufKey::Shared(gather_base + local.0),
+                whole,
+                cross,
+            );
             prog.barrier(gather_done);
             if let Some(j) = set.leader_index(r) {
                 // Leader folds the slots of the ranks it serves.
@@ -68,10 +77,17 @@ pub fn emit_sharp_leader(
                     .collect();
                 let first = served[0];
                 let prog = w.rank(r);
-                prog.copy(BufKey::Shared(gather_base + first), BUF_RESULT, whole, false);
+                prog.copy(
+                    BufKey::Shared(gather_base + first),
+                    BUF_RESULT,
+                    whole,
+                    false,
+                );
                 if served.len() > 1 {
-                    let srcs: Vec<BufKey> =
-                        served[1..].iter().map(|&i| BufKey::Shared(gather_base + i)).collect();
+                    let srcs: Vec<BufKey> = served[1..]
+                        .iter()
+                        .map(|&i| BufKey::Shared(gather_base + i))
+                        .collect();
                     prog.reduce(srcs, BUF_RESULT, whole);
                 }
                 // In-network aggregation across all leaders everywhere.
@@ -83,7 +99,12 @@ pub fn emit_sharp_leader(
             prog.barrier(publish_done);
             if set.leader_index(r).is_none() {
                 let cross2 = map.socket_of(leader_rank) != map.socket_of(r);
-                prog.copy(BufKey::Shared(bcast_base + my_leader_j), BUF_RESULT, whole, cross2);
+                prog.copy(
+                    BufKey::Shared(bcast_base + my_leader_j),
+                    BUF_RESULT,
+                    whole,
+                    cross2,
+                );
             }
         }
     }
@@ -102,7 +123,7 @@ mod tests {
         let preset = cluster_a();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).unwrap();
         let oracle = SharpFabric::new(
             preset.fabric.sharp.expect("cluster A has SHArP"),
             cfg.tree.clone(),

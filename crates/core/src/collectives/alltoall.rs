@@ -84,7 +84,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         let comm: Vec<Rank> = map.all_ranks().collect();
         let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
         let mut b = ProgramBuilder::new();

@@ -58,8 +58,9 @@ pub fn emit_barrier(w: &mut WorldProgram, b: &mut ProgramBuilder, map: &RankMap,
                 }
             }
             // Leaders synchronize across nodes.
-            let leaders: Vec<Rank> =
-                (0..spec.num_nodes).map(|n| map.ranks_on_node(NodeId(n))[0]).collect();
+            let leaders: Vec<Rank> = (0..spec.num_nodes)
+                .map(|n| map.ranks_on_node(NodeId(n))[0])
+                .collect();
             emit_dissemination(w, b, &leaders);
             // Release: second intra-node barrier.
             for node in 0..spec.num_nodes {
@@ -86,7 +87,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         (map, cfg)
     }
 
@@ -100,7 +101,8 @@ mod tests {
         w.rank(Rank(0)).compute(1e-3);
         emit_barrier(&mut w, &mut b, &map, alg);
         for r in map.all_ranks() {
-            w.rank(r).copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            w.rank(r)
+                .copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
         }
         let rep = Simulator::new(&cfg).run(&w).unwrap();
         for (i, t) in rep.finish_times.iter().enumerate() {
@@ -130,7 +132,11 @@ mod tests {
             let mut w = dpml_engine::WorldProgram::new(map.world_size(), 8);
             let mut b = ProgramBuilder::new();
             emit_barrier(&mut w, &mut b, &map, alg);
-            Simulator::new(&cfg).run(&w).unwrap().stats.inter_node_messages
+            Simulator::new(&cfg)
+                .run(&w)
+                .unwrap()
+                .stats
+                .inter_node_messages
         };
         let flat = run(BarrierAlg::Dissemination);
         let hier = run(BarrierAlg::Hierarchical);

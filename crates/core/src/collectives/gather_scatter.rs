@@ -29,7 +29,13 @@ fn span_ranges(bl: &[ByteRange], p: usize, first: usize, count: usize) -> Vec<By
 /// Emit a binomial gather to `root`: afterwards the root's result buffer
 /// holds block `i` from member `i` for every `i` (verify with
 /// `expected_block_identity` at the root only).
-pub fn emit_gather(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: u64, root: Rank) {
+pub fn emit_gather(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    n: u64,
+    root: Rank,
+) {
     let p = comm.len();
     let bl = blocks(n, p as u32);
     let root_idx = comm.iter().position(|&r| r == root).expect("root in comm");
@@ -59,8 +65,9 @@ pub fn emit_gather(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], 
                 let have = (2 * mask).min(p - rel).min(mask);
                 // I currently hold relative blocks [rel, rel + have).
                 let parent = comm[(rel - mask + root_idx) % p];
-                for (j, range) in
-                    span_ranges(&bl, p, (rel + root_idx) % p, have).into_iter().enumerate()
+                for (j, range) in span_ranges(&bl, p, (rel + root_idx) % p, have)
+                    .into_iter()
+                    .enumerate()
                 {
                     w.rank(me).send(parent, t0 + j as u32, BUF_RESULT, range);
                 }
@@ -82,12 +89,19 @@ pub fn emit_gather(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], 
 /// Emit a binomial scatter from `root`: afterwards every member `i` holds
 /// the root's contribution over block `i` (verify with
 /// `expected_scatter_block`).
-pub fn emit_scatter(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: u64, root: Rank) {
+pub fn emit_scatter(
+    w: &mut WorldProgram,
+    b: &mut ProgramBuilder,
+    comm: &[Rank],
+    n: u64,
+    root: Rank,
+) {
     let p = comm.len();
     let bl = blocks(n, p as u32);
     let root_idx = comm.iter().position(|&r| r == root).expect("root in comm");
     // Root stages the whole vector.
-    w.rank(root).copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+    w.rank(root)
+        .copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
     if p == 1 {
         return;
     }
@@ -133,7 +147,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         (map, cfg)
     }
 

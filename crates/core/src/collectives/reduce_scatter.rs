@@ -2,7 +2,9 @@
 //! rank `i` keeping (only) block `i` of the result.
 
 use crate::collectives::blocks;
-use dpml_engine::program::{BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT};
+use dpml_engine::program::{
+    BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
+};
 use dpml_topology::Rank;
 use serde::{Deserialize, Serialize};
 
@@ -68,8 +70,11 @@ fn emit_halving(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: 
             let peer = comm[i ^ mask];
             let (lo, hi) = owned[i];
             let mid = (lo + hi) / 2;
-            let ((klo, khi), (glo, ghi)) =
-                if i & mask == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            let ((klo, khi), (glo, ghi)) = if i & mask == 0 {
+                ((lo, mid), (mid, hi))
+            } else {
+                ((mid, hi), (lo, mid))
+            };
             let keep = span(klo, khi);
             let give = span(glo, ghi);
             let prog = w.rank(me);
@@ -82,7 +87,10 @@ fn emit_halving(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: 
             owned[i] = (klo, khi);
         }
     }
-    debug_assert!(owned.iter().enumerate().all(|(i, &(lo, hi))| lo == i && hi == i + 1));
+    debug_assert!(owned
+        .iter()
+        .enumerate()
+        .all(|(i, &(lo, hi))| lo == i && hi == i + 1));
 }
 
 /// Ring reduce-scatter relabeled so rank `i` ends with block `i` (the
@@ -91,7 +99,12 @@ fn emit_halving(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], n: 
 fn emit_ring(w: &mut WorldProgram, b: &mut ProgramBuilder, comm: &[Rank], bl: &[ByteRange]) {
     let p = comm.len();
     for &r in comm {
-        w.rank(r).copy(BUF_INPUT, BUF_RESULT, ByteRange::new(bl[0].start, bl[p - 1].end), false);
+        w.rank(r).copy(
+            BUF_INPUT,
+            BUF_RESULT,
+            ByteRange::new(bl[0].start, bl[p - 1].end),
+            false,
+        );
     }
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let tag0 = b.fresh_tags((p - 1) as u32);
@@ -125,7 +138,7 @@ mod tests {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
         let map = RankMap::block(&spec);
-        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch);
+        let cfg = SimConfig::new(map.clone(), preset.fabric, preset.switch).unwrap();
         let comm: Vec<Rank> = map.all_ranks().collect();
         let mut w = dpml_engine::WorldProgram::new(map.world_size(), n);
         let mut b = ProgramBuilder::new();

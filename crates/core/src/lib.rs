@@ -25,10 +25,14 @@
 
 pub mod algorithms;
 pub mod collectives;
+pub mod resilience;
 pub mod run;
 pub mod selector;
 pub mod tuner;
 
 pub use algorithms::{Algorithm, BuildError, FlatAlg};
+pub use resilience::{
+    run_allreduce_faulted, run_allreduce_resilient, FaultPolicy, ResilientReport,
+};
 pub use run::{run_allreduce, AllreduceReport};
-pub use selector::Library;
+pub use selector::{FabricHealth, Library};

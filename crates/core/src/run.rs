@@ -23,6 +23,8 @@ pub struct AllreduceReport {
 /// Error from [`run_allreduce`].
 #[derive(Debug)]
 pub enum RunError {
+    /// The cluster/switch description itself was invalid.
+    Topology(dpml_topology::TopologyError),
     /// Schedule compilation failed.
     Build(crate::algorithms::BuildError),
     /// Simulation failed (deadlock, missing oracle, ...).
@@ -36,6 +38,7 @@ pub enum RunError {
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RunError::Topology(e) => write!(f, "topology: {e}"),
             RunError::Build(e) => write!(f, "build: {e}"),
             RunError::Sim(e) => write!(f, "simulation: {e}"),
             RunError::Verify(e) => write!(f, "verification: {e}"),
@@ -45,6 +48,12 @@ impl std::fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+impl From<dpml_topology::TopologyError> for RunError {
+    fn from(e: dpml_topology::TopologyError) -> Self {
+        RunError::Topology(e)
+    }
+}
 
 impl From<crate::algorithms::BuildError> for RunError {
     fn from(e: crate::algorithms::BuildError) -> Self {
@@ -89,7 +98,7 @@ pub fn run_allreduce_placed(
         Placement::Block => RankMap::block(spec),
         Placement::Cyclic => RankMap::cyclic(spec),
     };
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)?;
     let world = alg.build(&map, bytes)?;
     let report = if alg.needs_sharp() {
         let params = preset.fabric.sharp.ok_or(RunError::NoSharpOnFabric)?;
@@ -120,7 +129,10 @@ mod tests {
         let rep = run_allreduce(
             &p,
             &spec,
-            Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling },
+            Algorithm::Dpml {
+                leaders: 4,
+                inner: FlatAlg::RecursiveDoubling,
+            },
             65536,
         )
         .unwrap();
@@ -151,7 +163,10 @@ mod tests {
         let err = run_allreduce(
             &p,
             &spec,
-            Algorithm::Dpml { leaders: 9, inner: FlatAlg::Ring },
+            Algorithm::Dpml {
+                leaders: 9,
+                inner: FlatAlg::Ring,
+            },
             1024,
         )
         .unwrap_err();

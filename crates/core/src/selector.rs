@@ -14,6 +14,20 @@ use dpml_fabric::Preset;
 use dpml_topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
 
+/// Observed health of the in-network aggregation fabric, as fed back by
+/// the resilience layer (see [`crate::resilience`]): once SHArP groups
+/// are being denied or operations keep timing out, a library stops
+/// dispatching to SHArP until the fabric recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FabricHealth {
+    /// In-network aggregation is available.
+    #[default]
+    Healthy,
+    /// SHArP resources are denied or flapping; dispatch host-based
+    /// schedules only.
+    Degraded,
+}
+
 /// A library whose algorithm dispatch we emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Library {
@@ -39,12 +53,26 @@ impl Library {
     }
 
     /// Choose the algorithm this library would run for `bytes` on the given
-    /// cluster.
+    /// cluster, assuming a healthy fabric.
     pub fn choose(&self, preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
+        self.choose_with(preset, spec, bytes, FabricHealth::Healthy)
+    }
+
+    /// [`Library::choose`] with explicit fabric health: a degraded fabric
+    /// removes the SHArP designs from the candidate set, so the tuned
+    /// dispatch lands on the same host-based schedules it uses on
+    /// SHArP-less clusters.
+    pub fn choose_with(
+        &self,
+        preset: &Preset,
+        spec: &ClusterSpec,
+        bytes: u64,
+        health: FabricHealth,
+    ) -> Algorithm {
         match self {
             Library::Mvapich2 => mvapich2(spec, bytes),
             Library::IntelMpi => intel_mpi(spec, bytes),
-            Library::DpmlTuned => dpml_tuned(preset, spec, bytes),
+            Library::DpmlTuned => dpml_tuned(preset, spec, bytes, health),
         }
     }
 }
@@ -69,9 +97,13 @@ fn mvapich2(spec: &ClusterSpec, bytes: u64) -> Algorithm {
         };
     }
     if bytes <= 16 * 1024 {
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        }
     } else {
-        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+        Algorithm::SingleLeader {
+            inner: FlatAlg::Rabenseifner,
+        }
     }
 }
 
@@ -88,9 +120,13 @@ fn intel_mpi(spec: &ClusterSpec, bytes: u64) -> Algorithm {
         };
     }
     if bytes <= 4 * 1024 {
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        }
     } else if bytes <= 64 * 1024 {
-        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+        Algorithm::SingleLeader {
+            inner: FlatAlg::Rabenseifner,
+        }
     } else {
         Algorithm::Rabenseifner
     }
@@ -100,9 +136,9 @@ fn intel_mpi(spec: &ClusterSpec, bytes: u64) -> Algorithm {
 /// count per (cluster, message size), SHArP socket-leader for small
 /// messages on SHArP-capable fabrics, DPML-Pipelined for Zone-C sizes on
 /// Omni-Path.
-fn dpml_tuned(preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
+fn dpml_tuned(preset: &Preset, spec: &ClusterSpec, bytes: u64, health: FabricHealth) -> Algorithm {
     let ppn = spec.ppn;
-    let sharp_capable = preset.fabric.has_sharp();
+    let sharp_capable = preset.fabric.has_sharp() && health == FabricHealth::Healthy;
     let omni_path = preset.id == "C" || preset.id == "D";
 
     if bytes <= 512 {
@@ -116,7 +152,9 @@ fn dpml_tuned(preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
         return if ppn == 1 {
             Algorithm::RecursiveDoubling
         } else {
-            Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            }
         };
     }
 
@@ -143,7 +181,10 @@ fn dpml_tuned(preset: &Preset, spec: &ClusterSpec, bytes: u64) -> Algorithm {
         let k = (per_leader / chunk_bytes).clamp(1, 16) as u32;
         Algorithm::DpmlPipelined { leaders, chunks: k }
     } else {
-        Algorithm::Dpml { leaders, inner: FlatAlg::RecursiveDoubling }
+        Algorithm::Dpml {
+            leaders,
+            inner: FlatAlg::RecursiveDoubling,
+        }
     }
 }
 
@@ -166,7 +207,9 @@ mod tests {
         ));
         assert!(matches!(
             Library::Mvapich2.choose(&p, &s, 1 << 20),
-            Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+            Algorithm::SingleLeader {
+                inner: FlatAlg::Rabenseifner
+            }
         ));
     }
 
@@ -176,11 +219,15 @@ mod tests {
         let s = spec_of(&p, 16);
         assert!(matches!(
             Library::IntelMpi.choose(&p, &s, 512),
-            Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling
+            }
         ));
         assert!(matches!(
             Library::IntelMpi.choose(&p, &s, 64 * 1024),
-            Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner }
+            Algorithm::SingleLeader {
+                inner: FlatAlg::Rabenseifner
+            }
         ));
     }
 
@@ -188,7 +235,10 @@ mod tests {
     fn dpml_uses_sharp_only_on_cluster_a() {
         let a = cluster_a();
         let sa = spec_of(&a, 16);
-        assert!(matches!(Library::DpmlTuned.choose(&a, &sa, 128), Algorithm::SharpSocketLeader));
+        assert!(matches!(
+            Library::DpmlTuned.choose(&a, &sa, 128),
+            Algorithm::SharpSocketLeader
+        ));
         let b = cluster_b();
         let sb = spec_of(&b, 16);
         assert!(!Library::DpmlTuned.choose(&b, &sb, 128).needs_sharp());
@@ -197,7 +247,12 @@ mod tests {
     #[test]
     fn dpml_leader_table_matches_paper_8kb() {
         // 8KB: 4 leaders on A/B, 16 on C/D (Section 6.4).
-        let cases = [(cluster_a(), 4u32), (cluster_b(), 4), (cluster_c(), 16), (cluster_d(), 16)];
+        let cases = [
+            (cluster_a(), 4u32),
+            (cluster_b(), 4),
+            (cluster_c(), 16),
+            (cluster_d(), 16),
+        ];
         for (p, expect) in cases {
             let s = spec_of(&p, 16);
             match Library::DpmlTuned.choose(&p, &s, 8 * 1024) {
@@ -219,7 +274,10 @@ mod tests {
         ));
         let b = cluster_b();
         let sb = spec_of(&b, 32);
-        assert!(matches!(Library::DpmlTuned.choose(&b, &sb, 4 << 20), Algorithm::Dpml { .. }));
+        assert!(matches!(
+            Library::DpmlTuned.choose(&b, &sb, 4 << 20),
+            Algorithm::Dpml { .. }
+        ));
     }
 
     #[test]
@@ -251,6 +309,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn degraded_fabric_disables_sharp_dispatch() {
+        let a = cluster_a();
+        let s = spec_of(&a, 16);
+        assert!(Library::DpmlTuned.choose(&a, &s, 128).needs_sharp());
+        let degraded = Library::DpmlTuned.choose_with(&a, &s, 128, FabricHealth::Degraded);
+        assert!(!degraded.needs_sharp());
+        // Same host-based dispatch as a SHArP-less cluster.
+        let b = cluster_b();
+        let sb = spec_of(&b, 16);
+        assert_eq!(degraded, Library::DpmlTuned.choose(&b, &sb, 128));
+        // Large messages never depended on SHArP; health must not change them.
+        assert_eq!(
+            Library::DpmlTuned.choose(&a, &s, 1 << 20),
+            Library::DpmlTuned.choose_with(&a, &s, 1 << 20, FabricHealth::Degraded)
+        );
     }
 
     #[test]

@@ -59,17 +59,27 @@ pub fn default_candidates(preset: &Preset, spec: &ClusterSpec) -> Vec<Algorithm>
     let mut out = vec![
         Algorithm::RecursiveDoubling,
         Algorithm::Rabenseifner,
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling },
-        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::Rabenseifner,
+        },
     ];
     let mut l = 2u32;
     while l <= spec.ppn.min(16) {
-        out.push(Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling });
+        out.push(Algorithm::Dpml {
+            leaders: l,
+            inner: FlatAlg::RecursiveDoubling,
+        });
         l *= 2;
     }
     let lmax = spec.ppn.clamp(1, 16);
     for k in [4u32, 8] {
-        out.push(Algorithm::DpmlPipelined { leaders: lmax, chunks: k });
+        out.push(Algorithm::DpmlPipelined {
+            leaders: lmax,
+            chunks: k,
+        });
     }
     if preset.fabric.has_sharp() && spec.ppn >= 1 {
         out.push(Algorithm::SharpNodeLeader);
@@ -100,9 +110,18 @@ pub fn tune(
             }
         }
         let (algorithm, latency_us) = best.expect("at least one candidate must run");
-        entries.push(TunedEntry { max_bytes: bytes, algorithm, latency_us });
+        entries.push(TunedEntry {
+            max_bytes: bytes,
+            algorithm,
+            latency_us,
+        });
     }
-    TunedTable { cluster: preset.id.to_string(), nodes: spec.num_nodes, ppn: spec.ppn, entries }
+    TunedTable {
+        cluster: preset.id.to_string(),
+        nodes: spec.num_nodes,
+        ppn: spec.ppn,
+        entries,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +161,12 @@ mod tests {
     fn choose_picks_by_size_bound() {
         let preset = cluster_b();
         let spec = preset.spec(4, 8).unwrap();
-        let table = tune(&preset, &spec, &sizes(), &default_candidates(&preset, &spec));
+        let table = tune(
+            &preset,
+            &spec,
+            &sizes(),
+            &default_candidates(&preset, &spec),
+        );
         let small = table.choose(32);
         let big = table.choose(10 << 20); // beyond the grid: last entry
         assert_eq!(small, table.entries[0].algorithm);
@@ -172,7 +196,11 @@ mod tests {
         let preset = cluster_a();
         let spec = preset.spec(4, 8).unwrap();
         let table = tune(&preset, &spec, &[64], &default_candidates(&preset, &spec));
-        assert!(table.entries[0].algorithm.needs_sharp(), "{:?}", table.entries[0]);
+        assert!(
+            table.entries[0].algorithm.needs_sharp(),
+            "{:?}",
+            table.entries[0]
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl RankSet {
     /// Membership test.
     pub fn contains(&self, rank: u32) -> bool {
         let w = (rank / 64) as usize;
-        self.words.get(w).is_some_and(|&word| word & (1u64 << (rank % 64)) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|&word| word & (1u64 << (rank % 64)) != 0)
     }
 
     /// In-place union.
@@ -72,7 +74,10 @@ impl RankSet {
 
     /// True if this set intersects `other`.
     pub fn intersects(&self, other: &RankSet) -> bool {
-        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// True if empty.
@@ -100,7 +105,9 @@ impl RankSet {
     /// Iterate over members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| (wi as u32) * 64 + b)
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| (wi as u32) * 64 + b)
         })
     }
 }
@@ -129,7 +136,9 @@ impl CoverageMap {
         if start >= end {
             return CoverageMap::empty();
         }
-        CoverageMap { segs: vec![(start, end, RankSet::singleton(rank))] }
+        CoverageMap {
+            segs: vec![(start, end, RankSet::singleton(rank))],
+        }
     }
 
     /// Number of internal segments (for tests / diagnostics).
@@ -149,7 +158,10 @@ impl CoverageMap {
 
     /// The rank set held at byte offset `at`, if any.
     pub fn at(&self, at: u64) -> Option<&RankSet> {
-        self.segs.iter().find(|(s, e, _)| *s <= at && at < *e).map(|(_, _, r)| r)
+        self.segs
+            .iter()
+            .find(|(s, e, _)| *s <= at && at < *e)
+            .map(|(_, _, r)| r)
     }
 
     /// Extract the sub-map covering `[start, end)`.
@@ -211,6 +223,8 @@ impl CoverageMap {
             return;
         }
         // Boundary sweep: gather all cut points, rebuild the affected range.
+        // invariant: `add` is non-empty (checked above), so first/last
+        // segments exist; `segs` is kept sorted by construction.
         let lo = add.segs.first().unwrap().0.min(start);
         let hi = add.segs.last().unwrap().1.max(lo);
         let mine = self.restrict(lo, hi);
@@ -446,7 +460,9 @@ mod tests {
 
     impl NaiveMap {
         fn new(n: u64) -> Self {
-            NaiveMap { bytes: vec![None; n as usize] }
+            NaiveMap {
+                bytes: vec![None; n as usize],
+            }
         }
         fn from_cov(m: &CoverageMap, n: u64) -> Self {
             let mut out = NaiveMap::new(n);
@@ -472,11 +488,14 @@ mod tests {
             }
         }
         fn semantically_eq(&self, other: &NaiveMap) -> bool {
-            self.bytes.iter().zip(other.bytes.iter()).all(|(a, b)| match (a, b) {
-                (None, None) => true,
-                (Some(x), Some(y)) => x.set_eq(y),
-                _ => false,
-            })
+            self.bytes
+                .iter()
+                .zip(other.bytes.iter())
+                .all(|(a, b)| match (a, b) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => x.set_eq(y),
+                    _ => false,
+                })
         }
     }
 

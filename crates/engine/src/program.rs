@@ -81,7 +81,10 @@ impl ByteRange {
         let mut cursor = 0;
         for i in 0..parts64 {
             let len = base + if i < extra { 1 } else { 0 };
-            out.push(ByteRange { start: cursor, end: cursor + len });
+            out.push(ByteRange {
+                start: cursor,
+                end: cursor + len,
+            });
             cursor += len;
         }
         debug_assert_eq!(cursor, n);
@@ -92,7 +95,10 @@ impl ByteRange {
     pub fn subrange(&self, parts: u32, i: u32) -> ByteRange {
         let inner = ByteRange::partition(self.len(), parts);
         let r = inner[i as usize];
-        ByteRange { start: self.start + r.start, end: self.start + r.end }
+        ByteRange {
+            start: self.start + r.start,
+            end: self.start + r.end,
+        }
     }
 }
 
@@ -102,7 +108,12 @@ pub enum Instr {
     /// Post a nonblocking send: snapshot `src ∩ range` and ship
     /// `range.len()` bytes to `to`. Occupies the sending core for the
     /// NIC injection overhead.
-    ISend { to: Rank, tag: Tag, src: BufKey, range: ByteRange },
+    ISend {
+        to: Rank,
+        tag: Tag,
+        src: BufKey,
+        range: ByteRange,
+    },
     /// Post a nonblocking receive from `from` with `tag`; on delivery the
     /// payload *overwrites* `dst` over the payload's range.
     IRecv { from: Rank, tag: Tag, dst: BufKey },
@@ -110,11 +121,20 @@ pub enum Instr {
     WaitAll { reqs: Vec<ReqId> },
     /// Shared-memory copy: `dst[range] = src[range]`. `cross_socket`
     /// selects the slower inter-socket path.
-    Copy { src: BufKey, dst: BufKey, range: ByteRange, cross_socket: bool },
+    Copy {
+        src: BufKey,
+        dst: BufKey,
+        range: ByteRange,
+        cross_socket: bool,
+    },
     /// Reduction: `dst[range] ∪= each src[range]`, charging
     /// `passes × range.len()` bytes of streaming compute on this core
     /// (`passes` defaults to `srcs.len()`).
-    Reduce { srcs: Vec<BufKey>, dst: BufKey, range: ByteRange },
+    Reduce {
+        srcs: Vec<BufKey>,
+        dst: BufKey,
+        range: ByteRange,
+    },
     /// Pure local computation (application work), in seconds.
     Compute { seconds: f64 },
     /// Synchronize with the other members of barrier `id` (membership is
@@ -123,13 +143,23 @@ pub enum Instr {
     /// Participate in SHArP operation on group `id`: contributes
     /// `src ∩ range`, and on completion every member's `dst[range]` holds
     /// the union of all members' contributions.
-    Sharp { group: u32, src: BufKey, dst: BufKey, range: ByteRange },
+    Sharp {
+        group: u32,
+        src: BufKey,
+        dst: BufKey,
+        range: ByteRange,
+    },
     /// Non-blocking SHArP participation: same semantics as
     /// [`Instr::Sharp`], but the rank continues immediately and the
     /// operation completes through a request waited on with
     /// [`Instr::WaitAll`] — the primitive behind offloaded non-blocking
     /// collectives (the paper's Section 8 future work).
-    ISharp { group: u32, src: BufKey, dst: BufKey, range: ByteRange },
+    ISharp {
+        group: u32,
+        src: BufKey,
+        dst: BufKey,
+        range: ByteRange,
+    },
 }
 
 /// The program of a single rank.
@@ -155,7 +185,12 @@ impl Program {
 
     /// Post a nonblocking send.
     pub fn isend(&mut self, to: Rank, tag: Tag, src: BufKey, range: ByteRange) -> ReqId {
-        self.push_req(Instr::ISend { to, tag, src, range })
+        self.push_req(Instr::ISend {
+            to,
+            tag,
+            src,
+            range,
+        })
     }
 
     /// Post a nonblocking receive.
@@ -182,7 +217,14 @@ impl Program {
 
     /// Blocking exchange: isend + irecv + waitall (the recursive-doubling
     /// step primitive; posting both before waiting avoids deadlock).
-    pub fn sendrecv(&mut self, peer: Rank, tag: Tag, src: BufKey, send_range: ByteRange, dst: BufKey) {
+    pub fn sendrecv(
+        &mut self,
+        peer: Rank,
+        tag: Tag,
+        src: BufKey,
+        send_range: ByteRange,
+        dst: BufKey,
+    ) {
         let s = self.isend(peer, tag, src, send_range);
         let r = self.irecv(peer, tag, dst);
         self.wait_all(vec![s, r]);
@@ -190,7 +232,12 @@ impl Program {
 
     /// Shared-memory copy.
     pub fn copy(&mut self, src: BufKey, dst: BufKey, range: ByteRange, cross_socket: bool) {
-        self.instrs.push(Instr::Copy { src, dst, range, cross_socket });
+        self.instrs.push(Instr::Copy {
+            src,
+            dst,
+            range,
+            cross_socket,
+        });
     }
 
     /// Local reduction.
@@ -210,12 +257,22 @@ impl Program {
 
     /// SHArP participation.
     pub fn sharp(&mut self, group: u32, src: BufKey, dst: BufKey, range: ByteRange) {
-        self.instrs.push(Instr::Sharp { group, src, dst, range });
+        self.instrs.push(Instr::Sharp {
+            group,
+            src,
+            dst,
+            range,
+        });
     }
 
     /// Non-blocking SHArP participation.
     pub fn isharp(&mut self, group: u32, src: BufKey, dst: BufKey, range: ByteRange) -> ReqId {
-        self.push_req(Instr::ISharp { group, src, dst, range })
+        self.push_req(Instr::ISharp {
+            group,
+            src,
+            dst,
+            range,
+        })
     }
 }
 
@@ -293,7 +350,13 @@ pub struct ProgramBuilder {
 impl Default for ProgramBuilder {
     fn default() -> Self {
         // Private ids 0 (input) and 1 (result) are reserved by convention.
-        ProgramBuilder { next_barrier: 0, next_group: 0, next_tag: 0, next_priv: 2, next_shared: 0 }
+        ProgramBuilder {
+            next_barrier: 0,
+            next_group: 0,
+            next_tag: 0,
+            next_priv: 2,
+            next_shared: 0,
+        }
     }
 }
 
@@ -347,7 +410,14 @@ mod tests {
     #[test]
     fn partition_distributes_remainder() {
         let parts = ByteRange::partition(10, 3);
-        assert_eq!(parts, vec![ByteRange::new(0, 4), ByteRange::new(4, 7), ByteRange::new(7, 10)]);
+        assert_eq!(
+            parts,
+            vec![
+                ByteRange::new(0, 4),
+                ByteRange::new(4, 7),
+                ByteRange::new(7, 10)
+            ]
+        );
         assert_eq!(parts.iter().map(|r| r.len()).sum::<u64>(), 10);
     }
 
@@ -379,7 +449,13 @@ mod tests {
     #[test]
     fn sendrecv_emits_three_instrs() {
         let mut p = Program::new();
-        p.sendrecv(Rank(2), 7, BUF_INPUT, ByteRange::new(0, 16), BufKey::Priv(2));
+        p.sendrecv(
+            Rank(2),
+            7,
+            BUF_INPUT,
+            ByteRange::new(0, 16),
+            BufKey::Priv(2),
+        );
         assert_eq!(p.instrs.len(), 3);
         assert!(matches!(p.instrs[2], Instr::WaitAll { ref reqs } if reqs.len() == 2));
     }

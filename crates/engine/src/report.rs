@@ -23,7 +23,11 @@ pub enum VerifyError {
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VerifyError::IncompleteResult { rank, correct_bytes, expected_bytes } => write!(
+            VerifyError::IncompleteResult {
+                rank,
+                correct_bytes,
+                expected_bytes,
+            } => write!(
                 f,
                 "rank {rank}: result holds a fully-reduced value over only \
                  {correct_bytes}/{expected_bytes} bytes"
@@ -53,6 +57,14 @@ pub struct RunStats {
     pub events: u64,
     /// Peak concurrent fluid flows.
     pub peak_flows: usize,
+    /// SHArP attempts retried after an injected op timeout (filled by the
+    /// resilient runner in `dpml-core`, not the engine).
+    #[serde(default)]
+    pub sharp_retries: u64,
+    /// Completions that fell back from SHArP to a host-based schedule
+    /// (filled by the resilient runner in `dpml-core`).
+    #[serde(default)]
+    pub sharp_fallbacks: u64,
 }
 
 /// The result of simulating a [`crate::program::WorldProgram`].
@@ -75,7 +87,11 @@ pub struct RunReport {
 impl RunReport {
     /// The collective's completion time: when the last rank finished.
     pub fn makespan(&self) -> SimTime {
-        self.finish_times.iter().copied().max().unwrap_or(SimTime::ZERO)
+        self.finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Makespan in microseconds (the unit of every figure in the paper).
@@ -204,7 +220,11 @@ mod tests {
     fn verify_fails_for_incomplete_rank() {
         let err = report(4, 64, false).verify_allreduce().unwrap_err();
         match err {
-            VerifyError::IncompleteResult { rank, correct_bytes, expected_bytes } => {
+            VerifyError::IncompleteResult {
+                rank,
+                correct_bytes,
+                expected_bytes,
+            } => {
                 assert_eq!(rank, 1);
                 assert_eq!(correct_bytes, 0);
                 assert_eq!(expected_bytes, 64);

@@ -92,6 +92,37 @@ impl<T> FluidSystem<T> {
         ResourceId(self.caps.len() as u32 - 1)
     }
 
+    /// Change a resource's capacity in place — the fault-injection hook
+    /// for link degradation and restoration. Unlike [`FluidSystem::add_resource`],
+    /// a capacity of `0.0` is allowed: flows over a dead resource are
+    /// *starved* (rate 0, skipped by [`FluidSystem::next_completion`])
+    /// until the capacity is restored. Marks the resource dirty; call
+    /// [`FluidSystem::recompute`] before the next rate query.
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "capacity must be finite and >= 0"
+        );
+        let ri = r.0 as usize;
+        assert!(ri < self.caps.len(), "unknown resource {r:?}");
+        if self.caps[ri] != capacity {
+            self.caps[ri] = capacity;
+            self.dirty_resources.push(r.0);
+            self.dirty = true;
+        }
+    }
+
+    /// Current capacity of a resource.
+    pub fn capacity_of(&self, r: ResourceId) -> f64 {
+        self.caps[r.0 as usize]
+    }
+
+    /// True when `r` currently carries at least one flow (used to tell a
+    /// genuine deadlock from flows starved by a downed link).
+    pub fn resource_has_flows(&self, r: ResourceId) -> bool {
+        !self.res_flows[r.0 as usize].is_empty()
+    }
+
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()
@@ -116,7 +147,16 @@ impl<T> FluidSystem<T> {
             self.res_flows[c.0 as usize].insert(id);
             self.dirty_resources.push(c.0);
         }
-        self.flows.insert(id, FlowState { claims, cap, remaining: bytes, rate: 0.0, token });
+        self.flows.insert(
+            id,
+            FlowState {
+                claims,
+                cap,
+                remaining: bytes,
+                rate: 0.0,
+                token,
+            },
+        );
         self.dirty = true;
         FlowId(id)
     }
@@ -195,7 +235,8 @@ impl<T> FluidSystem<T> {
             static CALLS: AtomicU64 = AtomicU64::new(0);
             static WORK: AtomicU64 = AtomicU64::new(0);
             let c = CALLS.fetch_add(1, Ordering::Relaxed) + 1;
-            let w = WORK.fetch_add(component.len() as u64, Ordering::Relaxed) + component.len() as u64;
+            let w =
+                WORK.fetch_add(component.len() as u64, Ordering::Relaxed) + component.len() as u64;
             if c.is_multiple_of(10_000) {
                 eprintln!("fill_component calls={c} total_flows_filled={w}");
             }
@@ -210,7 +251,11 @@ impl<T> FluidSystem<T> {
             .iter()
             .map(|&id| {
                 let f = &self.flows[&id];
-                Work { id, cap: f.cap, claims: f.claims.iter().map(|c| c.0).collect() }
+                Work {
+                    id,
+                    cap: f.cap,
+                    claims: f.claims.iter().map(|c| c.0).collect(),
+                }
             })
             .collect();
         // Stamped scratch reset: only the component's resources are touched.
@@ -250,9 +295,12 @@ impl<T> FluidSystem<T> {
                 if cand <= min_share * (1.0 + 1e-12) {
                     for &r in &w.claims {
                         let ri = r as usize;
-                        self.scratch_residual[ri] = (self.scratch_residual[ri] - min_share).max(0.0);
+                        self.scratch_residual[ri] =
+                            (self.scratch_residual[ri] - min_share).max(0.0);
                         self.scratch_count[ri] -= 1;
                     }
+                    // invariant: `work` was built from `self.flows` at the
+                    // top of this call and nothing removes flows mid-fill.
                     self.flows.get_mut(&w.id).expect("live flow").rate = min_share;
                     froze_any = true;
                 } else {
@@ -289,8 +337,12 @@ impl<T> FluidSystem<T> {
 
     /// All flows that have fully drained as of the last `advance_to`.
     pub fn drained_flows(&self) -> Vec<FlowId> {
-        let mut v: Vec<FlowId> =
-            self.flows.iter().filter(|(_, f)| f.remaining <= EPS_BYTES).map(|(&id, _)| FlowId(id)).collect();
+        let mut v: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS_BYTES)
+            .map(|(&id, _)| FlowId(id))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -340,7 +392,9 @@ mod tests {
     fn equal_flows_share_equally() {
         let mut s: FluidSystem<u32> = FluidSystem::new();
         let r = s.add_resource(12.0);
-        let flows: Vec<FlowId> = (0..4).map(|i| s.add_flow(vec![r], 100.0, 50.0, i)).collect();
+        let flows: Vec<FlowId> = (0..4)
+            .map(|i| s.add_flow(vec![r], 100.0, 50.0, i))
+            .collect();
         s.recompute();
         for f in &flows {
             approx(s.rate_of(*f).unwrap(), 3.0);
@@ -421,6 +475,48 @@ mod tests {
         s.add_flow(vec![r], 100.0, 1.0, ());
         s.recompute();
         approx(s.total_rate(), 10.0);
+    }
+
+    #[test]
+    fn set_capacity_degrades_and_restores() {
+        let mut s: FluidSystem<()> = FluidSystem::new();
+        let r = s.add_resource(10.0);
+        let f = s.add_flow(vec![r], 100.0, 100.0, ());
+        s.recompute();
+        approx(s.rate_of(f).unwrap(), 10.0);
+        // Degrade to half.
+        s.set_capacity(r, 5.0);
+        assert!(s.is_dirty());
+        s.recompute();
+        approx(s.rate_of(f).unwrap(), 5.0);
+        // Sever: the flow starves and next_completion has nothing to offer.
+        s.set_capacity(r, 0.0);
+        s.recompute();
+        approx(s.rate_of(f).unwrap(), 0.0);
+        assert!(s.next_completion().is_none());
+        assert!(s.resource_has_flows(r));
+        assert_eq!(s.capacity_of(r), 0.0);
+        // Restore: completion is predicted again.
+        s.set_capacity(r, 10.0);
+        s.recompute();
+        approx(s.rate_of(f).unwrap(), 10.0);
+        assert!(s.next_completion().is_some());
+        // Setting the same capacity again does not dirty the system.
+        s.set_capacity(r, 10.0);
+        assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn zero_capacity_starves_only_dead_component_flows() {
+        let mut s: FluidSystem<u32> = FluidSystem::new();
+        let dead = s.add_resource(10.0);
+        let live = s.add_resource(10.0);
+        let fd = s.add_flow(vec![dead], 100.0, 1.0, 0);
+        let fl = s.add_flow(vec![live], 100.0, 1.0, 1);
+        s.set_capacity(dead, 0.0);
+        s.recompute();
+        approx(s.rate_of(fd).unwrap(), 0.0);
+        approx(s.rate_of(fl).unwrap(), 10.0);
     }
 
     #[test]

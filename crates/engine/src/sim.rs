@@ -19,11 +19,12 @@
 use crate::coverage::CoverageMap;
 use crate::program::{BufKey, ByteRange, Instr, ReqId, Tag, WorldProgram, BUF_RESULT};
 use crate::report::{RunReport, RunStats};
-use crate::resources::{FluidSystem, FlowId, ResourceId};
+use crate::resources::{FlowId, FluidSystem, ResourceId};
 use crate::time::SimTime;
 use crate::trace::{MsgTrace, Span, SpanKind, Trace};
 use dpml_fabric::Fabric;
-use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec};
+use dpml_faults::{FaultClock, FaultPlan};
+use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec, TopologyError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -50,10 +51,16 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Build a config; the switch tree is derived from the spec.
-    pub fn new(map: RankMap, fabric: Fabric, switch: SwitchTreeSpec) -> Self {
-        let tree = SwitchTree::build(map.spec().num_nodes, switch).expect("valid switch spec");
-        SimConfig { map, fabric, tree }
+    /// Build a config; the switch tree is derived from the spec. Fails
+    /// (instead of panicking) when the switch spec cannot host the
+    /// cluster — config paths must be total on untrusted input.
+    pub fn new(
+        map: RankMap,
+        fabric: Fabric,
+        switch: SwitchTreeSpec,
+    ) -> Result<Self, TopologyError> {
+        let tree = SwitchTree::build(map.spec().num_nodes, switch)?;
+        Ok(SimConfig { map, fabric, tree })
     }
 }
 
@@ -71,6 +78,22 @@ pub enum SimError {
     UnknownGroup(&'static str, u32),
     /// Event budget exceeded (runaway program guard).
     EventBudgetExceeded(u64),
+    /// Virtual-time watchdog fired: the program ran past the configured
+    /// budget (see [`Simulator::with_time_budget`]).
+    TimeBudgetExceeded(f64),
+    /// The injected fault plan denied SHArP group allocation.
+    SharpDenied(u32),
+    /// A SHArP operation hung (fault-injected) and its op watchdog fired.
+    SharpTimeout {
+        /// The group whose operation timed out.
+        group: u32,
+    },
+    /// Progress stalled on flows starved by a severed link (an injected
+    /// `bw_factor = 0` window with no restore).
+    LinkDown {
+        /// The node whose NIC is down.
+        node: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -86,6 +109,16 @@ impl std::fmt::Display for SimError {
             SimError::NoSharpOracle => write!(f, "Sharp instruction without a SharpOracle"),
             SimError::UnknownGroup(kind, id) => write!(f, "unregistered {kind} id {id}"),
             SimError::EventBudgetExceeded(n) => write!(f, "exceeded event budget ({n})"),
+            SimError::TimeBudgetExceeded(s) => {
+                write!(f, "exceeded virtual-time budget ({}us)", s * 1e6)
+            }
+            SimError::SharpDenied(g) => write!(f, "SHArP group {g} allocation denied"),
+            SimError::SharpTimeout { group } => {
+                write!(f, "SHArP operation on group {group} timed out")
+            }
+            SimError::LinkDown { node } => {
+                write!(f, "node {node} NIC is down with transfers in flight")
+            }
         }
     }
 }
@@ -102,6 +135,8 @@ enum Ev {
     FlowWake(u64),
     MsgArrive(usize),
     SharpDone(usize),
+    SharpFail(usize),
+    LinkChange,
     RecomputePoint,
 }
 
@@ -205,13 +240,24 @@ pub struct Simulator<'a> {
     cfg: &'a SimConfig,
     sharp: Option<&'a dyn SharpOracle>,
     event_budget: u64,
+    time_budget: f64,
+    faults: Option<&'a FaultPlan>,
+    fault_attempt: u32,
     trace: bool,
 }
 
 impl<'a> Simulator<'a> {
     /// New simulator over a config, without SHArP capability.
     pub fn new(cfg: &'a SimConfig) -> Self {
-        Simulator { cfg, sharp: None, event_budget: 2_000_000_000, trace: false }
+        Simulator {
+            cfg,
+            sharp: None,
+            event_budget: 2_000_000_000,
+            time_budget: f64::INFINITY,
+            faults: None,
+            fault_attempt: 0,
+            trace: false,
+        }
     }
 
     /// Attach a SHArP oracle (required to execute `Sharp` instructions).
@@ -226,6 +272,31 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Virtual-time watchdog: fail with [`SimError::TimeBudgetExceeded`]
+    /// instead of simulating past `seconds` (a hung schedule under fault
+    /// injection would otherwise spin the event loop arbitrarily long).
+    pub fn with_time_budget(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "time budget must be positive");
+        self.time_budget = seconds;
+        self
+    }
+
+    /// Execute the run under a fault plan: seeded per-core noise, link
+    /// degradation windows, and SHArP faults. A zero plan perturbs
+    /// nothing — timings stay bit-identical to a plain run.
+    pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Which retry attempt this run represents (see
+    /// [`dpml_faults::SharpFaults::flaky_attempts`]): attempts below the
+    /// plan's `flaky_attempts` hang every SHArP op.
+    pub fn with_fault_attempt(mut self, attempt: u32) -> Self {
+        self.fault_attempt = attempt;
+        self
+    }
+
     /// Collect a full execution timeline (see [`crate::trace::Trace`]).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
@@ -234,7 +305,16 @@ impl<'a> Simulator<'a> {
 
     /// Execute a world program to completion.
     pub fn run(&self, world: &WorldProgram) -> Result<RunReport, SimError> {
-        let mut st = SimState::new(self.cfg, world, self.sharp, self.event_budget, self.trace);
+        let mut st = SimState::new(
+            self.cfg,
+            world,
+            self.sharp,
+            self.event_budget,
+            self.time_budget,
+            self.faults,
+            self.fault_attempt,
+            self.trace,
+        );
         st.run()?;
         Ok(st.report(world))
     }
@@ -265,6 +345,15 @@ struct SimState<'a> {
     sharp_active: u32,
     stats: RunStats,
     event_budget: u64,
+    time_budget: f64,
+    faults: Option<&'a FaultPlan>,
+    fault_attempt: u32,
+    /// Per-rank jitter draw counters (deterministic noise stream).
+    noise_draws: Vec<u64>,
+    /// Current per-node NIC bandwidth factor from active link faults.
+    node_bw_factor: Vec<f64>,
+    /// Current per-node message-rate factor (clamped positive).
+    node_msg_factor: Vec<f64>,
     last_recompute: SimTime,
     recompute_pending: bool,
     trace: Option<Trace>,
@@ -280,11 +369,15 @@ struct SimState<'a> {
 }
 
 impl<'a> SimState<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cfg: &'a SimConfig,
         world: &'a WorldProgram,
         oracle: Option<&'a dyn SharpOracle>,
         event_budget: u64,
+        time_budget: f64,
+        faults: Option<&'a FaultPlan>,
+        fault_attempt: u32,
         trace: bool,
     ) -> Self {
         let p = world.world_size();
@@ -295,20 +388,32 @@ impl<'a> SimState<'a> {
         let mem = &cfg.fabric.mem;
         let res_tx = (0..h).map(|_| fluid.add_resource(nic.node_bw)).collect();
         let res_rx = (0..h).map(|_| fluid.add_resource(nic.node_bw)).collect();
-        let res_mem = (0..h).map(|_| fluid.add_resource(mem.node_mem_bw)).collect();
+        let res_mem = (0..h)
+            .map(|_| fluid.add_resource(mem.node_mem_bw))
+            .collect();
         let leaves = cfg.tree.num_leaves() as usize;
         let uplink_cap = cfg.tree.spec().nodes_per_leaf as f64
             * nic.node_bw
             * cfg.tree.spec().core_bandwidth_fraction();
-        let res_leaf_up = (0..leaves).map(|_| fluid.add_resource(uplink_cap)).collect();
-        let res_leaf_down = (0..leaves).map(|_| fluid.add_resource(uplink_cap)).collect();
+        let res_leaf_up = (0..leaves)
+            .map(|_| fluid.add_resource(uplink_cap))
+            .collect();
+        let res_leaf_down = (0..leaves)
+            .map(|_| fluid.add_resource(uplink_cap))
+            .collect();
         // Per-process ceilings: a single rank cannot drive more than one
         // flow's worth of NIC bandwidth no matter how many messages it has
         // in flight (one QP / one injection pipeline), and its shared-memory
         // copy-out rate is bounded by one core's copy bandwidth.
-        let res_proc_tx = (0..p).map(|_| fluid.add_resource(nic.per_flow_bw)).collect();
-        let res_proc_rx = (0..p).map(|_| fluid.add_resource(nic.per_flow_bw)).collect();
-        let res_proc_cpu = (0..p).map(|_| fluid.add_resource(mem.per_proc_copy_bw)).collect();
+        let res_proc_tx = (0..p)
+            .map(|_| fluid.add_resource(nic.per_flow_bw))
+            .collect();
+        let res_proc_rx = (0..p)
+            .map(|_| fluid.add_resource(nic.per_flow_bw))
+            .collect();
+        let res_proc_cpu = (0..p)
+            .map(|_| fluid.add_resource(mem.per_proc_copy_bw))
+            .collect();
 
         let ranks = (0..p)
             .map(|r| {
@@ -353,6 +458,12 @@ impl<'a> SimState<'a> {
             sharp_active: 0,
             stats: RunStats::default(),
             event_budget,
+            time_budget,
+            faults,
+            fault_attempt,
+            noise_draws: vec![0; p as usize],
+            node_bw_factor: vec![1.0; h],
+            node_msg_factor: vec![1.0; h],
             last_recompute: SimTime::ZERO,
             recompute_pending: false,
             trace: trace.then(Trace::default),
@@ -368,7 +479,49 @@ impl<'a> SimState<'a> {
         for r in 0..p {
             st.push(SimTime::ZERO, Ev::Resume(r));
         }
+        if let Some(plan) = st.faults {
+            // One capacity-refresh event per degrade/restore boundary;
+            // between boundaries the factors are constant. A zero plan has
+            // no boundaries and schedules nothing.
+            for b in FaultClock::new(plan).boundaries() {
+                if b > 0.0 {
+                    st.push(SimTime::new(b), Ev::LinkChange);
+                }
+            }
+            st.apply_link_faults();
+        }
         st
+    }
+
+    /// Refresh per-node NIC capacities and message-rate factors from the
+    /// fault plan's link windows active at the current time.
+    fn apply_link_faults(&mut self) {
+        let Some(plan) = self.faults else { return };
+        let clk = FaultClock::new(plan);
+        let t = self.now.seconds();
+        let nominal = self.cfg.fabric.nic.node_bw;
+        for h in 0..self.node_bw_factor.len() {
+            let (bw, mr) = clk.factors_at(h as u32, t);
+            if bw != self.node_bw_factor[h] {
+                self.node_bw_factor[h] = bw;
+                self.fluid.set_capacity(self.res_tx[h], nominal * bw);
+                self.fluid.set_capacity(self.res_rx[h], nominal * bw);
+            }
+            self.node_msg_factor[h] = mr;
+        }
+    }
+
+    /// The rank's next deterministic noise stretch factor (exactly 1.0
+    /// when no faults are injected — fault-free timing must not move).
+    fn noise_factor(&mut self, r: u32) -> f64 {
+        match self.faults {
+            None => 1.0,
+            Some(plan) => {
+                let c = self.noise_draws[r as usize];
+                self.noise_draws[r as usize] += 1;
+                plan.noise.factor(plan.seed, r, c)
+            }
+        }
     }
 
     /// Mark the start of a blocking span (traced runs only).
@@ -406,6 +559,9 @@ impl<'a> SimState<'a> {
                 return Err(SimError::EventBudgetExceeded(self.event_budget));
             }
             debug_assert!(t >= self.now, "event in the past");
+            if t.seconds() > self.time_budget {
+                return Err(SimError::TimeBudgetExceeded(self.time_budget));
+            }
             if t > self.now {
                 self.fluid.advance_to(t);
                 self.now = t;
@@ -415,7 +571,11 @@ impl<'a> SimState<'a> {
             // fluid rates: synchronized collectives start/finish thousands
             // of flows at the same instant, and one shared recompute turns
             // O(events × flows) into O(timestamps × flows).
-            while self.events.peek().is_some_and(|Reverse((t2, _, _))| *t2 <= self.now) {
+            while self
+                .events
+                .peek()
+                .is_some_and(|Reverse((t2, _, _))| *t2 <= self.now)
+            {
                 let Reverse((_, _, ev2)) = self.events.pop().expect("peeked");
                 processed += 1;
                 if processed > self.event_budget {
@@ -441,6 +601,16 @@ impl<'a> SimState<'a> {
         }
         self.stats.events = processed;
         if self.ranks.iter().any(|r| r.finish.is_none()) {
+            // A severed link (bw_factor = 0, never restored) starves its
+            // flows: the event queue runs dry with transfers still in
+            // flight. Report the downed node, not a generic deadlock.
+            if let Some(h) = (0..self.node_bw_factor.len()).find(|&h| {
+                self.node_bw_factor[h] == 0.0
+                    && (self.fluid.resource_has_flows(self.res_tx[h])
+                        || self.fluid.resource_has_flows(self.res_rx[h]))
+            }) {
+                return Err(SimError::LinkDown { node: h as u32 });
+            }
             let blocked = self
                 .ranks
                 .iter()
@@ -484,6 +654,12 @@ impl<'a> SimState<'a> {
             }
             Ev::MsgArrive(m) => self.msg_arrive(m)?,
             Ev::SharpDone(op) => self.sharp_done(op)?,
+            Ev::SharpFail(op) => {
+                return Err(SimError::SharpTimeout {
+                    group: self.sharp_ops[op].group,
+                });
+            }
+            Ev::LinkChange => self.apply_link_faults(),
             Ev::RecomputePoint => {
                 self.recompute_pending = false;
                 if self.fluid.is_dirty() {
@@ -507,7 +683,12 @@ impl<'a> SimState<'a> {
             }
             let instr = prog.instrs[pc].clone();
             match instr {
-                Instr::ISend { to, tag, src, range } => {
+                Instr::ISend {
+                    to,
+                    tag,
+                    src,
+                    range,
+                } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::SendInject, range.len());
                     self.exec_isend(r, to, tag, src, range);
@@ -531,13 +712,21 @@ impl<'a> SimState<'a> {
                     self.begin_span(r, SpanKind::Wait, 0);
                     return Ok(());
                 }
-                Instr::Copy { src, dst, range, cross_socket } => {
+                Instr::Copy {
+                    src,
+                    dst,
+                    range,
+                    cross_socket,
+                } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Copy, range.len());
-                    self.ranks[r as usize].pending_local =
-                        Some(PendingLocal { kind: LocalKind::Copy { src, cross_socket }, dst, range });
+                    self.ranks[r as usize].pending_local = Some(PendingLocal {
+                        kind: LocalKind::Copy { src, cross_socket },
+                        dst,
+                        range,
+                    });
                     self.ranks[r as usize].status = Status::Busy;
-                    let lat = self.cfg.fabric.mem.copy_latency(cross_socket);
+                    let lat = self.cfg.fabric.mem.copy_latency(cross_socket) * self.noise_factor(r);
                     self.push(self.now.after(lat), Ev::CopyStart(r));
                     self.stats.copies += 1;
                     return Ok(());
@@ -545,10 +734,13 @@ impl<'a> SimState<'a> {
                 Instr::Reduce { srcs, dst, range } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Reduce, range.len() * srcs.len() as u64);
-                    self.ranks[r as usize].pending_local =
-                        Some(PendingLocal { kind: LocalKind::Reduce { srcs }, dst, range });
+                    self.ranks[r as usize].pending_local = Some(PendingLocal {
+                        kind: LocalKind::Reduce { srcs },
+                        dst,
+                        range,
+                    });
                     self.ranks[r as usize].status = Status::Busy;
-                    let lat = self.cfg.fabric.compute.reduce_latency;
+                    let lat = self.cfg.fabric.compute.reduce_latency * self.noise_factor(r);
                     self.push(self.now.after(lat), Ev::ReduceStart(r));
                     self.stats.reduces += 1;
                     return Ok(());
@@ -557,7 +749,8 @@ impl<'a> SimState<'a> {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Compute, 0);
                     self.ranks[r as usize].status = Status::Busy;
-                    self.push(self.now.after(seconds.max(0.0)), Ev::Resume(r));
+                    let dur = seconds.max(0.0) * self.noise_factor(r);
+                    self.push(self.now.after(dur), Ev::Resume(r));
                     return Ok(());
                 }
                 Instr::Barrier { id } => {
@@ -566,13 +759,23 @@ impl<'a> SimState<'a> {
                     self.exec_barrier(r, id)?;
                     return Ok(());
                 }
-                Instr::Sharp { group, src, dst, range } => {
+                Instr::Sharp {
+                    group,
+                    src,
+                    dst,
+                    range,
+                } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Sharp, range.len());
                     self.exec_sharp(r, group, src, dst, range, None)?;
                     return Ok(());
                 }
-                Instr::ISharp { group, src, dst, range } => {
+                Instr::ISharp {
+                    group,
+                    src,
+                    dst,
+                    range,
+                } => {
                     self.ranks[r as usize].pc += 1;
                     let req_idx = self.ranks[r as usize].reqs.len() as u32;
                     self.ranks[r as usize].reqs.push(ReqState::SharpPending);
@@ -602,7 +805,14 @@ impl<'a> SimState<'a> {
         }
     }
 
-    fn buf_apply(&mut self, r: u32, key: BufKey, range: ByteRange, payload: &CoverageMap, kind: &ApplyKind) {
+    fn buf_apply(
+        &mut self,
+        r: u32,
+        key: BufKey,
+        range: ByteRange,
+        payload: &CoverageMap,
+        kind: &ApplyKind,
+    ) {
         let buf = match key {
             BufKey::Priv(id) => self.ranks[r as usize].bufs.entry(id).or_default(),
             BufKey::Shared(id) => {
@@ -624,7 +834,11 @@ impl<'a> SimState<'a> {
         let dst_node = self.cfg.map.node_of(to);
         let intra = src_node == dst_node;
         let cross_socket = intra && !self.cfg.map.same_socket(Rank(r), to);
-        let hops = self.cfg.tree.hop_count(src_node, dst_node).expect("valid nodes");
+        let hops = self
+            .cfg
+            .tree
+            .hop_count(src_node, dst_node)
+            .expect("valid nodes");
         let eager = range.len() <= self.cfg.fabric.nic.eager_threshold;
         let req_idx = self.ranks[r as usize].reqs.len() as u32;
         self.ranks[r as usize].reqs.push(if eager || intra {
@@ -660,7 +874,7 @@ impl<'a> SimState<'a> {
                 + range.len() as f64 / self.cfg.fabric.mem.copy_bw(cross_socket)
         } else {
             self.cfg.fabric.nic.proc_overhead
-        };
+        } * self.noise_factor(r);
         self.ranks[r as usize].status = Status::Busy;
         self.push(self.now.after(overhead), Ev::Inject(m));
         self.push(self.now.after(overhead), Ev::Resume(r));
@@ -688,7 +902,7 @@ impl<'a> SimState<'a> {
             self.nic_queue[node].push_back(m);
             if !self.nic_busy[node] {
                 self.nic_busy[node] = true;
-                let svc = 1.0 / self.cfg.fabric.nic.node_msg_rate;
+                let svc = 1.0 / (self.cfg.fabric.nic.node_msg_rate * self.node_msg_factor[node]);
                 self.push(self.now.after(svc), Ev::NicService(node as u32));
             }
         }
@@ -722,14 +936,17 @@ impl<'a> SimState<'a> {
         if self.nic_queue[node as usize].is_empty() {
             self.nic_busy[node as usize] = false;
         } else {
-            let svc = 1.0 / self.cfg.fabric.nic.node_msg_rate;
+            let svc =
+                1.0 / (self.cfg.fabric.nic.node_msg_rate * self.node_msg_factor[node as usize]);
             self.push(self.now.after(svc), Ev::NicService(node));
         }
     }
 
     fn exec_irecv(&mut self, r: u32, from: Rank, tag: Tag, dst: BufKey) -> Result<(), SimError> {
         let req_idx = self.ranks[r as usize].reqs.len() as u32;
-        self.ranks[r as usize].reqs.push(ReqState::RecvPending { dst });
+        self.ranks[r as usize]
+            .reqs
+            .push(ReqState::RecvPending { dst });
         let key = (r, from.0, tag);
         if let Some(q) = self.arrived.get_mut(&key) {
             if let Some(m) = q.pop_front() {
@@ -740,7 +957,10 @@ impl<'a> SimState<'a> {
                 return Ok(());
             }
         }
-        self.recv_waiting.entry(key).or_default().push_back((r, req_idx));
+        self.recv_waiting
+            .entry(key)
+            .or_default()
+            .push_back((r, req_idx));
         Ok(())
     }
 
@@ -787,7 +1007,9 @@ impl<'a> SimState<'a> {
         }
         // Rendezvous send completes on delivery-side arrival.
         let (sr, sreq) = self.msgs[m].send_req;
-        if !self.msgs[m].eager && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending {
+        if !self.msgs[m].eager
+            && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending
+        {
             self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
             self.maybe_unblock_wait(sr);
         }
@@ -808,7 +1030,10 @@ impl<'a> SimState<'a> {
     // ---- local copy / reduce -------------------------------------------------
 
     fn local_start(&mut self, r: u32) {
-        let pending = self.ranks[r as usize].pending_local.take().expect("pending local op");
+        let pending = self.ranks[r as usize]
+            .pending_local
+            .take()
+            .expect("pending local op");
         let node = self.cfg.map.node_of(Rank(r)).index();
         let (payload, kind, bytes, cap) = match pending.kind {
             LocalKind::Copy { src, cross_socket } => {
@@ -824,11 +1049,18 @@ impl<'a> SimState<'a> {
                 }
                 let passes = srcs.len() as f64;
                 let cap = self.cfg.fabric.compute.per_core_reduce_bw;
-                (acc, ApplyKind::Union, pending.range.len() as f64 * passes, cap)
+                (
+                    acc,
+                    ApplyKind::Union,
+                    pending.range.len() as f64 * passes,
+                    cap,
+                )
             }
         };
         self.ranks[r as usize].pending_apply = Some((pending.dst, pending.range, payload, kind));
-        let fid = self.fluid.add_flow(vec![self.res_mem[node]], cap, bytes, FlowToken::Local(r));
+        let fid = self
+            .fluid
+            .add_flow(vec![self.res_mem[node]], cap, bytes, FlowToken::Local(r));
         self.flow_of_rank.insert(r, fid);
     }
 
@@ -838,7 +1070,9 @@ impl<'a> SimState<'a> {
         self.fluid.advance_to(self.now);
         let drained = self.fluid.drained_flows();
         for fid in drained {
-            let Some(token) = self.fluid.remove_flow(fid) else { continue };
+            let Some(token) = self.fluid.remove_flow(fid) else {
+                continue;
+            };
             match token {
                 FlowToken::Net(m) => {
                     self.flow_of_msg.remove(&m);
@@ -851,8 +1085,10 @@ impl<'a> SimState<'a> {
                 }
                 FlowToken::Local(r) => {
                     self.flow_of_rank.remove(&r);
-                    let (dst, range, payload, kind) =
-                        self.ranks[r as usize].pending_apply.take().expect("pending apply");
+                    let (dst, range, payload, kind) = self.ranks[r as usize]
+                        .pending_apply
+                        .take()
+                        .expect("pending apply");
                     self.buf_apply(r, dst, range, &payload, &kind);
                     self.push(self.now, Ev::Resume(r));
                 }
@@ -870,14 +1106,21 @@ impl<'a> SimState<'a> {
             .get(&id)
             .ok_or(SimError::UnknownGroup("barrier", id))?;
         let total = members.len() as u32;
-        let st = self.barriers.entry(id).or_insert(BarrierState { arrived: 0, released: false });
+        let st = self.barriers.entry(id).or_insert(BarrierState {
+            arrived: 0,
+            released: false,
+        });
         assert!(!st.released, "barrier {id} reused after release");
         st.arrived += 1;
         self.ranks[r as usize].status = Status::OnBarrier;
         if st.arrived == total {
             st.released = true;
             // Dissemination-style cost: lg(members) cache-line rounds.
-            let rounds = if total <= 1 { 0 } else { (total - 1).ilog2() + 1 };
+            let rounds = if total <= 1 {
+                0
+            } else {
+                (total - 1).ilog2() + 1
+            };
             let cost = self.cfg.fabric.mem.copy_latency * rounds as f64;
             let members = members.clone();
             for m in members {
@@ -900,6 +1143,12 @@ impl<'a> SimState<'a> {
     ) -> Result<(), SimError> {
         if self.oracle.is_none() {
             return Err(SimError::NoSharpOracle);
+        }
+        if self.faults.is_some_and(|p| p.sharp.deny_groups) {
+            // The switch refuses the group allocation outright — the
+            // caller (dpml-core) is expected to fall back to a host-based
+            // schedule.
+            return Err(SimError::SharpDenied(group));
         }
         let members = self
             .world
@@ -947,7 +1196,9 @@ impl<'a> SimState<'a> {
     fn try_start_sharp(&mut self) {
         let oracle = self.oracle.expect("oracle checked at exec");
         while self.sharp_active < oracle.max_concurrent_ops() {
-            let Some(op_idx) = self.sharp_queue.pop_front() else { return };
+            let Some(op_idx) = self.sharp_queue.pop_front() else {
+                return;
+            };
             let (group, bytes) = {
                 let op = &mut self.sharp_ops[op_idx];
                 op.started = true;
@@ -956,7 +1207,17 @@ impl<'a> SimState<'a> {
             let members = &self.world.sharp_groups[&group];
             let dur = oracle.op_time(members, bytes);
             self.sharp_active += 1;
-            self.push(self.now.after(dur), Ev::SharpDone(op_idx));
+            // Flaky attempts hang the op; the op watchdog converts the
+            // hang into a SharpTimeout after the plan's op_timeout.
+            let hang = self.faults.is_some_and(|p| {
+                self.fault_attempt < p.sharp.flaky_attempts && p.sharp.op_timeout > 0.0
+            });
+            if hang {
+                let timeout = self.faults.expect("checked above").sharp.op_timeout;
+                self.push(self.now.after(timeout), Ev::SharpFail(op_idx));
+            } else {
+                self.push(self.now.after(dur), Ev::SharpDone(op_idx));
+            }
         }
     }
 
@@ -964,7 +1225,11 @@ impl<'a> SimState<'a> {
         let (accum, range, dsts) = {
             let op = &mut self.sharp_ops[op_idx];
             op.done = true;
-            (op.accum.clone(), op.range.expect("range set"), std::mem::take(&mut op.dsts))
+            (
+                op.accum.clone(),
+                op.range.expect("range set"),
+                std::mem::take(&mut op.dsts),
+            )
         };
         for (rank, dst, req) in dsts {
             self.buf_apply(rank.0, dst, range, &accum, &ApplyKind::Overwrite);
@@ -990,7 +1255,11 @@ impl<'a> SimState<'a> {
             _ => unreachable!(),
         };
         RunReport {
-            finish_times: self.ranks.iter().map(|r| r.finish.expect("finished")).collect(),
+            finish_times: self
+                .ranks
+                .iter()
+                .map(|r| r.finish.expect("finished"))
+                .collect(),
             result_coverage: self
                 .ranks
                 .iter()
@@ -1013,7 +1282,7 @@ mod tests {
     fn config(nodes: u32, ppn: u32) -> SimConfig {
         let preset = cluster_b();
         let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
-        SimConfig::new(RankMap::block(&spec), preset.fabric, preset.switch)
+        SimConfig::new(RankMap::block(&spec), preset.fabric, preset.switch).unwrap()
     }
 
     /// Two ranks on different nodes exchange their vectors and reduce.
@@ -1124,7 +1393,8 @@ mod tests {
         let mut w = WorldProgram::new(2, 64);
         w.register_sharp_group(0, vec![Rank(0), Rank(1)]);
         for r in 0..2u32 {
-            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(64));
+            w.rank(Rank(r))
+                .sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(64));
         }
         let err = Simulator::new(&cfg).run(&w).unwrap_err();
         assert_eq!(err, SimError::NoSharpOracle);
@@ -1147,7 +1417,8 @@ mod tests {
         let mut w = WorldProgram::new(4, n);
         w.register_sharp_group(0, (0..4).map(Rank).collect());
         for r in 0..4u32 {
-            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+            w.rank(Rank(r))
+                .sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
         }
         let oracle = FixedOracle(5e-6, 2);
         let rep = Simulator::new(&cfg).with_sharp(&oracle).run(&w).unwrap();
@@ -1165,16 +1436,22 @@ mod tests {
         w.register_sharp_group(0, vec![Rank(0), Rank(1)]);
         w.register_sharp_group(1, vec![Rank(2), Rank(3)]);
         for r in 0..2u32 {
-            w.rank(Rank(r)).sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+            w.rank(Rank(r))
+                .sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
         }
         for r in 2..4u32 {
-            w.rank(Rank(r)).sharp(1, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+            w.rank(Rank(r))
+                .sharp(1, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
         }
         let serial = FixedOracle(10e-6, 1);
         let rep1 = Simulator::new(&cfg).with_sharp(&serial).run(&w).unwrap();
         let parallel = FixedOracle(10e-6, 2);
         let rep2 = Simulator::new(&cfg).with_sharp(&parallel).run(&w).unwrap();
-        assert!(rep1.latency_us() >= 20.0, "serialized: {}", rep1.latency_us());
+        assert!(
+            rep1.latency_us() >= 20.0,
+            "serialized: {}",
+            rep1.latency_us()
+        );
         assert!(rep2.latency_us() < 20.0, "parallel: {}", rep2.latency_us());
     }
 
@@ -1212,10 +1489,14 @@ mod tests {
         let n = 64;
         let mut w = WorldProgram::new(2, n);
         for i in 0..100u32 {
-            w.rank(Rank(0)).send(Rank(1), i, BUF_INPUT, ByteRange::whole(n));
+            w.rank(Rank(0))
+                .send(Rank(1), i, BUF_INPUT, ByteRange::whole(n));
             w.rank(Rank(1)).recv(Rank(0), i, BufKey::Priv(2));
         }
-        let err = Simulator::new(&cfg).with_event_budget(10).run(&w).unwrap_err();
+        let err = Simulator::new(&cfg)
+            .with_event_budget(10)
+            .run(&w)
+            .unwrap_err();
         assert_eq!(err, SimError::EventBudgetExceeded(10));
     }
 
@@ -1237,7 +1518,10 @@ mod tests {
             let dr = w.rank(d).irecv(s, i, BufKey::Priv(2));
             w.rank(d).wait_all(vec![dr]);
         }
-        let rep = Simulator::new(&cfg).with_event_budget(2_000_000).run(&w).unwrap();
+        let rep = Simulator::new(&cfg)
+            .with_event_budget(2_000_000)
+            .run(&w)
+            .unwrap();
         assert!(rep.stats.events < 100_000, "events {}", rep.stats.events);
         assert_eq!(rep.stats.messages, 200);
     }
@@ -1249,7 +1533,8 @@ mod tests {
         let cfg = config(2, 1);
         let n = 1u64 << 16;
         let mut w = WorldProgram::new(2, n);
-        w.rank(Rank(0)).send(Rank(1), 0, BUF_INPUT, ByteRange::whole(n));
+        w.rank(Rank(0))
+            .send(Rank(1), 0, BUF_INPUT, ByteRange::whole(n));
         w.rank(Rank(1)).recv(Rank(0), 0, BufKey::Priv(2));
         let rep = Simulator::new(&cfg).run(&w).unwrap();
         // Analytic: overhead + nic service + transfer + latency.
@@ -1257,7 +1542,11 @@ mod tests {
         let expect = nic.proc_overhead
             + 1.0 / nic.node_msg_rate
             + n as f64 / nic.per_flow_bw
-            + nic.latency_for_hops(cfg.tree.hop_count(dpml_topology::NodeId(0), dpml_topology::NodeId(1)).unwrap());
+            + nic.latency_for_hops(
+                cfg.tree
+                    .hop_count(dpml_topology::NodeId(0), dpml_topology::NodeId(1))
+                    .unwrap(),
+            );
         let got = rep.makespan().seconds();
         assert!(
             (got - expect).abs() <= 100e-9,
@@ -1279,10 +1568,14 @@ mod tests {
             p.barrier(r / 2);
         }
         // One inter-node exchange between the node leaders.
-        w.rank(Rank(0)).sendrecv(Rank(2), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
-        w.rank(Rank(2)).sendrecv(Rank(0), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
-        w.rank(Rank(0)).reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
-        w.rank(Rank(2)).reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        w.rank(Rank(0))
+            .sendrecv(Rank(2), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
+        w.rank(Rank(2))
+            .sendrecv(Rank(0), 0, BUF_RESULT, ByteRange::whole(n), BufKey::Priv(2));
+        w.rank(Rank(0))
+            .reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        w.rank(Rank(2))
+            .reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
 
         let rep = Simulator::new(&cfg).with_trace().run(&w).unwrap();
         let trace = rep.trace.as_ref().expect("trace requested");
@@ -1291,7 +1584,10 @@ mod tests {
         assert!((trace.total_time(SpanKind::Compute) - 4.0 * 2e-6).abs() < 1e-12);
         assert!(trace.total_time(SpanKind::Barrier) > 0.0);
         assert_eq!(trace.messages.len(), 2);
-        assert!(trace.messages.iter().all(|m| m.delivered > m.injected && !m.intra_node));
+        assert!(trace
+            .messages
+            .iter()
+            .all(|m| m.delivered > m.injected && !m.intra_node));
         // Spans nest within the makespan.
         for sp in &trace.spans {
             assert!(sp.end <= rep.makespan().seconds() + 1e-15);
@@ -1304,6 +1600,243 @@ mod tests {
         let rep2 = Simulator::new(&cfg).run(&w).unwrap();
         assert!(rep2.trace.is_none());
         assert_eq!(rep2.makespan(), rep.makespan());
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    use dpml_faults::{FaultPlan, LinkFault, NoiseModel, SharpFaults, Straggler};
+
+    fn exchange_world(n: u64) -> WorldProgram {
+        let mut w = WorldProgram::new(2, n);
+        for r in 0..2u32 {
+            let peer = Rank(1 - r);
+            let p = w.rank(Rank(r));
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            p.sendrecv(peer, 0, BUF_INPUT, ByteRange::whole(n), BufKey::Priv(2));
+            p.reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        }
+        w
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 18);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan::zero();
+        let faulted = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert_eq!(
+            clean.makespan().seconds().to_bits(),
+            faulted.makespan().seconds().to_bits()
+        );
+        assert_eq!(clean.finish_times, faulted.finish_times);
+        let canon = FaultPlan::canonical(99, 0.0);
+        let canonical = Simulator::new(&cfg).with_faults(&canon).run(&w).unwrap();
+        assert_eq!(
+            clean.makespan().seconds().to_bits(),
+            canonical.makespan().seconds().to_bits()
+        );
+    }
+
+    #[test]
+    fn noise_slows_and_stays_deterministic() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 16);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            noise: NoiseModel {
+                intensity: 0.8,
+                straggler: None,
+            },
+            ..FaultPlan::zero()
+        };
+        let a = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        let b = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert!(a.makespan() > clean.makespan(), "noise must cost time");
+        assert_eq!(a.makespan(), b.makespan(), "same seed, same run");
+        let reseeded = FaultPlan {
+            seed: 1,
+            ..plan.clone()
+        };
+        let c = Simulator::new(&cfg).with_faults(&reseeded).run(&w).unwrap();
+        assert_ne!(
+            a.makespan(),
+            c.makespan(),
+            "different seed, different jitter"
+        );
+        rep_verify(&a);
+    }
+
+    fn rep_verify(rep: &RunReport) {
+        rep.verify_allreduce().unwrap();
+    }
+
+    #[test]
+    fn straggler_dominates_makespan() {
+        let cfg = config(1, 4);
+        let n = 1 << 14;
+        let mut w = WorldProgram::new(4, n);
+        for r in 0..4u32 {
+            let p = w.rank(Rank(r));
+            p.compute(10e-6);
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+        }
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            noise: NoiseModel {
+                intensity: 0.0,
+                straggler: Some(Straggler {
+                    rank: 2,
+                    slowdown: 5.0,
+                }),
+            },
+            ..FaultPlan::zero()
+        };
+        let slow = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert!(slow.finish_times[2] > clean.finish_times[2]);
+        assert!(slow.makespan().seconds() >= 5.0 * 10e-6);
+        // Non-straggler ranks with no dependence on rank 2 are unaffected.
+        assert_eq!(slow.finish_times[0], clean.finish_times[0]);
+    }
+
+    #[test]
+    fn degraded_link_window_slows_transfers() {
+        let cfg = config(2, 1);
+        let w = exchange_world(4 << 20);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        // Cluster B: per_flow_bw = 3 GB/s, node_bw = 12 GB/s. The factor
+        // must push the node capacity below the per-flow ceiling to bind
+        // on a single flow, so 0.1 (1.2 GB/s) rather than 0.25 (3 GB/s).
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                node: None,
+                start: 0.0,
+                end: None,
+                bw_factor: 0.1,
+                msg_rate_factor: 1.0,
+            }],
+            ..FaultPlan::zero()
+        };
+        let slow = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        rep_verify(&slow);
+        let ratio = slow.makespan().seconds() / clean.makespan().seconds();
+        assert!(
+            ratio > 1.5,
+            "10% bandwidth should slow a 4MB exchange, ratio {ratio}"
+        );
+        // A window that lifts mid-transfer is a smaller hit than a
+        // permanent degrade. (The first ~quarter of the clean run is the
+        // local input copy, so the window must reach past that to touch
+        // the wire at all.)
+        let flap = FaultPlan {
+            links: vec![LinkFault {
+                node: None,
+                start: 0.0,
+                end: Some(clean.makespan().seconds() * 0.5),
+                bw_factor: 0.1,
+                msg_rate_factor: 1.0,
+            }],
+            ..FaultPlan::zero()
+        };
+        let flapped = Simulator::new(&cfg).with_faults(&flap).run(&w).unwrap();
+        assert!(flapped.makespan() > clean.makespan());
+        assert!(flapped.makespan() < slow.makespan());
+    }
+
+    #[test]
+    fn severed_link_reports_link_down() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 20);
+        let plan = FaultPlan {
+            links: vec![LinkFault {
+                node: Some(1),
+                start: 0.0,
+                end: None,
+                bw_factor: 0.0,
+                msg_rate_factor: 1.0,
+            }],
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
+        assert_eq!(err, SimError::LinkDown { node: 1 });
+    }
+
+    #[test]
+    fn time_budget_watchdog_fires() {
+        let cfg = config(2, 1);
+        let w = exchange_world(4 << 20); // takes ~ms of virtual time
+        let err = Simulator::new(&cfg)
+            .with_time_budget(10e-6)
+            .run(&w)
+            .unwrap_err();
+        assert_eq!(err, SimError::TimeBudgetExceeded(10e-6));
+        // A generous budget does not interfere.
+        let ok = Simulator::new(&cfg).with_time_budget(10.0).run(&w);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn sharp_denial_and_flaky_timeout() {
+        let cfg = config(4, 1);
+        let n = 256;
+        let mut w = WorldProgram::new(4, n);
+        w.register_sharp_group(0, (0..4).map(Rank).collect());
+        for r in 0..4u32 {
+            w.rank(Rank(r))
+                .sharp(0, BUF_INPUT, BUF_RESULT, ByteRange::whole(n));
+        }
+        let oracle = FixedOracle(5e-6, 2);
+        let deny = FaultPlan {
+            sharp: SharpFaults {
+                deny_groups: true,
+                flaky_attempts: 0,
+                op_timeout: 0.0,
+            },
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg)
+            .with_sharp(&oracle)
+            .with_faults(&deny)
+            .run(&w)
+            .unwrap_err();
+        assert_eq!(err, SimError::SharpDenied(0));
+
+        let flaky = FaultPlan {
+            sharp: SharpFaults {
+                deny_groups: false,
+                flaky_attempts: 2,
+                op_timeout: 100e-6,
+            },
+            ..FaultPlan::zero()
+        };
+        // Attempts 0 and 1 time out; attempt 2 succeeds.
+        for attempt in 0..2 {
+            let err = Simulator::new(&cfg)
+                .with_sharp(&oracle)
+                .with_faults(&flaky)
+                .with_fault_attempt(attempt)
+                .run(&w)
+                .unwrap_err();
+            assert_eq!(err, SimError::SharpTimeout { group: 0 });
+        }
+        let rep = Simulator::new(&cfg)
+            .with_sharp(&oracle)
+            .with_faults(&flaky)
+            .with_fault_attempt(2)
+            .run(&w)
+            .unwrap();
+        rep.verify_allreduce().unwrap();
+    }
+
+    #[test]
+    fn invalid_switch_spec_is_a_config_error() {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(2, 2, 14, 1).unwrap();
+        let bad = dpml_topology::SwitchTreeSpec {
+            nodes_per_leaf: 0,
+            ..preset.switch
+        };
+        assert!(SimConfig::new(RankMap::block(&spec), preset.fabric, bad).is_err());
     }
 
     #[test]

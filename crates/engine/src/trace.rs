@@ -87,12 +87,21 @@ pub struct Trace {
 impl Trace {
     /// Total time attributed to a kind across all ranks, seconds.
     pub fn total_time(&self, kind: SpanKind) -> f64 {
-        self.spans.iter().filter(|s| s.kind == kind).map(|s| s.end - s.start).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
     }
 
     /// Spans of one rank, in start order.
     pub fn rank_timeline(&self, rank: u32) -> Vec<Span> {
-        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.rank == rank).collect();
+        let mut v: Vec<Span> = self
+            .spans
+            .iter()
+            .copied()
+            .filter(|s| s.rank == rank)
+            .collect();
         v.sort_by(|a, b| a.start.total_cmp(&b.start));
         v
     }
@@ -134,9 +143,27 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             spans: vec![
-                Span { rank: 0, kind: SpanKind::Copy, start: 0.0, end: 1e-6, bytes: 100 },
-                Span { rank: 0, kind: SpanKind::Reduce, start: 1e-6, end: 3e-6, bytes: 200 },
-                Span { rank: 1, kind: SpanKind::Copy, start: 0.0, end: 2e-6, bytes: 100 },
+                Span {
+                    rank: 0,
+                    kind: SpanKind::Copy,
+                    start: 0.0,
+                    end: 1e-6,
+                    bytes: 100,
+                },
+                Span {
+                    rank: 0,
+                    kind: SpanKind::Reduce,
+                    start: 1e-6,
+                    end: 3e-6,
+                    bytes: 200,
+                },
+                Span {
+                    rank: 1,
+                    kind: SpanKind::Copy,
+                    start: 0.0,
+                    end: 2e-6,
+                    bytes: 100,
+                },
             ],
             messages: vec![MsgTrace {
                 src: 0,

@@ -55,13 +55,19 @@ mod tests {
     use super::*;
 
     fn xeon() -> ComputeModel {
-        ComputeModel { per_core_reduce_bw: 3.0e9, reduce_latency: 50e-9 }
+        ComputeModel {
+            per_core_reduce_bw: 3.0e9,
+            reduce_latency: 50e-9,
+        }
     }
 
     #[test]
     fn validates() {
         assert!(xeon().validate().is_ok());
-        let bad = ComputeModel { per_core_reduce_bw: 0.0, reduce_latency: 0.0 };
+        let bad = ComputeModel {
+            per_core_reduce_bw: 0.0,
+            reduce_latency: 0.0,
+        };
         assert!(bad.validate().is_err());
     }
 

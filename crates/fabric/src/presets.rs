@@ -77,7 +77,10 @@ fn xeon_memory() -> MemoryModel {
 }
 
 fn xeon_compute() -> ComputeModel {
-    ComputeModel { per_core_reduce_bw: 3.0e9, reduce_latency: 50e-9 }
+    ComputeModel {
+        per_core_reduce_bw: 3.0e9,
+        reduce_latency: 50e-9,
+    }
 }
 
 fn edr_ib() -> NicModel {
@@ -131,7 +134,12 @@ pub fn cluster_a() -> Preset {
         cores_per_socket: 14,
         max_nodes: 40,
         default_ppn: 28,
-        switch: SwitchTreeSpec { nodes_per_leaf: 20, num_core: 2, oversub_num: 1, oversub_den: 1 },
+        switch: SwitchTreeSpec {
+            nodes_per_leaf: 20,
+            num_core: 2,
+            oversub_num: 1,
+            oversub_den: 1,
+        },
     }
 }
 
@@ -150,7 +158,12 @@ pub fn cluster_b() -> Preset {
         cores_per_socket: 14,
         max_nodes: 648,
         default_ppn: 28,
-        switch: SwitchTreeSpec { nodes_per_leaf: 24, num_core: 8, oversub_num: 1, oversub_den: 1 },
+        switch: SwitchTreeSpec {
+            nodes_per_leaf: 24,
+            num_core: 8,
+            oversub_num: 1,
+            oversub_den: 1,
+        },
     }
 }
 
@@ -169,7 +182,12 @@ pub fn cluster_c() -> Preset {
         cores_per_socket: 14,
         max_nodes: 752,
         default_ppn: 28,
-        switch: SwitchTreeSpec { nodes_per_leaf: 24, num_core: 8, oversub_num: 1, oversub_den: 1 },
+        switch: SwitchTreeSpec {
+            nodes_per_leaf: 24,
+            num_core: 8,
+            oversub_num: 1,
+            oversub_den: 1,
+        },
     }
 }
 
@@ -188,7 +206,10 @@ pub fn cluster_d() -> Preset {
                 cross_socket_latency: 0.0,
                 cross_socket_bw_factor: 1.0, // single socket
             },
-            compute: ComputeModel { per_core_reduce_bw: 1.0e9, reduce_latency: 150e-9 },
+            compute: ComputeModel {
+                per_core_reduce_bw: 1.0e9,
+                reduce_latency: 150e-9,
+            },
             sharp: None,
         },
         sockets_per_node: 1,
@@ -211,11 +232,21 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for p in all_presets() {
-            p.fabric.nic.validate().unwrap_or_else(|e| panic!("{}: nic: {e}", p.id));
-            p.fabric.mem.validate().unwrap_or_else(|e| panic!("{}: mem: {e}", p.id));
-            p.fabric.compute.validate().unwrap_or_else(|e| panic!("{}: compute: {e}", p.id));
+            p.fabric
+                .nic
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: nic: {e}", p.id));
+            p.fabric
+                .mem
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: mem: {e}", p.id));
+            p.fabric
+                .compute
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: compute: {e}", p.id));
             if let Some(s) = &p.fabric.sharp {
-                s.validate().unwrap_or_else(|e| panic!("{}: sharp: {e}", p.id));
+                s.validate()
+                    .unwrap_or_else(|e| panic!("{}: sharp: {e}", p.id));
             }
         }
     }

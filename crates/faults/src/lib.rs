@@ -1,0 +1,435 @@
+//! Deterministic, seeded fault-injection plans for the cluster simulator.
+//!
+//! Real clusters are never the pristine machines a paper's evaluation runs
+//! on: cores take OS-noise interrupts, links flap or run degraded, and the
+//! switch refuses SHArP group allocations under pressure. A [`FaultPlan`]
+//! describes those perturbations declaratively; the engine executes them
+//! (see `dpml-engine::Simulator::with_faults`) and `dpml-core` layers
+//! retry/fallback policy on top.
+//!
+//! Design rules:
+//!
+//! * **Deterministic.** All jitter derives from `(seed, rank, draw
+//!   counter)` through a splitmix64 hash — the same plan replays the same
+//!   run, bit for bit, which keeps fault experiments diffable.
+//! * **Pay for what you use.** A zero plan ([`FaultPlan::zero`] or
+//!   [`FaultPlan::canonical`] at intensity `0.0`) perturbs *nothing*: every
+//!   noise factor is exactly `1.0` and no link events are scheduled, so
+//!   simulated latencies are bit-identical to a fault-free run.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest message-rate factor honored by the engine: a slower NIC still
+/// serves its queue in finite time (a zero rate would schedule an event at
+/// `t = +inf`, which virtual time rejects). Use [`LinkFault::bw_factor`]
+/// `= 0.0` to model a fully severed link instead.
+pub const MIN_MSG_RATE_FACTOR: f64 = 1e-3;
+
+/// splitmix64: the canonical 64-bit finalizer-style mixer. Public so tests
+/// and harnesses can reproduce the engine's draws.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash `(seed, rank, counter)` to a uniform f64 in `[0, 1)`.
+#[inline]
+pub fn u01(seed: u64, rank: u32, counter: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64((rank as u64) << 32 | 0x5bf0_3635).wrapping_add(counter));
+    // 53 mantissa bits -> [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Per-core OS noise and straggler model.
+///
+/// Every local occupancy (compute step, copy/reduce startup, shared-memory
+/// injection) is stretched by an independent factor
+/// `1 + intensity * u01(seed, rank, draw)`; a designated straggler rank is
+/// additionally slowed by a constant multiplier on every draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct NoiseModel {
+    /// Jitter amplitude: `0.0` = silent (factors are exactly `1.0`),
+    /// `1.0` = every local occupancy stretched by up to 2x.
+    pub intensity: f64,
+    /// Optional constant-factor straggler.
+    pub straggler: Option<Straggler>,
+}
+
+/// One persistently slow rank (a throttled or oversubscribed core).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Global rank to slow down.
+    pub rank: u32,
+    /// Multiplier (>= 1.0) applied to all its local occupancies.
+    pub slowdown: f64,
+}
+
+impl NoiseModel {
+    /// The stretch factor for rank `rank`'s `counter`-th draw.
+    ///
+    /// Exactly `1.0` when `intensity == 0` and the rank is not a straggler
+    /// — the zero plan must not move a single bit of timing.
+    #[inline]
+    pub fn factor(&self, seed: u64, rank: u32, counter: u64) -> f64 {
+        let straggle = match self.straggler {
+            Some(s) if s.rank == rank => s.slowdown,
+            _ => 1.0,
+        };
+        if self.intensity == 0.0 {
+            return straggle;
+        }
+        (1.0 + self.intensity * u01(seed, rank, counter)) * straggle
+    }
+
+    /// True when this model perturbs nothing.
+    pub fn is_zero(&self) -> bool {
+        self.intensity == 0.0 && self.straggler.is_none()
+    }
+}
+
+/// A link/NIC degradation window.
+///
+/// While active (`start <= t < end`), the node's NIC tx/rx capacities are
+/// scaled by `bw_factor` and its message-rate server by
+/// `msg_rate_factor`. Overlapping windows compound multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Affected node, or `None` for every node (fabric-wide brownout).
+    pub node: Option<u32>,
+    /// Window start, seconds of virtual time.
+    pub start: f64,
+    /// Window end, seconds; `None` = never restored.
+    pub end: Option<f64>,
+    /// NIC bandwidth multiplier in `[0, 1]`; `0.0` severs the link.
+    pub bw_factor: f64,
+    /// Message-rate multiplier in `(0, 1]` (clamped up to
+    /// [`MIN_MSG_RATE_FACTOR`] by the engine).
+    pub msg_rate_factor: f64,
+}
+
+impl LinkFault {
+    /// Whether the window is active at virtual time `t` for `node`.
+    #[inline]
+    pub fn active(&self, node: u32, t: f64) -> bool {
+        (self.node.is_none() || self.node == Some(node))
+            && t >= self.start
+            && self.end.is_none_or(|e| t < e)
+    }
+}
+
+/// SHArP resource faults (Section 4.3's designs assume the switch always
+/// grants a group and finishes every op; real SHArP daemons do neither).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SharpFaults {
+    /// The switch refuses group allocation outright: every `Sharp`
+    /// instruction fails immediately with `SimError::SharpDenied`.
+    pub deny_groups: bool,
+    /// The first `flaky_attempts` run attempts hang every SHArP op; the
+    /// engine's op watchdog converts the hang into
+    /// `SimError::SharpTimeout` after [`SharpFaults::op_timeout`].
+    pub flaky_attempts: u32,
+    /// Virtual seconds the op watchdog waits before declaring a hung op
+    /// timed out (only used on flaky attempts).
+    pub op_timeout: f64,
+}
+
+impl SharpFaults {
+    /// True when SHArP is unperturbed.
+    pub fn is_zero(&self) -> bool {
+        !self.deny_groups && self.flaky_attempts == 0
+    }
+}
+
+/// A complete, deterministic fault scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all jitter draws.
+    pub seed: u64,
+    /// Per-core OS noise / straggler model.
+    pub noise: NoiseModel,
+    /// Link/NIC degradation windows.
+    pub links: Vec<LinkFault>,
+    /// SHArP resource faults.
+    pub sharp: SharpFaults,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, perturbs nothing.
+    pub fn zero() -> Self {
+        FaultPlan {
+            seed: 0,
+            noise: NoiseModel::default(),
+            links: Vec::new(),
+            sharp: SharpFaults::default(),
+        }
+    }
+
+    /// The canonical intensity-parameterized scenario used by the
+    /// `resilience` bench and the `dpml faults` CLI: OS noise at
+    /// `intensity`, a fabric-wide brownout to `1 - intensity/2` of nominal
+    /// bandwidth and message rate, and a deep flap on node 0 between 10us
+    /// and 50us. At `intensity == 0` this is exactly [`FaultPlan::zero`]
+    /// (no link events at all), so baselines stay bit-identical.
+    pub fn canonical(seed: u64, intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "intensity must be in [0, 1]"
+        );
+        let mut links = Vec::new();
+        if intensity > 0.0 {
+            links.push(LinkFault {
+                node: None,
+                start: 0.0,
+                end: None,
+                bw_factor: 1.0 - 0.5 * intensity,
+                msg_rate_factor: 1.0 - 0.5 * intensity,
+            });
+            links.push(LinkFault {
+                node: Some(0),
+                start: 10e-6,
+                end: Some(50e-6),
+                bw_factor: (1.0 - intensity).max(0.05),
+                msg_rate_factor: (1.0 - intensity).max(0.05),
+            });
+        }
+        FaultPlan {
+            seed,
+            noise: NoiseModel {
+                intensity,
+                straggler: None,
+            },
+            links,
+            sharp: SharpFaults::default(),
+        }
+    }
+
+    /// True when executing the plan is a no-op.
+    pub fn is_zero(&self) -> bool {
+        self.noise.is_zero() && self.links.is_empty() && self.sharp.is_zero()
+    }
+}
+
+/// The engine-facing schedule derived from a plan's link windows: event
+/// boundary times and the aggregate (bandwidth, message-rate) factors for
+/// a node at a point in virtual time.
+#[derive(Debug, Clone)]
+pub struct FaultClock<'a> {
+    plan: &'a FaultPlan,
+}
+
+impl<'a> FaultClock<'a> {
+    /// View a plan as a clock.
+    pub fn new(plan: &'a FaultPlan) -> Self {
+        FaultClock { plan }
+    }
+
+    /// All degrade/restore boundary times, sorted and deduplicated. The
+    /// engine schedules one capacity-refresh event per boundary; between
+    /// boundaries factors are constant.
+    pub fn boundaries(&self) -> Vec<f64> {
+        let mut ts: Vec<f64> = Vec::new();
+        for l in &self.plan.links {
+            if l.start.is_finite() && l.start >= 0.0 {
+                ts.push(l.start);
+            }
+            if let Some(e) = l.end {
+                if e.is_finite() && e >= 0.0 {
+                    ts.push(e);
+                }
+            }
+        }
+        ts.sort_by(f64::total_cmp);
+        ts.dedup();
+        ts
+    }
+
+    /// Aggregate `(bw_factor, msg_rate_factor)` for `node` at time `t`.
+    /// Overlapping windows compound; the message-rate factor is clamped to
+    /// [`MIN_MSG_RATE_FACTOR`] so NIC service stays finite.
+    pub fn factors_at(&self, node: u32, t: f64) -> (f64, f64) {
+        let mut bw = 1.0;
+        let mut mr = 1.0;
+        for l in &self.plan.links {
+            if l.active(node, t) {
+                bw *= l.bw_factor.clamp(0.0, 1.0);
+                mr *= l.msg_rate_factor.clamp(0.0, 1.0);
+            }
+        }
+        (bw, mr.max(MIN_MSG_RATE_FACTOR))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_silent() {
+        let p = FaultPlan::zero();
+        assert!(p.is_zero());
+        assert_eq!(p.noise.factor(1, 0, 0), 1.0);
+        assert!(FaultClock::new(&p).boundaries().is_empty());
+        assert_eq!(FaultClock::new(&p).factors_at(3, 1.0), (1.0, 1.0));
+    }
+
+    #[test]
+    fn canonical_zero_intensity_equals_zero_plan_behavior() {
+        let p = FaultPlan::canonical(42, 0.0);
+        assert!(p.is_zero());
+        // Factors must be bit-exactly 1.0 for every (rank, draw).
+        for r in 0..64 {
+            for c in 0..16 {
+                assert_eq!(p.noise.factor(p.seed, r, c).to_bits(), 1.0f64.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let n = NoiseModel {
+            intensity: 0.5,
+            straggler: None,
+        };
+        for r in 0..32 {
+            for c in 0..32 {
+                let a = n.factor(7, r, c);
+                let b = n.factor(7, r, c);
+                assert_eq!(a, b);
+                assert!((1.0..1.5).contains(&a), "factor {a}");
+            }
+        }
+        // Different draws differ (overwhelmingly likely for a good mixer).
+        assert_ne!(n.factor(7, 0, 0), n.factor(7, 0, 1));
+        assert_ne!(n.factor(7, 0, 0), n.factor(8, 0, 0));
+    }
+
+    #[test]
+    fn straggler_multiplies() {
+        let n = NoiseModel {
+            intensity: 0.0,
+            straggler: Some(Straggler {
+                rank: 3,
+                slowdown: 4.0,
+            }),
+        };
+        assert_eq!(n.factor(0, 3, 0), 4.0);
+        assert_eq!(n.factor(0, 2, 0), 1.0);
+        let with_noise = NoiseModel {
+            intensity: 0.5,
+            ..n
+        };
+        assert!(with_noise.factor(0, 3, 0) >= 4.0);
+    }
+
+    #[test]
+    fn link_windows_activate_and_restore() {
+        let f = LinkFault {
+            node: Some(1),
+            start: 2.0,
+            end: Some(5.0),
+            bw_factor: 0.5,
+            msg_rate_factor: 0.5,
+        };
+        assert!(!f.active(1, 1.9));
+        assert!(f.active(1, 2.0));
+        assert!(f.active(1, 4.999));
+        assert!(!f.active(1, 5.0)); // boundary restores
+        assert!(!f.active(0, 3.0)); // other node untouched
+        let all = LinkFault { node: None, ..f };
+        assert!(all.active(0, 3.0) && all.active(7, 3.0));
+    }
+
+    #[test]
+    fn clock_compounds_overlaps_and_clamps() {
+        let plan = FaultPlan {
+            seed: 0,
+            noise: NoiseModel::default(),
+            links: vec![
+                LinkFault {
+                    node: None,
+                    start: 0.0,
+                    end: None,
+                    bw_factor: 0.5,
+                    msg_rate_factor: 0.5,
+                },
+                LinkFault {
+                    node: Some(0),
+                    start: 1.0,
+                    end: Some(2.0),
+                    bw_factor: 0.0,
+                    msg_rate_factor: 0.0,
+                },
+            ],
+            sharp: SharpFaults::default(),
+        };
+        let clk = FaultClock::new(&plan);
+        assert_eq!(clk.boundaries(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(clk.factors_at(0, 0.5), (0.5, 0.5));
+        let (bw, mr) = clk.factors_at(0, 1.5);
+        assert_eq!(bw, 0.0);
+        assert_eq!(mr, MIN_MSG_RATE_FACTOR); // clamped, never zero
+        assert_eq!(clk.factors_at(1, 1.5), (0.5, 0.5)); // node 1 sees only the brownout
+        assert_eq!(clk.factors_at(0, 2.5), (0.5, 0.5)); // flap restored
+    }
+
+    #[test]
+    fn canonical_scales_with_intensity() {
+        let lo = FaultPlan::canonical(1, 0.2);
+        let hi = FaultPlan::canonical(1, 0.9);
+        let (bw_lo, _) = FaultClock::new(&lo).factors_at(5, 0.0);
+        let (bw_hi, _) = FaultClock::new(&hi).factors_at(5, 0.0);
+        assert!(bw_hi < bw_lo && bw_lo < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn canonical_rejects_out_of_range() {
+        let _ = FaultPlan::canonical(0, 1.5);
+    }
+
+    #[test]
+    fn plans_round_trip_serde() {
+        let p = FaultPlan {
+            seed: 9,
+            noise: NoiseModel {
+                intensity: 0.3,
+                straggler: Some(Straggler {
+                    rank: 2,
+                    slowdown: 3.0,
+                }),
+            },
+            links: vec![LinkFault {
+                node: Some(1),
+                start: 1e-6,
+                end: None,
+                bw_factor: 0.7,
+                msg_rate_factor: 0.9,
+            }],
+            sharp: SharpFaults {
+                deny_groups: true,
+                flaky_attempts: 2,
+                op_timeout: 1e-4,
+            },
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let q: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn u01_is_uniformish() {
+        let mut sum = 0.0;
+        let n = 4096;
+        for c in 0..n {
+            let v = u01(123, 7, c);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

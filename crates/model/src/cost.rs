@@ -173,7 +173,11 @@ impl CostParams {
         CostBreakdown {
             t_copy: self.t_copy(),
             t_comp: self.t_comp(),
-            t_comm: if self.k > 1 { self.t_comm_pipelined() } else { self.t_comm() },
+            t_comm: if self.k > 1 {
+                self.t_comm_pipelined()
+            } else {
+                self.t_comm()
+            },
             t_bcast: self.t_bcast(),
         }
     }

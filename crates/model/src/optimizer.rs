@@ -32,7 +32,10 @@ pub fn candidate_leader_counts(ppn: u32) -> Vec<u32> {
 pub fn leader_sweep(base: &CostParams) -> Vec<LeaderPoint> {
     candidate_leader_counts(base.ppn())
         .into_iter()
-        .map(|l| LeaderPoint { leaders: l, time: base.with_leaders(l).t_allreduce() })
+        .map(|l| LeaderPoint {
+            leaders: l,
+            time: base.with_leaders(l).t_allreduce(),
+        })
         .collect()
 }
 
@@ -98,7 +101,10 @@ mod tests {
         let b = base(32 * 1024);
         let best = best_leader_count(&b);
         let sweep = leader_sweep(&b);
-        let min = sweep.iter().min_by(|x, y| x.time.total_cmp(&y.time)).unwrap();
+        let min = sweep
+            .iter()
+            .min_by(|x, y| x.time.total_cmp(&y.time))
+            .unwrap();
         assert_eq!(best, min.leaders);
     }
 }

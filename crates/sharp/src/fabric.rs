@@ -38,7 +38,10 @@ impl SharpFabric {
     /// Aggregation-tree depth (levels above the hosts) for a member set.
     pub fn tree_depth(&self, members: &[Rank]) -> u32 {
         let nodes: Vec<NodeId> = members.iter().map(|&r| self.map.node_of(r)).collect();
-        let (root, leaves) = self.tree.aggregation_tree(&nodes).expect("members on fabric");
+        let (root, leaves) = self
+            .tree
+            .aggregation_tree(&nodes)
+            .expect("members on fabric");
         if leaves.is_empty() {
             // Single leaf switch: hosts → leaf → hosts.
             1
@@ -88,7 +91,12 @@ mod tests {
         let map = RankMap::block(&spec);
         let tree = SwitchTree::build(
             nodes,
-            SwitchTreeSpec { nodes_per_leaf: 8, num_core: 2, oversub_num: 1, oversub_den: 1 },
+            SwitchTreeSpec {
+                nodes_per_leaf: 8,
+                num_core: 2,
+                oversub_num: 1,
+                oversub_den: 1,
+            },
         )
         .unwrap();
         SharpFabric::new(SharpParams::switch_ib2(), tree, map)
@@ -154,7 +162,10 @@ mod tests {
     #[test]
     fn oracle_exposes_concurrency_limit() {
         let f = fabric(4);
-        assert_eq!(f.max_concurrent_ops(), SharpParams::switch_ib2().max_concurrent_ops);
+        assert_eq!(
+            f.max_concurrent_ops(),
+            SharpParams::switch_ib2().max_concurrent_ops
+        );
         let members = leaders(&f, 4);
         assert!(f.op_time(&members, 128) > 0.0);
     }

@@ -50,7 +50,10 @@ pub struct GroupRegistry {
 impl GroupRegistry {
     /// Registry with the fabric's group capacity.
     pub fn new(max_groups: u32) -> Self {
-        GroupRegistry { max_groups, groups: HashMap::new() }
+        GroupRegistry {
+            max_groups,
+            groups: HashMap::new(),
+        }
     }
 
     /// Register a group. Fails when the limit is reached.
@@ -62,7 +65,9 @@ impl GroupRegistry {
             return Err(GroupError::Duplicate(id));
         }
         if self.groups.len() as u32 >= self.max_groups {
-            return Err(GroupError::LimitExceeded { max_groups: self.max_groups });
+            return Err(GroupError::LimitExceeded {
+                max_groups: self.max_groups,
+            });
         }
         self.groups.insert(id, members);
         Ok(())
@@ -70,12 +75,18 @@ impl GroupRegistry {
 
     /// Destroy a group, freeing capacity.
     pub fn destroy(&mut self, id: u32) -> Result<(), GroupError> {
-        self.groups.remove(&id).map(|_| ()).ok_or(GroupError::Unknown(id))
+        self.groups
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(GroupError::Unknown(id))
     }
 
     /// Members of a group.
     pub fn members(&self, id: u32) -> Result<&[Rank], GroupError> {
-        self.groups.get(&id).map(|v| v.as_slice()).ok_or(GroupError::Unknown(id))
+        self.groups
+            .get(&id)
+            .map(|v| v.as_slice())
+            .ok_or(GroupError::Unknown(id))
     }
 
     /// Live group count.

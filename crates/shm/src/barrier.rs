@@ -21,7 +21,11 @@ impl SpinBarrier {
     /// Barrier for `total` threads.
     pub fn new(total: usize) -> Self {
         assert!(total >= 1, "barrier needs at least one thread");
-        SpinBarrier { count: AtomicUsize::new(total), sense: AtomicBool::new(false), total }
+        SpinBarrier {
+            count: AtomicUsize::new(total),
+            sense: AtomicBool::new(false),
+            total,
+        }
     }
 
     /// Block until all `total` threads have called `wait`.
@@ -30,6 +34,28 @@ impl SpinBarrier {
     /// `false` and flipped by this call; see [`BarrierToken`] for a safe
     /// wrapper.
     pub fn wait(&self, local_sense: &mut bool) {
+        let ok: Result<(), std::convert::Infallible> = self.wait_with(local_sense, |spins| {
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            Ok(())
+        });
+        // invariant: the backoff closure above never returns Err.
+        ok.unwrap();
+    }
+
+    /// Core arrival/spin loop shared by [`SpinBarrier::wait`] and the
+    /// watchdog's deadline variant: `backoff(spins)` runs once per spin
+    /// iteration and may abort the wait by returning `Err` — after which
+    /// the barrier is poisoned (this thread's arrival was already
+    /// counted) and must not be reused.
+    pub(crate) fn wait_with<E>(
+        &self,
+        local_sense: &mut bool,
+        mut backoff: impl FnMut(u32) -> Result<(), E>,
+    ) -> Result<(), E> {
         *local_sense = !*local_sense;
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset and release everyone.
@@ -39,13 +65,10 @@ impl SpinBarrier {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != *local_sense {
                 spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+                backoff(spins)?;
             }
         }
+        Ok(())
     }
 }
 

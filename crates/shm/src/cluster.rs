@@ -51,8 +51,18 @@ fn recursive_doubling(
             reduce_into(acc, &got);
         }
     }
-    let core_idx = if my_idx < 2 * rem { my_idx / 2 } else { my_idx - rem };
-    let core_rank = |i: usize| if i < rem { members[2 * i] } else { members[i + rem] };
+    let core_idx = if my_idx < 2 * rem {
+        my_idx / 2
+    } else {
+        my_idx - rem
+    };
+    let core_rank = |i: usize| {
+        if i < rem {
+            members[2 * i]
+        } else {
+            members[i + rem]
+        }
+    };
 
     let steps = pof2.trailing_zeros();
     for step in 0..steps {
@@ -86,18 +96,24 @@ impl ThreadCluster {
         let p = self.world_size();
         assert_eq!(inputs.len(), p, "one input per rank");
         let n = inputs[0].len();
-        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        assert!(
+            inputs.iter().all(|v| v.len() == n),
+            "inputs must be same length"
+        );
         let l = leaders;
         assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range");
 
         let parts = partition_elems(n, l);
         let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
-        let gathers: Vec<SharedSlots> =
-            (0..self.nodes).map(|_| SharedSlots::new(l * self.ppn, max_len)).collect();
-        let publishes: Vec<SharedSlots> =
-            (0..self.nodes).map(|_| SharedSlots::new(l, max_len)).collect();
-        let barriers: Vec<SpinBarrier> =
-            (0..self.nodes).map(|_| SpinBarrier::new(self.ppn)).collect();
+        let gathers: Vec<SharedSlots> = (0..self.nodes)
+            .map(|_| SharedSlots::new(l * self.ppn, max_len))
+            .collect();
+        let publishes: Vec<SharedSlots> = (0..self.nodes)
+            .map(|_| SharedSlots::new(l, max_len))
+            .collect();
+        let barriers: Vec<SpinBarrier> = (0..self.nodes)
+            .map(|_| SpinBarrier::new(self.ppn))
+            .collect();
         let (net, boxes) = Network::new(p);
         let mut boxes: Vec<Option<Mailbox>> = boxes.into_iter().map(Some).collect();
 
@@ -134,14 +150,16 @@ impl ThreadCluster {
                             if plen > 0 {
                                 // SAFETY: phase-1 writers barrier-separated.
                                 unsafe {
-                                    let slots: Vec<&[f64]> =
-                                        (0..ppn).map(|i| &gather.slot(j * ppn + i)[..plen]).collect();
+                                    let slots: Vec<&[f64]> = (0..ppn)
+                                        .map(|i| &gather.slot(j * ppn + i)[..plen])
+                                        .collect();
                                     fold_slots(&mut acc, &slots);
                                 }
                             }
                             // Phase 3: inter-node RD among leader-j ranks.
-                            let members: Vec<usize> =
-                                (0..nodes).map(|m| m * ppn + leader_local(j, l, ppn)).collect();
+                            let members: Vec<usize> = (0..nodes)
+                                .map(|m| m * ppn + leader_local(j, l, ppn))
+                                .collect();
                             recursive_doubling(
                                 &net,
                                 &mut mail,
@@ -168,7 +186,10 @@ impl ThreadCluster {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 
@@ -186,18 +207,24 @@ impl ThreadCluster {
         let p = self.world_size();
         assert_eq!(inputs.len(), p, "one input per rank");
         let n = inputs[0].len();
-        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        assert!(
+            inputs.iter().all(|v| v.len() == n),
+            "inputs must be same length"
+        );
         let l = leaders;
         assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range");
 
         let parts = partition_elems(n, l);
         let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
-        let gathers: Vec<SharedSlots> =
-            (0..self.nodes).map(|_| SharedSlots::new(l * self.ppn, max_len)).collect();
-        let publishes: Vec<SharedSlots> =
-            (0..self.nodes).map(|_| SharedSlots::new(l, max_len)).collect();
-        let barriers: Vec<SpinBarrier> =
-            (0..self.nodes).map(|_| SpinBarrier::new(self.ppn)).collect();
+        let gathers: Vec<SharedSlots> = (0..self.nodes)
+            .map(|_| SharedSlots::new(l * self.ppn, max_len))
+            .collect();
+        let publishes: Vec<SharedSlots> = (0..self.nodes)
+            .map(|_| SharedSlots::new(l, max_len))
+            .collect();
+        let barriers: Vec<SpinBarrier> = (0..self.nodes)
+            .map(|_| SpinBarrier::new(self.ppn))
+            .collect();
         let (net, boxes) = Network::new(p);
         let mut boxes: Vec<Option<Mailbox>> = boxes.into_iter().map(Some).collect();
 
@@ -232,13 +259,15 @@ impl ThreadCluster {
                             if plen > 0 {
                                 // SAFETY: phase-1 writers barrier-separated.
                                 unsafe {
-                                    let slots: Vec<&[f64]> =
-                                        (0..ppn).map(|i| &gather.slot(j * ppn + i)[..plen]).collect();
+                                    let slots: Vec<&[f64]> = (0..ppn)
+                                        .map(|i| &gather.slot(j * ppn + i)[..plen])
+                                        .collect();
                                     fold_slots(&mut acc, &slots);
                                 }
                             }
-                            let members: Vec<usize> =
-                                (0..nodes).map(|m| m * ppn + leader_local(j, l, ppn)).collect();
+                            let members: Vec<usize> = (0..nodes)
+                                .map(|m| m * ppn + leader_local(j, l, ppn))
+                                .collect();
                             // Phase 3, pipelined: k chunk-allreduces.
                             let chunks = partition_elems(plen, k);
                             for (c, &(cs, ce)) in chunks.iter().enumerate() {
@@ -269,7 +298,10 @@ impl ThreadCluster {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 
@@ -294,7 +326,10 @@ impl ThreadCluster {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 
@@ -315,7 +350,11 @@ mod tests {
 
     fn inputs(p: usize, n: usize) -> Vec<Vec<f64>> {
         (0..p)
-            .map(|r| (0..n).map(|i| ((r * 13 + i * 17) % 101) as f64 / 4.0 - 12.0).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|i| ((r * 13 + i * 17) % 101) as f64 / 4.0 - 12.0)
+                    .collect()
+            })
             .collect()
     }
 

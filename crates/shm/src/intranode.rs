@@ -88,9 +88,16 @@ impl NodeRuntime {
     ) -> Vec<Vec<f64>> {
         assert_eq!(inputs.len(), self.ppn, "one input per rank");
         let n = inputs[0].len();
-        assert!(inputs.iter().all(|v| v.len() == n), "inputs must be same length");
+        assert!(
+            inputs.iter().all(|v| v.len() == n),
+            "inputs must be same length"
+        );
         let l = algo.leader_count();
-        assert!(l >= 1 && l <= self.ppn, "leaders {l} out of range 1..={}", self.ppn);
+        assert!(
+            l >= 1 && l <= self.ppn,
+            "leaders {l} out of range 1..={}",
+            self.ppn
+        );
 
         let parts = partition_elems(n, l);
         let max_len = parts.iter().map(|(s, e)| e - s).max().unwrap_or(0);
@@ -145,7 +152,10 @@ impl NodeRuntime {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 
@@ -167,7 +177,11 @@ mod tests {
 
     fn inputs(ppn: usize, n: usize) -> Vec<Vec<f64>> {
         (0..ppn)
-            .map(|r| (0..n).map(|i| ((r * 31 + i * 7) % 97) as f64 - 48.0).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|i| ((r * 31 + i * 7) % 97) as f64 - 48.0)
+                    .collect()
+            })
             .collect()
     }
 

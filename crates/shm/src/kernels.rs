@@ -121,7 +121,10 @@ pub fn fold_slots_op<T: Copy, O: ReduceOp<T>>(op: O, out: &mut [T], slots: &[&[T
 }
 
 /// Serial reference under an arbitrary operator.
-pub fn serial_reference_op<T: Copy + PartialEq, O: ReduceOp<T>>(op: O, inputs: &[Vec<T>]) -> Vec<T> {
+pub fn serial_reference_op<T: Copy + PartialEq, O: ReduceOp<T>>(
+    op: O,
+    inputs: &[Vec<T>],
+) -> Vec<T> {
     assert!(!inputs.is_empty());
     let n = inputs[0].len();
     let mut out = vec![op.identity(); n];

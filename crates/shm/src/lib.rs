@@ -22,8 +22,10 @@ pub mod intranode;
 pub mod kernels;
 pub mod mailbox;
 pub mod region;
+pub mod watchdog;
 
 pub use barrier::SpinBarrier;
 pub use cluster::ThreadCluster;
 pub use intranode::{IntraAlgo, NodeRuntime};
 pub use region::SharedSlots;
+pub use watchdog::ShmTimeout;

@@ -34,14 +34,19 @@ impl Network {
         for _ in 0..ranks {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            boxes.push(Mailbox { rx, pending: VecDeque::new() });
+            boxes.push(Mailbox {
+                rx,
+                pending: VecDeque::new(),
+            });
         }
         (Network { senders }, boxes)
     }
 
     /// Send `data` from `from` to `to` with `tag`.
     pub fn send(&self, from: usize, to: usize, tag: u64, data: Vec<f64>) {
-        self.senders[to].send(Msg { from, tag, data }).expect("receiver alive");
+        self.senders[to]
+            .send(Msg { from, tag, data })
+            .expect("receiver alive");
     }
 
     /// Number of ranks.
@@ -61,8 +66,8 @@ impl Mailbox {
     /// Blocking receive of the first message matching `(from, tag)`,
     /// buffering non-matching arrivals.
     pub fn recv_from(&mut self, from: usize, tag: u64) -> Vec<f64> {
-        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
-            return self.pending.remove(pos).expect("position valid").data;
+        if let Some(data) = self.take_pending(from, tag) {
+            return data;
         }
         loop {
             let m = self.rx.recv().expect("sender alive");
@@ -76,6 +81,25 @@ impl Mailbox {
     /// Number of buffered out-of-order messages (diagnostics).
     pub fn buffered(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Pop the first buffered message matching `(from, tag)`, if any.
+    pub(crate) fn take_pending(&mut self, from: usize, tag: u64) -> Option<Vec<f64>> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)?;
+        Some(self.pending.remove(pos).expect("position valid").data)
+    }
+
+    /// Receive any message, waiting until `deadline`; `None` on timeout.
+    pub(crate) fn recv_deadline(&mut self, deadline: std::time::Instant) -> Option<Msg> {
+        self.rx.recv_deadline(deadline).ok()
+    }
+
+    /// Buffer a non-matching arrival for a later receive.
+    pub(crate) fn buffer(&mut self, m: Msg) {
+        self.pending.push_back(m);
     }
 }
 

@@ -103,9 +103,7 @@ mod tests {
                     tok.wait(&barrier);
                     // Epoch 2: everyone reads every slot.
                     // SAFETY: writers are barrier-separated.
-                    let total: f64 = unsafe {
-                        (0..4).map(|i| slots.slot(i)[17]).sum()
-                    };
+                    let total: f64 = unsafe { (0..4).map(|i| slots.slot(i)[17]).sum() };
                     assert_eq!(total, 1.0 + 2.0 + 3.0 + 4.0);
                 })
             })

@@ -47,7 +47,12 @@ impl ClusterSpec {
         if ppn > cores {
             return Err(TopologyError::Oversubscribed { ppn, cores });
         }
-        Ok(ClusterSpec { num_nodes, sockets_per_node, cores_per_socket, ppn })
+        Ok(ClusterSpec {
+            num_nodes,
+            sockets_per_node,
+            cores_per_socket,
+            ppn,
+        })
     }
 
     /// Total number of processes in the job (`p = h * ppn`).

@@ -44,7 +44,10 @@ impl LeaderPolicy {
             return Err(TopologyError::ZeroDimension("leaders"));
         }
         if l > spec.ppn {
-            return Err(TopologyError::TooManyLeaders { leaders: l, ppn: spec.ppn });
+            return Err(TopologyError::TooManyLeaders {
+                leaders: l,
+                ppn: spec.ppn,
+            });
         }
         Ok(())
     }
@@ -76,13 +79,19 @@ impl LeaderPolicy {
     /// The global leader ranks on a given node.
     pub fn leaders_of_node(&self, spec: &ClusterSpec, node: NodeId) -> Vec<Rank> {
         let map = RankMap::block(spec);
-        self.local_leaders(spec).into_iter().map(|l| map.rank_at(node, l)).collect()
+        self.local_leaders(spec)
+            .into_iter()
+            .map(|l| map.rank_at(node, l))
+            .collect()
     }
 
     /// Build the full leader set for a rank map.
     pub fn build(&self, map: &RankMap) -> Result<LeaderSet, TopologyError> {
         self.validate(map.spec())?;
-        Ok(LeaderSet { locals: self.local_leaders(map.spec()), map: map.clone() })
+        Ok(LeaderSet {
+            locals: self.local_leaders(map.spec()),
+            map: map.clone(),
+        })
     }
 }
 
@@ -110,7 +119,10 @@ impl LeaderSet {
     /// Leader index of a rank, if it is a leader.
     pub fn leader_index(&self, rank: Rank) -> Option<u32> {
         let local = self.map.local_of(rank);
-        self.locals.iter().position(|&l| l == local).map(|i| i as u32)
+        self.locals
+            .iter()
+            .position(|&l| l == local)
+            .map(|i| i as u32)
     }
 
     /// True if the rank is a leader on its node.
@@ -168,7 +180,10 @@ mod tests {
     fn per_node_leaders_are_strided() {
         let spec = spec28();
         let locals = LeaderPolicy::PerNode(4).local_leaders(&spec);
-        assert_eq!(locals, vec![LocalRank(0), LocalRank(7), LocalRank(14), LocalRank(21)]);
+        assert_eq!(
+            locals,
+            vec![LocalRank(0), LocalRank(7), LocalRank(14), LocalRank(21)]
+        );
     }
 
     #[test]
@@ -182,7 +197,10 @@ mod tests {
     #[test]
     fn node_level_is_rank_zero() {
         let spec = spec28();
-        assert_eq!(LeaderPolicy::NodeLevel.local_leaders(&spec), vec![LocalRank(0)]);
+        assert_eq!(
+            LeaderPolicy::NodeLevel.local_leaders(&spec),
+            vec![LocalRank(0)]
+        );
     }
 
     #[test]

@@ -45,18 +45,27 @@ pub enum TopologyError {
     /// Requested more leaders than processes per node.
     TooManyLeaders { leaders: u32, ppn: u32 },
     /// A rank, node, or switch index was out of range.
-    OutOfRange { what: &'static str, index: u64, limit: u64 },
+    OutOfRange {
+        what: &'static str,
+        index: u64,
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TopologyError::ZeroDimension(d) => write!(f, "topology dimension `{d}` must be non-zero"),
+            TopologyError::ZeroDimension(d) => {
+                write!(f, "topology dimension `{d}` must be non-zero")
+            }
             TopologyError::Oversubscribed { ppn, cores } => {
                 write!(f, "ppn {ppn} oversubscribes {cores} cores per node")
             }
             TopologyError::TooManyLeaders { leaders, ppn } => {
-                write!(f, "{leaders} leaders requested but only {ppn} processes per node")
+                write!(
+                    f,
+                    "{leaders} leaders requested but only {ppn} processes per node"
+                )
             }
             TopologyError::OutOfRange { what, index, limit } => {
                 write!(f, "{what} index {index} out of range (limit {limit})")

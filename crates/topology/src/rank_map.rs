@@ -24,12 +24,18 @@ pub struct RankMap {
 impl RankMap {
     /// Block placement (the paper's configuration).
     pub fn block(spec: &ClusterSpec) -> Self {
-        RankMap { spec: *spec, placement: Placement::Block }
+        RankMap {
+            spec: *spec,
+            placement: Placement::Block,
+        }
     }
 
     /// Cyclic placement.
     pub fn cyclic(spec: &ClusterSpec) -> Self {
-        RankMap { spec: *spec, placement: Placement::Cyclic }
+        RankMap {
+            spec: *spec,
+            placement: Placement::Cyclic,
+        }
     }
 
     /// The cluster this map is defined over.
@@ -89,7 +95,9 @@ impl RankMap {
 
     /// All global ranks on a node, ordered by local rank.
     pub fn ranks_on_node(&self, node: NodeId) -> Vec<Rank> {
-        (0..self.spec.ppn).map(|l| self.rank_at(node, LocalRank(l))).collect()
+        (0..self.spec.ppn)
+            .map(|l| self.rank_at(node, LocalRank(l)))
+            .collect()
     }
 
     /// True if two ranks share a node.

@@ -26,14 +26,24 @@ pub struct SwitchTreeSpec {
 impl Default for SwitchTreeSpec {
     fn default() -> Self {
         // A non-blocking two-level tree: common for the mid-size IB clusters.
-        SwitchTreeSpec { nodes_per_leaf: 24, num_core: 2, oversub_num: 1, oversub_den: 1 }
+        SwitchTreeSpec {
+            nodes_per_leaf: 24,
+            num_core: 2,
+            oversub_num: 1,
+            oversub_den: 1,
+        }
     }
 }
 
 impl SwitchTreeSpec {
     /// The paper's Cluster D fabric: 5/4 oversubscribed Omni-Path fat tree.
     pub fn opa_oversubscribed() -> Self {
-        SwitchTreeSpec { nodes_per_leaf: 20, num_core: 8, oversub_num: 5, oversub_den: 4 }
+        SwitchTreeSpec {
+            nodes_per_leaf: 20,
+            num_core: 8,
+            oversub_num: 5,
+            oversub_den: 4,
+        }
     }
 
     /// Fraction of full bisection bandwidth available across the core
@@ -70,7 +80,11 @@ impl SwitchTree {
             return Err(TopologyError::ZeroDimension("oversubscription"));
         }
         let num_leaves = num_nodes.div_ceil(spec.nodes_per_leaf);
-        Ok(SwitchTree { spec, num_nodes, num_leaves })
+        Ok(SwitchTree {
+            spec,
+            num_nodes,
+            num_leaves,
+        })
     }
 
     /// The fat-tree parameters.
@@ -154,7 +168,10 @@ impl SwitchTree {
     /// nodes: every involved leaf switch, parented by one core switch root.
     /// Returns `(root, leaves)`; when all members share a single leaf the
     /// root is that leaf and `leaves` is empty.
-    pub fn aggregation_tree(&self, members: &[NodeId]) -> Result<(SwitchId, Vec<SwitchId>), TopologyError> {
+    pub fn aggregation_tree(
+        &self,
+        members: &[NodeId],
+    ) -> Result<(SwitchId, Vec<SwitchId>), TopologyError> {
         let mut leaves: Vec<SwitchId> = Vec::new();
         for &n in members {
             let l = self.leaf_of(n)?;
@@ -243,7 +260,9 @@ mod tests {
 
     #[test]
     fn oversubscription_fraction() {
-        assert!((SwitchTreeSpec::opa_oversubscribed().core_bandwidth_fraction() - 0.8).abs() < 1e-12);
+        assert!(
+            (SwitchTreeSpec::opa_oversubscribed().core_bandwidth_fraction() - 0.8).abs() < 1e-12
+        );
         assert!((SwitchTreeSpec::default().core_bandwidth_fraction() - 1.0).abs() < 1e-12);
     }
 

@@ -38,14 +38,23 @@ impl AppProfile {
 
     /// Number of allreduce calls.
     pub fn allreduce_calls(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, AppStep::Allreduce(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, AppStep::Allreduce(_)))
+            .count()
     }
 
     /// Largest allreduce size, bytes.
     pub fn max_allreduce_bytes(&self) -> u64 {
         self.steps
             .iter()
-            .filter_map(|s| if let AppStep::Allreduce(b) = s { Some(*b) } else { None })
+            .filter_map(|s| {
+                if let AppStep::Allreduce(b) = s {
+                    Some(*b)
+                } else {
+                    None
+                }
+            })
             .max()
             .unwrap_or(0)
     }
@@ -93,6 +102,8 @@ pub fn build_app(
 /// Application-run failure.
 #[derive(Debug)]
 pub enum AppError {
+    /// The cluster/switch description itself was invalid.
+    Topology(dpml_topology::TopologyError),
     /// Schedule compilation failed.
     Build(BuildError),
     /// Simulation failed.
@@ -102,6 +113,7 @@ pub enum AppError {
 impl std::fmt::Display for AppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            AppError::Topology(e) => write!(f, "topology: {e}"),
             AppError::Build(e) => write!(f, "build: {e}"),
             AppError::Sim(e) => write!(f, "simulation: {e}"),
         }
@@ -119,13 +131,20 @@ pub fn run_app(
     choose: &dyn Fn(u64) -> Algorithm,
 ) -> Result<AppReport, AppError> {
     let map = RankMap::block(spec);
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)
+        .map_err(AppError::Topology)?;
     let world = build_app(&map, profile, choose).map_err(AppError::Build)?;
     let needs_sharp = !world.sharp_groups.is_empty();
     let report = if needs_sharp {
-        let params = preset.fabric.sharp.expect("SHArP design needs a SHArP fabric");
+        let params = preset
+            .fabric
+            .sharp
+            .expect("SHArP design needs a SHArP fabric");
         let oracle = SharpFabric::new(params, cfg.tree.clone(), map);
-        Simulator::new(&cfg).with_sharp(&oracle).run(&world).map_err(AppError::Sim)?
+        Simulator::new(&cfg)
+            .with_sharp(&oracle)
+            .run(&world)
+            .map_err(AppError::Sim)?
     } else {
         Simulator::new(&cfg).run(&world).map_err(AppError::Sim)?
     };
@@ -169,8 +188,10 @@ mod tests {
     fn app_runs_and_accounts_time() {
         let preset = cluster_b();
         let spec = preset.spec(4, 4).unwrap();
-        let rep = run_app(&preset, &spec, &profile(), &|_bytes| Algorithm::SingleLeader {
-            inner: FlatAlg::RecursiveDoubling,
+        let rep = run_app(&preset, &spec, &profile(), &|_bytes| {
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            }
         })
         .unwrap();
         assert!(rep.total_us > rep.compute_us);
@@ -195,7 +216,10 @@ mod tests {
     fn compute_only_profile() {
         let preset = cluster_b();
         let spec = preset.spec(2, 2).unwrap();
-        let p = AppProfile { name: "idle".into(), steps: vec![AppStep::Compute(5e-6)] };
+        let p = AppProfile {
+            name: "idle".into(),
+            steps: vec![AppStep::Compute(5e-6)],
+        };
         let rep = run_app(&preset, &spec, &p, &|_| Algorithm::RecursiveDoubling).unwrap();
         assert!((rep.total_us - 5.0).abs() < 0.5);
         assert_eq!(rep.allreduce_calls, 0);

@@ -28,8 +28,8 @@ impl Default for DnnConfig {
     fn default() -> Self {
         DnnConfig {
             steps: 4,
-            parameters: 2_000_000,      // an 8 MB (f32) model
-            bucket_bytes: 1 << 20,      // 1 MB buckets
+            parameters: 2_000_000, // an 8 MB (f32) model
+            bucket_bytes: 1 << 20, // 1 MB buckets
             compute_per_step: 5e-3,
         }
     }
@@ -61,7 +61,10 @@ impl DnnConfig {
                 remaining = remaining.saturating_sub(b);
             }
         }
-        AppProfile { name: "dnn-sgd".into(), steps }
+        AppProfile {
+            name: "dnn-sgd".into(),
+            steps,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn profile_shape() {
-        let cfg = DnnConfig { steps: 2, ..Default::default() };
+        let cfg = DnnConfig {
+            steps: 2,
+            ..Default::default()
+        };
         let p = cfg.profile();
         assert_eq!(cfg.buckets_per_step(), 8);
         assert_eq!(p.allreduce_calls(), 16);
@@ -83,7 +89,11 @@ mod tests {
 
     #[test]
     fn uneven_last_bucket() {
-        let cfg = DnnConfig { parameters: 300_000, bucket_bytes: 1 << 20, ..Default::default() };
+        let cfg = DnnConfig {
+            parameters: 300_000,
+            bucket_bytes: 1 << 20,
+            ..Default::default()
+        };
         // 1.2MB of gradients → 1MB + 0.2MB buckets.
         assert_eq!(cfg.buckets_per_step(), 2);
         let p = DnnConfig { steps: 1, ..cfg }.profile();
@@ -96,7 +106,10 @@ mod tests {
         // data-parallel training, and DPML wins there.
         let preset = cluster_d();
         let spec = preset.spec(8, 32).unwrap();
-        let cfg = DnnConfig { steps: 2, ..Default::default() };
+        let cfg = DnnConfig {
+            steps: 2,
+            ..Default::default()
+        };
         let profile = cfg.profile();
         let mva = run_app(&preset, &spec, &profile, &|b| {
             Library::Mvapich2.choose(&preset, &spec, b)

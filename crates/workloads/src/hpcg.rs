@@ -61,7 +61,10 @@ impl HpcgConfig {
             steps.push(AppStep::Compute(local_dot));
             steps.push(AppStep::Allreduce(8));
         }
-        AppProfile { name: "hpcg-ddot".into(), steps }
+        AppProfile {
+            name: "hpcg-ddot".into(),
+            steps,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn profile_shape() {
-        let cfg = HpcgConfig { iterations: 3, ..Default::default() };
+        let cfg = HpcgConfig {
+            iterations: 3,
+            ..Default::default()
+        };
         let p = cfg.profile();
         assert_eq!(p.allreduce_calls(), 6);
         assert_eq!(p.max_allreduce_bytes(), 8);
@@ -93,7 +99,10 @@ mod tests {
         // DDOT allreduce is tiny.
         let preset = cluster_a();
         let spec = preset.spec(2, 28).unwrap(); // 56 processes, as in the paper
-        let cfg = HpcgConfig { iterations: 10, ..Default::default() };
+        let cfg = HpcgConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         let profile = cfg.profile();
         let host = run_app(&preset, &spec, &profile, &|_| Algorithm::SingleLeader {
             inner: FlatAlg::RecursiveDoubling,

@@ -67,7 +67,10 @@ impl MiniAmrConfig {
             steps.push(AppStep::Allreduce(8));
             steps.push(AppStep::Allreduce(bytes));
         }
-        AppProfile { name: "miniamr-refine".into(), steps }
+        AppProfile {
+            name: "miniamr-refine".into(),
+            steps,
+        }
     }
 }
 
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn profile_shape() {
-        let cfg = MiniAmrConfig { refinements: 5, ..Default::default() };
+        let cfg = MiniAmrConfig {
+            refinements: 5,
+            ..Default::default()
+        };
         let p = cfg.profile(448);
         assert_eq!(p.allreduce_calls(), 10);
         assert_eq!(p.max_allreduce_bytes(), 4 * 8 * 448);
@@ -99,7 +105,10 @@ mod tests {
         // Fig. 11(b): refinement allreduces are medium/large → DPML wins.
         let preset = cluster_c();
         let spec = preset.spec(8, 28).unwrap();
-        let cfg = MiniAmrConfig { refinements: 5, ..Default::default() };
+        let cfg = MiniAmrConfig {
+            refinements: 5,
+            ..Default::default()
+        };
         let profile = cfg.profile(spec.world_size());
         let mva = run_app(&preset, &spec, &profile, &|bytes| {
             Library::Mvapich2.choose(&preset, &spec, bytes)

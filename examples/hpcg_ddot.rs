@@ -11,7 +11,10 @@ use dpml::workloads::HpcgConfig;
 
 fn main() {
     let preset = cluster_a();
-    let cfg = HpcgConfig { iterations: 25, ..Default::default() };
+    let cfg = HpcgConfig {
+        iterations: 25,
+        ..Default::default()
+    };
     println!(
         "HPCG skeleton: {} CG iterations, 2 x 8-byte DDOT allreduces each,\n\
          {:.1}us of stencil compute per iteration\n",
@@ -20,7 +23,12 @@ fn main() {
     );
 
     let designs: [(&str, Algorithm); 3] = [
-        ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+        (
+            "host-based",
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            },
+        ),
         ("SHArP node-leader", Algorithm::SharpNodeLeader),
         ("SHArP socket-leader", Algorithm::SharpSocketLeader),
     ];
@@ -28,7 +36,11 @@ fn main() {
     for nodes in [2u32, 8, 16] {
         let spec = preset.spec(nodes, 28).expect("spec");
         let profile = cfg.profile();
-        println!("{} processes ({} nodes x 28 ppn):", spec.world_size(), nodes);
+        println!(
+            "{} processes ({} nodes x 28 ppn):",
+            spec.world_size(),
+            nodes
+        );
         let mut host_comm = 0.0;
         for (name, alg) in designs {
             let rep = run_app(&preset, &spec, &profile, &|_| alg).expect("app run");

@@ -19,13 +19,19 @@ fn main() {
 
     for bytes in [512u64, 16 * 1024, 512 * 1024] {
         println!("message size: {bytes} bytes");
-        println!("{:>8} {:>14} {:>14}", "leaders", "simulated (us)", "model Eq.7 (us)");
+        println!(
+            "{:>8} {:>14} {:>14}",
+            "leaders", "simulated (us)", "model Eq.7 (us)"
+        );
         let mut best = (0u32, f64::INFINITY);
         for l in [1u32, 2, 4, 8, 16] {
             let sim = run_allreduce(
                 &preset,
                 &spec,
-                Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling },
+                Algorithm::Dpml {
+                    leaders: l,
+                    inner: FlatAlg::RecursiveDoubling,
+                },
                 bytes,
             )
             .expect("verified run")

@@ -9,7 +9,10 @@ use dpml::workloads::app::run_app;
 use dpml::workloads::MiniAmrConfig;
 
 fn main() {
-    let cfg = MiniAmrConfig { refinements: 10, ..Default::default() };
+    let cfg = MiniAmrConfig {
+        refinements: 10,
+        ..Default::default()
+    };
     for preset in [cluster_c(), cluster_d()] {
         let spec = preset.default_spec(16).expect("spec");
         let profile = cfg.profile(spec.world_size());

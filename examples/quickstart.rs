@@ -23,13 +23,27 @@ fn main() {
     let candidates = [
         Algorithm::RecursiveDoubling,
         Algorithm::Rabenseifner,
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling },
-        Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling },
-        Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling },
-        Algorithm::DpmlPipelined { leaders: 16, chunks: 8 },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::Dpml {
+            leaders: 4,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::Dpml {
+            leaders: 16,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 8,
+        },
     ];
 
-    println!("{:<22} {:>12} {:>12} {:>12}", "algorithm", "4KB (us)", "64KB (us)", "1MB (us)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "algorithm", "4KB (us)", "64KB (us)", "1MB (us)"
+    );
     for alg in candidates {
         print!("{:<22}", alg.name());
         for bytes in [4 * 1024u64, 64 * 1024, 1 << 20] {

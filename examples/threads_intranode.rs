@@ -15,16 +15,25 @@ fn main() {
     // the multi-leader structure is exercised even on small machines
     // (oversubscribed threads are still a valid correctness demo — the
     // wall-clock leader trend only shows on a real multicore).
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let ppn = cores.clamp(4, 8);
     let elems = 1 << 20; // 8 MB of f64 per rank
     let inputs: Vec<Vec<f64>> = (0..ppn)
-        .map(|r| (0..elems).map(|i| ((r * 2654435761 + i) % 1000) as f64 / 8.0).collect())
+        .map(|r| {
+            (0..elems)
+                .map(|i| ((r * 2654435761 + i) % 1000) as f64 / 8.0)
+                .collect()
+        })
         .collect();
     let rt = NodeRuntime::new(ppn);
     let reference = rt.serial(&inputs);
 
-    println!("intra-node allreduce on {ppn} threads, {} MB vector:", elems * 8 / (1 << 20));
+    println!(
+        "intra-node allreduce on {ppn} threads, {} MB vector:",
+        elems * 8 / (1 << 20)
+    );
     let mut counts = vec![1usize, 2, 4, ppn];
     counts.dedup();
     for leaders in counts {
@@ -34,7 +43,10 @@ fn main() {
         for r in &results {
             assert_close(r, &reference[0], 1e-9);
         }
-        println!("  leaders = {leaders:<2}  {:>8.2?}  (verified against serial sum)", wall);
+        println!(
+            "  leaders = {leaders:<2}  {:>8.2?}  (verified against serial sum)",
+            wall
+        );
     }
 
     // Full four-phase DPML across virtual "nodes" (thread groups talking

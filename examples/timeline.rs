@@ -13,11 +13,17 @@ fn main() {
     let preset = cluster_b();
     let spec = preset.spec(4, 8).expect("4 nodes x 8 ranks");
     let map = RankMap::block(&spec);
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch);
-    let alg = Algorithm::Dpml { leaders: 4, inner: FlatAlg::RecursiveDoubling };
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).expect("topology");
+    let alg = Algorithm::Dpml {
+        leaders: 4,
+        inner: FlatAlg::RecursiveDoubling,
+    };
     let world = alg.build(&map, 256 * 1024).expect("schedule");
 
-    let rep = Simulator::new(&cfg).with_trace().run(&world).expect("simulate");
+    let rep = Simulator::new(&cfg)
+        .with_trace()
+        .run(&world)
+        .expect("simulate");
     rep.verify_allreduce().expect("verified");
     let trace = rep.trace.as_ref().expect("trace enabled");
 
@@ -37,7 +43,11 @@ fn main() {
         SpanKind::Wait,
         SpanKind::Barrier,
     ] {
-        println!("  {:<8} {:>10.1} us", kind.name(), trace.total_time(kind) * 1e6);
+        println!(
+            "  {:<8} {:>10.1} us",
+            kind.name(),
+            trace.total_time(kind) * 1e6
+        );
     }
 
     let path = "dpml_timeline.json";

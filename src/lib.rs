@@ -16,6 +16,8 @@
 //! * [`shm`] — a real-threads shared-memory runtime executing the same
 //!   algorithms with actual data for numerical validation and wall-clock
 //!   benchmarking
+//! * [`faults`] — deterministic fault-injection plans (OS noise,
+//!   link degradation, SHArP resource faults) executed by the engine
 //! * [`workloads`] — HPCG-like and miniAMR-like application skeletons
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -23,6 +25,7 @@
 pub use dpml_core as core;
 pub use dpml_engine as engine;
 pub use dpml_fabric as fabric;
+pub use dpml_faults as faults;
 pub use dpml_model as model;
 pub use dpml_sharp as sharp;
 pub use dpml_shm as shm;
@@ -32,8 +35,10 @@ pub use dpml_workloads as workloads;
 /// Convenience prelude importing the most common types.
 pub mod prelude {
     pub use dpml_core::algorithms::Algorithm;
+    pub use dpml_core::resilience::{run_allreduce_resilient, FaultPolicy, ResilientReport};
     pub use dpml_core::run::{run_allreduce, AllreduceReport};
     pub use dpml_fabric::presets::{cluster_a, cluster_b, cluster_c, cluster_d};
     pub use dpml_fabric::Fabric;
+    pub use dpml_faults::FaultPlan;
     pub use dpml_topology::{ClusterSpec, LeaderPolicy, RankMap};
 }

@@ -7,19 +7,24 @@
 //! dpml compare  --cluster d --nodes 8  --bytes 512K
 //! dpml tune     --cluster c --nodes 8  [--out tuned.json]
 //! dpml app      --app hpcg|miniamr --cluster a --nodes 8
+//! dpml faults   --cluster a --nodes 8 --alg sharp-socket --bytes 256 --intensity 0.5
 //! ```
 
 use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::core::resilience::{run_allreduce_resilient, FaultPolicy};
 use dpml::core::run::run_allreduce;
 use dpml::core::selector::Library;
 use dpml::core::tuner::{default_candidates, tune};
 use dpml::fabric::presets::{all_presets, Preset};
+use dpml::faults::{FaultPlan, SharpFaults};
 use dpml::topology::ClusterSpec;
 use dpml::workloads::app::run_app;
 use dpml::workloads::{HpcgConfig, MiniAmrConfig};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn arg_values(args: &[String], flag: &str) -> Vec<String> {
@@ -43,7 +48,9 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
         Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
         _ => (s, 1),
     };
-    num.parse::<u64>().map(|v| v * mult).map_err(|e| format!("bad size `{s}`: {e}"))
+    num.parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad size `{s}`: {e}"))
 }
 
 /// Parse algorithm specs:
@@ -66,7 +73,11 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "ring" => Ok(Algorithm::Ring),
         "binomial" => Ok(Algorithm::BinomialReduceBcast),
         "single-leader" => {
-            let inner = if parts.len() > 1 { flat(parts[1])? } else { FlatAlg::RecursiveDoubling };
+            let inner = if parts.len() > 1 {
+                flat(parts[1])?
+            } else {
+                FlatAlg::RecursiveDoubling
+            };
             Ok(Algorithm::SingleLeader { inner })
         }
         "dpml" => {
@@ -75,7 +86,11 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
                 .ok_or("dpml needs a leader count, e.g. dpml:16")?
                 .parse()
                 .map_err(|e| format!("bad leader count: {e}"))?;
-            let inner = if parts.len() > 2 { flat(parts[2])? } else { FlatAlg::RecursiveDoubling };
+            let inner = if parts.len() > 2 {
+                flat(parts[2])?
+            } else {
+                FlatAlg::RecursiveDoubling
+            };
             Ok(Algorithm::Dpml { leaders, inner })
         }
         "dpml-pipelined" => {
@@ -127,9 +142,15 @@ fn cmd_info() {
     }
     println!("\nalgorithms (--alg):");
     for a in [
-        "rd", "rabenseifner", "ring", "binomial", "single-leader[:rd|rab|ring]",
-        "dpml:<leaders>[:rd|rab|ring]", "dpml-pipelined:<leaders>:<chunks>",
-        "sharp-node (cluster a only)", "sharp-socket (cluster a only)",
+        "rd",
+        "rabenseifner",
+        "ring",
+        "binomial",
+        "single-leader[:rd|rab|ring]",
+        "dpml:<leaders>[:rd|rab|ring]",
+        "dpml-pipelined:<leaders>:<chunks>",
+        "sharp-node (cluster a only)",
+        "sharp-socket (cluster a only)",
     ] {
         println!("  {a}");
     }
@@ -150,10 +171,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         spec.world_size(),
         bytes
     );
-    println!("  latency          {:>12.2} us (verified correct)", rep.latency_us);
+    println!(
+        "  latency          {:>12.2} us (verified correct)",
+        rep.latency_us
+    );
     let st = rep.report.stats;
     println!("  messages         {:>12}", st.messages);
-    println!("  inter-node       {:>12} msgs, {} bytes", st.inter_node_messages, st.inter_node_bytes);
+    println!(
+        "  inter-node       {:>12} msgs, {} bytes",
+        st.inter_node_messages, st.inter_node_bytes
+    );
     println!("  shm copies       {:>12}", st.copies);
     println!("  reductions       {:>12}", st.reduces);
     println!("  sharp ops        {:>12}", st.sharp_ops);
@@ -167,8 +194,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if alg_specs.is_empty() {
         return Err("at least one --alg required".into());
     }
-    let algs: Vec<Algorithm> =
-        alg_specs.iter().map(|s| parse_algorithm(s)).collect::<Result<_, _>>()?;
+    let algs: Vec<Algorithm> = alg_specs
+        .iter()
+        .map(|s| parse_algorithm(s))
+        .collect::<Result<_, _>>()?;
     println!(
         "sweep on {} ({} x {} = {} ranks)",
         preset.fabric.name,
@@ -211,7 +240,12 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
         let alg = lib.choose(&preset, &spec, bytes);
         let rep = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
-        println!("  {:<16} -> {:<16} {:>12.2} us", lib.name(), alg.name(), rep.latency_us);
+        println!(
+            "  {:<16} -> {:<16} {:>12.2} us",
+            lib.name(),
+            alg.name(),
+            rep.latency_us
+        );
     }
     Ok(())
 }
@@ -230,7 +264,12 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
     let table = tune(&preset, &spec, &sizes, &cands);
     println!("{:>10}  {:<18} {:>12}", "<= size", "algorithm", "latency");
     for e in &table.entries {
-        println!("{:>10}  {:<18} {:>10.2}us", e.max_bytes, e.algorithm.name(), e.latency_us);
+        println!(
+            "{:>10}  {:<18} {:>10.2}us",
+            e.max_bytes,
+            e.algorithm.name(),
+            e.latency_us
+        );
     }
     if let Some(out) = arg_value(args, "--out") {
         let json = serde_json::to_string_pretty(&table).map_err(|e| e.to_string())?;
@@ -245,17 +284,34 @@ fn cmd_app(args: &[String]) -> Result<(), String> {
     let app = arg_value(args, "--app").ok_or("--app hpcg|miniamr required")?;
     match app.as_str() {
         "hpcg" => {
-            let cfg = HpcgConfig { iterations: 20, ..Default::default() };
+            let cfg = HpcgConfig {
+                iterations: 20,
+                ..Default::default()
+            };
             let profile = cfg.profile();
-            println!("HPCG skeleton on {} ({} ranks):", preset.fabric.name, spec.world_size());
+            println!(
+                "HPCG skeleton on {} ({} ranks):",
+                preset.fabric.name,
+                spec.world_size()
+            );
             let designs: Vec<(&str, Algorithm)> = if preset.fabric.has_sharp() {
                 vec![
-                    ("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }),
+                    (
+                        "host-based",
+                        Algorithm::SingleLeader {
+                            inner: FlatAlg::RecursiveDoubling,
+                        },
+                    ),
                     ("sharp-node", Algorithm::SharpNodeLeader),
                     ("sharp-socket", Algorithm::SharpSocketLeader),
                 ]
             } else {
-                vec![("host-based", Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling })]
+                vec![(
+                    "host-based",
+                    Algorithm::SingleLeader {
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
+                )]
             };
             for (name, alg) in designs {
                 let rep = run_app(&preset, &spec, &profile, &|_| alg).map_err(|e| e.to_string())?;
@@ -266,7 +322,10 @@ fn cmd_app(args: &[String]) -> Result<(), String> {
             }
         }
         "miniamr" => {
-            let cfg = MiniAmrConfig { refinements: 10, ..Default::default() };
+            let cfg = MiniAmrConfig {
+                refinements: 10,
+                ..Default::default()
+            };
             let profile = cfg.profile(spec.world_size());
             println!(
                 "miniAMR skeleton on {} ({} ranks, {}B refinement tags):",
@@ -285,10 +344,79 @@ fn cmd_app(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let alg = parse_algorithm(&arg_value(args, "--alg").ok_or("--alg required")?)?;
+    let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
+    let intensity: f64 = arg_value(args, "--intensity")
+        .map(|v| v.parse().map_err(|e| format!("bad --intensity: {e}")))
+        .transpose()?
+        .unwrap_or(0.5);
+    if !(0.0..=1.0).contains(&intensity) {
+        return Err("--intensity must be in [0, 1]".into());
+    }
+    let seed: u64 = arg_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    let flaky: u32 = arg_value(args, "--flaky-sharp")
+        .map(|v| v.parse().map_err(|e| format!("bad --flaky-sharp: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let mut plan = FaultPlan::canonical(seed, intensity);
+    if args.iter().any(|a| a == "--deny-sharp") {
+        plan.sharp = SharpFaults {
+            deny_groups: true,
+            ..Default::default()
+        };
+    } else if flaky > 0 {
+        plan.sharp = SharpFaults {
+            flaky_attempts: flaky,
+            op_timeout: 1e-4,
+            ..Default::default()
+        };
+    }
+
+    let policy = FaultPolicy::default();
+    let clean = run_allreduce_resilient(&preset, &spec, alg, bytes, &FaultPlan::zero(), policy)
+        .map_err(|e| e.to_string())?;
+    let faulted = run_allreduce_resilient(&preset, &spec, alg, bytes, &plan, policy)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{} on {} ({} x {} = {} ranks), {} bytes, fault intensity {:.2}, seed {}:",
+        alg.name(),
+        preset.fabric.name,
+        spec.num_nodes,
+        spec.ppn,
+        spec.world_size(),
+        bytes,
+        intensity,
+        seed
+    );
+    println!("  fault-free       {:>12.2} us", clean.latency_us);
+    println!(
+        "  faulted          {:>12.2} us ({:.2}x, verified correct)",
+        faulted.latency_us,
+        faulted.latency_us / clean.latency_us
+    );
+    if faulted.sharp_retries > 0 {
+        println!("  sharp retries    {:>12}", faulted.sharp_retries);
+    }
+    if faulted.fell_back {
+        println!("  fell back to     {:>12}", faulted.completed_with);
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let rest = if args.is_empty() { &args[..] } else { &args[1..] };
+    let rest = if args.is_empty() {
+        &args[..]
+    } else {
+        &args[1..]
+    };
     let result = match cmd {
         "info" => {
             cmd_info();
@@ -299,14 +427,17 @@ fn main() {
         "compare" => cmd_compare(rest),
         "tune" => cmd_tune(rest),
         "app" => cmd_app(rest),
+        "faults" => cmd_faults(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|sweep|compare|tune|app> [options]\n\
+                "usage: dpml <info|simulate|sweep|compare|tune|app|faults> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
                  dpml compare --cluster d --nodes 8 --bytes 512K\n     \
                  dpml tune --cluster b --nodes 8 --out tuned.json\n     \
-                 dpml app --app miniamr --cluster c --nodes 8"
+                 dpml app --app miniamr --cluster c --nodes 8\n     \
+                 dpml faults --cluster a --nodes 8 --alg sharp-socket --bytes 256 \
+                 --intensity 0.5 [--deny-sharp|--flaky-sharp N]"
             );
             Ok(())
         }

@@ -12,12 +12,28 @@ fn algorithms_for(sharp: bool, ppn: u32) -> Vec<Algorithm> {
         Algorithm::Rabenseifner,
         Algorithm::Ring,
         Algorithm::BinomialReduceBcast,
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling },
-        Algorithm::SingleLeader { inner: FlatAlg::Rabenseifner },
-        Algorithm::Dpml { leaders: 1, inner: FlatAlg::RecursiveDoubling },
-        Algorithm::Dpml { leaders: 2.min(ppn), inner: FlatAlg::Rabenseifner },
-        Algorithm::Dpml { leaders: 4.min(ppn), inner: FlatAlg::Ring },
-        Algorithm::DpmlPipelined { leaders: 2.min(ppn), chunks: 3 },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::Rabenseifner,
+        },
+        Algorithm::Dpml {
+            leaders: 1,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::Dpml {
+            leaders: 2.min(ppn),
+            inner: FlatAlg::Rabenseifner,
+        },
+        Algorithm::Dpml {
+            leaders: 4.min(ppn),
+            inner: FlatAlg::Ring,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: 2.min(ppn),
+            chunks: 3,
+        },
     ];
     if sharp {
         algs.push(Algorithm::SharpNodeLeader);
@@ -81,11 +97,27 @@ fn paper_scale_shapes_verify() {
     // figures' harnesses override).
     let a = cluster_a();
     let spec = a.default_spec(16).expect("16x28");
-    run_allreduce(&a, &spec, Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling }, 512 * 1024)
-        .expect("fig4 point");
+    run_allreduce(
+        &a,
+        &spec,
+        Algorithm::Dpml {
+            leaders: 16,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        512 * 1024,
+    )
+    .expect("fig4 point");
 
     let d = dpml::fabric::presets::cluster_d();
     let spec = d.default_spec(8).expect("8x32");
-    run_allreduce(&d, &spec, Algorithm::DpmlPipelined { leaders: 16, chunks: 8 }, 1 << 20)
-        .expect("fig7 point");
+    run_allreduce(
+        &d,
+        &spec,
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 8,
+        },
+        1 << 20,
+    )
+    .expect("fig7 point");
 }

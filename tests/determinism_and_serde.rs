@@ -18,8 +18,14 @@ fn run_once(alg: Algorithm, bytes: u64) -> dpml::core::run::AllreduceReport {
 fn repeated_runs_are_bit_identical() {
     for alg in [
         Algorithm::Ring,
-        Algorithm::Dpml { leaders: 4, inner: FlatAlg::Rabenseifner },
-        Algorithm::DpmlPipelined { leaders: 8, chunks: 4 },
+        Algorithm::Dpml {
+            leaders: 4,
+            inner: FlatAlg::Rabenseifner,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: 8,
+            chunks: 4,
+        },
     ] {
         let a = run_once(alg, 100_000);
         let b = run_once(alg, 100_000);
@@ -60,8 +66,14 @@ fn fabric_serde_round_trip() {
 fn algorithm_serde_round_trip() {
     let algs = vec![
         Algorithm::RecursiveDoubling,
-        Algorithm::Dpml { leaders: 16, inner: FlatAlg::Ring },
-        Algorithm::DpmlPipelined { leaders: 8, chunks: 4 },
+        Algorithm::Dpml {
+            leaders: 16,
+            inner: FlatAlg::Ring,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: 8,
+            chunks: 4,
+        },
         Algorithm::SharpSocketLeader,
     ];
     let json = serde_json::to_string(&algs).expect("serialize");

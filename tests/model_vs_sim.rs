@@ -18,13 +18,15 @@ fn model_tracks_simulation_for_medium_large() {
             let sim = run_allreduce(
                 &p,
                 &spec,
-                Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling },
+                Algorithm::Dpml {
+                    leaders: l,
+                    inner: FlatAlg::RecursiveDoubling,
+                },
                 bytes,
             )
             .unwrap()
             .latency_us;
-            let model =
-                CostParams::from_fabric(&p.fabric, &spec, l, bytes, 1).t_allreduce() * 1e6;
+            let model = CostParams::from_fabric(&p.fabric, &spec, l, bytes, 1).t_allreduce() * 1e6;
             let ratio = sim / model;
             assert!(
                 (0.5..3.0).contains(&ratio),
@@ -47,7 +49,10 @@ fn model_and_sim_agree_on_best_leader_count_for_large() {
                 let la = run_allreduce(
                     &p,
                     &spec,
-                    Algorithm::Dpml { leaders: a, inner: FlatAlg::RecursiveDoubling },
+                    Algorithm::Dpml {
+                        leaders: a,
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
                     bytes,
                 )
                 .unwrap()
@@ -55,7 +60,10 @@ fn model_and_sim_agree_on_best_leader_count_for_large() {
                 let lb = run_allreduce(
                     &p,
                     &spec,
-                    Algorithm::Dpml { leaders: b, inner: FlatAlg::RecursiveDoubling },
+                    Algorithm::Dpml {
+                        leaders: b,
+                        inner: FlatAlg::RecursiveDoubling,
+                    },
                     bytes,
                 )
                 .unwrap()
@@ -93,9 +101,10 @@ fn eq1_matches_flat_rd_simulation_loosely() {
     let sim = run_allreduce(&p, &spec, Algorithm::RecursiveDoubling, bytes)
         .unwrap()
         .latency_us;
-    let model = CostParams::from_fabric(&p.fabric, &spec, 1, bytes, 1)
-        .t_recursive_doubling()
-        * 1e6;
+    let model = CostParams::from_fabric(&p.fabric, &spec, 1, bytes, 1).t_recursive_doubling() * 1e6;
     let ratio = sim / model;
-    assert!((0.4..2.5).contains(&ratio), "sim {sim:.1} vs Eq.1 {model:.1} ({ratio:.2})");
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "sim {sim:.1} vs Eq.1 {model:.1} ({ratio:.2})"
+    );
 }

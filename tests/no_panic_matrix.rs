@@ -1,0 +1,112 @@
+//! Panic-free library surface: every `Algorithm` variant, over arbitrary
+//! (nodes, ppn, leaders, chunks, bytes), either compiles a schedule or
+//! returns a structured `BuildError` — it never panics. Likewise
+//! `ClusterSpec::new` and `SimConfig::new` return typed errors for
+//! degenerate shapes.
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::engine::SimConfig;
+use dpml::fabric::presets::{all_presets, cluster_b};
+use dpml::topology::{ClusterSpec, RankMap};
+use proptest::prelude::*;
+
+fn flat_of(ix: u8) -> FlatAlg {
+    match ix % 3 {
+        0 => FlatAlg::RecursiveDoubling,
+        1 => FlatAlg::Rabenseifner,
+        _ => FlatAlg::Ring,
+    }
+}
+
+/// All algorithm variants for a generated parameter tuple, including
+/// deliberately out-of-range leader/chunk counts.
+fn variants(leaders: u32, chunks: u32, flat: u8) -> Vec<Algorithm> {
+    vec![
+        Algorithm::RecursiveDoubling,
+        Algorithm::Rabenseifner,
+        Algorithm::Ring,
+        Algorithm::BinomialReduceBcast,
+        Algorithm::SingleLeader {
+            inner: flat_of(flat),
+        },
+        Algorithm::Dpml {
+            leaders,
+            inner: flat_of(flat),
+        },
+        Algorithm::DpmlPipelined { leaders, chunks },
+        Algorithm::SharpNodeLeader,
+        Algorithm::SharpSocketLeader,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_variant_builds_or_errors(
+        nodes in 1u32..9,
+        ppn in 1u32..17,
+        leaders in 0u32..33,
+        chunks in 0u32..9,
+        flat in 0u8..3,
+        bytes in 0u64..(1 << 21),
+    ) {
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn);
+        prop_assert!(spec.is_ok(), "ClusterSpec::new({nodes}, 2, 14, {ppn}): {spec:?}");
+        let map = RankMap::block(&spec.unwrap());
+        for alg in variants(leaders, chunks, flat) {
+            // Must return Ok or a structured BuildError; any panic fails
+            // the whole proptest case.
+            let r = alg.build(&map, bytes);
+            if let Ok(w) = &r {
+                prop_assert_eq!(w.programs.len() as u64, u64::from(nodes) * u64::from(ppn));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cluster_shapes_are_typed_errors(
+        nodes in 0u32..3,
+        sockets in 0u32..3,
+        cores in 0u32..3,
+        ppn in 0u32..9,
+    ) {
+        // Whatever the outcome, it must arrive as Result, not a panic.
+        let r = ClusterSpec::new(nodes, sockets, cores, ppn);
+        if nodes == 0 || sockets == 0 || cores == 0 || ppn == 0 || ppn > sockets * cores {
+            prop_assert!(r.is_err(), "degenerate shape accepted: {r:?}");
+        } else {
+            prop_assert!(r.is_ok(), "valid shape rejected: {r:?}");
+        }
+    }
+
+    #[test]
+    fn sim_config_is_fallible_not_panicky(nodes in 1u32..17, ppn in 1u32..9) {
+        let preset = cluster_b();
+        let spec = ClusterSpec::new(nodes, 2, 14, ppn).unwrap();
+        let cfg = SimConfig::new(RankMap::block(&spec), preset.fabric, preset.switch);
+        prop_assert!(cfg.is_ok(), "SimConfig::new({nodes}x{ppn}): {:?}", cfg.err());
+    }
+}
+
+#[test]
+fn build_never_panics_on_preset_matrix() {
+    // Deterministic sweep over all presets and the exact boundary shapes
+    // the random sweep may miss (leaders == ppn, leaders == ppn + 1,
+    // non-power-of-two worlds).
+    for preset in all_presets() {
+        for (nodes, ppn) in [(1u32, 1u32), (2, 1), (3, 2), (4, 4), (5, 3)] {
+            let Ok(spec) = preset.spec(nodes, ppn) else {
+                continue;
+            };
+            let map = RankMap::block(&spec);
+            for leaders in [1, ppn, ppn + 1] {
+                for bytes in [0u64, 1, 7, 4096] {
+                    for alg in variants(leaders, 2, 0) {
+                        let _ = alg.build(&map, bytes);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -8,7 +8,10 @@ use dpml::core::selector::Library;
 use dpml::fabric::presets::{cluster_a, cluster_b, cluster_c, cluster_d};
 
 fn dpml_l(l: u32) -> Algorithm {
-    Algorithm::Dpml { leaders: l, inner: FlatAlg::RecursiveDoubling }
+    Algorithm::Dpml {
+        leaders: l,
+        inner: FlatAlg::RecursiveDoubling,
+    }
 }
 
 /// Section 6.2: "with 512KB message size, Cluster B shows 4.9x lower
@@ -17,8 +20,12 @@ fn dpml_l(l: u32) -> Algorithm {
 fn claim_leader_scaling_cluster_b_512kb() {
     let p = cluster_b();
     let spec = p.default_spec(16).unwrap();
-    let t1 = run_allreduce(&p, &spec, dpml_l(1), 512 * 1024).unwrap().latency_us;
-    let t16 = run_allreduce(&p, &spec, dpml_l(16), 512 * 1024).unwrap().latency_us;
+    let t1 = run_allreduce(&p, &spec, dpml_l(1), 512 * 1024)
+        .unwrap()
+        .latency_us;
+    let t16 = run_allreduce(&p, &spec, dpml_l(16), 512 * 1024)
+        .unwrap()
+        .latency_us;
     let speedup = t1 / t16;
     assert!(
         (3.0..12.0).contains(&speedup),
@@ -45,20 +52,36 @@ fn claim_sharp_crossover_and_socket_leader() {
     let p = cluster_a();
     let spec = p.spec(16, 4).unwrap();
     let host = |bytes| {
-        run_allreduce(&p, &spec, Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling }, bytes)
+        run_allreduce(
+            &p,
+            &spec,
+            Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling,
+            },
+            bytes,
+        )
+        .unwrap()
+        .latency_us
+    };
+    let sharp = |bytes| {
+        run_allreduce(&p, &spec, Algorithm::SharpNodeLeader, bytes)
             .unwrap()
             .latency_us
     };
-    let sharp = |bytes| run_allreduce(&p, &spec, Algorithm::SharpNodeLeader, bytes).unwrap().latency_us;
     assert!(sharp(64) < host(64), "SHArP must win small messages");
     assert!(sharp(4096) > host(4096), "host-based must win at 4KB");
 
     let full = p.spec(16, 28).unwrap();
-    let node =
-        run_allreduce(&p, &full, Algorithm::SharpNodeLeader, 256).unwrap().latency_us;
-    let socket =
-        run_allreduce(&p, &full, Algorithm::SharpSocketLeader, 256).unwrap().latency_us;
-    assert!(socket < node, "socket-leader must beat node-leader at 28 ppn");
+    let node = run_allreduce(&p, &full, Algorithm::SharpNodeLeader, 256)
+        .unwrap()
+        .latency_us;
+    let socket = run_allreduce(&p, &full, Algorithm::SharpSocketLeader, 256)
+        .unwrap()
+        .latency_us;
+    assert!(
+        socket < node,
+        "socket-leader must beat node-leader at 28 ppn"
+    );
 }
 
 /// Section 6.4 / Fig. 9: the tuned DPML dispatch beats both emulated
@@ -69,10 +92,14 @@ fn claim_dpml_beats_libraries_medium_large() {
         let spec = preset.default_spec(8).unwrap();
         for bytes in [16 * 1024u64, 512 * 1024] {
             let dpml_alg = Library::DpmlTuned.choose(&preset, &spec, bytes);
-            let dpml = run_allreduce(&preset, &spec, dpml_alg, bytes).unwrap().latency_us;
+            let dpml = run_allreduce(&preset, &spec, dpml_alg, bytes)
+                .unwrap()
+                .latency_us;
             for lib in [Library::Mvapich2, Library::IntelMpi] {
                 let alg = lib.choose(&preset, &spec, bytes);
-                let other = run_allreduce(&preset, &spec, alg, bytes).unwrap().latency_us;
+                let other = run_allreduce(&preset, &spec, alg, bytes)
+                    .unwrap()
+                    .latency_us;
                 assert!(
                     dpml < other,
                     "cluster {} {}B: DPML {dpml:.1}us !< {} {other:.1}us",
@@ -96,7 +123,10 @@ fn claim_overall_speedup_magnitude() {
     let tuned = Library::DpmlTuned.choose(&p, &spec, bytes);
     let ours = run_allreduce(&p, &spec, tuned, bytes).unwrap().latency_us;
     let speedup = base / ours;
-    assert!(speedup > 2.0, "expected paper-magnitude (3.5x) win, got {speedup:.2}x");
+    assert!(
+        speedup > 2.0,
+        "expected paper-magnitude (3.5x) win, got {speedup:.2}x"
+    );
 }
 
 /// Section 4.2: DPML-Pipelined helps very large messages on Omni-Path but
@@ -106,26 +136,62 @@ fn claim_pipelining_is_fabric_specific() {
     let big = 4 << 20;
     let c = cluster_c();
     let spec = c.default_spec(8).unwrap();
-    let plain = run_allreduce(&c, &spec, Algorithm::DpmlPipelined { leaders: 16, chunks: 1 }, big)
-        .unwrap()
-        .latency_us;
-    let piped = run_allreduce(&c, &spec, Algorithm::DpmlPipelined { leaders: 16, chunks: 8 }, big)
-        .unwrap()
-        .latency_us;
-    assert!(piped < plain, "pipelining must help on Omni-Path: {piped} vs {plain}");
+    let plain = run_allreduce(
+        &c,
+        &spec,
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 1,
+        },
+        big,
+    )
+    .unwrap()
+    .latency_us;
+    let piped = run_allreduce(
+        &c,
+        &spec,
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 8,
+        },
+        big,
+    )
+    .unwrap()
+    .latency_us;
+    assert!(
+        piped < plain,
+        "pipelining must help on Omni-Path: {piped} vs {plain}"
+    );
 
     let b = cluster_b();
     let spec = b.default_spec(8).unwrap();
-    let plain_ib =
-        run_allreduce(&b, &spec, Algorithm::DpmlPipelined { leaders: 16, chunks: 1 }, big)
-            .unwrap()
-            .latency_us;
-    let piped_ib =
-        run_allreduce(&b, &spec, Algorithm::DpmlPipelined { leaders: 16, chunks: 8 }, big)
-            .unwrap()
-            .latency_us;
+    let plain_ib = run_allreduce(
+        &b,
+        &spec,
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 1,
+        },
+        big,
+    )
+    .unwrap()
+    .latency_us;
+    let piped_ib = run_allreduce(
+        &b,
+        &spec,
+        Algorithm::DpmlPipelined {
+            leaders: 16,
+            chunks: 8,
+        },
+        big,
+    )
+    .unwrap()
+    .latency_us;
     let gain = plain_ib / piped_ib;
-    assert!(gain < 1.5, "no large pipelining win expected on IB, got {gain:.2}x");
+    assert!(
+        gain < 1.5,
+        "no large pipelining win expected on IB, got {gain:.2}x"
+    );
 }
 
 /// Section 3: hierarchical designs beat flat recursive doubling at full
@@ -137,11 +203,15 @@ fn claim_pipelining_is_fabric_specific() {
 fn claim_hierarchy_beats_flat_at_full_subscription() {
     let p = cluster_b();
     let spec = p.default_spec(8).unwrap();
-    let flat = run_allreduce(&p, &spec, Algorithm::RecursiveDoubling, 512).unwrap().latency_us;
+    let flat = run_allreduce(&p, &spec, Algorithm::RecursiveDoubling, 512)
+        .unwrap()
+        .latency_us;
     let hier = run_allreduce(
         &p,
         &spec,
-        Algorithm::SingleLeader { inner: FlatAlg::RecursiveDoubling },
+        Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        },
         512,
     )
     .unwrap()
@@ -150,14 +220,22 @@ fn claim_hierarchy_beats_flat_at_full_subscription() {
 
     // And at 64KB the single-leader advantage is gone (ties or loses),
     // while DPML with 16 leaders still wins comfortably.
-    let flat64 = run_allreduce(&p, &spec, Algorithm::RecursiveDoubling, 65536).unwrap().latency_us;
+    let flat64 = run_allreduce(&p, &spec, Algorithm::RecursiveDoubling, 65536)
+        .unwrap()
+        .latency_us;
     let dpml64 = run_allreduce(
         &p,
         &spec,
-        Algorithm::Dpml { leaders: 16, inner: FlatAlg::RecursiveDoubling },
+        Algorithm::Dpml {
+            leaders: 16,
+            inner: FlatAlg::RecursiveDoubling,
+        },
         65536,
     )
     .unwrap()
     .latency_us;
-    assert!(dpml64 * 2.0 < flat64, "DPML {dpml64} should crush flat {flat64} at 64KB");
+    assert!(
+        dpml64 * 2.0 < flat64,
+        "DPML {dpml64} should crush flat {flat64} at 64KB"
+    );
 }

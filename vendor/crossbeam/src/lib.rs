@@ -1,0 +1,128 @@
+//! Offline stand-in for `crossbeam`, exposing only the `channel` module
+//! the workspace uses, implemented over `std::sync::mpsc`.
+
+pub mod channel {
+    //! MPSC channels with the crossbeam-channel API shape.
+
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx }, Receiver { rx })
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; errors if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; errors if all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Block until `deadline`.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let now = Instant::now();
+            let timeout = deadline.saturating_duration_since(now);
+            self.recv_timeout(timeout)
+        }
+    }
+
+    /// The receiver disconnected before the message could be sent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected with the channel empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Why a timed receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let tx2 = tx.clone();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This container has no crates.io access, so the workspace vendors a
+//! minimal serde implementation sufficient for its own needs: JSON-only
+//! serialization through an intermediate [`Value`] tree.
+//!
+//! The public names mirror real serde where the workspace uses them:
+//! `Serialize` / `Deserialize` traits plus same-named derive macros
+//! (re-exported from `serde_derive`) honoring `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. The data model is the JSON
+//! data model directly — `Serialize::to_value` produces a [`Value`],
+//! `Deserialize::from_value` consumes one — rather than serde's generic
+//! visitor architecture, which nothing in this workspace requires.
+
+mod impls;
+pub mod text;
+pub mod value;
+
+pub use impls::MapKey;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{variant, Map, Number, Value};
+
+/// Serialization/deserialization error: a message, as in `serde_json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A required field was absent from the JSON object.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// The JSON value had the wrong shape for the target type.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error::custom(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Error::custom(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Produce the JSON value representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can deserialize themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,519 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implements the subset of real serde_derive this workspace uses:
+//! non-generic structs (named, newtype, tuple, unit) and enums (unit,
+//! newtype, tuple, struct variants) with externally-tagged encoding, plus
+//! the field attributes `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Anything else — generics or
+//! unknown `#[serde(...)]` attributes — is a compile error rather than a
+//! silent misencoding.
+//!
+//! There is no syn/quote in this offline environment: parsing walks the
+//! `proc_macro` token stream directly and code generation builds a source
+//! string that is re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (type_name, item) = match parse_item(input) {
+        Ok(x) => x,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&item, mode) {
+        (Item::Struct(shape), Mode::Serialize) => gen_struct_ser(&type_name, shape),
+        (Item::Struct(shape), Mode::Deserialize) => gen_struct_de(&type_name, shape),
+        (Item::Enum(variants), Mode::Serialize) => gen_enum_ser(&type_name, variants),
+        (Item::Enum(variants), Mode::Deserialize) => gen_enum_de(&type_name, variants),
+    };
+    body.parse().expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Skip attributes; returns serde flags found among them.
+    fn take_attrs(&mut self) -> Result<(bool, Option<String>), String> {
+        let mut default = false;
+        let mut skip_if = None;
+        while self.at_punct('#') {
+            self.next();
+            let g = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("malformed attribute".into()),
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => return Err("malformed #[serde(...)] attribute".into()),
+            };
+            let mut c = Cursor::new(args);
+            loop {
+                match c.next() {
+                    None => break,
+                    Some(TokenTree::Ident(flag)) => {
+                        let flag = flag.to_string();
+                        let has_value = c.at_punct('=');
+                        match (flag.as_str(), has_value) {
+                            ("default", false) => default = true,
+                            ("skip_serializing_if", true) => {
+                                c.next(); // `=`
+                                match c.next() {
+                                    Some(TokenTree::Literal(l)) => {
+                                        let s = l.to_string();
+                                        skip_if = Some(s.trim_matches('"').to_string());
+                                    }
+                                    _ => return Err("skip_serializing_if expects a string".into()),
+                                }
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "unsupported #[serde({flag}...)] attribute in vendored \
+                                     serde_derive"
+                                ))
+                            }
+                        }
+                        if c.at_punct(',') {
+                            c.next();
+                        }
+                    }
+                    _ => return Err("malformed #[serde(...)] attribute".into()),
+                }
+            }
+        }
+        Ok((default, skip_if))
+    }
+
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a comma at angle-bracket depth zero; consumes the
+    /// comma. Used to skip field types, which we never need to know.
+    fn skip_to_comma(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let mut c = Cursor::new(input);
+    c.take_attrs()?;
+    c.skip_vis();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected struct or enum".into()),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => trim_raw(&i.to_string()),
+        _ => return Err("expected type name".into()),
+    };
+    if c.at_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name,
+                Item::Struct(Shape::Named(parse_named_fields(g.stream())?)),
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok((
+                name,
+                Item::Struct(Shape::Tuple(count_tuple_fields(g.stream()))),
+            )),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok((name, Item::Struct(Shape::Unit)))
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        _ => Err(format!("cannot derive for `{kind}`")),
+    }
+}
+
+fn trim_raw(s: &str) -> String {
+    s.strip_prefix("r#").unwrap_or(s).to_string()
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (default, skip_if) = c.take_attrs()?;
+        c.skip_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => trim_raw(&i.to_string()),
+            _ => return Err("expected field name".into()),
+        };
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_to_comma();
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut n = 0;
+    while c.peek().is_some() {
+        c.skip_to_comma();
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let (default, skip_if) = c.take_attrs()?;
+        if default || skip_if.is_some() {
+            return Err("serde attributes on enum variants are unsupported".into());
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => trim_raw(&i.to_string()),
+            _ => return Err("expected variant name".into()),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any discriminant, up to and including the separating comma.
+        c.skip_to_comma();
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+
+const HEADER: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+/// `m.insert("f", ...)` lines for named fields of `prefix.f` / plain `f`.
+fn named_ser_body(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields {
+        let access = accessor(&f.name);
+        let insert = format!(
+            "m.insert({:?}, ::serde::Serialize::to_value(&{access}));\n",
+            f.name
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!("if !({path}(&{access})) {{ {insert} }}\n")),
+            None => out.push_str(&insert),
+        }
+    }
+    out
+}
+
+/// Struct-literal field initializers pulling named fields out of map `m`.
+fn named_de_body(ty: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field({ty:?}, {:?}))",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match m.get({name_str:?}) {{\n\
+             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            name_str = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_struct_ser(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => {
+            format!(
+                "{}::serde::Value::Object(m)",
+                named_ser_body(fields, |f| format!("self.{f}"))
+            )
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_struct_de(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "if v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{\n\
+             ::std::result::Result::Err(::serde::Error::expected(\"null\", {name:?})) }}"
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = match v {{ ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                 \"array of length {n}\", {name:?})) }};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => format!(
+            "let m = match v {{ ::serde::Value::Object(m) => m,\n\
+             _ => return ::std::result::Result::Err(::serde::Error::expected(\
+             \"object\", {name:?})) }};\n\
+             ::std::result::Result::Ok({name} {{\n{}\n}})",
+            named_de_body(name, fields)
+        ),
+    };
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+            )),
+            Shape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::variant({vn:?}, ::serde::Serialize::to_value(f0)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::variant({vn:?}, \
+                     ::serde::Value::Array(vec![{}])),\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n{}::serde::variant({vn:?}, \
+                     ::serde::Value::Object(m))\n}}\n",
+                    binds.join(", "),
+                    named_ser_body(fields, |f| f.to_string()),
+                ));
+            }
+        }
+    }
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut string_arms = String::new();
+    for v in variants {
+        if matches!(v.shape, Shape::Unit) {
+            string_arms.push_str(&format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),\n",
+                v.name, v.name
+            ));
+        }
+    }
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => tagged_arms.push_str(&format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                     let a = match inner {{ ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                     _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                     \"array of length {n}\", {name:?})) }};\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                    elems.join(", ")
+                ));
+            }
+            Shape::Named(fields) => tagged_arms.push_str(&format!(
+                "{vn:?} => {{\n\
+                 let m = match inner {{ ::serde::Value::Object(m) => m,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                 \"object\", {name:?})) }};\n\
+                 ::std::result::Result::Ok({name}::{vn} {{\n{}\n}})\n}}\n",
+                named_de_body(name, fields)
+            )),
+        }
+    }
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {string_arms}\
+         other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, other)),\n\
+         }},\n\
+         ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+         let (tag, inner) = m.first().expect(\"len checked\");\n\
+         let _ = inner;\n\
+         match tag {{\n\
+         {tagged_arms}\
+         other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, other)),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::Error::expected(\
+         \"string or single-key object\", {name:?})),\n\
+         }}\n}}\n}}\n"
+    )
+}

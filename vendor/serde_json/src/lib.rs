@@ -1,0 +1,135 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde's
+//! JSON value tree ([`serde::Value`]).
+
+pub use serde::value::{Map, Number};
+pub use serde::Error;
+pub use serde::Value;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::print(&value.to_value(), false))
+}
+
+/// Serialize to pretty (two-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::print(&value.to_value(), true))
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::text::parse(s)?)
+}
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from a [`Value`].
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+#[doc(hidden)]
+pub fn __value_of<T: serde::Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports the subset used in
+/// this workspace: literals, arbitrary Rust expressions in value
+/// position, nested `{...}` objects and `[...]` arrays, string-literal
+/// keys, and trailing commas.
+#[macro_export]
+macro_rules! json {
+    // -- internal: object muncher ------------------------------------------
+    (@obj $m:ident ()) => {};
+    (@obj $m:ident (,)) => {};
+    (@obj $m:ident ($k:literal : $($rest:tt)*)) => {
+        $crate::json!(@val $m $k () ($($rest)*))
+    };
+    // -- internal: accumulate one value up to a top-level comma ------------
+    (@val $m:ident $k:literal ($($acc:tt)*) (, $($rest:tt)*)) => {
+        $m.insert($k, $crate::json!($($acc)*));
+        $crate::json!(@obj $m ($($rest)*));
+    };
+    (@val $m:ident $k:literal ($($acc:tt)*) ()) => {
+        $m.insert($k, $crate::json!($($acc)*));
+    };
+    (@val $m:ident $k:literal ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json!(@val $m $k ($($acc)* $next) ($($rest)*))
+    };
+    // -- internal: array muncher -------------------------------------------
+    (@arr $a:ident ()) => {};
+    (@arr $a:ident (,)) => {};
+    (@arr $a:ident ($($rest:tt)*)) => {
+        $crate::json!(@elem $a () ($($rest)*))
+    };
+    (@elem $a:ident ($($acc:tt)*) (, $($rest:tt)*)) => {
+        $a.push($crate::json!($($acc)*));
+        $crate::json!(@arr $a ($($rest)*));
+    };
+    (@elem $a:ident ($($acc:tt)*) ()) => {
+        $a.push($crate::json!($($acc)*));
+    };
+    (@elem $a:ident ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json!(@elem $a ($($acc)* $next) ($($rest)*))
+    };
+    // -- public entry points -----------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $crate::json!(@obj m ($($tt)*));
+        $crate::Value::Object(m)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let a = {
+            let mut a = ::std::vec::Vec::new();
+            $crate::json!(@arr a ($($tt)*));
+            a
+        };
+        $crate::Value::Array(a)
+    }};
+    ($e:expr) => { $crate::__value_of($e) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let n = 3u32;
+        let v = json!({
+            "ph": "X",
+            "dur": n as f64 * 1e6,
+            "args": { "bytes": 512, "tags": [1, 2, n] },
+            "empty": {},
+            "list": [],
+        });
+        assert_eq!(v["ph"].as_str(), Some("X"));
+        assert_eq!(v["dur"].as_f64(), Some(3e6));
+        assert_eq!(v["args"]["bytes"].as_u64(), Some(512));
+        assert_eq!(v["args"]["tags"][2].as_u64(), Some(3));
+        assert!(v["empty"].as_object().is_some_and(|m| m.is_empty()));
+        assert!(v["list"].as_array().is_some_and(|a| a.is_empty()));
+    }
+
+    #[test]
+    fn typed_round_trip_through_text() {
+        let v = json!({"a": [1.5, true, null, "s"]});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"k": {"nested": [1, 2]}});
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+}
