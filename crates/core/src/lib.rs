@@ -25,12 +25,14 @@
 
 pub mod algorithms;
 pub mod collectives;
+pub mod heal;
 pub mod resilience;
 pub mod run;
 pub mod selector;
 pub mod tuner;
 
 pub use algorithms::{Algorithm, BuildError, FlatAlg};
+pub use heal::{run_dpml_failstop, FailstopOutcome, RecoveryReport};
 pub use resilience::{
     run_allreduce_faulted, run_allreduce_resilient, FaultPolicy, ResilientReport,
 };

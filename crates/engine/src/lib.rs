@@ -39,6 +39,6 @@ pub mod trace;
 pub use coverage::{CoverageMap, RankSet};
 pub use program::{BufKey, ByteRange, Instr, Program, ProgramBuilder, ReqId, Tag, WorldProgram};
 pub use report::{RunReport, RunStats, VerifyError};
-pub use sim::{SharpOracle, SimConfig, SimError, Simulator};
+pub use sim::{PendingOp, SharpOracle, SimConfig, SimError, Simulator};
 pub use time::SimTime;
 pub use trace::{MsgTrace, Span, SpanKind, Trace};

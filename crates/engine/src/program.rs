@@ -288,6 +288,16 @@ pub struct WorldProgram {
     /// Logical vector size in bytes (used for verification and input
     /// initialization).
     pub vector_bytes: u64,
+    /// Checkpointed private-buffer state applied before execution:
+    /// `(rank, buffer id, coverage)`. Used by continuation worlds (healing
+    /// after a fail-stop crash) to resume from surviving state instead of
+    /// empty buffers. Later entries replace earlier ones for the same
+    /// buffer.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub preset_priv: Vec<(u32, u32, CoverageMap)>,
+    /// Checkpointed shared-memory state: `(node, buffer id, coverage)`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub preset_shared: Vec<(u32, u32, CoverageMap)>,
 }
 
 impl WorldProgram {
@@ -298,6 +308,8 @@ impl WorldProgram {
             barriers: HashMap::new(),
             sharp_groups: HashMap::new(),
             vector_bytes,
+            preset_priv: Vec::new(),
+            preset_shared: Vec::new(),
         }
     }
 
@@ -333,6 +345,16 @@ impl WorldProgram {
     /// The initial coverage of a rank's input buffer.
     pub fn initial_input(&self, r: Rank) -> CoverageMap {
         CoverageMap::singleton(r.0, 0, self.vector_bytes)
+    }
+
+    /// Start `rank`'s private buffer `buf` from `cov` instead of empty.
+    pub fn preset_private(&mut self, rank: Rank, buf: u32, cov: CoverageMap) {
+        self.preset_priv.push((rank.0, buf, cov));
+    }
+
+    /// Start `node`'s shared buffer `buf` from `cov` instead of empty.
+    pub fn preset_shared(&mut self, node: u32, buf: u32, cov: CoverageMap) {
+        self.preset_shared.push((node, buf, cov));
     }
 }
 

@@ -107,6 +107,34 @@ impl RunReport {
         self.verify_result_equals(&full)
     }
 
+    /// Verify an allreduce for the survivors of a fail-stop fault: every
+    /// rank *not* listed in `dead` must hold the full contribution set —
+    /// including the dead ranks' contributions, which a healed DPML
+    /// schedule recovers from the shared-memory deposits the dead ranks
+    /// made before crashing.
+    pub fn verify_allreduce_excluding(&self, dead: &[u32]) -> Result<(), VerifyError> {
+        let p = self.finish_times.len() as u32;
+        let full = RankSet::full(p);
+        for (r, cov) in self.result_coverage.iter().enumerate() {
+            if dead.contains(&(r as u32)) {
+                continue;
+            }
+            if !cov.covers_exactly(0, self.vector_bytes, &full) {
+                let correct = cov
+                    .segments()
+                    .filter(|(_, _, set)| set.set_eq(&full))
+                    .map(|(s, e, _)| e - s)
+                    .sum();
+                return Err(VerifyError::IncompleteResult {
+                    rank: r as u32,
+                    correct_bytes: correct,
+                    expected_bytes: self.vector_bytes,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Verify that every rank's result equals an arbitrary expected
     /// contribution set (e.g. a subset for partial reductions).
     pub fn verify_result_equals(&self, expected: &RankSet) -> Result<(), VerifyError> {

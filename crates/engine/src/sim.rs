@@ -94,6 +94,29 @@ pub enum SimError {
         /// The node whose NIC is down.
         node: u32,
     },
+    /// A rank died (fail-stop fault) before completing its program. The
+    /// ledger lists the work aborted at crash time plus every surviving
+    /// rank left blocked on the dead peer when the event queue drained.
+    RankDead {
+        /// The first rank to die.
+        rank: u32,
+        /// Virtual crash time, seconds.
+        time: f64,
+        /// Aborted and orphaned operations (see [`PendingOp`]).
+        pending_ops: Vec<PendingOp>,
+    },
+}
+
+/// One entry in the crash ledger: an operation aborted by a fail-stop
+/// fault, or a surviving rank left permanently blocked by one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingOp {
+    /// Rank the operation belonged to.
+    pub rank: u32,
+    /// Its program counter when the operation was cut short.
+    pub pc: usize,
+    /// Human-readable description of what was lost.
+    pub what: String,
 }
 
 impl std::fmt::Display for SimError {
@@ -119,6 +142,18 @@ impl std::fmt::Display for SimError {
             SimError::LinkDown { node } => {
                 write!(f, "node {node} NIC is down with transfers in flight")
             }
+            SimError::RankDead {
+                rank,
+                time,
+                pending_ops,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} died at {:.1}us with {} pending ops",
+                    time * 1e6,
+                    pending_ops.len()
+                )
+            }
         }
     }
 }
@@ -138,6 +173,7 @@ enum Ev {
     SharpFail(usize),
     LinkChange,
     RecomputePoint,
+    Crash(u32),
 }
 
 /// Rate-recompute quantization window, seconds. Flow-set changes within
@@ -164,6 +200,8 @@ enum Status {
     OnBarrier,
     OnSharp,
     Done,
+    /// Fail-stop crashed: never runs again, never finishes.
+    Dead,
 }
 
 #[derive(Debug)]
@@ -356,6 +394,10 @@ struct SimState<'a> {
     node_msg_factor: Vec<f64>,
     last_recompute: SimTime,
     recompute_pending: bool,
+    /// First fail-stop crash that actually fired (rank, virtual time).
+    first_crash: Option<(u32, SimTime)>,
+    /// Completion ledger: operations aborted by crashes.
+    aborted_ops: Vec<PendingOp>,
     trace: Option<Trace>,
     // Resource ids
     res_tx: Vec<ResourceId>,
@@ -466,6 +508,8 @@ impl<'a> SimState<'a> {
             node_msg_factor: vec![1.0; h],
             last_recompute: SimTime::ZERO,
             recompute_pending: false,
+            first_crash: None,
+            aborted_ops: Vec::new(),
             trace: trace.then(Trace::default),
             res_tx,
             res_rx,
@@ -479,6 +523,18 @@ impl<'a> SimState<'a> {
         for r in 0..p {
             st.push(SimTime::ZERO, Ev::Resume(r));
         }
+        // Continuation worlds (healing planner) start ranks and nodes from
+        // checkpointed buffer state instead of empty buffers.
+        for (r, id, cov) in &world.preset_priv {
+            if *r < p {
+                st.ranks[*r as usize].bufs.insert(*id, cov.clone());
+            }
+        }
+        for (node, id, cov) in &world.preset_shared {
+            if (*node as usize) < st.shared.len() {
+                st.shared[*node as usize].insert(*id, cov.clone());
+            }
+        }
         if let Some(plan) = st.faults {
             // One capacity-refresh event per degrade/restore boundary;
             // between boundaries the factors are constant. A zero plan has
@@ -489,6 +545,20 @@ impl<'a> SimState<'a> {
                 }
             }
             st.apply_link_faults();
+            // Fail-stop faults: one crash event per victim. A zero-crash
+            // plan schedules nothing, keeping timings bit-identical.
+            for c in &plan.process.crashes {
+                if c.rank < p {
+                    st.push(SimTime::new(c.crash_at.max(0.0)), Ev::Crash(c.rank));
+                }
+            }
+            for &node in &plan.process.lost_nodes {
+                if (node as usize) < h {
+                    for r in cfg.map.ranks_on_node(dpml_topology::NodeId(node)) {
+                        st.push(SimTime::ZERO, Ev::Crash(r.0));
+                    }
+                }
+            }
         }
         st
     }
@@ -559,6 +629,14 @@ impl<'a> SimState<'a> {
                 return Err(SimError::EventBudgetExceeded(self.event_budget));
             }
             debug_assert!(t >= self.now, "event in the past");
+            if let Ev::Crash(r) = ev {
+                // A rank that finished before its scheduled crash time
+                // outlived the fault; drop the event without advancing the
+                // clock (it may lie beyond the time budget).
+                if matches!(self.ranks[r as usize].status, Status::Done) {
+                    continue;
+                }
+            }
             if t.seconds() > self.time_budget {
                 return Err(SimError::TimeBudgetExceeded(self.time_budget));
             }
@@ -601,6 +679,27 @@ impl<'a> SimState<'a> {
         }
         self.stats.events = processed;
         if self.ranks.iter().any(|r| r.finish.is_none()) {
+            // A fail-stop crash takes precedence over deadlock/link
+            // diagnostics: every survivor left blocked when the queue
+            // drained is blocked, directly or transitively, on the dead
+            // rank. Report the structured ledger.
+            if let Some((rank, t)) = self.first_crash {
+                let mut pending_ops = std::mem::take(&mut self.aborted_ops);
+                for (i, rs) in self.ranks.iter().enumerate() {
+                    if rs.finish.is_none() && !matches!(rs.status, Status::Dead) {
+                        pending_ops.push(PendingOp {
+                            rank: i as u32,
+                            pc: rs.pc,
+                            what: format!("survivor blocked ({:?})", rs.status),
+                        });
+                    }
+                }
+                return Err(SimError::RankDead {
+                    rank,
+                    time: t.seconds(),
+                    pending_ops,
+                });
+            }
             // A severed link (bw_factor = 0, never restored) starves its
             // flows: the event queue runs dry with transfers still in
             // flight. Report the downed node, not a generic deadlock.
@@ -638,7 +737,7 @@ impl<'a> SimState<'a> {
     fn handle(&mut self, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::Resume(r) => {
-                if self.ranks[r as usize].status != Status::Done {
+                if !matches!(self.ranks[r as usize].status, Status::Done | Status::Dead) {
                     self.end_span(r);
                     self.ranks[r as usize].status = Status::Ready;
                     self.run_rank(r)?;
@@ -660,6 +759,7 @@ impl<'a> SimState<'a> {
                 });
             }
             Ev::LinkChange => self.apply_link_faults(),
+            Ev::Crash(r) => self.kill_rank(r),
             Ev::RecomputePoint => {
                 self.recompute_pending = false;
                 if self.fluid.is_dirty() {
@@ -881,6 +981,14 @@ impl<'a> SimState<'a> {
     }
 
     fn inject(&mut self, m: usize) {
+        // A message whose endpoint died before injection never enters the
+        // network; the crash ledger records the loss.
+        if matches!(self.ranks[self.msgs[m].src.index()].status, Status::Dead)
+            || matches!(self.ranks[self.msgs[m].dst.index()].status, Status::Dead)
+        {
+            self.record_aborted_msg(m);
+            return;
+        }
         self.msgs[m].injected_at = Some(self.now);
         if self.msgs[m].intra {
             // Shared-memory path: the copy-in was charged to the sender at
@@ -994,6 +1102,21 @@ impl<'a> SimState<'a> {
     }
 
     fn msg_arrive(&mut self, m: usize) -> Result<(), SimError> {
+        // The receiver died while the message was on the wire: the bytes
+        // left the sender's buffer (its rendezvous send is complete) but
+        // there is no process to deliver to.
+        if matches!(self.ranks[self.msgs[m].dst.index()].status, Status::Dead) {
+            let (sr, sreq) = self.msgs[m].send_req;
+            if !self.msgs[m].eager
+                && !matches!(self.ranks[sr as usize].status, Status::Dead)
+                && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending
+            {
+                self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
+                self.maybe_unblock_wait(sr);
+            }
+            self.record_aborted_msg(m);
+            return Ok(());
+        }
         if let Some(trace) = self.trace.as_mut() {
             let msg = &self.msgs[m];
             trace.messages.push(MsgTrace {
@@ -1030,6 +1153,9 @@ impl<'a> SimState<'a> {
     // ---- local copy / reduce -------------------------------------------------
 
     fn local_start(&mut self, r: u32) {
+        if matches!(self.ranks[r as usize].status, Status::Dead) {
+            return; // aborted at crash time; pending_local already drained
+        }
         let pending = self.ranks[r as usize]
             .pending_local
             .take()
@@ -1232,6 +1358,9 @@ impl<'a> SimState<'a> {
             )
         };
         for (rank, dst, req) in dsts {
+            if matches!(self.ranks[rank.index()].status, Status::Dead) {
+                continue; // joined the op, then died before it completed
+            }
             self.buf_apply(rank.0, dst, range, &accum, &ApplyKind::Overwrite);
             match req {
                 None => self.push(self.now, Ev::Resume(rank.0)),
@@ -1245,6 +1374,99 @@ impl<'a> SimState<'a> {
         self.stats.sharp_ops += 1;
         self.try_start_sharp();
         Ok(())
+    }
+
+    // ---- fail-stop crashes ----------------------------------------------------
+
+    /// Execute a fail-stop fault: the rank stops at the current virtual
+    /// time. Its in-flight work — local copies/reductions and transfers it
+    /// is sending or receiving — is aborted immediately and recorded in
+    /// the completion ledger. Work it already deposited into node shared
+    /// memory survives (the process dies; the segment does not).
+    fn kill_rank(&mut self, r: u32) {
+        let idx = r as usize;
+        if matches!(self.ranks[idx].status, Status::Done | Status::Dead) {
+            return;
+        }
+        if self.first_crash.is_none() {
+            self.first_crash = Some((r, self.now));
+        }
+        self.end_span(r);
+        let pc = self.ranks[idx].pc;
+        self.aborted_ops.push(PendingOp {
+            rank: r,
+            pc,
+            what: format!("crashed ({:?})", self.ranks[idx].status),
+        });
+        // Abort an in-progress local copy/reduce: either still in its
+        // startup latency (pending_local) or already a memory flow
+        // (pending_apply + flow). The destination buffer is never touched.
+        if let Some(fid) = self.flow_of_rank.remove(&r) {
+            self.fluid.remove_flow(fid);
+        }
+        if let Some(p) = self.ranks[idx].pending_local.take() {
+            let kind = match p.kind {
+                LocalKind::Copy { .. } => "copy",
+                LocalKind::Reduce { .. } => "reduce",
+            };
+            self.aborted_ops.push(PendingOp {
+                rank: r,
+                pc,
+                what: format!("aborted local {kind} of {}B", p.range.len()),
+            });
+        }
+        if let Some((_, range, _, _)) = self.ranks[idx].pending_apply.take() {
+            self.aborted_ops.push(PendingOp {
+                rank: r,
+                pc,
+                what: format!("aborted local apply of {}B", range.len()),
+            });
+        }
+        // Tear down wire/shared-memory flows the dead rank is sending or
+        // receiving. A surviving peer whose rendezvous send targeted the
+        // dead rank stays blocked and is reported when the queue drains.
+        let in_flight: Vec<usize> = self
+            .flow_of_msg
+            .keys()
+            .copied()
+            .filter(|&m| self.msgs[m].src.0 == r || self.msgs[m].dst.0 == r)
+            .collect();
+        for m in in_flight {
+            if let Some(fid) = self.flow_of_msg.remove(&m) {
+                self.fluid.remove_flow(fid);
+            }
+            self.record_aborted_msg(m);
+        }
+        // Drop queued NIC injections involving the dead rank (any node:
+        // it can be the destination of a remote queue entry).
+        for node in 0..self.nic_queue.len() {
+            let queue = std::mem::take(&mut self.nic_queue[node]);
+            let (dropped, kept): (Vec<usize>, Vec<usize>) = queue
+                .into_iter()
+                .partition(|&m| self.msgs[m].src.0 == r || self.msgs[m].dst.0 == r);
+            self.nic_queue[node] = kept.into();
+            for m in dropped {
+                self.record_aborted_msg(m);
+            }
+        }
+        // Posted receives of the dead rank must never match an arrival.
+        self.recv_waiting.retain(|key, _| key.0 != r);
+        self.ranks[idx].status = Status::Dead;
+    }
+
+    fn record_aborted_msg(&mut self, m: usize) {
+        let msg = &self.msgs[m];
+        self.aborted_ops.push(PendingOp {
+            rank: msg.src.0,
+            pc: self.ranks[msg.src.index()].pc,
+            what: format!(
+                "aborted {}B send {} -> {} (tag {})",
+                msg.range.len(),
+                msg.src.0,
+                msg.dst.0,
+                msg.tag
+            ),
+        });
     }
 
     // ---- reporting --------------------------------------------------------------
@@ -1759,6 +1981,135 @@ mod tests {
         };
         let err = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
         assert_eq!(err, SimError::LinkDown { node: 1 });
+    }
+
+    // ---- fail-stop crashes ----------------------------------------------
+
+    use dpml_faults::ProcessFaults;
+
+    #[test]
+    fn crash_mid_run_reports_rank_dead_with_ledger() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 20);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let crash_at = clean.makespan().seconds() * 0.5;
+        let plan = FaultPlan {
+            process: ProcessFaults::single(1, crash_at),
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
+        let SimError::RankDead {
+            rank,
+            time,
+            pending_ops,
+        } = err
+        else {
+            panic!("expected RankDead, got {err:?}");
+        };
+        assert_eq!(rank, 1);
+        assert_eq!(time, crash_at);
+        // The ledger names the dead rank's own state and the blocked
+        // survivor (rank 0 can never finish its recv from rank 1).
+        assert!(pending_ops.iter().any(|op| op.rank == 1));
+        assert!(pending_ops
+            .iter()
+            .any(|op| op.rank == 0 && op.what.contains("survivor")));
+    }
+
+    #[test]
+    fn crash_after_completion_is_a_no_op() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 18);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            process: ProcessFaults::single(1, clean.makespan().seconds() * 10.0),
+            ..FaultPlan::zero()
+        };
+        // The rank outlives its scheduled crash; the run succeeds with
+        // identical timing — even under a time budget tighter than the
+        // crash time (the stale crash event must not trip the watchdog).
+        let survived = Simulator::new(&cfg)
+            .with_faults(&plan)
+            .with_time_budget(clean.makespan().seconds() * 2.0)
+            .run(&w)
+            .unwrap();
+        assert_eq!(clean.finish_times, survived.finish_times);
+    }
+
+    #[test]
+    fn zero_crash_process_plan_is_bit_identical() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 18);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            process: ProcessFaults {
+                detection_timeout: 1e-3, // timeout alone schedules nothing
+                ..Default::default()
+            },
+            ..FaultPlan::zero()
+        };
+        let faulted = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert_eq!(
+            clean.makespan().seconds().to_bits(),
+            faulted.makespan().seconds().to_bits()
+        );
+        assert_eq!(clean.finish_times, faulted.finish_times);
+        assert_eq!(clean.stats, faulted.stats);
+    }
+
+    #[test]
+    fn lost_node_is_dead_from_time_zero() {
+        let cfg = config(2, 2);
+        let n = 1 << 16;
+        let mut w = WorldProgram::new(4, n);
+        for r in 0..4u32 {
+            let peer = Rank(r ^ 2); // cross-node pairs under block mapping
+            let p = w.rank(Rank(r));
+            p.copy(BUF_INPUT, BUF_RESULT, ByteRange::whole(n), false);
+            p.sendrecv(peer, 0, BUF_INPUT, ByteRange::whole(n), BufKey::Priv(2));
+            p.reduce(vec![BufKey::Priv(2)], BUF_RESULT, ByteRange::whole(n));
+        }
+        let plan = FaultPlan {
+            process: ProcessFaults {
+                lost_nodes: vec![1],
+                ..Default::default()
+            },
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
+        let SimError::RankDead { rank, time, .. } = err else {
+            panic!("expected RankDead, got {err:?}");
+        };
+        assert!(rank >= 2, "dead rank must be on node 1, got {rank}");
+        assert_eq!(time, 0.0);
+    }
+
+    #[test]
+    fn preset_state_seeds_buffers_before_execution() {
+        let cfg = config(2, 1);
+        let n = 4096u64;
+        let mut w = WorldProgram::new(2, n);
+        // Empty programs, but both result buffers preset to the full set:
+        // the checkpointed world verifies as a completed allreduce.
+        let full = {
+            let mut m = CoverageMap::empty();
+            for r in 0..2 {
+                m.union_merge(&CoverageMap::singleton(r, 0, n), 0, n);
+            }
+            m
+        };
+        let result_id = match BUF_RESULT {
+            BufKey::Priv(id) => id,
+            _ => unreachable!(),
+        };
+        for r in 0..2u32 {
+            w.preset_private(Rank(r), result_id, full.clone());
+        }
+        // Shared presets are visible to programs that read shared buffers.
+        w.preset_shared(0, 7, CoverageMap::singleton(0, 0, n));
+        let rep = Simulator::new(&cfg).run(&w).unwrap();
+        rep.verify_allreduce().unwrap();
+        assert_eq!(rep.makespan(), SimTime::ZERO);
     }
 
     #[test]

@@ -144,8 +144,91 @@ impl SharpFaults {
     }
 }
 
-/// A complete, deterministic fault scenario.
+/// One fail-stop process crash: the rank executes normally until
+/// `crash_at` seconds of virtual time, then dies instantly — in-flight
+/// sends, receives, and local reductions involving it are aborted, never
+/// retried.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessFault {
+    /// Global rank that dies.
+    pub rank: u32,
+    /// Virtual crash time, seconds (`>= 0`).
+    pub crash_at: f64,
+}
+
+/// Fail-stop faults: individual process crashes plus permanent node loss.
+///
+/// Unlike the slowdown faults above, these are not absorbed by waiting —
+/// the engine surfaces a structured `RankDead` outcome and `dpml-core`'s
+/// healing planner decides whether the collective can be completed by the
+/// survivors (see `dpml-core::heal`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessFaults {
+    /// Individual rank crashes, each at its own virtual time.
+    pub crashes: Vec<ProcessFault>,
+    /// Nodes lost outright: every rank bound to the node is dead from
+    /// `t = 0` and the node's shared memory is gone (no healing possible
+    /// from its gather slots).
+    pub lost_nodes: Vec<u32>,
+    /// Virtual seconds survivors take to notice a peer's death (heartbeat
+    /// timeout). Accounted into `RecoveryReport::detected_at_us`.
+    pub detection_timeout: f64,
+}
+
+/// Default heartbeat timeout: 100us of virtual time.
+pub const DEFAULT_DETECTION_TIMEOUT: f64 = 100e-6;
+
+impl Default for ProcessFaults {
+    fn default() -> Self {
+        ProcessFaults {
+            crashes: Vec::new(),
+            lost_nodes: Vec::new(),
+            detection_timeout: DEFAULT_DETECTION_TIMEOUT,
+        }
+    }
+}
+
+impl ProcessFaults {
+    /// True when no process ever dies (the detection timeout is then
+    /// irrelevant: a zero-crash plan must stay bit-identical to fault-free).
+    pub fn is_zero(&self) -> bool {
+        self.crashes.is_empty() && self.lost_nodes.is_empty()
+    }
+
+    /// A single crash at `crash_at` with the default detection timeout.
+    pub fn single(rank: u32, crash_at: f64) -> Self {
+        ProcessFaults {
+            crashes: vec![ProcessFault { rank, crash_at }],
+            ..Default::default()
+        }
+    }
+
+    /// Derive `count` seeded crashes among ranks `0..p`: victims and crash
+    /// times are hashed from `seed` so a scenario replays exactly. Crash
+    /// times fall in `[window.0, window.1)`.
+    pub fn seeded(seed: u64, p: u32, count: u32, window: (f64, f64)) -> Self {
+        assert!(p > 0 && window.1 >= window.0 && window.0 >= 0.0);
+        let mut crashes = Vec::new();
+        for i in 0..count.min(p) {
+            let victim = (u01(seed, i, 0x0dead) * p as f64) as u32 % p;
+            // Linear-probe away from already-chosen victims so `count`
+            // distinct ranks die.
+            let mut rank = victim;
+            while crashes.iter().any(|c: &ProcessFault| c.rank == rank) {
+                rank = (rank + 1) % p;
+            }
+            let t = window.0 + u01(seed, i, 0xbeef) * (window.1 - window.0);
+            crashes.push(ProcessFault { rank, crash_at: t });
+        }
+        ProcessFaults {
+            crashes,
+            ..Default::default()
+        }
+    }
+}
+
+/// A complete, deterministic fault scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultPlan {
     /// Seed for all jitter draws.
     pub seed: u64,
@@ -155,6 +238,8 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// SHArP resource faults.
     pub sharp: SharpFaults,
+    /// Fail-stop process faults.
+    pub process: ProcessFaults,
 }
 
 impl FaultPlan {
@@ -165,6 +250,7 @@ impl FaultPlan {
             noise: NoiseModel::default(),
             links: Vec::new(),
             sharp: SharpFaults::default(),
+            process: ProcessFaults::default(),
         }
     }
 
@@ -204,12 +290,138 @@ impl FaultPlan {
             },
             links,
             sharp: SharpFaults::default(),
+            process: ProcessFaults::default(),
         }
     }
 
     /// True when executing the plan is a no-op.
     pub fn is_zero(&self) -> bool {
-        self.noise.is_zero() && self.links.is_empty() && self.sharp.is_zero()
+        self.noise.is_zero()
+            && self.links.is_empty()
+            && self.sharp.is_zero()
+            && self.process.is_zero()
+    }
+
+    /// Check every numeric field for values that would poison the engine
+    /// (NaN noise factors, events at negative or infinite virtual times,
+    /// capacities outside `[0, 1]`). Called automatically on
+    /// deserialization so a hand-edited scenario file fails loudly at load
+    /// time, not as a NaN latency three layers down.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if !self.noise.intensity.is_finite() || self.noise.intensity < 0.0 {
+            return Err(PlanError::new(format!(
+                "noise.intensity must be finite and >= 0, got {}",
+                self.noise.intensity
+            )));
+        }
+        if let Some(s) = self.noise.straggler {
+            if !s.slowdown.is_finite() || s.slowdown < 1.0 {
+                return Err(PlanError::new(format!(
+                    "straggler.slowdown must be finite and >= 1, got {} (rank {})",
+                    s.slowdown, s.rank
+                )));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if !l.start.is_finite() || l.start < 0.0 {
+                return Err(PlanError::new(format!(
+                    "links[{i}].start must be finite and >= 0, got {}",
+                    l.start
+                )));
+            }
+            if let Some(e) = l.end {
+                if !e.is_finite() || e < l.start {
+                    return Err(PlanError::new(format!(
+                        "links[{i}] has negative duration: start {} end {e}",
+                        l.start
+                    )));
+                }
+            }
+            if !(0.0..=1.0).contains(&l.bw_factor) {
+                return Err(PlanError::new(format!(
+                    "links[{i}].bw_factor must be in [0, 1], got {}",
+                    l.bw_factor
+                )));
+            }
+            if !(0.0..=1.0).contains(&l.msg_rate_factor) {
+                return Err(PlanError::new(format!(
+                    "links[{i}].msg_rate_factor must be in [0, 1], got {}",
+                    l.msg_rate_factor
+                )));
+            }
+        }
+        if !self.sharp.op_timeout.is_finite() || self.sharp.op_timeout < 0.0 {
+            return Err(PlanError::new(format!(
+                "sharp.op_timeout must be finite and >= 0, got {}",
+                self.sharp.op_timeout
+            )));
+        }
+        for (i, c) in self.process.crashes.iter().enumerate() {
+            if !c.crash_at.is_finite() || c.crash_at < 0.0 {
+                return Err(PlanError::new(format!(
+                    "process.crashes[{i}]: crash time must be finite and >= 0, \
+                     got {} (rank {})",
+                    c.crash_at, c.rank
+                )));
+            }
+        }
+        if !self.process.detection_timeout.is_finite() || self.process.detection_timeout < 0.0 {
+            return Err(PlanError::new(format!(
+                "process.detection_timeout must be finite and >= 0, got {}",
+                self.process.detection_timeout
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A fault plan failed validation. Carries a human-readable description of
+/// the first offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl PlanError {
+    fn new(msg: impl Into<String>) -> Self {
+        PlanError(msg.into())
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Field-for-field mirror of [`FaultPlan`] used only to derive the raw
+/// decoder; the public `Deserialize` below layers [`FaultPlan::validate`]
+/// on top. (The derive macro has no validation hook, so the plan's impl is
+/// written by hand.)
+#[derive(Deserialize)]
+struct RawFaultPlan {
+    seed: u64,
+    noise: NoiseModel,
+    links: Vec<LinkFault>,
+    sharp: SharpFaults,
+    /// Absent in plans serialized before fail-stop faults existed.
+    #[serde(default)]
+    process: ProcessFaults,
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let raw = RawFaultPlan::from_value(v)?;
+        let plan = FaultPlan {
+            seed: raw.seed,
+            noise: raw.noise,
+            links: raw.links,
+            sharp: raw.sharp,
+            process: raw.process,
+        };
+        plan.validate()
+            .map_err(|e| serde::Error::custom(e.to_string()))?;
+        Ok(plan)
     }
 }
 
@@ -365,6 +577,7 @@ mod tests {
                 },
             ],
             sharp: SharpFaults::default(),
+            process: ProcessFaults::default(),
         };
         let clk = FaultClock::new(&plan);
         assert_eq!(clk.boundaries(), vec![0.0, 1.0, 2.0]);
@@ -414,10 +627,179 @@ mod tests {
                 flaky_attempts: 2,
                 op_timeout: 1e-4,
             },
+            process: ProcessFaults {
+                crashes: vec![ProcessFault {
+                    rank: 5,
+                    crash_at: 3e-4,
+                }],
+                lost_nodes: vec![2],
+                detection_timeout: 5e-5,
+            },
         };
         let json = serde_json::to_string(&p).unwrap();
         let q: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn legacy_plans_without_process_field_still_load() {
+        // Plans serialized before fail-stop faults existed lack "process";
+        // they must deserialize to a zero-crash plan.
+        let p = FaultPlan::canonical(3, 0.4);
+        let mut json = serde_json::to_string(&p).unwrap();
+        // Strip the process field by re-serializing only the legacy keys.
+        json = json.replace(
+            &format!(
+                ",\"process\":{}",
+                serde_json::to_string(&p.process).unwrap()
+            ),
+            "",
+        );
+        assert!(!json.contains("process"), "failed to strip: {json}");
+        let q: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert!(q.process.is_zero());
+        assert_eq!(q.links, p.links);
+    }
+
+    #[test]
+    fn deserialization_rejects_invalid_plans() {
+        let cases: Vec<(FaultPlan, &str)> = vec![
+            (
+                FaultPlan {
+                    noise: NoiseModel {
+                        intensity: -0.5,
+                        straggler: None,
+                    },
+                    ..FaultPlan::zero()
+                },
+                "intensity",
+            ),
+            (
+                FaultPlan {
+                    noise: NoiseModel {
+                        intensity: f64::NAN,
+                        straggler: None,
+                    },
+                    ..FaultPlan::zero()
+                },
+                "intensity",
+            ),
+            (
+                FaultPlan {
+                    noise: NoiseModel {
+                        intensity: 0.0,
+                        straggler: Some(Straggler {
+                            rank: 1,
+                            slowdown: 0.5,
+                        }),
+                    },
+                    ..FaultPlan::zero()
+                },
+                "slowdown",
+            ),
+            (
+                FaultPlan {
+                    links: vec![LinkFault {
+                        node: None,
+                        start: 2.0,
+                        end: Some(1.0),
+                        bw_factor: 0.5,
+                        msg_rate_factor: 0.5,
+                    }],
+                    ..FaultPlan::zero()
+                },
+                "negative duration",
+            ),
+            (
+                FaultPlan {
+                    links: vec![LinkFault {
+                        node: None,
+                        start: -1.0,
+                        end: None,
+                        bw_factor: 0.5,
+                        msg_rate_factor: 0.5,
+                    }],
+                    ..FaultPlan::zero()
+                },
+                "start",
+            ),
+            (
+                FaultPlan {
+                    links: vec![LinkFault {
+                        node: None,
+                        start: 0.0,
+                        end: None,
+                        bw_factor: 1.5,
+                        msg_rate_factor: 0.5,
+                    }],
+                    ..FaultPlan::zero()
+                },
+                "bw_factor",
+            ),
+            (
+                FaultPlan {
+                    process: ProcessFaults::single(3, -1e-6),
+                    ..FaultPlan::zero()
+                },
+                "crash time",
+            ),
+        ];
+        for (plan, needle) in cases {
+            // The in-memory validator names the offending field...
+            let err = plan.validate().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "expected {needle:?} in {err}"
+            );
+            // ...and deserialization runs it, so a crafted file is
+            // rejected instead of poisoning the engine with NaN factors.
+            let json = serde_json::to_string(&plan).unwrap();
+            let res: Result<FaultPlan, _> = serde_json::from_str(&json);
+            let derr = res.expect_err("invalid plan must not deserialize");
+            assert!(
+                format!("{derr:?}").contains(needle),
+                "expected {needle:?} in {derr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_crash_process_plan_is_zero() {
+        let mut p = FaultPlan::zero();
+        assert!(p.process.is_zero() && p.is_zero());
+        p.process.detection_timeout = 1e-3; // timeout alone injects nothing
+        assert!(p.is_zero());
+        p.process = ProcessFaults::single(0, 1e-5);
+        assert!(!p.is_zero());
+        p.process = ProcessFaults {
+            lost_nodes: vec![1],
+            ..Default::default()
+        };
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_and_distinct() {
+        let a = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5));
+        let b = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5));
+        assert_eq!(a, b);
+        assert_eq!(a.crashes.len(), 4);
+        for (i, c) in a.crashes.iter().enumerate() {
+            assert!(c.rank < 16);
+            assert!((1e-5..9e-5).contains(&c.crash_at));
+            assert!(
+                a.crashes[..i].iter().all(|d| d.rank != c.rank),
+                "victims must be distinct"
+            );
+        }
+        let c = ProcessFaults::seeded(10, 16, 4, (1e-5, 9e-5));
+        assert_ne!(a, c, "different seed, different victims/times");
+        FaultPlan {
+            process: a,
+            ..FaultPlan::zero()
+        }
+        .validate()
+        .expect("seeded crashes are always valid");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the fault clock: link-window boundaries must come
+//! out sorted and deduplicated, and the aggregate factors must be
+//! piecewise-constant between consecutive boundaries (the engine schedules
+//! exactly one capacity-refresh event per boundary, so any factor change
+//! strictly inside an interval would be silently missed).
+
+use dpml_faults::{FaultClock, FaultPlan, LinkFault, NoiseModel, ProcessFaults, SharpFaults};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a plan from parallel draw vectors (the vendored proptest has no
+/// tuple strategies; zipping keeps every field independently random).
+fn plan_from_draws(starts: &[f64], durs: &[f64], nodes: &[usize], factors: &[f64]) -> FaultPlan {
+    let n = starts
+        .len()
+        .min(durs.len())
+        .min(nodes.len())
+        .min(factors.len());
+    let links = (0..n)
+        .map(|i| LinkFault {
+            // nodes[i] == 0 encodes a fabric-wide window.
+            node: if nodes[i] == 0 {
+                None
+            } else {
+                Some(nodes[i] as u32 - 1)
+            },
+            start: starts[i],
+            // durs[i] past the midpoint of its range encodes an open window.
+            end: if durs[i] > 5e-4 {
+                None
+            } else {
+                Some(starts[i] + durs[i])
+            },
+            bw_factor: factors[i],
+            msg_rate_factor: 1.0 - factors[i],
+        })
+        .collect();
+    FaultPlan {
+        seed: 0,
+        noise: NoiseModel::default(),
+        links,
+        sharp: SharpFaults::default(),
+        process: ProcessFaults::default(),
+    }
+}
+
+/// Interior sample offsets, as fractions of an interval, away from both
+/// endpoints so float rounding cannot land a sample on a boundary.
+const FRACS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boundaries_sorted_and_deduplicated(
+        starts in vec(0.0f64..1e-3, 0..8),
+        durs in vec(0.0f64..1e-3, 0..8),
+        nodes in vec(0usize..5, 0..8),
+        factors in vec(0.0f64..1.0, 0..8),
+    ) {
+        let plan = plan_from_draws(&starts, &durs, &nodes, &factors);
+        let bs = FaultClock::new(&plan).boundaries();
+        for w in bs.windows(2) {
+            prop_assert!(
+                w[0] < w[1],
+                "boundaries must be strictly increasing: {:?}",
+                bs
+            );
+        }
+        // Every boundary is a window edge, and every edge is a boundary.
+        for b in &bs {
+            prop_assert!(plan.links.iter().any(|l| l.start == *b || l.end == Some(*b)));
+        }
+        for l in &plan.links {
+            prop_assert!(bs.contains(&l.start));
+            if let Some(e) = l.end {
+                prop_assert!(bs.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn factors_piecewise_constant_between_boundaries(
+        starts in vec(0.0f64..1e-3, 1..8),
+        durs in vec(0.0f64..1e-3, 1..8),
+        nodes in vec(0usize..5, 1..8),
+        factors in vec(0.0f64..1.0, 1..8),
+        probe_node in 0u32..5,
+    ) {
+        let plan = plan_from_draws(&starts, &durs, &nodes, &factors);
+        let clk = FaultClock::new(&plan);
+        let bs = clk.boundaries();
+        // Add sentinels so the check also covers "before the first
+        // boundary" and "after the last" (factors there must match the
+        // open-ended interval's constant value too).
+        let mut edges = vec![0.0];
+        edges.extend(bs.iter().copied());
+        edges.push(edges.last().unwrap() + 1e-3);
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi <= lo {
+                continue; // duplicate sentinel when a boundary sits at 0
+            }
+            let first = clk.factors_at(probe_node, lo + FRACS[0] * (hi - lo));
+            for f in &FRACS[1..] {
+                let here = clk.factors_at(probe_node, lo + f * (hi - lo));
+                prop_assert_eq!(
+                    first, here,
+                    "factors changed inside ({}, {}) with no boundary", lo, hi
+                );
+            }
+            // The interval's left edge itself belongs to the interval
+            // (windows are half-open [start, end)).
+            if bs.contains(&lo) {
+                prop_assert_eq!(clk.factors_at(probe_node, lo), first);
+            }
+        }
+    }
+}

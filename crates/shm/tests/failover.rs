@@ -1,0 +1,161 @@
+//! Watchdog-triggered failover: a rank thread dies mid-DPML-allreduce and
+//! every survivor surfaces a *structured* timeout naming what it was
+//! waiting on — the phase-3 peer gets [`ShmTimeout::Recv`] carrying the
+//! dead rank's id, node peers get [`ShmTimeout::Barrier`] — and every
+//! thread joins cleanly. No hang, no poisoned-mutex panic escaping a
+//! worker.
+//!
+//! The topology mirrors [`dpml_shm::ThreadCluster`]'s four-phase layout
+//! (2 nodes x 2 ppn, every local rank a leader) but drives the phases
+//! with the deadline-guarded primitives from [`dpml_shm::watchdog`], the
+//! way a fault-tolerant runtime would.
+
+use dpml_shm::kernels::fold_slots;
+use dpml_shm::mailbox::Network;
+use dpml_shm::watchdog::{exchange_with_deadline, ShmTimeout};
+use dpml_shm::{SharedSlots, SpinBarrier};
+use std::time::Duration;
+
+const NODES: usize = 2;
+const PPN: usize = 2;
+const P: usize = NODES * PPN;
+/// Elements per partition; `l = PPN` leaders, one partition each.
+const PART: usize = 32;
+const N: usize = PART * PPN;
+/// Rank that crashes after its phase-1 deposits (node 1, local 1 —
+/// leader of partition 1).
+const DEAD: usize = 3;
+const TIMEOUT: Duration = Duration::from_millis(300);
+/// Generous deadline for synchronization that must succeed.
+const HEALTHY: Duration = Duration::from_secs(30);
+
+/// What each rank thread came back with.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    /// The simulated crash victim: exited after the gather barrier.
+    Died,
+    /// Completed its partition work, then hit the publish barrier where
+    /// the dead rank (or a rank that detected the death) never arrived.
+    BarrierTimeout,
+    /// Phase-3 exchange timed out awaiting the dead peer's reply.
+    PeerTimeout { from: usize, tag: u64 },
+}
+
+#[test]
+fn dead_rank_mid_allreduce_yields_structured_timeouts() {
+    let inputs: Vec<Vec<f64>> = (0..P)
+        .map(|r| (0..N).map(|i| (r * 7 + i) as f64).collect())
+        .collect();
+    let gathers: Vec<SharedSlots> = (0..NODES)
+        .map(|_| SharedSlots::new(PPN * PPN, PART))
+        .collect();
+    let publishes: Vec<SharedSlots> = (0..NODES).map(|_| SharedSlots::new(PPN, PART)).collect();
+    let barriers: Vec<SpinBarrier> = (0..NODES).map(|_| SpinBarrier::new(PPN)).collect();
+    let (net, boxes) = Network::new(P);
+    let mut boxes: Vec<Option<_>> = boxes.into_iter().map(Some).collect();
+
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..P)
+            .map(|g| {
+                let node = g / PPN;
+                let t = g % PPN;
+                let gather = &gathers[node];
+                let publish = &publishes[node];
+                let barrier = &barriers[node];
+                let input = &inputs[g];
+                let net = net.clone();
+                let mut mail = boxes[g].take().expect("mailbox taken once");
+                scope.spawn(move || -> Outcome {
+                    let mut sense = false;
+                    // Phase 1: deposit each partition into the leader's
+                    // gather region. Everyone is still alive here, so the
+                    // gather barrier completes within the healthy deadline.
+                    for j in 0..PPN {
+                        // SAFETY: slot (j, t) written only by thread t.
+                        let slot = unsafe { gather.slot_mut(j * PPN + t) };
+                        slot.copy_from_slice(&input[j * PART..(j + 1) * PART]);
+                    }
+                    barrier
+                        .wait_timeout(&mut sense, HEALTHY)
+                        .expect("gather barrier must complete: all ranks alive");
+
+                    // The fail-stop crash: this rank's deposits survive in
+                    // the shared region, but it will never run phases 2-4.
+                    if g == DEAD {
+                        return Outcome::Died;
+                    }
+
+                    // Phases 2 + 3: every local rank leads partition `t`.
+                    let j = t;
+                    let mut acc = vec![0.0; PART];
+                    // SAFETY: phase-1 writers are barrier-separated.
+                    unsafe {
+                        let slots: Vec<&[f64]> =
+                            (0..PPN).map(|i| gather.slot(j * PPN + i)).collect();
+                        fold_slots(&mut acc, &slots);
+                    }
+                    let peer = (1 - node) * PPN + j;
+                    let tag = j as u64;
+                    match exchange_with_deadline(
+                        &net,
+                        &mut mail,
+                        g,
+                        peer,
+                        tag,
+                        acc.clone(),
+                        TIMEOUT,
+                    ) {
+                        Ok(got) => {
+                            for (a, b) in acc.iter_mut().zip(&got) {
+                                *a += b;
+                            }
+                        }
+                        // The watchdog names the dead participant; report
+                        // it instead of publishing a partial result.
+                        Err(ShmTimeout::Recv { from, tag, .. }) => {
+                            return Outcome::PeerTimeout { from, tag };
+                        }
+                        Err(e) => panic!("unexpected timeout shape: {e}"),
+                    }
+                    // SAFETY: publish slot j has a unique writer.
+                    unsafe {
+                        publish.slot_mut(j).copy_from_slice(&acc);
+                    }
+                    // Publish barrier: the dead rank (node 1) and the rank
+                    // that detected it (node 0) never arrive, so both
+                    // survivors time out here instead of hanging.
+                    match barrier.wait_timeout(&mut sense, TIMEOUT) {
+                        Ok(()) => panic!("publish barrier cannot complete with a dead member"),
+                        Err(ShmTimeout::Barrier { .. }) => Outcome::BarrierTimeout,
+                        Err(e) => panic!("unexpected timeout shape: {e}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panic may escape"))
+            .collect()
+    });
+
+    // Rank 3 died; its phase-3 peer (rank 1, partition 1's leader on node
+    // 0) reports a receive timeout naming rank 3; ranks 0 and 2 finished
+    // partition 0 and report the stalled publish barrier.
+    assert_eq!(outcomes[DEAD], Outcome::Died);
+    assert_eq!(outcomes[1], Outcome::PeerTimeout { from: DEAD, tag: 1 });
+    assert_eq!(outcomes[0], Outcome::BarrierTimeout);
+    assert_eq!(outcomes[2], Outcome::BarrierTimeout);
+}
+
+#[test]
+fn timeout_messages_name_the_dead_participant() {
+    let err = ShmTimeout::Recv {
+        from: DEAD,
+        tag: 1,
+        waited: TIMEOUT,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("rank 3"), "message must name the peer: {msg}");
+    let err = ShmTimeout::Barrier { waited: TIMEOUT };
+    assert!(err.to_string().contains("poisoned"));
+}

@@ -24,4 +24,6 @@ echo model_check done
 $BIN/ablate_fairness | tee results/ablate_fairness.txt >/dev/null
 $BIN/ablate_pipeline | tee results/ablate_pipeline.txt >/dev/null
 $BIN/ablate_sharp_groups | tee results/ablate_sharp_groups.txt >/dev/null
+$BIN/recovery | tee results/recovery.txt >/dev/null
+echo recovery done
 echo ALL_FIGURES_DONE

@@ -8,7 +8,7 @@ use dpml::core::resilience::{
 };
 use dpml::core::run::run_allreduce;
 use dpml::fabric::presets::{cluster_a, cluster_c};
-use dpml::faults::{FaultPlan, SharpFaults};
+use dpml::faults::{FaultPlan, ProcessFaults, SharpFaults};
 
 #[test]
 fn zero_intensity_plan_is_bit_identical_across_algorithms() {
@@ -50,6 +50,29 @@ fn zero_intensity_plan_is_bit_identical_across_algorithms() {
         let canon = run_allreduce_faulted(&p, &spec, alg, bytes, &FaultPlan::canonical(123, 0.0))
             .expect("canonical(0) run");
         assert_eq!(clean.latency_us.to_bits(), canon.latency_us.to_bits());
+        // An armed fail-stop detector with zero scheduled crashes is
+        // free: virtual time and data both stay bit-identical.
+        let armed = FaultPlan {
+            process: ProcessFaults {
+                crashes: Vec::new(),
+                lost_nodes: Vec::new(),
+                detection_timeout: 1e-3,
+            },
+            ..FaultPlan::zero()
+        };
+        let watched = run_allreduce_faulted(&p, &spec, alg, bytes, &armed).expect("zero-crash run");
+        assert_eq!(
+            clean.latency_us.to_bits(),
+            watched.latency_us.to_bits(),
+            "{}: zero-crash process plan moved the clock",
+            alg.name()
+        );
+        assert_eq!(
+            clean.report,
+            watched.report,
+            "{}: zero-crash process plan changed the report",
+            alg.name()
+        );
     }
 }
 
