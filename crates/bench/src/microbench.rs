@@ -2,7 +2,7 @@
 //! (paper Section 3), shared by `fig1` and `ablate_fairness`.
 
 use dpml_engine::program::{BufKey, ByteRange, WorldProgram, BUF_INPUT};
-use dpml_engine::{SimConfig, Simulator};
+use dpml_engine::{CriticalPath, SimConfig, Simulator};
 use dpml_fabric::Preset;
 use dpml_topology::{LocalRank, NodeId, RankMap};
 
@@ -17,15 +17,15 @@ pub enum PairPlacement {
     InterNode,
 }
 
-/// Aggregate throughput (bytes/second) of `pairs` concurrent streams each
-/// sending a window of `window` messages of `bytes`.
-pub fn multi_pair_bw(
+/// Build the `osu_mbw_mr` schedule: `pairs` concurrent streams each sending
+/// a window of `window` messages of `bytes`.
+fn multi_pair_program(
     preset: &Preset,
     placement: PairPlacement,
     pairs: u32,
     bytes: u64,
     window: u32,
-) -> f64 {
+) -> (SimConfig, WorldProgram) {
     assert!(pairs >= 1 && window >= 1);
     let cores = preset.sockets_per_node * preset.cores_per_socket;
     let (nodes, ppn) = match placement {
@@ -63,9 +63,44 @@ pub fn multi_pair_bw(
             .collect();
         dp.wait_all(reqs);
     }
+    (cfg, w)
+}
+
+/// Aggregate throughput (bytes/second) of `pairs` concurrent streams each
+/// sending a window of `window` messages of `bytes`.
+pub fn multi_pair_bw(
+    preset: &Preset,
+    placement: PairPlacement,
+    pairs: u32,
+    bytes: u64,
+    window: u32,
+) -> f64 {
+    let (cfg, w) = multi_pair_program(preset, placement, pairs, bytes, window);
     let rep = Simulator::new(&cfg).run(&w).expect("bandwidth program");
     let total = pairs as u64 * window as u64 * bytes;
     total as f64 / rep.makespan().seconds()
+}
+
+/// Traced multi-pair run: the attributed critical path of the Figure 1
+/// workload, for Zone A/B/C classification (Section 4.2).
+pub fn multi_pair_critical_path(
+    preset: &Preset,
+    placement: PairPlacement,
+    pairs: u32,
+    bytes: u64,
+    window: u32,
+) -> CriticalPath {
+    let (cfg, w) = multi_pair_program(preset, placement, pairs, bytes, window);
+    let rep = Simulator::new(&cfg)
+        .with_trace()
+        .run(&w)
+        .expect("bandwidth program");
+    let trace = rep.trace.as_ref().expect("traced run carries a trace");
+    CriticalPath::from_trace(
+        trace,
+        rep.makespan().seconds(),
+        preset.fabric.nic.per_flow_bw,
+    )
 }
 
 /// Relative throughput of `pairs` vs a single pair (the paper's Figure 1

@@ -26,6 +26,7 @@ use crate::algorithms::{BuildError, FlatAlg};
 use dpml_engine::program::{
     BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
 };
+use dpml_engine::Phase;
 use dpml_topology::{LeaderPolicy, LeaderSet, NodeId, RankMap};
 
 /// Emit phases 1 and 2 (shared-memory gather + leader reduction) plus the
@@ -64,6 +65,7 @@ fn emit_local_phases(
             // Phase 1: deposit each partition into the owning leader's
             // region (cross-socket when the leader lives on the other
             // socket).
+            prog.set_phase(Phase::ShmGather);
             for j in 0..l {
                 if parts[j as usize].is_empty() {
                     continue;
@@ -77,6 +79,7 @@ fn emit_local_phases(
             if let Some(j) = set.leader_index(r) {
                 let part = parts[j as usize];
                 if !part.is_empty() {
+                    prog.set_phase(Phase::LeaderReduce);
                     prog.copy(slot(j, 0), BUF_RESULT, part, false);
                     if ppn > 1 {
                         let srcs: Vec<BufKey> = (1..ppn).map(|i2| slot(j, i2)).collect();
@@ -109,6 +112,7 @@ fn emit_broadcast_phase(
             let my_socket = map.socket_of(r);
             let my_leader = set.leader_index(r);
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             if let Some(j) = my_leader {
                 if !parts[j as usize].is_empty() {
                     prog.copy(
@@ -201,6 +205,9 @@ fn emit_pipelined_rd(
     let p = comm.len();
     if p <= 1 || range.is_empty() {
         return;
+    }
+    for &r in comm {
+        w.rank(r).set_phase(Phase::InterLeader);
     }
     let chunks: Vec<ByteRange> = (0..k).map(|c| range.subrange(k, c)).collect();
     let scratch_base = b.fresh_priv(k);

@@ -20,6 +20,7 @@ use crate::algorithms::BuildError;
 use dpml_engine::program::{
     BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
 };
+use dpml_engine::Phase;
 use dpml_topology::{LeaderPolicy, NodeId, Rank, RankMap};
 
 /// Binomial-tree reduce of `buf ∩ range` over `comm` to `comm[0]`.
@@ -33,6 +34,9 @@ fn emit_binomial_reduce_to_first(
     let p = comm.len();
     if p <= 1 || range.is_empty() {
         return;
+    }
+    for &r in comm {
+        w.rank(r).set_phase(Phase::InterLeader);
     }
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let steps = usize::BITS - (p - 1).leading_zeros();
@@ -63,6 +67,9 @@ fn emit_binomial_bcast_from_first(
     let p = comm.len();
     if p <= 1 || range.is_empty() {
         return;
+    }
+    for &r in comm {
+        w.rank(r).set_phase(Phase::InterLeader);
     }
     let steps = usize::BITS - (p - 1).leading_zeros();
     let tag0 = b.fresh_tags(steps);
@@ -113,6 +120,7 @@ pub fn emit_dpml_reduce(
         for (i, &r) in members.iter().enumerate() {
             let my_socket = map.socket_of(r);
             let prog = w.rank(r);
+            prog.set_phase(Phase::ShmGather);
             for j in 0..l {
                 if parts[j as usize].is_empty() {
                     continue;
@@ -124,6 +132,7 @@ pub fn emit_dpml_reduce(
             if let Some(j) = set.leader_index(r) {
                 let part = parts[j as usize];
                 if !part.is_empty() {
+                    prog.set_phase(Phase::LeaderReduce);
                     prog.copy(slot(j, 0), BUF_RESULT, part, false);
                     if ppn > 1 {
                         let srcs: Vec<BufKey> = (1..ppn).map(|i2| slot(j, i2)).collect();
@@ -156,6 +165,7 @@ pub fn emit_dpml_reduce(
     let bcast_base = b.fresh_shared(l);
     for &r in &members {
         let prog = w.rank(r);
+        prog.set_phase(Phase::Broadcast);
         if let Some(j) = set.leader_index(r) {
             if !parts[j as usize].is_empty() {
                 prog.copy(
@@ -219,6 +229,7 @@ pub fn emit_dpml_bcast(
         w.register_barrier(scatter_done, members.clone());
         for &r in &members {
             let prog = w.rank(r);
+            prog.set_phase(Phase::ShmGather);
             if r == root {
                 for j in 0..l {
                     if parts[j as usize].is_empty() {
@@ -271,6 +282,7 @@ pub fn emit_dpml_bcast(
         for &r in &members {
             let my_leader = set.leader_index(r);
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             if let Some(j) = my_leader {
                 if !parts[j as usize].is_empty() {
                     prog.copy(
@@ -349,6 +361,7 @@ pub fn emit_sharp_nonblocking_overlap(
             let leader_rank = set.leader_rank(node, my_leader_j);
             let cross = map.socket_of(leader_rank) != map.socket_of(r);
             let prog = w.rank(r);
+            prog.set_phase(Phase::ShmGather);
             prog.copy(
                 BUF_INPUT,
                 BufKey::Shared(gather_base + local.0),
@@ -362,6 +375,7 @@ pub fn emit_sharp_nonblocking_overlap(
                     .collect();
                 let first = served[0];
                 let prog = w.rank(r);
+                prog.set_phase(Phase::LeaderReduce);
                 prog.copy(
                     BufKey::Shared(gather_base + first),
                     BUF_RESULT,
@@ -376,14 +390,21 @@ pub fn emit_sharp_nonblocking_overlap(
                     prog.reduce(srcs, BUF_RESULT, whole);
                 }
                 // Post the offloaded aggregation, overlap compute, wait.
+                prog.set_phase(Phase::Sharp);
                 let req = prog.isharp(group, BUF_RESULT, BUF_RESULT, whole);
+                prog.set_phase(Phase::App);
                 prog.compute(overlap_seconds);
+                prog.set_phase(Phase::Sharp);
                 prog.wait_all(vec![req]);
+                prog.set_phase(Phase::Broadcast);
                 prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), whole, false);
             } else {
-                w.rank(r).compute(overlap_seconds);
+                let prog = w.rank(r);
+                prog.set_phase(Phase::App);
+                prog.compute(overlap_seconds);
             }
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             prog.barrier(publish_done);
             if set.leader_index(r).is_none() {
                 let cross2 = map.socket_of(leader_rank) != map.socket_of(r);
@@ -442,6 +463,7 @@ pub fn emit_sharp_per_dpml_leader(
             let my_socket = map.socket_of(r);
             let my_leader = set.leader_index(r);
             let prog = w.rank(r);
+            prog.set_phase(Phase::ShmGather);
             for j in 0..l {
                 if parts[j as usize].is_empty() {
                     continue;
@@ -453,17 +475,21 @@ pub fn emit_sharp_per_dpml_leader(
             if let Some(j) = my_leader {
                 let part = parts[j as usize];
                 if !part.is_empty() {
+                    prog.set_phase(Phase::LeaderReduce);
                     prog.copy(slot(j, 0), BUF_RESULT, part, false);
                     if ppn > 1 {
                         let srcs: Vec<BufKey> = (1..ppn).map(|i2| slot(j, i2)).collect();
                         prog.reduce(srcs, BUF_RESULT, part);
                     }
                     // Offload the inter-node stage to the switch.
+                    prog.set_phase(Phase::Sharp);
                     prog.sharp(groups[j as usize], BUF_RESULT, BUF_RESULT, part);
+                    prog.set_phase(Phase::Broadcast);
                     prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), part, false);
                 }
             }
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             prog.barrier(publish_done);
             for j in 0..l {
                 if Some(j) == my_leader || parts[j as usize].is_empty() {

@@ -10,13 +10,25 @@ use crate::algorithms::FlatAlg;
 use dpml_engine::program::{
     BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
 };
+use dpml_engine::Phase;
 use dpml_topology::Rank;
 
 /// `copy(sendbuf, recvbuf)` — the local prologue every flat allreduce
 /// starts with (MPI semantics: the input must not be clobbered).
 pub fn emit_initial_copy(w: &mut WorldProgram, ranks: &[Rank], range: ByteRange) {
     for &r in ranks {
-        w.rank(r).copy(BUF_INPUT, BUF_RESULT, range, false);
+        let prog = w.rank(r);
+        prog.set_phase(Phase::ShmGather);
+        prog.copy(BUF_INPUT, BUF_RESULT, range, false);
+    }
+}
+
+/// Tag the exchange instructions of every `comm` member: a flat allreduce
+/// is the inter-leader stage when embedded in a hierarchical design, and
+/// plays the same role standalone (every rank its own leader).
+fn tag_comm(w: &mut WorldProgram, comm: &[Rank]) {
+    for &r in comm {
+        w.rank(r).set_phase(Phase::InterLeader);
     }
 }
 
@@ -101,6 +113,7 @@ pub fn emit_recursive_doubling_range(
     if p <= 1 || range.is_empty() {
         return;
     }
+    tag_comm(w, comm);
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let core = emit_pow2_prologue(w, b, comm, buf, range, scratch);
     let pof2 = core.len();
@@ -138,6 +151,7 @@ pub fn emit_rabenseifner_range(
     if p <= 1 || range.is_empty() {
         return;
     }
+    tag_comm(w, comm);
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let core = emit_pow2_prologue(w, b, comm, buf, range, scratch);
     let pof2 = core.len();
@@ -202,6 +216,7 @@ pub fn emit_ring_range(
     if p <= 1 || range.is_empty() {
         return;
     }
+    tag_comm(w, comm);
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let chunks: Vec<ByteRange> = (0..p as u32).map(|i| range.subrange(p as u32, i)).collect();
     let rs_tag0 = b.fresh_tags((p - 1) as u32);
@@ -248,6 +263,7 @@ pub fn emit_binomial_range(
     if p <= 1 || range.is_empty() {
         return;
     }
+    tag_comm(w, comm);
     let scratch = BufKey::Priv(b.fresh_priv(1));
     let steps = usize::BITS - (p - 1).leading_zeros(); // ceil(lg p)
     let red_tag0 = b.fresh_tags(steps);

@@ -16,6 +16,7 @@ use crate::algorithms::{BuildError, FlatAlg};
 use dpml_engine::program::{
     BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
 };
+use dpml_engine::Phase;
 use dpml_topology::{LeaderPolicy, NodeId, RankMap};
 
 /// Emit the single-leader hierarchical allreduce.
@@ -51,11 +52,13 @@ pub fn emit_single_leader(
             let slot = BufKey::Shared(gather_base + i as u32);
             let prog = w.rank(r);
             // Phase 1: everyone deposits into the leader's region.
+            prog.set_phase(Phase::ShmGather);
             prog.copy(BUF_INPUT, slot, whole, cross);
             prog.barrier(gather_done);
             if r == leader {
                 // Phase 2: leader folds ppn slots: one seed copy + ppn-1
                 // reduction passes.
+                prog.set_phase(Phase::LeaderReduce);
                 prog.copy(BufKey::Shared(gather_base), BUF_RESULT, whole, false);
                 if ppn > 1 {
                     let srcs: Vec<BufKey> =
@@ -83,6 +86,7 @@ pub fn emit_single_leader(
         let leader_socket = map.socket_of(leader);
         for &r in &members {
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             if r == leader {
                 prog.copy(BUF_RESULT, bcast_slot, whole, false);
             }

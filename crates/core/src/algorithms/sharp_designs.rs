@@ -14,6 +14,7 @@ use crate::algorithms::BuildError;
 use dpml_engine::program::{
     BufKey, ByteRange, ProgramBuilder, WorldProgram, BUF_INPUT, BUF_RESULT,
 };
+use dpml_engine::Phase;
 use dpml_topology::{LeaderPolicy, NodeId, RankMap};
 
 /// Emit a SHArP-offloaded allreduce with the given leader policy
@@ -63,6 +64,7 @@ pub fn emit_sharp_leader(
             let prog = w.rank(r);
             // Gather: deposit into own slot of the responsible leader's
             // region.
+            prog.set_phase(Phase::ShmGather);
             prog.copy(
                 BUF_INPUT,
                 BufKey::Shared(gather_base + local.0),
@@ -77,6 +79,7 @@ pub fn emit_sharp_leader(
                     .collect();
                 let first = served[0];
                 let prog = w.rank(r);
+                prog.set_phase(Phase::LeaderReduce);
                 prog.copy(
                     BufKey::Shared(gather_base + first),
                     BUF_RESULT,
@@ -91,11 +94,14 @@ pub fn emit_sharp_leader(
                     prog.reduce(srcs, BUF_RESULT, whole);
                 }
                 // In-network aggregation across all leaders everywhere.
+                prog.set_phase(Phase::Sharp);
                 prog.sharp(group, BUF_RESULT, BUF_RESULT, whole);
                 // Publish for the local broadcast.
+                prog.set_phase(Phase::Broadcast);
                 prog.copy(BUF_RESULT, BufKey::Shared(bcast_base + j), whole, false);
             }
             let prog = w.rank(r);
+            prog.set_phase(Phase::Broadcast);
             prog.barrier(publish_done);
             if set.leader_index(r).is_none() {
                 let cross2 = map.socket_of(leader_rank) != map.socket_of(r);

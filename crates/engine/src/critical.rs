@@ -1,0 +1,533 @@
+//! Critical-path extraction and bottleneck attribution.
+//!
+//! Starting from the last-finishing rank at the makespan, walk each rank's
+//! timeline backwards. Busy spans (copy, reduce, compute, injection)
+//! attribute their own duration; blocking spans follow the [`Release`]
+//! edge the engine recorded — a message decomposes into injection-queue,
+//! NIC message-rate, bandwidth-drain, and wire-latency segments and the
+//! walk jumps to the sender at post time; a barrier or SHArP op jumps to
+//! the last-arriving member. Because every step either extends the current
+//! segment chain contiguously down to an earlier time or terminates at
+//! zero, the attributed segments tile `[0, makespan]` exactly — the
+//! profiler tests assert the sum matches the makespan to 1e-9 s.
+//!
+//! Summing segment durations per [`CostKind`] yields the run's dominant
+//! bottleneck and an automatic Zone A/B/C classification matching the
+//! paper's Figure 1 regimes.
+
+use crate::trace::{MsgTrace, Phase, Release, Span, SpanKind, Trace};
+use serde::{Deserialize, Serialize};
+
+/// What a critical-path segment's time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostKind {
+    /// Wire/propagation latency and synchronization release cost.
+    Latency,
+    /// Sender-side injection overhead (CPU/NIC handoff).
+    Injection,
+    /// Waiting in or for the per-NIC message-rate server.
+    MsgRate,
+    /// Draining at (approximately) the per-flow bandwidth ceiling.
+    PerFlowBw,
+    /// Draining below the per-flow ceiling: shared NIC/link capacity bound.
+    NicBwCap,
+    /// Local compute: memory copies, reductions, application work.
+    Compute,
+}
+
+impl CostKind {
+    /// Every cost kind, in display order.
+    pub const ALL: [CostKind; 6] = [
+        CostKind::Latency,
+        CostKind::Injection,
+        CostKind::MsgRate,
+        CostKind::PerFlowBw,
+        CostKind::NicBwCap,
+        CostKind::Compute,
+    ];
+
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostKind::Latency => "latency",
+            CostKind::Injection => "injection",
+            CostKind::MsgRate => "msg-rate",
+            CostKind::PerFlowBw => "per-flow-bw",
+            CostKind::NicBwCap => "nic-bw-cap",
+            CostKind::Compute => "compute",
+        }
+    }
+}
+
+/// The paper's Figure 1 operating regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Zone {
+    /// Zone A: latency-dominated (small messages).
+    LatencyBound,
+    /// Zone B: NIC message-rate-capped (mid-size messages, many sends).
+    MsgRateBound,
+    /// Zone C: bandwidth-capped (large messages).
+    BandwidthBound,
+    /// Local compute (memory bus) dominates the communication terms.
+    ComputeBound,
+}
+
+impl Zone {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Zone::LatencyBound => "A (latency)",
+            Zone::MsgRateBound => "B (msg-rate)",
+            Zone::BandwidthBound => "C (bandwidth)",
+            Zone::ComputeBound => "compute",
+        }
+    }
+}
+
+/// One attributed segment of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Rank whose activity (or whose message) the segment belongs to.
+    pub rank: u32,
+    /// Segment start, seconds.
+    pub start: f64,
+    /// Segment end, seconds.
+    pub end: f64,
+    /// Attributed cost.
+    pub kind: CostKind,
+    /// Algorithm phase active over the segment.
+    pub phase: Phase,
+}
+
+impl Segment {
+    /// Segment duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The critical path of one run, with per-cost and per-phase attribution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Attributed segments, in reverse-chronological walk order (the first
+    /// segment ends at the makespan).
+    pub segments: Vec<Segment>,
+    /// The makespan the walk started from, seconds.
+    pub makespan: f64,
+}
+
+/// Timestamp tolerance when matching span boundaries (fp noise only; real
+/// simulated durations are ≥ nanoseconds).
+const TOL: f64 = 1e-12;
+
+impl CriticalPath {
+    /// Extract the critical path from a trace.
+    ///
+    /// `per_flow_bw` is the fabric's per-flow bandwidth ceiling
+    /// (bytes/second), used to tell a flow pinned at its own cap
+    /// ([`CostKind::PerFlowBw`]) from one squeezed by shared capacity
+    /// ([`CostKind::NicBwCap`]).
+    pub fn from_trace(trace: &Trace, makespan: f64, per_flow_bw: f64) -> CriticalPath {
+        Walker::new(trace, makespan, per_flow_bw).walk()
+    }
+
+    /// Total attributed time, seconds (equals the makespan when the trace
+    /// is complete).
+    pub fn total(&self) -> f64 {
+        self.segments.iter().map(Segment::duration).sum()
+    }
+
+    /// Time attributed to one cost kind, seconds.
+    pub fn total_of(&self, kind: CostKind) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(Segment::duration)
+            .sum()
+    }
+
+    /// Time attributed to one phase along the path, seconds.
+    pub fn phase_total(&self, phase: Phase) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(Segment::duration)
+            .sum()
+    }
+
+    /// Zone classification: compare the three communication cost families
+    /// and report the largest; if local compute exceeds them all, the run
+    /// is compute-bound. Wire latency is Zone A; per-message costs —
+    /// sender-side injection overhead and the NIC message-rate server —
+    /// are Zone B (they bound the achievable messages/second, the paper's
+    /// message-rate regime); bandwidth drain is Zone C.
+    pub fn zone(&self) -> Zone {
+        let lat = self.total_of(CostKind::Latency);
+        let rate = self.total_of(CostKind::Injection) + self.total_of(CostKind::MsgRate);
+        let bw = self.total_of(CostKind::PerFlowBw) + self.total_of(CostKind::NicBwCap);
+        let compute = self.total_of(CostKind::Compute);
+        let comm_max = lat.max(rate).max(bw);
+        if compute > comm_max {
+            return Zone::ComputeBound;
+        }
+        if bw >= lat && bw >= rate {
+            Zone::BandwidthBound
+        } else if rate >= lat {
+            Zone::MsgRateBound
+        } else {
+            Zone::LatencyBound
+        }
+    }
+
+    /// The single largest cost kind on the path.
+    pub fn dominant(&self) -> CostKind {
+        *CostKind::ALL
+            .iter()
+            .max_by(|a, b| self.total_of(**a).total_cmp(&self.total_of(**b)))
+            .expect("CostKind::ALL is non-empty")
+    }
+}
+
+/// Backwards walker state.
+struct Walker<'a> {
+    trace: &'a Trace,
+    makespan: f64,
+    per_flow_bw: f64,
+    /// Per-rank spans sorted by end time.
+    by_rank: Vec<Vec<Span>>,
+    segments: Vec<Segment>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(trace: &'a Trace, makespan: f64, per_flow_bw: f64) -> Self {
+        let ranks = trace
+            .spans
+            .iter()
+            .map(|s| s.rank as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_rank: Vec<Vec<Span>> = vec![Vec::new(); ranks];
+        for s in &trace.spans {
+            by_rank[s.rank as usize].push(*s);
+        }
+        for v in &mut by_rank {
+            v.sort_by(|a, b| a.end.total_cmp(&b.end).then(a.start.total_cmp(&b.start)));
+        }
+        Walker {
+            trace,
+            makespan,
+            per_flow_bw,
+            by_rank,
+            segments: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rank: u32, start: f64, end: f64, kind: CostKind, phase: Phase) {
+        // Clamp out fp noise; drop empty segments.
+        let start = start.min(end);
+        if end - start > 0.0 {
+            self.segments.push(Segment {
+                rank,
+                start,
+                end,
+                kind,
+                phase,
+            });
+        }
+    }
+
+    /// The span on `rank` ending closest to (and not after) `t`; among
+    /// spans sharing that end time, the latest-starting one.
+    fn span_ending_at(&self, rank: u32, t: f64) -> Option<usize> {
+        let spans = self.by_rank.get(rank as usize)?;
+        spans.iter().rposition(|s| s.end <= t + TOL)
+    }
+
+    fn walk(mut self) -> CriticalPath {
+        let mut cur_rank = self.last_finisher();
+        let mut cur_time = self.makespan;
+        // Bound the walk: each iteration consumes a span or a message, and
+        // time is non-increasing, but guard against degenerate traces.
+        let mut fuel = 4 * (self.trace.spans.len() + self.trace.messages.len()) + 64;
+        while cur_time > TOL && fuel > 0 {
+            fuel -= 1;
+            let Some(idx) = self.span_ending_at(cur_rank, cur_time) else {
+                // Nothing earlier on this rank: the remaining prefix is
+                // start-up idle time (unattributed → latency).
+                self.push(cur_rank, 0.0, cur_time, CostKind::Latency, Phase::Unknown);
+                break;
+            };
+            let span = self.by_rank[cur_rank as usize][idx];
+            if span.end < cur_time - TOL {
+                // Gap between the span and the current time: the rank was
+                // between instructions (instantaneous in the model, so any
+                // visible gap is release-cost slack).
+                self.push(cur_rank, span.end, cur_time, CostKind::Latency, span.phase);
+                cur_time = span.end;
+                continue;
+            }
+            // Consume the span so zero-duration spans cannot stall the walk.
+            self.by_rank[cur_rank as usize].remove(idx);
+            match span.kind {
+                SpanKind::Copy | SpanKind::Reduce | SpanKind::Compute => {
+                    self.push(
+                        cur_rank,
+                        span.start,
+                        cur_time,
+                        CostKind::Compute,
+                        span.phase,
+                    );
+                    cur_time = span.start;
+                }
+                SpanKind::SendInject => {
+                    self.push(
+                        cur_rank,
+                        span.start,
+                        cur_time,
+                        CostKind::Injection,
+                        span.phase,
+                    );
+                    cur_time = span.start;
+                }
+                SpanKind::Wait | SpanKind::Barrier | SpanKind::Sharp => {
+                    match span.release {
+                        Some(Release::Msg { idx }) => {
+                            let m = self.trace.messages[idx];
+                            let (next_rank, next_time) = self.attribute_msg(&m, cur_time);
+                            cur_rank = next_rank;
+                            cur_time = next_time;
+                        }
+                        Some(Release::Barrier { rank, at }) | Some(Release::Sharp { rank, at }) => {
+                            // Release cost (lg-round barrier signal or the
+                            // in-switch SHArP reduction) is latency.
+                            let at = at.min(cur_time);
+                            self.push(cur_rank, at, cur_time, CostKind::Latency, span.phase);
+                            cur_rank = rank;
+                            cur_time = at;
+                        }
+                        Some(Release::Local) | None => {
+                            // Released by a local flow (or pre-completed):
+                            // the wait shadowed local work.
+                            self.push(
+                                cur_rank,
+                                span.start,
+                                cur_time,
+                                CostKind::Compute,
+                                span.phase,
+                            );
+                            cur_time = span.start;
+                        }
+                    }
+                }
+            }
+        }
+        self.segments.reverse();
+        CriticalPath {
+            segments: self.segments,
+            makespan: self.makespan,
+        }
+    }
+
+    /// Decompose a message's life backwards from `end` (its delivery /
+    /// completion time) and return the walk's next position: the sender at
+    /// post time.
+    fn attribute_msg(&mut self, m: &MsgTrace, end: f64) -> (u32, f64) {
+        let phase = m.phase;
+        // Wire latency tail.
+        let t_wire = (end - m.net_latency).clamp(0.0, end);
+        self.push(m.dst, t_wire, end, CostKind::Latency, phase);
+        // Bandwidth drain.
+        let t_start = m.wire_start.clamp(0.0, t_wire);
+        if m.intra_node {
+            // Shared-memory bounce-buffer copy: memory bus, not the NIC.
+            self.push(m.dst, t_start, t_wire, CostKind::Compute, phase);
+        } else {
+            let dur = t_wire - t_start;
+            let floor = if self.per_flow_bw > 0.0 {
+                m.bytes as f64 / self.per_flow_bw
+            } else {
+                0.0
+            };
+            // A flow that took (within 5%) its per-flow minimum was pinned
+            // at its own ceiling; anything slower was squeezed by shared
+            // NIC/link capacity.
+            let kind = if dur <= floor * 1.05 + TOL {
+                CostKind::PerFlowBw
+            } else {
+                CostKind::NicBwCap
+            };
+            self.push(m.dst, t_start, t_wire, kind, phase);
+        }
+        // NIC message-rate server (queueing + serialization slot).
+        let t_posted = m.posted.clamp(0.0, t_start);
+        if !m.intra_node {
+            self.push(m.src, t_posted, t_start, CostKind::MsgRate, phase);
+        } else {
+            self.push(m.src, t_posted, t_start, CostKind::Compute, phase);
+        }
+        (m.src, t_posted)
+    }
+
+    fn last_finisher(&self) -> u32 {
+        let mut best = 0u32;
+        let mut best_end = f64::NEG_INFINITY;
+        for (r, spans) in self.by_rank.iter().enumerate() {
+            if let Some(s) = spans.last() {
+                if s.end > best_end {
+                    best_end = s.end;
+                    best = r as u32;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        rank: u32,
+        kind: SpanKind,
+        start: f64,
+        end: f64,
+        phase: Phase,
+        release: Option<Release>,
+    ) -> Span {
+        Span {
+            rank,
+            kind,
+            start,
+            end,
+            bytes: 0,
+            phase,
+            release,
+        }
+    }
+
+    /// Rank 0 computes 0..2, sends (inject 2..3); message drains 3..5 with
+    /// 1s wire latency landing at 6; rank 1 waits 0..6. Makespan 6.
+    fn two_rank_trace() -> Trace {
+        Trace {
+            spans: vec![
+                span(0, SpanKind::Compute, 0.0, 2.0, Phase::App, None),
+                span(0, SpanKind::SendInject, 2.0, 3.0, Phase::InterLeader, None),
+                span(
+                    1,
+                    SpanKind::Wait,
+                    0.0,
+                    6.0,
+                    Phase::InterLeader,
+                    Some(Release::Msg { idx: 0 }),
+                ),
+            ],
+            messages: vec![MsgTrace {
+                src: 0,
+                dst: 1,
+                bytes: 1000,
+                injected: 3.0,
+                delivered: 6.0,
+                intra_node: false,
+                phase: Phase::InterLeader,
+                posted: 3.0,
+                wire_start: 3.5,
+                net_latency: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn walk_attributes_full_makespan() {
+        let t = two_rank_trace();
+        // per_flow_bw such that 1000 bytes take exactly 1.5s → PerFlowBw.
+        let cp = CriticalPath::from_trace(&t, 6.0, 1000.0 / 1.5);
+        assert!((cp.total() - 6.0).abs() < 1e-9, "total {} != 6", cp.total());
+        assert!((cp.total_of(CostKind::Compute) - 2.0).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::Injection) - 1.0).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::MsgRate) - 0.5).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::PerFlowBw) - 1.5).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::Latency) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_flow_is_shared_capacity_bound() {
+        let t = two_rank_trace();
+        // Flow could have drained in 0.15s at the per-flow cap but took
+        // 1.5s → shared-capacity bound.
+        let cp = CriticalPath::from_trace(&t, 6.0, 1000.0 / 0.15);
+        assert!((cp.total_of(CostKind::NicBwCap) - 1.5).abs() < 1e-9);
+        assert_eq!(cp.total_of(CostKind::PerFlowBw), 0.0);
+    }
+
+    #[test]
+    fn zone_classification_follows_dominant_family() {
+        let t = two_rank_trace();
+        let cp = CriticalPath::from_trace(&t, 6.0, 1000.0 / 1.5);
+        // lat 1.0, rate = injection 1.0 + msg-rate 0.5 = 1.5, bw 1.5;
+        // compute 2.0 exceeds every communication family → compute-bound.
+        assert_eq!(cp.zone(), Zone::ComputeBound);
+
+        let seg = |kind, dur| Segment {
+            rank: 0,
+            start: 0.0,
+            end: dur,
+            kind,
+            phase: Phase::InterLeader,
+        };
+        // Injection counts toward the message-rate family (Zone B).
+        let rate_bound = CriticalPath {
+            segments: vec![
+                seg(CostKind::Latency, 1.0),
+                seg(CostKind::Injection, 2.0),
+                seg(CostKind::PerFlowBw, 1.5),
+            ],
+            makespan: 4.5,
+        };
+        assert_eq!(rate_bound.zone(), Zone::MsgRateBound);
+        // Bandwidth wins ties against rate, rate wins ties against latency.
+        let tied = CriticalPath {
+            segments: vec![seg(CostKind::MsgRate, 1.0), seg(CostKind::NicBwCap, 1.0)],
+            makespan: 2.0,
+        };
+        assert_eq!(tied.zone(), Zone::BandwidthBound);
+    }
+
+    #[test]
+    fn barrier_release_jumps_to_last_arrival() {
+        let t = Trace {
+            spans: vec![
+                span(0, SpanKind::Compute, 0.0, 3.0, Phase::App, None),
+                span(
+                    0,
+                    SpanKind::Barrier,
+                    3.0,
+                    3.5,
+                    Phase::ShmGather,
+                    Some(Release::Barrier { rank: 1, at: 3.0 }),
+                ),
+                span(1, SpanKind::Compute, 0.0, 3.0, Phase::App, None),
+                span(
+                    1,
+                    SpanKind::Barrier,
+                    3.0,
+                    3.5,
+                    Phase::ShmGather,
+                    Some(Release::Barrier { rank: 1, at: 3.0 }),
+                ),
+            ],
+            messages: vec![],
+        };
+        let cp = CriticalPath::from_trace(&t, 3.5, 1e9);
+        assert!((cp.total() - 3.5).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::Latency) - 0.5).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::Compute) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_path() {
+        let cp = CriticalPath::from_trace(&Trace::default(), 0.0, 1e9);
+        assert!(cp.segments.is_empty());
+        assert_eq!(cp.total(), 0.0);
+    }
+}

@@ -29,6 +29,7 @@
 //! so a simulated collective cannot be "fast but wrong".
 
 pub mod coverage;
+pub mod critical;
 pub mod program;
 pub mod report;
 pub mod resources;
@@ -37,8 +38,9 @@ pub mod time;
 pub mod trace;
 
 pub use coverage::{CoverageMap, RankSet};
+pub use critical::{CostKind, CriticalPath, Segment, Zone};
 pub use program::{BufKey, ByteRange, Instr, Program, ProgramBuilder, ReqId, Tag, WorldProgram};
-pub use report::{RunReport, RunStats, VerifyError};
+pub use report::{ResourceUsage, RunReport, RunStats, VerifyError};
 pub use sim::{PendingOp, SharpOracle, SimConfig, SimError, Simulator};
 pub use time::SimTime;
-pub use trace::{MsgTrace, Span, SpanKind, Trace};
+pub use trace::{MsgTrace, Phase, Release, Span, SpanKind, Trace};

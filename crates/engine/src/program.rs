@@ -7,6 +7,7 @@
 //! phases 1/2/4 operate on).
 
 use crate::coverage::CoverageMap;
+use crate::trace::Phase;
 use dpml_topology::Rank;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -168,6 +169,14 @@ pub struct Program {
     /// Instructions in execution order.
     pub instrs: Vec<Instr>,
     next_req: u32,
+    /// Phase tag of each instruction, parallel to `instrs` (instructions
+    /// appended before any [`Program::set_phase`] call — or deserialized
+    /// from pre-phase traces — default to [`Phase::Unknown`]).
+    #[serde(default)]
+    phases: Vec<Phase>,
+    /// Phase applied to instructions pushed from now on.
+    #[serde(default)]
+    current_phase: Phase,
 }
 
 impl Program {
@@ -176,10 +185,30 @@ impl Program {
         Program::default()
     }
 
+    /// Tag subsequently pushed instructions with `phase`.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.current_phase = phase;
+    }
+
+    /// The phase instructions are currently being tagged with.
+    pub fn current_phase(&self) -> Phase {
+        self.current_phase
+    }
+
+    /// The phase of instruction `pc` ([`Phase::Unknown`] when untagged).
+    pub fn phase_at(&self, pc: usize) -> Phase {
+        self.phases.get(pc).copied().unwrap_or_default()
+    }
+
+    fn push_instr(&mut self, i: Instr) {
+        self.instrs.push(i);
+        self.phases.push(self.current_phase);
+    }
+
     fn push_req(&mut self, i: Instr) -> ReqId {
         let id = ReqId(self.next_req);
         self.next_req += 1;
-        self.instrs.push(i);
+        self.push_instr(i);
         id
     }
 
@@ -200,7 +229,7 @@ impl Program {
 
     /// Wait on a set of requests.
     pub fn wait_all(&mut self, reqs: Vec<ReqId>) {
-        self.instrs.push(Instr::WaitAll { reqs });
+        self.push_instr(Instr::WaitAll { reqs });
     }
 
     /// Blocking send = isend + wait.
@@ -232,7 +261,7 @@ impl Program {
 
     /// Shared-memory copy.
     pub fn copy(&mut self, src: BufKey, dst: BufKey, range: ByteRange, cross_socket: bool) {
-        self.instrs.push(Instr::Copy {
+        self.push_instr(Instr::Copy {
             src,
             dst,
             range,
@@ -242,22 +271,22 @@ impl Program {
 
     /// Local reduction.
     pub fn reduce(&mut self, srcs: Vec<BufKey>, dst: BufKey, range: ByteRange) {
-        self.instrs.push(Instr::Reduce { srcs, dst, range });
+        self.push_instr(Instr::Reduce { srcs, dst, range });
     }
 
     /// Application compute delay.
     pub fn compute(&mut self, seconds: f64) {
-        self.instrs.push(Instr::Compute { seconds });
+        self.push_instr(Instr::Compute { seconds });
     }
 
     /// Barrier participation.
     pub fn barrier(&mut self, id: u32) {
-        self.instrs.push(Instr::Barrier { id });
+        self.push_instr(Instr::Barrier { id });
     }
 
     /// SHArP participation.
     pub fn sharp(&mut self, group: u32, src: BufKey, dst: BufKey, range: ByteRange) {
-        self.instrs.push(Instr::Sharp {
+        self.push_instr(Instr::Sharp {
             group,
             src,
             dst,
@@ -321,6 +350,13 @@ impl WorldProgram {
     /// Mutable access to one rank's program.
     pub fn rank(&mut self, r: Rank) -> &mut Program {
         &mut self.programs[r.index()]
+    }
+
+    /// Tag subsequently pushed instructions of *every* rank with `phase`.
+    pub fn set_phase_all(&mut self, phase: Phase) {
+        for p in &mut self.programs {
+            p.set_phase(phase);
+        }
     }
 
     /// Register a barrier's membership; returns its id.
@@ -510,6 +546,22 @@ mod tests {
         assert_eq!(b.fresh_priv(1), 5);
         assert_eq!(b.fresh_shared(4), 0);
         assert_eq!(b.fresh_shared(1), 4);
+    }
+
+    #[test]
+    fn instructions_carry_the_active_phase() {
+        let mut p = Program::new();
+        p.copy(BUF_INPUT, BUF_RESULT, ByteRange::new(0, 8), false);
+        p.set_phase(Phase::InterLeader);
+        let s = p.isend(Rank(1), 0, BUF_RESULT, ByteRange::new(0, 8));
+        p.wait_all(vec![s]);
+        p.set_phase(Phase::Broadcast);
+        p.barrier(0);
+        assert_eq!(p.phase_at(0), Phase::Unknown);
+        assert_eq!(p.phase_at(1), Phase::InterLeader);
+        assert_eq!(p.phase_at(2), Phase::InterLeader);
+        assert_eq!(p.phase_at(3), Phase::Broadcast);
+        assert_eq!(p.phase_at(99), Phase::Unknown);
     }
 
     #[test]

@@ -67,6 +67,22 @@ pub struct RunStats {
     pub sharp_fallbacks: u64,
 }
 
+/// Occupancy of one modeled resource (NIC, link, memory bus) over a run.
+/// Collected only for traced runs (see [`crate::Simulator::with_trace`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Resource name, e.g. `node3.tx`, `node0.mem`, `leaf1.up`.
+    pub name: String,
+    /// Capacity, bytes/second.
+    pub capacity: f64,
+    /// Total bytes the resource served.
+    pub bytes: f64,
+    /// Mean utilization over the makespan, 0..=1.
+    pub mean_util: f64,
+    /// Peak instantaneous load fraction, 0..=1.
+    pub peak_util: f64,
+}
+
 /// The result of simulating a [`crate::program::WorldProgram`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -82,6 +98,9 @@ pub struct RunReport {
     /// [`crate::Simulator::with_trace`].
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace: Option<Trace>,
+    /// Per-NIC / per-link / per-memory-bus occupancy, when tracing.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub resources: Vec<ResourceUsage>,
 }
 
 impl RunReport {
@@ -229,6 +248,7 @@ mod tests {
             vector_bytes: n,
             stats: RunStats::default(),
             trace: None,
+            resources: Vec::new(),
         }
     }
 
@@ -275,6 +295,7 @@ mod tests {
             vector_bytes: 0,
             stats: RunStats::default(),
             trace: None,
+            resources: Vec::new(),
         };
         assert_eq!(r.makespan(), SimTime::ZERO);
     }

@@ -37,6 +37,16 @@ struct FlowState<T> {
     token: T,
 }
 
+/// Per-resource occupancy accumulators (see
+/// [`FluidSystem::enable_utilization`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct UtilState {
+    /// ∫ rate dt: total bytes served by the resource.
+    busy_bytes: f64,
+    /// Peak instantaneous load as a fraction of capacity.
+    peak_frac: f64,
+}
+
 /// The fluid system: resources with capacities and the active flows over
 /// them. Generic over a `token` payload used by the engine to identify what
 /// a completed flow was carrying.
@@ -61,6 +71,10 @@ pub struct FluidSystem<T> {
     scratch_count: Vec<u32>,
     scratch_stamp: Vec<u64>,
     stamp: u64,
+    // Optional per-resource occupancy accounting (profiling runs only;
+    // `None` costs nothing on the hot path).
+    util: Option<Vec<UtilState>>,
+    util_scratch: Vec<f64>,
 }
 
 impl<T> FluidSystem<T> {
@@ -78,7 +92,26 @@ impl<T> FluidSystem<T> {
             scratch_count: Vec::new(),
             scratch_stamp: Vec::new(),
             stamp: 0,
+            util: None,
+            util_scratch: Vec::new(),
         }
+    }
+
+    /// Turn on per-resource occupancy accounting: from now on every
+    /// [`FluidSystem::advance_to`] integrates each resource's served bytes
+    /// and tracks its peak load fraction. Used by profiling runs; leaves
+    /// the non-profiled hot path untouched.
+    pub fn enable_utilization(&mut self) {
+        if self.util.is_none() {
+            self.util = Some(vec![UtilState::default(); self.caps.len()]);
+        }
+    }
+
+    /// Occupancy of `r` since [`FluidSystem::enable_utilization`]:
+    /// `(bytes_served, peak_load_fraction)`. `None` unless enabled.
+    pub fn utilization_of(&self, r: ResourceId) -> Option<(f64, f64)> {
+        let u = self.util.as_ref()?.get(r.0 as usize)?;
+        Some((u.busy_bytes, u.peak_frac))
     }
 
     /// Register a resource of `capacity` bytes/second.
@@ -89,6 +122,9 @@ impl<T> FluidSystem<T> {
         self.scratch_residual.push(0.0);
         self.scratch_count.push(0);
         self.scratch_stamp.push(0);
+        if let Some(u) = &mut self.util {
+            u.push(UtilState::default());
+        }
         ResourceId(self.caps.len() as u32 - 1)
     }
 
@@ -177,11 +213,49 @@ impl<T> FluidSystem<T> {
         let dt = now - self.last_update;
         debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
         if dt > 0.0 {
+            if self.util.is_some() {
+                self.account_utilization(dt);
+            }
             for f in self.flows.values_mut() {
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
             }
         }
         self.last_update = now;
+    }
+
+    /// Integrate per-resource load over an elapsed interval of `dt`
+    /// seconds at the current (constant) rates.
+    fn account_utilization(&mut self, dt: f64) {
+        let mut loads = std::mem::take(&mut self.util_scratch);
+        loads.clear();
+        loads.resize(self.caps.len(), 0.0);
+        // HashMap iteration order is seeded per process; accumulate in
+        // flow-id order so the floating-point sums (and the peak_util they
+        // feed) are bit-identical across runs.
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = &self.flows[&id];
+            if f.rate > 0.0 {
+                for c in &f.claims {
+                    loads[c.0 as usize] += f.rate;
+                }
+            }
+        }
+        let util = self.util.as_mut().expect("checked by caller");
+        for (ri, &load) in loads.iter().enumerate() {
+            if load > 0.0 {
+                let u = &mut util[ri];
+                u.busy_bytes += load * dt;
+                let frac = if self.caps[ri] > 0.0 {
+                    load / self.caps[ri]
+                } else {
+                    0.0
+                };
+                u.peak_frac = u.peak_frac.max(frac);
+            }
+        }
+        self.util_scratch = loads;
     }
 
     /// Recompute max-min fair rates (progressive filling with per-flow
@@ -448,6 +522,24 @@ mod tests {
         approx(s.rate_of(f1).unwrap(), 10.0);
         let (t, _) = s.next_completion().unwrap();
         approx(t.seconds(), 2.0 + 9.0);
+    }
+
+    #[test]
+    fn utilization_integrates_bytes_and_peak() {
+        let mut s: FluidSystem<()> = FluidSystem::new();
+        let r = s.add_resource(10.0);
+        s.enable_utilization();
+        // Two flows of 10 bytes each: combined rate 10 (peak 100%).
+        s.add_flow(vec![r], 100.0, 10.0, ());
+        s.add_flow(vec![r], 100.0, 10.0, ());
+        s.recompute();
+        s.advance_to(SimTime::new(2.0)); // both drained
+        let (bytes, peak) = s.utilization_of(r).unwrap();
+        approx(bytes, 20.0);
+        approx(peak, 1.0);
+        // Disabled systems report None.
+        let s2: FluidSystem<()> = FluidSystem::new();
+        assert!(s2.utilization_of(r).is_none());
     }
 
     #[test]

@@ -18,10 +18,10 @@
 
 use crate::coverage::CoverageMap;
 use crate::program::{BufKey, ByteRange, Instr, ReqId, Tag, WorldProgram, BUF_RESULT};
-use crate::report::{RunReport, RunStats};
+use crate::report::{ResourceUsage, RunReport, RunStats};
 use crate::resources::{FlowId, FluidSystem, ResourceId};
 use crate::time::SimTime;
-use crate::trace::{MsgTrace, Span, SpanKind, Trace};
+use crate::trace::{MsgTrace, Phase, Release, Span, SpanKind, Trace};
 use dpml_fabric::Fabric;
 use dpml_faults::{FaultClock, FaultPlan};
 use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec, TopologyError};
@@ -226,13 +226,16 @@ enum LocalKind {
 struct RankState {
     pc: usize,
     status: Status,
-    blocked_span: Option<(SpanKind, SimTime, u64)>,
+    blocked_span: Option<(SpanKind, SimTime, u64, Phase)>,
     bufs: HashMap<u32, CoverageMap>,
     reqs: Vec<ReqState>,
     waiting: Vec<ReqId>,
     pending_local: Option<PendingLocal>,
     pending_apply: Option<(BufKey, ByteRange, CoverageMap, ApplyKind)>,
     finish: Option<SimTime>,
+    /// The event that most recently unblocked this rank (traced runs
+    /// only); consumed by `end_span` for Wait/Barrier/Sharp spans.
+    last_release: Option<Release>,
 }
 
 struct Msg {
@@ -247,6 +250,14 @@ struct Msg {
     cross_socket: bool,
     hops: u32,
     injected_at: Option<SimTime>,
+    /// When the message cleared the NIC message-rate server and its fluid
+    /// flow started (equals `injected_at` for intra-node transfers).
+    wire_start: Option<SimTime>,
+    /// Phase of the originating `ISend` instruction.
+    phase: Phase,
+    /// Index of this message's `MsgTrace` record, once arrived (traced
+    /// runs only).
+    trace_idx: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -271,6 +282,9 @@ struct SharpOpState {
     dsts: Vec<(Rank, BufKey, Option<u32>)>,
     started: bool,
     done: bool,
+    /// Last member to join and when — the op's release dependency for the
+    /// critical-path walk.
+    last_join: Option<(u32, SimTime)>,
 }
 
 /// The simulator. Construct once per run.
@@ -456,6 +470,10 @@ impl<'a> SimState<'a> {
         let res_proc_cpu = (0..p)
             .map(|_| fluid.add_resource(mem.per_proc_copy_bw))
             .collect();
+        if trace {
+            // Profiled runs also account per-resource occupancy.
+            fluid.enable_utilization();
+        }
 
         let ranks = (0..p)
             .map(|r| {
@@ -471,6 +489,7 @@ impl<'a> SimState<'a> {
                     pending_local: None,
                     pending_apply: None,
                     finish: None,
+                    last_release: None,
                 }
             })
             .collect();
@@ -595,22 +614,31 @@ impl<'a> SimState<'a> {
     }
 
     /// Mark the start of a blocking span (traced runs only).
-    fn begin_span(&mut self, r: u32, kind: SpanKind, bytes: u64) {
+    fn begin_span(&mut self, r: u32, kind: SpanKind, bytes: u64, phase: Phase) {
         if self.trace.is_some() {
-            self.ranks[r as usize].blocked_span = Some((kind, self.now, bytes));
+            self.ranks[r as usize].blocked_span = Some((kind, self.now, bytes, phase));
         }
     }
 
-    /// Close the rank's open span, if any, at the current time.
+    /// Close the rank's open span, if any, at the current time. Blocking
+    /// spans (wait/barrier/sharp) record the release event that unblocked
+    /// the rank — the dependency edge the critical-path walk follows.
     fn end_span(&mut self, r: u32) {
-        if let Some(trace) = self.trace.as_mut() {
-            if let Some((kind, start, bytes)) = self.ranks[r as usize].blocked_span.take() {
+        if let Some(trace) = &mut self.trace {
+            let release = self.ranks[r as usize].last_release.take();
+            if let Some((kind, start, bytes, phase)) = self.ranks[r as usize].blocked_span.take() {
+                let release = match kind {
+                    SpanKind::Wait | SpanKind::Barrier | SpanKind::Sharp => release,
+                    _ => None,
+                };
                 trace.spans.push(Span {
                     rank: r,
                     kind,
                     start: start.seconds(),
                     end: self.now.seconds(),
                     bytes,
+                    phase,
+                    release,
                 });
             }
         }
@@ -782,6 +810,7 @@ impl<'a> SimState<'a> {
                 return Ok(());
             }
             let instr = prog.instrs[pc].clone();
+            let phase = prog.phase_at(pc);
             match instr {
                 Instr::ISend {
                     to,
@@ -790,8 +819,8 @@ impl<'a> SimState<'a> {
                     range,
                 } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::SendInject, range.len());
-                    self.exec_isend(r, to, tag, src, range);
+                    self.begin_span(r, SpanKind::SendInject, range.len(), phase);
+                    self.exec_isend(r, to, tag, src, range, phase);
                     return Ok(()); // busy for the injection overhead
                 }
                 Instr::IRecv { from, tag, dst } => {
@@ -809,7 +838,7 @@ impl<'a> SimState<'a> {
                     }
                     self.ranks[r as usize].waiting = reqs;
                     self.ranks[r as usize].status = Status::OnWait;
-                    self.begin_span(r, SpanKind::Wait, 0);
+                    self.begin_span(r, SpanKind::Wait, 0, phase);
                     return Ok(());
                 }
                 Instr::Copy {
@@ -819,7 +848,7 @@ impl<'a> SimState<'a> {
                     cross_socket,
                 } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::Copy, range.len());
+                    self.begin_span(r, SpanKind::Copy, range.len(), phase);
                     self.ranks[r as usize].pending_local = Some(PendingLocal {
                         kind: LocalKind::Copy { src, cross_socket },
                         dst,
@@ -833,7 +862,7 @@ impl<'a> SimState<'a> {
                 }
                 Instr::Reduce { srcs, dst, range } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::Reduce, range.len() * srcs.len() as u64);
+                    self.begin_span(r, SpanKind::Reduce, range.len() * srcs.len() as u64, phase);
                     self.ranks[r as usize].pending_local = Some(PendingLocal {
                         kind: LocalKind::Reduce { srcs },
                         dst,
@@ -847,7 +876,7 @@ impl<'a> SimState<'a> {
                 }
                 Instr::Compute { seconds } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::Compute, 0);
+                    self.begin_span(r, SpanKind::Compute, 0, phase);
                     self.ranks[r as usize].status = Status::Busy;
                     let dur = seconds.max(0.0) * self.noise_factor(r);
                     self.push(self.now.after(dur), Ev::Resume(r));
@@ -855,7 +884,7 @@ impl<'a> SimState<'a> {
                 }
                 Instr::Barrier { id } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::Barrier, 0);
+                    self.begin_span(r, SpanKind::Barrier, 0, phase);
                     self.exec_barrier(r, id)?;
                     return Ok(());
                 }
@@ -866,7 +895,7 @@ impl<'a> SimState<'a> {
                     range,
                 } => {
                     self.ranks[r as usize].pc += 1;
-                    self.begin_span(r, SpanKind::Sharp, range.len());
+                    self.begin_span(r, SpanKind::Sharp, range.len(), phase);
                     self.exec_sharp(r, group, src, dst, range, None)?;
                     return Ok(());
                 }
@@ -928,7 +957,15 @@ impl<'a> SimState<'a> {
 
     // ---- sends / receives ---------------------------------------------------
 
-    fn exec_isend(&mut self, r: u32, to: Rank, tag: Tag, src: BufKey, range: ByteRange) {
+    fn exec_isend(
+        &mut self,
+        r: u32,
+        to: Rank,
+        tag: Tag,
+        src: BufKey,
+        range: ByteRange,
+        phase: Phase,
+    ) {
         let payload = self.buf_snapshot(r, src, range);
         let src_node = self.cfg.map.node_of(Rank(r));
         let dst_node = self.cfg.map.node_of(to);
@@ -959,6 +996,9 @@ impl<'a> SimState<'a> {
             cross_socket,
             hops,
             injected_at: None,
+            wire_start: None,
+            phase,
+            trace_idx: None,
         });
         self.stats.messages += 1;
         if !intra {
@@ -991,6 +1031,9 @@ impl<'a> SimState<'a> {
         }
         self.msgs[m].injected_at = Some(self.now);
         if self.msgs[m].intra {
+            // No NIC message-rate server on the shared-memory path: the
+            // copy-out flow starts immediately.
+            self.msgs[m].wire_start = Some(self.now);
             // Shared-memory path: the copy-in was charged to the sender at
             // ISend time; this flow is the receiver-side copy-out, bounded
             // by the receiver core's copy bandwidth and the node bus.
@@ -1040,6 +1083,7 @@ impl<'a> SimState<'a> {
         let cap = self.cfg.fabric.nic.per_flow_bw;
         let fid = self.fluid.add_flow(claims, cap, bytes, FlowToken::Net(m));
         self.flow_of_msg.insert(m, fid);
+        self.msgs[m].wire_start = Some(self.now);
         // Keep serving the queue.
         if self.nic_queue[node as usize].is_empty() {
             self.nic_busy[node as usize] = false;
@@ -1083,10 +1127,14 @@ impl<'a> SimState<'a> {
         };
         self.buf_apply(r, dst, range, &payload, &ApplyKind::Overwrite);
         self.ranks[r as usize].reqs[req_idx as usize] = ReqState::Done;
-        self.maybe_unblock_wait(r);
+        let release = self.msgs[m].trace_idx.map(|idx| Release::Msg { idx });
+        self.maybe_unblock_wait(r, release);
     }
 
-    fn maybe_unblock_wait(&mut self, r: u32) {
+    /// Resume a rank blocked in `WaitAll` once its requests are all done,
+    /// recording `release` — the event that completed the final request —
+    /// for the critical-path analysis.
+    fn maybe_unblock_wait(&mut self, r: u32, release: Option<Release>) {
         if self.ranks[r as usize].status != Status::OnWait {
             return;
         }
@@ -1097,6 +1145,7 @@ impl<'a> SimState<'a> {
         if ok {
             self.ranks[r as usize].waiting.clear();
             self.ranks[r as usize].status = Status::Ready;
+            self.ranks[r as usize].last_release = release;
             self.push(self.now, Ev::Resume(r));
         }
     }
@@ -1112,21 +1161,33 @@ impl<'a> SimState<'a> {
                 && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending
             {
                 self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
-                self.maybe_unblock_wait(sr);
+                self.maybe_unblock_wait(sr, None);
             }
             self.record_aborted_msg(m);
             return Ok(());
         }
         if let Some(trace) = self.trace.as_mut() {
             let msg = &self.msgs[m];
+            let injected = msg.injected_at.unwrap_or(SimTime::ZERO);
+            let net_latency = if msg.intra {
+                0.0
+            } else {
+                self.cfg.fabric.nic.latency_for_hops(msg.hops)
+            };
             trace.messages.push(MsgTrace {
                 src: msg.src.0,
                 dst: msg.dst.0,
                 bytes: msg.range.len(),
-                injected: msg.injected_at.unwrap_or(SimTime::ZERO).seconds(),
+                injected: injected.seconds(),
                 delivered: self.now.seconds(),
                 intra_node: msg.intra,
+                phase: msg.phase,
+                posted: injected.seconds(),
+                wire_start: msg.wire_start.unwrap_or(injected).seconds(),
+                net_latency,
             });
+            let idx = trace.messages.len() - 1;
+            self.msgs[m].trace_idx = Some(idx);
         }
         // Rendezvous send completes on delivery-side arrival.
         let (sr, sreq) = self.msgs[m].send_req;
@@ -1134,7 +1195,8 @@ impl<'a> SimState<'a> {
             && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending
         {
             self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
-            self.maybe_unblock_wait(sr);
+            let release = self.msgs[m].trace_idx.map(|idx| Release::Msg { idx });
+            self.maybe_unblock_wait(sr, release);
         }
         let key = (self.msgs[m].dst.0, self.msgs[m].src.0, self.msgs[m].tag);
         if let Some(q) = self.recv_waiting.get_mut(&key) {
@@ -1249,7 +1311,16 @@ impl<'a> SimState<'a> {
             };
             let cost = self.cfg.fabric.mem.copy_latency * rounds as f64;
             let members = members.clone();
+            // `r` is the last arrival: it releases everyone, which the
+            // critical-path walk records as the barrier's dependency edge.
+            let release = Release::Barrier {
+                rank: r,
+                at: self.now.seconds(),
+            };
             for m in members {
+                if self.trace.is_some() {
+                    self.ranks[m.index()].last_release = Some(release);
+                }
                 self.push(self.now.after(cost), Ev::Resume(m.0));
             }
         }
@@ -1294,6 +1365,7 @@ impl<'a> SimState<'a> {
                     dsts: Vec::new(),
                     started: false,
                     done: false,
+                    last_join: None,
                 });
                 self.sharp_op_of_group.insert(group, i);
                 i
@@ -1309,6 +1381,7 @@ impl<'a> SimState<'a> {
         op.accum.union_merge(&payload, range.start, range.end);
         op.dsts.push((Rank(r), dst, req));
         op.arrived += 1;
+        op.last_join = Some((r, self.now));
         if req.is_none() {
             self.ranks[r as usize].status = Status::OnSharp;
         }
@@ -1348,25 +1421,35 @@ impl<'a> SimState<'a> {
     }
 
     fn sharp_done(&mut self, op_idx: usize) -> Result<(), SimError> {
-        let (accum, range, dsts) = {
+        let (accum, range, dsts, last_join) = {
             let op = &mut self.sharp_ops[op_idx];
             op.done = true;
             (
                 op.accum.clone(),
                 op.range.expect("range set"),
                 std::mem::take(&mut op.dsts),
+                op.last_join,
             )
         };
+        let release = last_join.map(|(rank, at)| Release::Sharp {
+            rank,
+            at: at.seconds(),
+        });
         for (rank, dst, req) in dsts {
             if matches!(self.ranks[rank.index()].status, Status::Dead) {
                 continue; // joined the op, then died before it completed
             }
             self.buf_apply(rank.0, dst, range, &accum, &ApplyKind::Overwrite);
             match req {
-                None => self.push(self.now, Ev::Resume(rank.0)),
+                None => {
+                    if self.trace.is_some() {
+                        self.ranks[rank.index()].last_release = release;
+                    }
+                    self.push(self.now, Ev::Resume(rank.0));
+                }
                 Some(idx) => {
                     self.ranks[rank.index()].reqs[idx as usize] = ReqState::Done;
-                    self.maybe_unblock_wait(rank.0);
+                    self.maybe_unblock_wait(rank.0, release);
                 }
             }
         }
@@ -1476,21 +1559,70 @@ impl<'a> SimState<'a> {
             BufKey::Priv(id) => id,
             _ => unreachable!(),
         };
+        let finish_times: Vec<SimTime> = self
+            .ranks
+            .iter()
+            .map(|r| r.finish.expect("finished"))
+            .collect();
+        let makespan = finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .seconds();
         RunReport {
-            finish_times: self
-                .ranks
-                .iter()
-                .map(|r| r.finish.expect("finished"))
-                .collect(),
             result_coverage: self
                 .ranks
                 .iter()
                 .map(|r| r.bufs.get(&result_key).cloned().unwrap_or_default())
                 .collect(),
+            finish_times,
             vector_bytes: world.vector_bytes,
             stats: self.stats,
             trace: self.trace.take(),
+            resources: self.resource_usage(makespan),
         }
+    }
+
+    /// Occupancy rows for every node-level and leaf-level resource
+    /// (empty unless utilization accounting was enabled by tracing).
+    fn resource_usage(&mut self, makespan: f64) -> Vec<ResourceUsage> {
+        // Flush the last interval into the accumulators.
+        self.fluid.advance_to(self.now);
+        let mut rows = Vec::new();
+        let mut push = |fluid: &FluidSystem<FlowToken>, name: String, rid: ResourceId| {
+            if let Some((bytes, peak)) = fluid.utilization_of(rid) {
+                let capacity = fluid.capacity_of(rid);
+                let mean = if capacity > 0.0 && makespan > 0.0 {
+                    bytes / (capacity * makespan)
+                } else {
+                    0.0
+                };
+                rows.push(ResourceUsage {
+                    name,
+                    capacity,
+                    bytes,
+                    mean_util: mean,
+                    peak_util: peak,
+                });
+            }
+        };
+        for (h, &rid) in self.res_tx.iter().enumerate() {
+            push(&self.fluid, format!("node{h}.tx"), rid);
+        }
+        for (h, &rid) in self.res_rx.iter().enumerate() {
+            push(&self.fluid, format!("node{h}.rx"), rid);
+        }
+        for (h, &rid) in self.res_mem.iter().enumerate() {
+            push(&self.fluid, format!("node{h}.mem"), rid);
+        }
+        for (l, &rid) in self.res_leaf_up.iter().enumerate() {
+            push(&self.fluid, format!("leaf{l}.up"), rid);
+        }
+        for (l, &rid) in self.res_leaf_down.iter().enumerate() {
+            push(&self.fluid, format!("leaf{l}.down"), rid);
+        }
+        rows
     }
 }
 

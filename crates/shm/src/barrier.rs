@@ -7,7 +7,16 @@
 //! decrement a counter; the last arrival resets it and flips the global
 //! sense; everyone else spins on the sense word with `Acquire` loads.
 
+use crate::metrics::Histogram;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle to the global `barrier.wait_ns` histogram so the hot path
+/// pays one relaxed-atomic record, not a registry lookup.
+fn wait_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| crate::metrics::global().histogram("barrier.wait_ns"))
+}
 
 /// A reusable spin barrier for a fixed set of threads.
 #[derive(Debug)]
@@ -34,6 +43,7 @@ impl SpinBarrier {
     /// `false` and flipped by this call; see [`BarrierToken`] for a safe
     /// wrapper.
     pub fn wait(&self, local_sense: &mut bool) {
+        let start = std::time::Instant::now();
         let ok: Result<(), std::convert::Infallible> = self.wait_with(local_sense, |spins| {
             if spins < 64 {
                 std::hint::spin_loop();
@@ -44,6 +54,7 @@ impl SpinBarrier {
         });
         // invariant: the backoff closure above never returns Err.
         ok.unwrap();
+        wait_hist().record(start.elapsed().as_nanos() as u64);
     }
 
     /// Core arrival/spin loop shared by [`SpinBarrier::wait`] and the

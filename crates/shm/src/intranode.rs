@@ -8,7 +8,21 @@
 
 use crate::barrier::{BarrierToken, SpinBarrier};
 use crate::kernels::{fold_slots_op, reduce_into, ReduceOp, SumOp};
+use crate::metrics::Counter;
 use crate::region::SharedSlots;
+use std::sync::{Arc, OnceLock};
+
+/// Cached handle to the global `shm.copy_bytes` counter.
+fn copy_bytes_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::metrics::global().counter("shm.copy_bytes"))
+}
+
+/// Cached handle to the global `shm.reduce_ops` counter.
+fn reduce_ops_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::metrics::global().counter("shm.reduce_ops"))
+}
 
 /// Intra-node algorithm choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +137,10 @@ impl NodeRuntime {
                             let slot = unsafe { gather.slot_mut(j * self.ppn + t) };
                             slot[..e - s].copy_from_slice(&input[s..e]);
                         }
+                        copy_bytes_counter().add((n * size_of::<f64>()) as u64);
                         tok.wait(barrier);
                         // Phase 2: leaders fold their partition.
+                        let mut folded_elems = 0usize;
                         for (j, &(s, e)) in parts.iter().enumerate() {
                             if leader_local(j, l, self.ppn) != t || e == s {
                                 continue;
@@ -139,6 +155,10 @@ impl NodeRuntime {
                                     .collect();
                                 fold_slots_op(op, &mut publish.slot_mut(j)[..plen], &slots);
                             }
+                            folded_elems += plen * (self.ppn - 1);
+                        }
+                        if folded_elems > 0 {
+                            reduce_ops_counter().add(folded_elems as u64);
                         }
                         tok.wait(barrier);
                         // Phase 4: copy all partitions out.
@@ -148,6 +168,7 @@ impl NodeRuntime {
                             let slot = unsafe { publish.slot(j) };
                             out[s..e].copy_from_slice(&slot[..e - s]);
                         }
+                        copy_bytes_counter().add((n * size_of::<f64>()) as u64);
                         out
                     })
                 })
@@ -254,6 +275,27 @@ mod tests {
         let ins = vec![vec![]; 4];
         let got = rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: 2 });
         assert!(got.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn allreduce_records_live_metrics() {
+        let reg = crate::metrics::global();
+        let before = reg.snapshot();
+        let rt = NodeRuntime::new(4);
+        let ins = inputs(4, 500);
+        rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: 2 });
+        let after = reg.snapshot();
+        // Each of 4 ranks copies 500 f64 in (phase 1) and out (phase 4).
+        let copied = after.counter("shm.copy_bytes").unwrap_or(0)
+            - before.counter("shm.copy_bytes").unwrap_or(0);
+        assert!(copied >= (2 * 4 * 500 * 8) as u64, "copied {copied}");
+        // Leaders fold ppn-1 = 3 passes over the whole vector.
+        let folded = after.counter("shm.reduce_ops").unwrap_or(0)
+            - before.counter("shm.reduce_ops").unwrap_or(0);
+        assert!(folded >= (500 * 3) as u64, "folded {folded}");
+        // Barrier arrivals were timed.
+        let waits = after.histogram("barrier.wait_ns").expect("histogram");
+        assert!(waits.count > 0);
     }
 
     #[test]

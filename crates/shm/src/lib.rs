@@ -21,11 +21,13 @@ pub mod cluster;
 pub mod intranode;
 pub mod kernels;
 pub mod mailbox;
+pub mod metrics;
 pub mod region;
 pub mod watchdog;
 
 pub use barrier::SpinBarrier;
 pub use cluster::ThreadCluster;
 pub use intranode::{IntraAlgo, NodeRuntime};
+pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 pub use region::SharedSlots;
 pub use watchdog::ShmTimeout;

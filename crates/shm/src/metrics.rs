@@ -1,0 +1,393 @@
+//! Live metrics for the real-threads runtime.
+//!
+//! The simulator side of this workspace reports virtual time; the thread
+//! runtime here runs real data movement, and these are its observability
+//! primitives: lock-free [`Counter`]s and log2-bucketed [`Histogram`]s
+//! registered by name in a [`Registry`]. Hot paths touch a single relaxed
+//! atomic per event; [`Registry::snapshot`] reads a consistent-enough view
+//! at any time without stopping the threads.
+//!
+//! The runtime records, per process-wide [`global`] registry:
+//!
+//! * `barrier.wait_ns` — spin-barrier wait time per arrival (histogram),
+//! * `shm.copy_bytes` — bytes moved through shared-memory slots (counter),
+//! * `shm.reduce_ops` — element reduction operations performed (counter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log2 buckets: values up to `2^63` land in the last bucket.
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (value `v` lands in bucket
+/// `⌊log2 v⌋ + 1`; zero in bucket 0), plus exact count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `0.0..=1.0`: the lower bound of the
+    /// bucket holding the `q`-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// Reset all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_floor(i), c))
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    /// Registered name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Approximate median (bucket lower bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (bucket lower bound).
+    pub p99: u64,
+}
+
+/// A consistent-enough view of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Histogram summary by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// A named collection of live metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut guard = self.counters.lock().expect("metrics registry poisoned");
+        if let Some((_, c)) = guard.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        guard.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut guard = self.histograms.lock().expect("metrics registry poisoned");
+        if let Some((_, h)) = guard.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        guard.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Snapshot every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, c)| CounterSample {
+                name: n.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, h)| HistogramSample {
+                name: n.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Reset every registered metric to zero (names stay registered).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().expect("poisoned").iter() {
+            c.reset();
+        }
+        for (_, h) in self.histograms.lock().expect("poisoned").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry the runtime records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("bytes");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("bytes"), Some(24_000));
+    }
+
+    #[test]
+    fn counter_is_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("x").add(5);
+        reg.counter("x").add(7);
+        assert_eq!(reg.snapshot().counter("x"), Some(12));
+        assert_eq!(reg.snapshot().counter("y"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 115);
+        assert!((h.mean() - 23.0).abs() < 1e-12);
+        // Median sample is 4 → bucket floor 4.
+        assert_eq!(h.quantile(0.5), 4);
+        // p99 lands in 100's bucket (floor 64).
+        assert_eq!(h.quantile(0.99), 64);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_values_but_keeps_names() {
+        let reg = Registry::new();
+        reg.counter("a").add(10);
+        reg.histogram("b").record(42);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(0));
+        assert_eq!(snap.histogram("b").unwrap().count, 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("test.global.counter").add(1);
+        assert!(global().snapshot().counter("test.global.counter").is_some());
+    }
+}

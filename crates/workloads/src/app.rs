@@ -87,7 +87,9 @@ pub fn build_app(
         match *step {
             AppStep::Compute(secs) => {
                 for r in map.all_ranks() {
-                    w.rank(r).compute(secs);
+                    let prog = w.rank(r);
+                    prog.set_phase(dpml_engine::Phase::App);
+                    prog.compute(secs);
                 }
             }
             AppStep::Allreduce(bytes) => {

@@ -2,7 +2,9 @@
 //! four phases of the paper's Figure 2 laid out across ranks.
 //!
 //! Run with: `cargo run --release --example timeline`
-//! then load `dpml_timeline.json` in chrome://tracing or ui.perfetto.dev.
+//! then load `results/dpml_timeline.json` in chrome://tracing or
+//! ui.perfetto.dev. (`dpml profile` writes the same artifact plus a
+//! critical-path attribution table.)
 
 use dpml::core::algorithms::{Algorithm, FlatAlg};
 use dpml::engine::{SimConfig, Simulator, SpanKind};
@@ -50,7 +52,8 @@ fn main() {
         );
     }
 
-    let path = "dpml_timeline.json";
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/dpml_timeline.json";
     std::fs::write(path, trace.to_chrome_json()).expect("write trace");
     println!("\nwrote {path} — open it in chrome://tracing or ui.perfetto.dev");
 }

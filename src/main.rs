@@ -3,6 +3,7 @@
 //! ```text
 //! dpml info
 //! dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K
+//! dpml profile  --cluster a --nodes 8  --alg dpml:4  --bytes 64K [--sweep]
 //! dpml sweep    --cluster b --nodes 16 --alg dpml:16 [--alg rd ...]
 //! dpml compare  --cluster d --nodes 8  --bytes 512K
 //! dpml tune     --cluster c --nodes 8  [--out tuned.json]
@@ -13,6 +14,7 @@
 
 use dpml::core::algorithms::{Algorithm, FlatAlg};
 use dpml::core::heal::{run_dpml_failstop, FailstopOutcome};
+use dpml::core::profile::profile_allreduce;
 use dpml::core::resilience::{run_allreduce_resilient, FaultPolicy};
 use dpml::core::run::run_allreduce;
 use dpml::core::selector::Library;
@@ -185,8 +187,105 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     );
     println!("  shm copies       {:>12}", st.copies);
     println!("  reductions       {:>12}", st.reduces);
-    println!("  sharp ops        {:>12}", st.sharp_ops);
+    println!(
+        "  sharp ops        {:>12} ({} retries, {} fallbacks)",
+        st.sharp_ops, st.sharp_retries, st.sharp_fallbacks
+    );
     println!("  sim events       {:>12}", st.events);
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let alg = parse_algorithm(&arg_value(args, "--alg").unwrap_or_else(|| "dpml:4".into()))?;
+
+    if args.iter().any(|a| a == "--sweep") {
+        // Zone-transition sweep: one profiled run per size, Figure 1 regimes.
+        println!(
+            "{} zone sweep on {} ({} x {} = {} ranks):",
+            alg.name(),
+            preset.fabric.name,
+            spec.num_nodes,
+            spec.ppn,
+            spec.world_size()
+        );
+        println!(
+            "{:>10} {:>12} {:>16} {:>14}",
+            "size", "latency", "zone", "dominant"
+        );
+        let mut bytes = 4u64;
+        while bytes <= 4 << 20 {
+            let run = profile_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+            println!(
+                "{:>10} {:>10.2}us {:>16} {:>14}",
+                bytes, run.profile.latency_us, run.profile.zone, run.profile.dominant
+            );
+            bytes *= 4;
+        }
+        return Ok(());
+    }
+
+    let bytes = parse_bytes(&arg_value(args, "--bytes").unwrap_or_else(|| "64K".into()))?;
+    let run = profile_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+    let prof = &run.profile;
+    println!(
+        "{} on {} ({} x {} = {} ranks), {} bytes:",
+        prof.algorithm,
+        preset.fabric.name,
+        spec.num_nodes,
+        spec.ppn,
+        spec.world_size(),
+        bytes
+    );
+    println!(
+        "  latency {:.2} us   zone {}   dominant cost: {}",
+        prof.latency_us, prof.zone, prof.dominant
+    );
+
+    println!("\n  phase            busy(us)  critical(us)  critical%");
+    let makespan = prof.latency_us.max(f64::MIN_POSITIVE);
+    for row in &prof.phases {
+        println!(
+            "  {:<16} {:>8.2}  {:>12.2}  {:>8.1}%",
+            row.phase,
+            row.busy_s * 1e6,
+            row.critical_s * 1e6,
+            100.0 * row.critical_s * 1e6 / makespan
+        );
+    }
+    println!("\n  cost             critical(us)  critical%");
+    for row in &prof.costs {
+        println!(
+            "  {:<16} {:>12.2}  {:>8.1}%",
+            row.kind,
+            row.critical_s * 1e6,
+            100.0 * row.critical_s * 1e6 / makespan
+        );
+    }
+    let mut busiest: Vec<_> = prof.resources.iter().collect();
+    busiest.sort_by(|a, b| b.mean_util.total_cmp(&a.mean_util));
+    if !busiest.is_empty() {
+        println!("\n  resource          mean util  peak util        bytes");
+        for r in busiest.iter().take(6) {
+            println!(
+                "  {:<16} {:>9.1}%  {:>8.1}%  {:>11.0}",
+                r.name,
+                100.0 * r.mean_util,
+                100.0 * r.peak_util,
+                r.bytes
+            );
+        }
+    }
+
+    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+    let json_path = format!("results/profile_{}_{}.json", prof.algorithm, bytes);
+    let json = serde_json::to_string_pretty(prof).map_err(|e| e.to_string())?;
+    std::fs::write(&json_path, json).map_err(|e| e.to_string())?;
+    let trace = run.report.trace.as_ref().expect("profiled run is traced");
+    let trace_path = "results/dpml_timeline.json";
+    std::fs::write(trace_path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    println!("\n  profile written to {json_path}");
+    println!("  Perfetto trace written to {trace_path} (open at https://ui.perfetto.dev)");
     Ok(())
 }
 
@@ -526,6 +625,7 @@ fn main() {
             Ok(())
         }
         "simulate" => cmd_simulate(rest),
+        "profile" => cmd_profile(rest),
         "sweep" => cmd_sweep(rest),
         "compare" => cmd_compare(rest),
         "tune" => cmd_tune(rest),
@@ -534,9 +634,10 @@ fn main() {
         "recover" => cmd_recover(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|sweep|compare|tune|app|faults|recover> [options]\n\
+                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
+                 dpml profile --cluster a --nodes 8 --alg dpml:4 --bytes 64K [--sweep]\n     \
                  dpml compare --cluster d --nodes 8 --bytes 512K\n     \
                  dpml tune --cluster b --nodes 8 --out tuned.json\n     \
                  dpml app --app miniamr --cluster c --nodes 8\n     \
