@@ -323,7 +323,7 @@ fn heal_after_crash(
 }
 
 /// Coverage of a fully-reduced range: every rank's contribution.
-fn full_cov(p: u32, start: u64, end: u64) -> CoverageMap {
+pub(crate) fn full_cov(p: u32, start: u64, end: u64) -> CoverageMap {
     let mut m = CoverageMap::empty();
     for r in 0..p {
         m.union_merge(&CoverageMap::singleton(r, start, end), start, end);
@@ -343,8 +343,12 @@ fn full_cov(p: u32, start: u64, end: u64) -> CoverageMap {
 ///
 /// Dead ranks get empty programs; each node's publish barrier is
 /// re-registered over its survivors only.
+///
+/// Also reused by [`crate::integrity`] with `dead = []` and
+/// `healed == orig`: re-reducing a partition whose inter-leader exchange
+/// exhausted its retransmit budget is exactly a heal with nobody dead.
 #[allow(clippy::too_many_arguments)]
-fn build_continuation(
+pub(crate) fn build_continuation(
     map: &RankMap,
     orig: &LeaderSet,
     healed: &LeaderSet,

@@ -26,6 +26,7 @@
 pub mod algorithms;
 pub mod collectives;
 pub mod heal;
+pub mod integrity;
 pub mod profile;
 pub mod resilience;
 pub mod run;
@@ -34,6 +35,10 @@ pub mod tuner;
 
 pub use algorithms::{Algorithm, BuildError, FlatAlg};
 pub use heal::{run_dpml_failstop, FailstopOutcome, RecoveryReport};
+pub use integrity::{
+    run_allreduce_verified, IntegrityError, IntegrityErrorKind, IntegrityPolicy, IntegrityReport,
+    PartitionRecovery, VerifiedError,
+};
 pub use profile::{profile_allreduce, CostBreakdown, PhaseBreakdown, ProfileReport, ProfiledRun};
 pub use resilience::{
     run_allreduce_faulted, run_allreduce_resilient, FaultPolicy, ResilientReport,

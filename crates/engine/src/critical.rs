@@ -33,17 +33,22 @@ pub enum CostKind {
     NicBwCap,
     /// Local compute: memory copies, reductions, application work.
     Compute,
+    /// Reliability-protocol stalls: ack timeouts, NACK backoff, and the
+    /// repeated wire attempts before a message finally delivered intact
+    /// (injected data faults; see `dpml_faults::DataFaults`).
+    Retransmit,
 }
 
 impl CostKind {
     /// Every cost kind, in display order.
-    pub const ALL: [CostKind; 6] = [
+    pub const ALL: [CostKind; 7] = [
         CostKind::Latency,
         CostKind::Injection,
         CostKind::MsgRate,
         CostKind::PerFlowBw,
         CostKind::NicBwCap,
         CostKind::Compute,
+        CostKind::Retransmit,
     ];
 
     /// Display name for tables.
@@ -55,6 +60,7 @@ impl CostKind {
             CostKind::PerFlowBw => "per-flow-bw",
             CostKind::NicBwCap => "nic-bw-cap",
             CostKind::Compute => "compute",
+            CostKind::Retransmit => "retransmit",
         }
     }
 }
@@ -162,7 +168,8 @@ impl CriticalPath {
     /// are Zone B (they bound the achievable messages/second, the paper's
     /// message-rate regime); bandwidth drain is Zone C.
     pub fn zone(&self) -> Zone {
-        let lat = self.total_of(CostKind::Latency);
+        // Retransmit stalls are timeout/backoff waits — latency family.
+        let lat = self.total_of(CostKind::Latency) + self.total_of(CostKind::Retransmit);
         let rate = self.total_of(CostKind::Injection) + self.total_of(CostKind::MsgRate);
         let bw = self.total_of(CostKind::PerFlowBw) + self.total_of(CostKind::NicBwCap);
         let compute = self.total_of(CostKind::Compute);
@@ -365,6 +372,14 @@ impl<'a> Walker<'a> {
         } else {
             self.push(m.src, t_posted, t_start, CostKind::Compute, phase);
         }
+        // A message that needed retransmissions spent `first_posted →
+        // posted` in failed attempts plus timeout/backoff stalls: the
+        // measurable price of the reliability protocol.
+        if m.attempts > 0 {
+            let t_first = m.first_posted.clamp(0.0, t_posted);
+            self.push(m.src, t_first, t_posted, CostKind::Retransmit, phase);
+            return (m.src, t_first);
+        }
         (m.src, t_posted)
     }
 
@@ -433,6 +448,8 @@ mod tests {
                 posted: 3.0,
                 wire_start: 3.5,
                 net_latency: 1.0,
+                attempts: 0,
+                first_posted: 3.0,
             }],
         }
     }
@@ -491,6 +508,46 @@ mod tests {
             makespan: 2.0,
         };
         assert_eq!(tied.zone(), Zone::BandwidthBound);
+    }
+
+    /// A message that needed retransmissions attributes its retry window
+    /// (first post → final post) to the retransmit cost class, and the
+    /// path still tiles the makespan exactly.
+    #[test]
+    fn retransmit_window_is_attributed() {
+        let t = Trace {
+            spans: vec![
+                span(0, SpanKind::Compute, 0.0, 2.0, Phase::App, None),
+                span(0, SpanKind::SendInject, 2.0, 3.0, Phase::InterLeader, None),
+                span(
+                    1,
+                    SpanKind::Wait,
+                    0.0,
+                    6.0,
+                    Phase::InterLeader,
+                    Some(Release::Msg { idx: 0 }),
+                ),
+            ],
+            messages: vec![MsgTrace {
+                src: 0,
+                dst: 1,
+                bytes: 1000,
+                injected: 4.0,
+                delivered: 6.0,
+                intra_node: false,
+                phase: Phase::InterLeader,
+                posted: 4.0,
+                wire_start: 4.5,
+                net_latency: 0.5,
+                attempts: 2,
+                first_posted: 3.0,
+            }],
+        };
+        let cp = CriticalPath::from_trace(&t, 6.0, 1000.0);
+        assert!((cp.total() - 6.0).abs() < 1e-9, "total {}", cp.total());
+        assert!((cp.total_of(CostKind::Retransmit) - 1.0).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::MsgRate) - 0.5).abs() < 1e-9);
+        assert!((cp.total_of(CostKind::Compute) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -65,6 +65,21 @@ pub struct RunStats {
     /// (filled by the resilient runner in `dpml-core`).
     #[serde(default)]
     pub sharp_fallbacks: u64,
+    /// Wire retransmissions driven by injected drops/corruption (ack
+    /// timeout or CRC NACK; see `dpml_faults::DataFaults`).
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Payload deliveries that failed the receiver's CRC32C check.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Shared-memory publishes that failed their checksum and were redone.
+    #[serde(default)]
+    pub shm_crc_fails: u64,
+    /// Expected number of corruptions the CRC32C check let through
+    /// (`corruptions_detected * 2^-32`): the residual silent-data-
+    /// corruption exposure of the run.
+    #[serde(default)]
+    pub undetected_risk: f64,
 }
 
 /// Occupancy of one modeled resource (NIC, link, memory bus) over a run.

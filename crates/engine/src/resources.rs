@@ -638,6 +638,42 @@ mod tests {
         }
     }
 
+    /// Regression: removing a flow mid-transfer must free its bandwidth
+    /// share immediately — no residual reservation — and the occupancy
+    /// accounting must replay bit-identically.
+    #[test]
+    fn cancelled_flow_frees_its_share_mid_transfer() {
+        let run = |cancel: bool| {
+            let mut s: FluidSystem<u32> = FluidSystem::new();
+            s.enable_utilization();
+            let r = s.add_resource(10.0);
+            let a = s.add_flow(vec![r], 100.0, 100.0, 0);
+            let b = s.add_flow(vec![r], 100.0, 100.0, 1);
+            s.recompute(); // 5.0 each
+            if cancel {
+                s.advance_to(SimTime::new(4.0)); // 20 bytes drained each
+                s.remove_flow(b);
+                s.recompute();
+            }
+            let (t, fid) = s.next_completion().unwrap();
+            assert_eq!(fid, a);
+            s.advance_to(t);
+            (t.seconds(), s.utilization_of(r).unwrap())
+        };
+        let (t_cancel, (bytes_cancel, peak_cancel)) = run(true);
+        // Survivor sped up to the full resource: 20B at 5.0, 80B at 10.0.
+        approx(t_cancel, 4.0 + 8.0);
+        approx(bytes_cancel, 40.0 + 80.0);
+        approx(peak_cancel, 1.0);
+        let (t_both, (bytes_both, _)) = run(false);
+        approx(t_both, 20.0);
+        approx(bytes_both, 200.0);
+        // Bit-deterministic across repeats, with and without the cancel.
+        let again = run(true);
+        assert_eq!(t_cancel.to_bits(), again.0.to_bits());
+        assert_eq!(bytes_cancel.to_bits(), again.1 .0.to_bits());
+    }
+
     use proptest::prelude::*;
 
     proptest! {

@@ -23,7 +23,7 @@ use crate::resources::{FlowId, FluidSystem, ResourceId};
 use crate::time::SimTime;
 use crate::trace::{MsgTrace, Phase, Release, Span, SpanKind, Trace};
 use dpml_fabric::Fabric;
-use dpml_faults::{FaultClock, FaultPlan};
+use dpml_faults::{FaultClock, FaultPlan, WireFault};
 use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec, TopologyError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -105,6 +105,23 @@ pub enum SimError {
         /// Aborted and orphaned operations (see [`PendingOp`]).
         pending_ops: Vec<PendingOp>,
     },
+    /// A transfer exhausted its retransmit budget under injected data
+    /// faults (see [`dpml_faults::DataFaults::max_retransmits`]): every
+    /// delivery attempt was dropped or failed its CRC check. The engine
+    /// fails the run rather than deliver corrupt data or hang. For a
+    /// shared-memory deposit that kept failing its publish checksum,
+    /// `src == dst` (the depositing rank).
+    RetryBudgetExhausted {
+        /// Sending rank.
+        src: u32,
+        /// Receiving rank.
+        dst: u32,
+        /// Delivery attempts made (initial transmission + retransmits).
+        attempts: u32,
+        /// Virtual time (seconds) when the budget ran out — when a
+        /// recovery layer above the engine learns of the failure.
+        at: f64,
+    },
 }
 
 /// One entry in the crash ledger: an operation aborted by a fail-stop
@@ -154,6 +171,17 @@ impl std::fmt::Display for SimError {
                     pending_ops.len()
                 )
             }
+            SimError::RetryBudgetExhausted {
+                src,
+                dst,
+                attempts,
+                at,
+            } => write!(
+                f,
+                "transfer {src} -> {dst} still corrupt or lost after {attempts} attempts \
+                 (given up at {:.1}us)",
+                at * 1e6
+            ),
         }
     }
 }
@@ -217,6 +245,21 @@ struct PendingLocal {
     range: ByteRange,
 }
 
+/// A local copy/reduce whose fluid flow is draining; applied to the
+/// destination buffer when the flow completes. Flow sizing is kept so a
+/// deposit that fails its publish checksum (injected shm bit flip) can be
+/// redone from the intact private source.
+#[derive(Debug)]
+struct PendingApply {
+    dst: BufKey,
+    range: ByteRange,
+    payload: CoverageMap,
+    kind: ApplyKind,
+    bytes: f64,
+    cap: f64,
+    attempts: u32,
+}
+
 #[derive(Debug)]
 enum LocalKind {
     Copy { src: BufKey, cross_socket: bool },
@@ -231,7 +274,7 @@ struct RankState {
     reqs: Vec<ReqState>,
     waiting: Vec<ReqId>,
     pending_local: Option<PendingLocal>,
-    pending_apply: Option<(BufKey, ByteRange, CoverageMap, ApplyKind)>,
+    pending_apply: Option<PendingApply>,
     finish: Option<SimTime>,
     /// The event that most recently unblocked this rank (traced runs
     /// only); consumed by `end_span` for Wait/Barrier/Sharp spans.
@@ -253,6 +296,12 @@ struct Msg {
     /// When the message cleared the NIC message-rate server and its fluid
     /// flow started (equals `injected_at` for intra-node transfers).
     wire_start: Option<SimTime>,
+    /// Retransmissions so far (injected data faults); 0 on a clean wire.
+    attempts: u32,
+    /// First injection time — `injected_at` is reset on every retransmit,
+    /// so the critical-path walk needs the original handoff to attribute
+    /// the full retry window.
+    first_posted: Option<SimTime>,
     /// Phase of the originating `ISend` instruction.
     phase: Phase,
     /// Index of this message's `MsgTrace` record, once arrived (traced
@@ -402,6 +451,9 @@ struct SimState<'a> {
     fault_attempt: u32,
     /// Per-rank jitter draw counters (deterministic noise stream).
     noise_draws: Vec<u64>,
+    /// Per-rank data-fault draw counters (wire outcomes and shm flips;
+    /// decorrelated from the noise stream by `DATA_DRAW_SALT`).
+    data_draws: Vec<u64>,
     /// Current per-node NIC bandwidth factor from active link faults.
     node_bw_factor: Vec<f64>,
     /// Current per-node message-rate factor (clamped positive).
@@ -523,6 +575,7 @@ impl<'a> SimState<'a> {
             faults,
             fault_attempt,
             noise_draws: vec![0; p as usize],
+            data_draws: vec![0; p as usize],
             node_bw_factor: vec![1.0; h],
             node_msg_factor: vec![1.0; h],
             last_recompute: SimTime::ZERO,
@@ -997,6 +1050,8 @@ impl<'a> SimState<'a> {
             hops,
             injected_at: None,
             wire_start: None,
+            attempts: 0,
+            first_posted: None,
             phase,
             trace_idx: None,
         });
@@ -1030,6 +1085,9 @@ impl<'a> SimState<'a> {
             return;
         }
         self.msgs[m].injected_at = Some(self.now);
+        if self.msgs[m].first_posted.is_none() {
+            self.msgs[m].first_posted = Some(self.now);
+        }
         if self.msgs[m].intra {
             // No NIC message-rate server on the shared-memory path: the
             // copy-out flow starts immediately.
@@ -1166,6 +1224,46 @@ impl<'a> SimState<'a> {
             self.record_aborted_msg(m);
             return Ok(());
         }
+        // Injected data faults: decide this delivery attempt's wire
+        // outcome. A drop is silent — the sender's ack timeout (RTO,
+        // doubling per attempt) detects it; a corruption fails the
+        // receiver's CRC check, which NACKs after a shorter backoff. Both
+        // schedule a retransmission until the retry budget runs out.
+        // Intra-node transfers move through shared memory and are covered
+        // by the shm flip model instead.
+        if let Some(plan) = self.faults {
+            if !self.msgs[m].intra && !plan.data.is_zero() {
+                let src = self.msgs[m].src.0;
+                let c = self.data_draws[src as usize];
+                self.data_draws[src as usize] += 1;
+                match plan
+                    .data
+                    .wire_outcome(plan.seed, src, c, self.now.seconds())
+                {
+                    WireFault::Delivered => {}
+                    outcome => {
+                        let attempt = self.msgs[m].attempts;
+                        let detected = outcome == WireFault::Corrupted;
+                        if detected {
+                            self.stats.corruptions_detected += 1;
+                        }
+                        if attempt >= plan.data.max_retransmits {
+                            return Err(SimError::RetryBudgetExhausted {
+                                src,
+                                dst: self.msgs[m].dst.0,
+                                attempts: attempt + 1,
+                                at: self.now.seconds(),
+                            });
+                        }
+                        self.msgs[m].attempts = attempt + 1;
+                        self.stats.retransmits += 1;
+                        let delay = plan.data.retransmit_delay(attempt, detected);
+                        self.push(self.now.after(delay), Ev::Inject(m));
+                        return Ok(());
+                    }
+                }
+            }
+        }
         if let Some(trace) = self.trace.as_mut() {
             let msg = &self.msgs[m];
             let injected = msg.injected_at.unwrap_or(SimTime::ZERO);
@@ -1185,6 +1283,8 @@ impl<'a> SimState<'a> {
                 posted: injected.seconds(),
                 wire_start: msg.wire_start.unwrap_or(injected).seconds(),
                 net_latency,
+                attempts: msg.attempts,
+                first_posted: msg.first_posted.unwrap_or(injected).seconds(),
             });
             let idx = trace.messages.len() - 1;
             self.msgs[m].trace_idx = Some(idx);
@@ -1245,7 +1345,15 @@ impl<'a> SimState<'a> {
                 )
             }
         };
-        self.ranks[r as usize].pending_apply = Some((pending.dst, pending.range, payload, kind));
+        self.ranks[r as usize].pending_apply = Some(PendingApply {
+            dst: pending.dst,
+            range: pending.range,
+            payload,
+            kind,
+            bytes,
+            cap,
+            attempts: 0,
+        });
         let fid = self
             .fluid
             .add_flow(vec![self.res_mem[node]], cap, bytes, FlowToken::Local(r));
@@ -1273,11 +1381,47 @@ impl<'a> SimState<'a> {
                 }
                 FlowToken::Local(r) => {
                     self.flow_of_rank.remove(&r);
-                    let (dst, range, payload, kind) = self.ranks[r as usize]
+                    let apply = self.ranks[r as usize]
                         .pending_apply
                         .take()
                         .expect("pending apply");
-                    self.buf_apply(r, dst, range, &payload, &kind);
+                    // Checksum-on-publish: a deposit into node shared
+                    // memory may be hit by an injected bit flip. The
+                    // publish checksum catches it and the copy/reduce is
+                    // redone from the intact private sources — or the run
+                    // fails structurally once the budget is spent.
+                    if let Some(plan) = self.faults {
+                        if matches!(apply.dst, BufKey::Shared(_)) && !plan.data.is_zero() {
+                            let c = self.data_draws[r as usize];
+                            self.data_draws[r as usize] += 1;
+                            if plan.data.flips_shm(plan.seed, r, c, self.now.seconds()) {
+                                self.stats.shm_crc_fails += 1;
+                                let attempt = apply.attempts;
+                                if attempt >= plan.data.max_retransmits {
+                                    return Err(SimError::RetryBudgetExhausted {
+                                        src: r,
+                                        dst: r,
+                                        attempts: attempt + 1,
+                                        at: self.now.seconds(),
+                                    });
+                                }
+                                let node = self.cfg.map.node_of(Rank(r)).index();
+                                let redo = self.fluid.add_flow(
+                                    vec![self.res_mem[node]],
+                                    apply.cap,
+                                    apply.bytes,
+                                    FlowToken::Local(r),
+                                );
+                                self.flow_of_rank.insert(r, redo);
+                                self.ranks[r as usize].pending_apply = Some(PendingApply {
+                                    attempts: attempt + 1,
+                                    ..apply
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    self.buf_apply(r, apply.dst, apply.range, &apply.payload, &apply.kind);
                     self.push(self.now, Ev::Resume(r));
                 }
             }
@@ -1498,16 +1642,19 @@ impl<'a> SimState<'a> {
                 what: format!("aborted local {kind} of {}B", p.range.len()),
             });
         }
-        if let Some((_, range, _, _)) = self.ranks[idx].pending_apply.take() {
+        if let Some(p) = self.ranks[idx].pending_apply.take() {
             self.aborted_ops.push(PendingOp {
                 rank: r,
                 pc,
-                what: format!("aborted local apply of {}B", range.len()),
+                what: format!("aborted local apply of {}B", p.range.len()),
             });
         }
         // Tear down wire/shared-memory flows the dead rank is sending or
-        // receiving. A surviving peer whose rendezvous send targeted the
-        // dead rank stays blocked and is reported when the queue drains.
+        // receiving — removing the flow frees its bandwidth share for the
+        // survivors immediately. A surviving sender whose rendezvous
+        // payload was mid-wire to the dead receiver has its send request
+        // completed here, matching the arrival-path treatment (the bytes
+        // left its buffer; only the delivery is lost).
         let in_flight: Vec<usize> = self
             .flow_of_msg
             .keys()
@@ -1517,6 +1664,16 @@ impl<'a> SimState<'a> {
         for m in in_flight {
             if let Some(fid) = self.flow_of_msg.remove(&m) {
                 self.fluid.remove_flow(fid);
+            }
+            if self.msgs[m].dst.0 == r {
+                let (sr, sreq) = self.msgs[m].send_req;
+                if !self.msgs[m].eager
+                    && !matches!(self.ranks[sr as usize].status, Status::Dead)
+                    && self.ranks[sr as usize].reqs[sreq as usize] == ReqState::SendPending
+                {
+                    self.ranks[sr as usize].reqs[sreq as usize] = ReqState::Done;
+                    self.maybe_unblock_wait(sr, None);
+                }
             }
             self.record_aborted_msg(m);
         }
@@ -1532,8 +1689,10 @@ impl<'a> SimState<'a> {
                 self.record_aborted_msg(m);
             }
         }
-        // Posted receives of the dead rank must never match an arrival.
+        // Posted receives of the dead rank must never match an arrival,
+        // and arrivals parked for it will never be claimed.
         self.recv_waiting.retain(|key, _| key.0 != r);
+        self.arrived.retain(|key, _| key.0 != r);
         self.ranks[idx].status = Status::Dead;
     }
 
@@ -1570,6 +1729,11 @@ impl<'a> SimState<'a> {
             .max()
             .unwrap_or(SimTime::ZERO)
             .seconds();
+        // Residual silent-corruption risk: each detected corruption is one
+        // the CRC32C check caught; the check misses a corrupt payload with
+        // probability 2^-32, so the expected number of undetected escapes
+        // scales with the detections actually observed.
+        self.stats.undetected_risk = self.stats.corruptions_detected as f64 * 2f64.powi(-32);
         RunReport {
             result_coverage: self
                 .ranks
@@ -2115,9 +2279,171 @@ mod tests {
         assert_eq!(err, SimError::LinkDown { node: 1 });
     }
 
+    // ---- data faults: corruption, drops, shm flips -----------------------
+
+    use dpml_faults::DataFaults;
+
+    #[test]
+    fn data_faults_retransmit_and_still_verify() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 18);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            data: DataFaults {
+                // Deep budget: at 80% per-attempt fault probability the
+                // seeded draws must still deliver within 64 retries.
+                max_retransmits: 64,
+                ..DataFaults::wire(0.4, 0.4)
+            },
+            ..FaultPlan::zero()
+        };
+        let a = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        a.verify_allreduce().unwrap();
+        assert!(a.stats.retransmits > 0, "seeded faults must fire");
+        assert!(a.stats.corruptions_detected > 0 || a.stats.retransmits > 0);
+        assert!(
+            a.makespan() > clean.makespan(),
+            "retries must cost time: {} vs {}",
+            a.latency_us(),
+            clean.latency_us()
+        );
+        assert!(a.stats.undetected_risk >= 0.0 && a.stats.undetected_risk < 1e-6);
+        // Same seed, same protocol schedule — bit-identical replay.
+        let b = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_structured_error() {
+        let cfg = config(2, 1);
+        let w = exchange_world(1 << 18);
+        let plan = FaultPlan {
+            data: DataFaults {
+                corruption_rate: 1.0,
+                max_retransmits: 3,
+                ..DataFaults::default()
+            },
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
+        let SimError::RetryBudgetExhausted { attempts, at, .. } = err else {
+            panic!("expected RetryBudgetExhausted, got {err:?}");
+        };
+        assert_eq!(attempts, 4, "initial attempt + 3 retransmits");
+        assert!(at > 0.0, "give-up time must be after the first delivery");
+    }
+
+    #[test]
+    fn shm_flip_redo_keeps_deposits_intact() {
+        let cfg = config(1, 2);
+        let n = 1u64 << 16;
+        let shm = BufKey::Shared(7);
+        let mut w = WorldProgram::new(2, n);
+        w.register_barrier(0, vec![Rank(0), Rank(1)]);
+        w.rank(Rank(0))
+            .copy(BUF_INPUT, shm, ByteRange::whole(n), false);
+        w.rank(Rank(0)).barrier(0);
+        w.rank(Rank(1)).barrier(0);
+        w.rank(Rank(1))
+            .copy(shm, BUF_RESULT, ByteRange::whole(n), false);
+        let clean = Simulator::new(&cfg).run(&w).unwrap();
+        let plan = FaultPlan {
+            data: DataFaults {
+                shm_flip_rate: 0.7,
+                ..DataFaults::default()
+            },
+            ..FaultPlan::zero()
+        };
+        let rep = Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap();
+        assert!(rep.stats.shm_crc_fails > 0, "seeded flip must fire");
+        // The reader still sees rank 0's intact deposit despite the flips.
+        assert_eq!(rep.result_coverage[1], clean.result_coverage[1]);
+        assert!(rep.makespan() > clean.makespan());
+        // A permanently poisoned publish exhausts the budget structurally.
+        let hard = FaultPlan {
+            data: DataFaults {
+                shm_flip_rate: 1.0,
+                max_retransmits: 2,
+                ..DataFaults::default()
+            },
+            ..FaultPlan::zero()
+        };
+        let err = Simulator::new(&cfg).with_faults(&hard).run(&w).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::RetryBudgetExhausted {
+                    attempts: 3,
+                    src,
+                    dst,
+                    ..
+                } if src == dst
+            ),
+            "{err:?}"
+        );
+    }
+
     // ---- fail-stop crashes ----------------------------------------------
 
     use dpml_faults::ProcessFaults;
+
+    /// Regression: tearing down an in-flight flow to a crashed receiver
+    /// must free its bandwidth share AND complete the surviving sender's
+    /// rendezvous send request (the arrival path already did; the
+    /// teardown path used to leave the sender blocked forever).
+    #[test]
+    fn crash_teardown_completes_surviving_senders_rendezvous() {
+        let cfg = config(2, 2);
+        let n = 1u64 << 20; // rendezvous-sized: ~350us on the wire
+        let mut w = WorldProgram::new(4, n);
+        // Block mapping: ranks 0,1 on node 0; ranks 2,3 on node 1. Pair
+        // A (0 -> 2) completes normally; pair B (1 -> 3) loses its
+        // receiver mid-transfer.
+        let s0 = w
+            .rank(Rank(0))
+            .isend(Rank(2), 0, BUF_INPUT, ByteRange::whole(n));
+        w.rank(Rank(0)).wait_all(vec![s0]);
+        let r0 = w.rank(Rank(2)).irecv(Rank(0), 0, BufKey::Priv(2));
+        w.rank(Rank(2)).wait_all(vec![r0]);
+        let s1 = w
+            .rank(Rank(1))
+            .isend(Rank(3), 1, BUF_INPUT, ByteRange::whole(n));
+        w.rank(Rank(1)).wait_all(vec![s1]);
+        let r1 = w.rank(Rank(3)).irecv(Rank(1), 1, BufKey::Priv(2));
+        w.rank(Rank(3)).wait_all(vec![r1]);
+        let plan = FaultPlan {
+            process: ProcessFaults::single(3, 100e-6),
+            ..FaultPlan::zero()
+        };
+        let run = || Simulator::new(&cfg).with_faults(&plan).run(&w).unwrap_err();
+        let err = run();
+        let SimError::RankDead {
+            rank: 3,
+            ref pending_ops,
+            ..
+        } = err
+        else {
+            panic!("expected rank 3 dead, got {err:?}");
+        };
+        // The ledger records the aborted transfer, but rank 1 itself
+        // finished — it must not appear as a blocked survivor.
+        assert!(
+            pending_ops
+                .iter()
+                .any(|op| op.rank == 1 && op.what.contains("aborted")),
+            "ledger must record the torn-down transfer: {pending_ops:?}"
+        );
+        assert!(
+            !pending_ops
+                .iter()
+                .any(|op| op.rank == 1 && op.what.contains("survivor")),
+            "surviving sender must not stay blocked: {pending_ops:?}"
+        );
+        // Teardown — including the freed bandwidth share — replays
+        // bit-identically.
+        assert_eq!(err, run());
+    }
 
     #[test]
     fn crash_mid_run_reports_rank_dead_with_ledger() {

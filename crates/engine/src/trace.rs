@@ -178,6 +178,15 @@ pub struct MsgTrace {
     /// Wire/propagation latency paid after the flow drained, seconds.
     #[serde(default)]
     pub net_latency: f64,
+    /// Retransmissions this message needed before delivering intact
+    /// (injected data faults; 0 on a clean wire).
+    #[serde(default)]
+    pub attempts: u32,
+    /// First injection time, seconds. `posted` reflects the final
+    /// (successful) attempt; the gap `first_posted → posted` is the retry
+    /// window the critical-path walk attributes to `retransmit`.
+    #[serde(default)]
+    pub first_posted: f64,
 }
 
 /// A complete execution timeline.
@@ -289,6 +298,8 @@ mod tests {
                 posted: 1e-6,
                 wire_start: 1.2e-6,
                 net_latency: 1e-7,
+                attempts: 0,
+                first_posted: 1e-6,
             }],
         }
     }

@@ -206,8 +206,16 @@ impl ProcessFaults {
     /// Derive `count` seeded crashes among ranks `0..p`: victims and crash
     /// times are hashed from `seed` so a scenario replays exactly. Crash
     /// times fall in `[window.0, window.1)`.
-    pub fn seeded(seed: u64, p: u32, count: u32, window: (f64, f64)) -> Self {
-        assert!(p > 0 && window.1 >= window.0 && window.0 >= 0.0);
+    ///
+    /// An inverted or NaN window would silently produce crash times
+    /// outside the caller's intent (or NaN times that poison the event
+    /// queue), so it is rejected up front as a [`PlanError`] — the same
+    /// check [`FaultPlan::validate`] applies to stored windows.
+    pub fn seeded(seed: u64, p: u32, count: u32, window: (f64, f64)) -> Result<Self, PlanError> {
+        if p == 0 {
+            return Err(PlanError::new("seeded crashes need a world size > 0"));
+        }
+        validate_window("process crash window", window.0, window.1)?;
         let mut crashes = Vec::new();
         for i in 0..count.min(p) {
             let victim = (u01(seed, i, 0x0dead) * p as f64) as u32 % p;
@@ -220,10 +228,168 @@ impl ProcessFaults {
             let t = window.0 + u01(seed, i, 0xbeef) * (window.1 - window.0);
             crashes.push(ProcessFault { rank, crash_at: t });
         }
-        ProcessFaults {
+        Ok(ProcessFaults {
             crashes,
             ..Default::default()
+        })
+    }
+}
+
+/// Reject inverted, NaN, infinite, or negative `[start, end)` windows.
+fn validate_window(what: &str, start: f64, end: f64) -> Result<(), PlanError> {
+    if !start.is_finite() || !end.is_finite() {
+        return Err(PlanError::new(format!(
+            "{what} must be finite, got [{start}, {end})"
+        )));
+    }
+    if start < 0.0 {
+        return Err(PlanError::new(format!(
+            "{what} must start at >= 0, got [{start}, {end})"
+        )));
+    }
+    if end < start {
+        return Err(PlanError::new(format!(
+            "{what} is inverted: [{start}, {end})"
+        )));
+    }
+    Ok(())
+}
+
+/// Salt separating wire-corruption draws from the noise-model draw stream
+/// (both are keyed by `(seed, rank, counter)`; without a salt, data draw
+/// `k` would equal noise draw `k` bit-for-bit).
+pub const DATA_DRAW_SALT: u64 = 0x5eed_da7a_c0de_c0de;
+
+/// What the fabric did to one wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Arrived intact.
+    Delivered,
+    /// Arrived with a payload the receiver's CRC32C check rejects.
+    Corrupted,
+    /// Silently dropped; only the sender's retransmission timeout notices.
+    Dropped,
+}
+
+/// Silent-data-corruption faults: wire corruption/drops plus
+/// shared-memory bit flips.
+///
+/// Unlike every other fault class, these do not merely cost time — an
+/// unhandled data fault produces a *wrong answer*. The engine pairs this
+/// model with a CRC32C-checked transport (detect at the receiver, NACK or
+/// time out, retransmit with capped exponential backoff) and the
+/// shared-memory runtime with checksum-on-publish, so a plan with data
+/// faults either completes bit-identical to a fault-free run or surfaces
+/// a structured error once [`DataFaults::max_retransmits`] is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataFaults {
+    /// Per-message probability an inter-node payload arrives corrupted
+    /// (always detected by the receiver's CRC check).
+    pub corruption_rate: f64,
+    /// Per-message probability the fabric drops the message outright
+    /// (detected only by the sender's retransmission timeout).
+    pub drop_rate: f64,
+    /// Per-publish probability a shared-memory deposit is bit-flipped
+    /// before its readers consume it.
+    pub shm_flip_rate: f64,
+    /// Optional burst window `[start, end)` in virtual seconds: the rates
+    /// apply only inside it. `None` = faults active for the whole run.
+    pub burst: Option<(f64, f64)>,
+    /// Per-message retry budget before the engine gives up with
+    /// `RetryBudgetExhausted` (never a wrong delivery).
+    pub max_retransmits: u32,
+    /// Sender retransmission timeout for silent drops, seconds. Doubles
+    /// per attempt, capped at 16x.
+    pub ack_timeout: f64,
+    /// Base backoff after a receiver-detected corruption NACK, seconds.
+    /// Doubles per attempt, capped at 16x.
+    pub backoff: f64,
+}
+
+/// Default drop RTO: 20us of virtual time (a few wire round trips).
+pub const DEFAULT_ACK_TIMEOUT: f64 = 20e-6;
+/// Default post-NACK backoff: 2us of virtual time.
+pub const DEFAULT_NACK_BACKOFF: f64 = 2e-6;
+/// Default per-message retry budget.
+pub const DEFAULT_RETRY_BUDGET: u32 = 8;
+/// Exponential-backoff cap: delays stop doubling after 4 attempts.
+const BACKOFF_CAP_DOUBLINGS: u32 = 4;
+
+impl Default for DataFaults {
+    fn default() -> Self {
+        DataFaults {
+            corruption_rate: 0.0,
+            drop_rate: 0.0,
+            shm_flip_rate: 0.0,
+            burst: None,
+            max_retransmits: DEFAULT_RETRY_BUDGET,
+            ack_timeout: DEFAULT_ACK_TIMEOUT,
+            backoff: DEFAULT_NACK_BACKOFF,
         }
+    }
+}
+
+impl DataFaults {
+    /// True when no data fault can ever fire (the protocol knobs are then
+    /// irrelevant: the engine must not draw a single hash).
+    pub fn is_zero(&self) -> bool {
+        self.corruption_rate == 0.0 && self.drop_rate == 0.0 && self.shm_flip_rate == 0.0
+    }
+
+    /// Wire faults at the given rates, default protocol knobs.
+    pub fn wire(corruption_rate: f64, drop_rate: f64) -> Self {
+        DataFaults {
+            corruption_rate,
+            drop_rate,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the rates apply at virtual time `t`.
+    #[inline]
+    pub fn active(&self, t: f64) -> bool {
+        match self.burst {
+            None => true,
+            Some((s, e)) => t >= s && t < e,
+        }
+    }
+
+    /// Classify rank `rank`'s `counter`-th wire message arriving at `t`.
+    /// One uniform draw decides: `[0, drop)` → dropped, `[drop, drop +
+    /// corruption)` → corrupted, rest delivered.
+    #[inline]
+    pub fn wire_outcome(&self, seed: u64, rank: u32, counter: u64, t: f64) -> WireFault {
+        if !self.active(t) {
+            return WireFault::Delivered;
+        }
+        let u = u01(seed ^ DATA_DRAW_SALT, rank, counter);
+        if u < self.drop_rate {
+            WireFault::Dropped
+        } else if u < self.drop_rate + self.corruption_rate {
+            WireFault::Corrupted
+        } else {
+            WireFault::Delivered
+        }
+    }
+
+    /// Whether rank `rank`'s `counter`-th shared-memory publish at `t` is
+    /// bit-flipped.
+    #[inline]
+    pub fn flips_shm(&self, seed: u64, rank: u32, counter: u64, t: f64) -> bool {
+        self.active(t) && u01(seed ^ DATA_DRAW_SALT, rank, counter) < self.shm_flip_rate
+    }
+
+    /// Delay before retransmission attempt `attempt` (0-based): the NACK
+    /// backoff when the receiver detected the corruption, the full RTO
+    /// when the drop was silent; doubling per attempt, capped.
+    #[inline]
+    pub fn retransmit_delay(&self, attempt: u32, detected: bool) -> f64 {
+        let base = if detected {
+            self.backoff
+        } else {
+            self.ack_timeout
+        };
+        base * f64::from(1u32 << attempt.min(BACKOFF_CAP_DOUBLINGS))
     }
 }
 
@@ -240,6 +406,8 @@ pub struct FaultPlan {
     pub sharp: SharpFaults,
     /// Fail-stop process faults.
     pub process: ProcessFaults,
+    /// Silent-data-corruption faults (wire + shared memory).
+    pub data: DataFaults,
 }
 
 impl FaultPlan {
@@ -251,21 +419,26 @@ impl FaultPlan {
             links: Vec::new(),
             sharp: SharpFaults::default(),
             process: ProcessFaults::default(),
+            data: DataFaults::default(),
         }
     }
 
     /// The canonical intensity-parameterized scenario used by the
     /// `resilience` bench and the `dpml faults` CLI: OS noise at
     /// `intensity`, a fabric-wide brownout to `1 - intensity/2` of nominal
-    /// bandwidth and message rate, and a deep flap on node 0 between 10us
-    /// and 50us. At `intensity == 0` this is exactly [`FaultPlan::zero`]
-    /// (no link events at all), so baselines stay bit-identical.
+    /// bandwidth and message rate, a deep flap on node 0 between 10us
+    /// and 50us, and light wire data faults (corruption at
+    /// `0.02 * intensity`, drops at `0.01 * intensity`) that the engine's
+    /// checked transport absorbs via retransmission. At `intensity == 0`
+    /// this is exactly [`FaultPlan::zero`] (no link events, no data-fault
+    /// draws at all), so baselines stay bit-identical.
     pub fn canonical(seed: u64, intensity: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&intensity),
             "intensity must be in [0, 1]"
         );
         let mut links = Vec::new();
+        let mut data = DataFaults::default();
         if intensity > 0.0 {
             links.push(LinkFault {
                 node: None,
@@ -281,6 +454,7 @@ impl FaultPlan {
                 bw_factor: (1.0 - intensity).max(0.05),
                 msg_rate_factor: (1.0 - intensity).max(0.05),
             });
+            data = DataFaults::wire(0.02 * intensity, 0.01 * intensity);
         }
         FaultPlan {
             seed,
@@ -291,6 +465,7 @@ impl FaultPlan {
             links,
             sharp: SharpFaults::default(),
             process: ProcessFaults::default(),
+            data,
         }
     }
 
@@ -300,6 +475,7 @@ impl FaultPlan {
             && self.links.is_empty()
             && self.sharp.is_zero()
             && self.process.is_zero()
+            && self.data.is_zero()
     }
 
     /// Check every numeric field for values that would poison the engine
@@ -371,6 +547,37 @@ impl FaultPlan {
                 self.process.detection_timeout
             )));
         }
+        for (name, rate) in [
+            ("data.corruption_rate", self.data.corruption_rate),
+            ("data.drop_rate", self.data.drop_rate),
+            ("data.shm_flip_rate", self.data.shm_flip_rate),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(PlanError::new(format!(
+                    "{name} must be a probability in [0, 1], got {rate}"
+                )));
+            }
+        }
+        if self.data.corruption_rate + self.data.drop_rate > 1.0 {
+            return Err(PlanError::new(format!(
+                "data.corruption_rate + data.drop_rate must not exceed 1, \
+                 got {} + {}",
+                self.data.corruption_rate, self.data.drop_rate
+            )));
+        }
+        if let Some((s, e)) = self.data.burst {
+            validate_window("data.burst window", s, e)?;
+        }
+        for (name, delay) in [
+            ("data.ack_timeout", self.data.ack_timeout),
+            ("data.backoff", self.data.backoff),
+        ] {
+            if !delay.is_finite() || delay < 0.0 {
+                return Err(PlanError::new(format!(
+                    "{name} must be finite and >= 0, got {delay}"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -407,6 +614,9 @@ struct RawFaultPlan {
     /// Absent in plans serialized before fail-stop faults existed.
     #[serde(default)]
     process: ProcessFaults,
+    /// Absent in plans serialized before data faults existed.
+    #[serde(default)]
+    data: DataFaults,
 }
 
 impl Deserialize for FaultPlan {
@@ -418,6 +628,7 @@ impl Deserialize for FaultPlan {
             links: raw.links,
             sharp: raw.sharp,
             process: raw.process,
+            data: raw.data,
         };
         plan.validate()
             .map_err(|e| serde::Error::custom(e.to_string()))?;
@@ -578,6 +789,7 @@ mod tests {
             ],
             sharp: SharpFaults::default(),
             process: ProcessFaults::default(),
+            data: DataFaults::default(),
         };
         let clk = FaultClock::new(&plan);
         assert_eq!(clk.boundaries(), vec![0.0, 1.0, 2.0]);
@@ -635,6 +847,15 @@ mod tests {
                 lost_nodes: vec![2],
                 detection_timeout: 5e-5,
             },
+            data: DataFaults {
+                corruption_rate: 0.05,
+                drop_rate: 0.01,
+                shm_flip_rate: 0.002,
+                burst: Some((1e-5, 4e-5)),
+                max_retransmits: 3,
+                ack_timeout: 1e-5,
+                backoff: 1e-6,
+            },
         };
         let json = serde_json::to_string(&p).unwrap();
         let q: FaultPlan = serde_json::from_str(&json).unwrap();
@@ -644,10 +865,11 @@ mod tests {
     #[test]
     fn legacy_plans_without_process_field_still_load() {
         // Plans serialized before fail-stop faults existed lack "process";
-        // they must deserialize to a zero-crash plan.
+        // those before data faults existed also lack "data"; they must
+        // deserialize to a zero-crash, zero-corruption plan.
         let p = FaultPlan::canonical(3, 0.4);
         let mut json = serde_json::to_string(&p).unwrap();
-        // Strip the process field by re-serializing only the legacy keys.
+        // Strip the newer fields by re-serializing only the legacy keys.
         json = json.replace(
             &format!(
                 ",\"process\":{}",
@@ -655,9 +877,15 @@ mod tests {
             ),
             "",
         );
+        json = json.replace(
+            &format!(",\"data\":{}", serde_json::to_string(&p.data).unwrap()),
+            "",
+        );
         assert!(!json.contains("process"), "failed to strip: {json}");
+        assert!(!json.contains("\"data\""), "failed to strip: {json}");
         let q: FaultPlan = serde_json::from_str(&json).unwrap();
         assert!(q.process.is_zero());
+        assert!(q.data.is_zero());
         assert_eq!(q.links, p.links);
     }
 
@@ -743,6 +971,70 @@ mod tests {
                 },
                 "crash time",
             ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        corruption_rate: 1.5,
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "corruption_rate",
+            ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        drop_rate: f64::NAN,
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "drop_rate",
+            ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        corruption_rate: 0.7,
+                        drop_rate: 0.7,
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "must not exceed 1",
+            ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        corruption_rate: 0.1,
+                        burst: Some((5e-5, 1e-5)),
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "inverted",
+            ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        corruption_rate: 0.1,
+                        burst: Some((f64::NAN, 1e-5)),
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "finite",
+            ),
+            (
+                FaultPlan {
+                    data: DataFaults {
+                        drop_rate: 0.1,
+                        ack_timeout: f64::INFINITY,
+                        ..Default::default()
+                    },
+                    ..FaultPlan::zero()
+                },
+                "ack_timeout",
+            ),
         ];
         for (plan, needle) in cases {
             // The in-memory validator names the offending field...
@@ -780,8 +1072,8 @@ mod tests {
 
     #[test]
     fn seeded_crashes_are_deterministic_and_distinct() {
-        let a = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5));
-        let b = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5));
+        let a = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5)).unwrap();
+        let b = ProcessFaults::seeded(9, 16, 4, (1e-5, 9e-5)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.crashes.len(), 4);
         for (i, c) in a.crashes.iter().enumerate() {
@@ -792,7 +1084,7 @@ mod tests {
                 "victims must be distinct"
             );
         }
-        let c = ProcessFaults::seeded(10, 16, 4, (1e-5, 9e-5));
+        let c = ProcessFaults::seeded(10, 16, 4, (1e-5, 9e-5)).unwrap();
         assert_ne!(a, c, "different seed, different victims/times");
         FaultPlan {
             process: a,
@@ -800,6 +1092,99 @@ mod tests {
         }
         .validate()
         .expect("seeded crashes are always valid");
+    }
+
+    #[test]
+    fn seeded_rejects_inverted_and_nan_windows() {
+        // Inverted: would silently flip the caller's intended interval.
+        let err = ProcessFaults::seeded(1, 8, 2, (5e-5, 1e-5)).unwrap_err();
+        assert!(err.to_string().contains("inverted"), "got: {err}");
+        // NaN in either bound poisons every derived crash time.
+        for w in [(f64::NAN, 1e-5), (1e-5, f64::NAN)] {
+            let err = ProcessFaults::seeded(1, 8, 2, w).unwrap_err();
+            assert!(err.to_string().contains("finite"), "got: {err}");
+        }
+        // Negative start would schedule crashes before t=0.
+        let err = ProcessFaults::seeded(1, 8, 2, (-1e-5, 1e-5)).unwrap_err();
+        assert!(err.to_string().contains(">= 0"), "got: {err}");
+        // Empty world has no victims to pick.
+        assert!(ProcessFaults::seeded(1, 0, 2, (0.0, 1e-5)).is_err());
+        // A degenerate (equal-bounds) window is fine: all crashes at t.
+        let p = ProcessFaults::seeded(1, 8, 2, (1e-5, 1e-5)).unwrap();
+        assert!(p.crashes.iter().all(|c| c.crash_at == 1e-5));
+    }
+
+    #[test]
+    fn data_faults_zero_draws_nothing_and_defaults_are_zero() {
+        let d = DataFaults::default();
+        assert!(d.is_zero());
+        assert!(FaultPlan::zero().data.is_zero());
+        assert!(FaultPlan::canonical(5, 0.0).data.is_zero());
+        assert!(!FaultPlan::canonical(5, 0.5).data.is_zero());
+        // Zero rates classify every message as delivered even mid-burst.
+        let z = DataFaults {
+            burst: Some((0.0, 1.0)),
+            ..DataFaults::default()
+        };
+        for c in 0..64 {
+            assert_eq!(z.wire_outcome(7, 3, c, 0.5), WireFault::Delivered);
+            assert!(!z.flips_shm(7, 3, c, 0.5));
+        }
+    }
+
+    #[test]
+    fn wire_outcomes_are_deterministic_and_rate_shaped() {
+        let d = DataFaults {
+            corruption_rate: 0.2,
+            drop_rate: 0.1,
+            ..Default::default()
+        };
+        let (mut drops, mut corrupts) = (0u32, 0u32);
+        let n = 4096;
+        for c in 0..n {
+            let a = d.wire_outcome(42, 1, c, 0.0);
+            assert_eq!(a, d.wire_outcome(42, 1, c, 0.0), "replay must match");
+            match a {
+                WireFault::Dropped => drops += 1,
+                WireFault::Corrupted => corrupts += 1,
+                WireFault::Delivered => {}
+            }
+        }
+        let (dr, cr) = (drops as f64 / n as f64, corrupts as f64 / n as f64);
+        assert!((dr - 0.1).abs() < 0.02, "drop rate {dr}");
+        assert!((cr - 0.2).abs() < 0.03, "corruption rate {cr}");
+        // The data stream is salted away from the noise stream.
+        let noise = u01(42, 1, 0);
+        let data = u01(42 ^ DATA_DRAW_SALT, 1, 0);
+        assert_ne!(noise.to_bits(), data.to_bits());
+    }
+
+    #[test]
+    fn burst_window_gates_the_rates() {
+        let d = DataFaults {
+            corruption_rate: 1.0,
+            burst: Some((1e-5, 2e-5)),
+            ..Default::default()
+        };
+        assert_eq!(d.wire_outcome(0, 0, 0, 0.0), WireFault::Delivered);
+        assert_eq!(d.wire_outcome(0, 0, 0, 1.5e-5), WireFault::Corrupted);
+        assert_eq!(d.wire_outcome(0, 0, 0, 2e-5), WireFault::Delivered);
+    }
+
+    #[test]
+    fn retransmit_delay_doubles_and_caps() {
+        let d = DataFaults {
+            ack_timeout: 8e-6,
+            backoff: 1e-6,
+            ..Default::default()
+        };
+        // Detected corruption: NACK backoff; silent drop: full RTO.
+        assert_eq!(d.retransmit_delay(0, true), 1e-6);
+        assert_eq!(d.retransmit_delay(0, false), 8e-6);
+        assert_eq!(d.retransmit_delay(2, true), 4e-6);
+        // Caps at 16x after 4 doublings.
+        assert_eq!(d.retransmit_delay(4, true), 16e-6);
+        assert_eq!(d.retransmit_delay(11, true), 16e-6);
     }
 
     #[test]

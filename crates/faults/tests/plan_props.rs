@@ -4,7 +4,9 @@
 //! exactly one capacity-refresh event per boundary, so any factor change
 //! strictly inside an interval would be silently missed).
 
-use dpml_faults::{FaultClock, FaultPlan, LinkFault, NoiseModel, ProcessFaults, SharpFaults};
+use dpml_faults::{
+    DataFaults, FaultClock, FaultPlan, LinkFault, NoiseModel, ProcessFaults, SharpFaults,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -41,6 +43,7 @@ fn plan_from_draws(starts: &[f64], durs: &[f64], nodes: &[usize], factors: &[f64
         links,
         sharp: SharpFaults::default(),
         process: ProcessFaults::default(),
+        data: DataFaults::default(),
     }
 }
 

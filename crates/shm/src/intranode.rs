@@ -7,9 +7,11 @@
 //! single-leader design the paper improves upon.
 
 use crate::barrier::{BarrierToken, SpinBarrier};
+use crate::integrity::{crc32c, crc_fail_counter, retransmit_counter, PoisonPlan};
 use crate::kernels::{fold_slots_op, reduce_into, ReduceOp, SumOp};
 use crate::metrics::Counter;
 use crate::region::SharedSlots;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Cached handle to the global `shm.copy_bytes` counter.
@@ -100,6 +102,23 @@ impl NodeRuntime {
         inputs: &[Vec<f64>],
         algo: IntraAlgo,
     ) -> Vec<Vec<f64>> {
+        self.allreduce_op_checked(op, inputs, algo, None)
+    }
+
+    /// [`NodeRuntime::allreduce_op`] with optional buffer poisoning:
+    /// when `poison` strikes a partition, its leader flips one bit of
+    /// the published result *after* checksumming it. Every phase-4
+    /// reader verifies the publish checksum (`shm.crc_fail` on a miss)
+    /// and re-reduces a poisoned partition from the intact phase-1
+    /// gather deposits (`shm.retransmit`), so the returned vectors are
+    /// correct regardless of the poison rate.
+    pub fn allreduce_op_checked<O: ReduceOp<f64>>(
+        &self,
+        op: O,
+        inputs: &[Vec<f64>],
+        algo: IntraAlgo,
+        poison: Option<PoisonPlan>,
+    ) -> Vec<Vec<f64>> {
         assert_eq!(inputs.len(), self.ppn, "one input per rank");
         let n = inputs[0].len();
         assert!(
@@ -118,6 +137,9 @@ impl NodeRuntime {
         let gather = SharedSlots::new(l * self.ppn, max_len);
         let publish = SharedSlots::new(l, max_len);
         let barrier = SpinBarrier::new(self.ppn);
+        // Publish guard words: leader j checksums its partition before
+        // the phase-4 barrier, readers verify after it.
+        let guards: Vec<AtomicU32> = (0..l).map(|_| AtomicU32::new(0)).collect();
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.ppn)
@@ -126,6 +148,7 @@ impl NodeRuntime {
                     let publish = &publish;
                     let barrier = &barrier;
                     let parts = &parts;
+                    let guards = &guards;
                     let input = &inputs[t];
                     scope.spawn(move || {
                         let mut tok = BarrierToken::new();
@@ -153,7 +176,14 @@ impl NodeRuntime {
                                 let slots: Vec<&[f64]> = (0..self.ppn)
                                     .map(|i| &gather.slot(j * self.ppn + i)[..plen])
                                     .collect();
-                                fold_slots_op(op, &mut publish.slot_mut(j)[..plen], &slots);
+                                let dst = &mut publish.slot_mut(j)[..plen];
+                                fold_slots_op(op, dst, &slots);
+                                guards[j].store(crc32c(dst), Ordering::Release);
+                                if let Some(plan) = poison {
+                                    if plan.strikes(j as u64) {
+                                        plan.flip_bit(dst, j as u64);
+                                    }
+                                }
                             }
                             folded_elems += plen * (self.ppn - 1);
                         }
@@ -161,12 +191,31 @@ impl NodeRuntime {
                             reduce_ops_counter().add(folded_elems as u64);
                         }
                         tok.wait(barrier);
-                        // Phase 4: copy all partitions out.
+                        // Phase 4: copy all partitions out, verifying each
+                        // against its publish guard word; a poisoned
+                        // partition is re-reduced from the (intact)
+                        // phase-1 gather deposits instead.
                         let mut out = vec![0.0; n];
                         for (j, &(s, e)) in parts.iter().enumerate() {
-                            // SAFETY: publish writers are barrier-separated.
-                            let slot = unsafe { publish.slot(j) };
-                            out[s..e].copy_from_slice(&slot[..e - s]);
+                            let plen = e - s;
+                            if plen == 0 {
+                                continue;
+                            }
+                            // SAFETY: publish and gather writers are
+                            // barrier-separated; reads only from here on.
+                            unsafe {
+                                let slot = &publish.slot(j)[..plen];
+                                if crc32c(slot) == guards[j].load(Ordering::Acquire) {
+                                    out[s..e].copy_from_slice(slot);
+                                } else {
+                                    crc_fail_counter().inc();
+                                    let slots: Vec<&[f64]> = (0..self.ppn)
+                                        .map(|i| &gather.slot(j * self.ppn + i)[..plen])
+                                        .collect();
+                                    fold_slots_op(op, &mut out[s..e], &slots);
+                                    retransmit_counter().inc();
+                                }
+                            }
                         }
                         copy_bytes_counter().add((n * size_of::<f64>()) as u64);
                         out
@@ -296,6 +345,42 @@ mod tests {
         // Barrier arrivals were timed.
         let waits = after.histogram("barrier.wait_ns").expect("histogram");
         assert!(waits.count > 0);
+    }
+
+    #[test]
+    fn checked_without_poison_matches_plain() {
+        let rt = NodeRuntime::new(4);
+        let ins = inputs(4, 777);
+        let plain = rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: 2 });
+        let checked =
+            rt.allreduce_op_checked(SumOp, &ins, IntraAlgo::MultiLeader { leaders: 2 }, None);
+        assert_eq!(plain, checked, "guards must not perturb the arithmetic");
+    }
+
+    #[test]
+    fn poisoned_publish_detected_and_redone() {
+        let reg = crate::metrics::global();
+        let before = reg.snapshot();
+        let rt = NodeRuntime::new(4);
+        let ins = inputs(4, 1000);
+        let clean = rt.allreduce(&ins, IntraAlgo::MultiLeader { leaders: 2 });
+        let got = rt.allreduce_op_checked(
+            SumOp,
+            &ins,
+            IntraAlgo::MultiLeader { leaders: 2 },
+            Some(PoisonPlan { seed: 5, rate: 1.0 }),
+        );
+        // The redo folds the gather slots in the same order the leader
+        // did, so recovery is bit-identical, not merely close.
+        assert_eq!(got, clean, "poisoned partitions must be re-reduced exactly");
+        let after = reg.snapshot();
+        let fails = after.counter("shm.crc_fail").unwrap_or(0)
+            - before.counter("shm.crc_fail").unwrap_or(0);
+        let rtx = after.counter("shm.retransmit").unwrap_or(0)
+            - before.counter("shm.retransmit").unwrap_or(0);
+        // Rate 1.0 poisons both partitions; all 4 readers detect both.
+        assert!(fails >= 8, "expected >=8 detections, got {fails}");
+        assert!(rtx >= 8, "expected >=8 redos, got {rtx}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod barrier;
 pub mod cluster;
+pub mod integrity;
 pub mod intranode;
 pub mod kernels;
 pub mod mailbox;
@@ -27,6 +28,7 @@ pub mod watchdog;
 
 pub use barrier::SpinBarrier;
 pub use cluster::ThreadCluster;
+pub use integrity::{crc32c, crc32c_bytes, PoisonPlan};
 pub use intranode::{IntraAlgo, NodeRuntime};
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 pub use region::SharedSlots;

@@ -11,7 +11,11 @@
 //!
 //! * `barrier.wait_ns` — spin-barrier wait time per arrival (histogram),
 //! * `shm.copy_bytes` — bytes moved through shared-memory slots (counter),
-//! * `shm.reduce_ops` — element reduction operations performed (counter).
+//! * `shm.reduce_ops` — element reduction operations performed (counter),
+//! * `shm.crc_fail` — payloads/publishes that failed their CRC32C check
+//!   (counter; see [`crate::integrity`]),
+//! * `shm.retransmit` — clean-copy recoveries and partition re-reductions
+//!   after a checksum failure (counter).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};

@@ -98,14 +98,14 @@ impl Mailbox {
         timeout: Duration,
     ) -> Result<Vec<f64>, ShmTimeout> {
         let deadline = Instant::now() + timeout;
-        if let Some(data) = self.take_pending(from, tag) {
-            return Ok(data);
+        if let Some(m) = self.take_pending(from, tag) {
+            return Ok(self.deliver(m));
         }
         loop {
             match self.recv_deadline(deadline) {
                 Some(m) => {
                     if m.from == from && m.tag == tag {
-                        return Ok(m.data);
+                        return Ok(self.deliver(m));
                     }
                     self.buffer(m);
                 }

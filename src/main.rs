@@ -10,17 +10,19 @@
 //! dpml app      --app hpcg|miniamr --cluster a --nodes 8
 //! dpml faults   --cluster a --nodes 8 --alg sharp-socket --bytes 256 --intensity 0.5
 //! dpml recover  --cluster a --nodes 4 --leaders 2 --bytes 1M --crash-rank 6 --crash-at-us 800
+//! dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K --corruption 0.05 --drop 0.02
 //! ```
 
 use dpml::core::algorithms::{Algorithm, FlatAlg};
 use dpml::core::heal::{run_dpml_failstop, FailstopOutcome};
+use dpml::core::integrity::{run_allreduce_verified, IntegrityPolicy, VerifiedError};
 use dpml::core::profile::profile_allreduce;
 use dpml::core::resilience::{run_allreduce_resilient, FaultPolicy};
 use dpml::core::run::run_allreduce;
 use dpml::core::selector::Library;
 use dpml::core::tuner::{default_candidates, tune};
 use dpml::fabric::presets::{all_presets, Preset};
-use dpml::faults::{FaultPlan, ProcessFaults, SharpFaults};
+use dpml::faults::{DataFaults, FaultPlan, ProcessFaults, SharpFaults};
 use dpml::topology::ClusterSpec;
 use dpml::workloads::app::run_app;
 use dpml::workloads::{HpcgConfig, MiniAmrConfig};
@@ -611,6 +613,103 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_integrity(args: &[String]) -> Result<(), String> {
+    let (preset, spec) = cluster_and_spec(args)?;
+    let alg = parse_algorithm(&arg_value(args, "--alg").unwrap_or_else(|| "dpml:4".into()))?;
+    let bytes = parse_bytes(&arg_value(args, "--bytes").unwrap_or_else(|| "256K".into()))?;
+    let rate = |flag: &str, default: f64| -> Result<f64, String> {
+        let v: f64 = arg_value(args, flag)
+            .map(|v| v.parse().map_err(|e| format!("bad {flag}: {e}")))
+            .transpose()?
+            .unwrap_or(default);
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag} must be in [0, 1]"));
+        }
+        Ok(v)
+    };
+    let corruption = rate("--corruption", 0.05)?;
+    let drop = rate("--drop", 0.02)?;
+    let shm_flip = rate("--shm-flip", 0.0)?;
+    let seed: u64 = arg_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    let budget: u32 = arg_value(args, "--budget")
+        .map(|v| v.parse().map_err(|e| format!("bad --budget: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+
+    let plan = FaultPlan {
+        seed,
+        data: DataFaults {
+            max_retransmits: budget,
+            shm_flip_rate: shm_flip,
+            ..DataFaults::wire(corruption, drop)
+        },
+        ..FaultPlan::zero()
+    };
+    println!(
+        "{} on {} ({} x {} = {} ranks), {} bytes; corruption {:.3}, drop {:.3}, \
+         shm flip {:.3}, retry budget {budget}, seed {seed}:",
+        alg.name(),
+        preset.fabric.name,
+        spec.num_nodes,
+        spec.ppn,
+        spec.world_size(),
+        bytes,
+        corruption,
+        drop,
+        shm_flip
+    );
+    match run_allreduce_verified(
+        &preset,
+        &spec,
+        alg,
+        bytes,
+        &plan,
+        IntegrityPolicy::default(),
+    ) {
+        Ok(rep) => {
+            println!(
+                "  fault-free       {:>12.2} us (unverified baseline)",
+                rep.base_latency_us
+            );
+            println!(
+                "  self-verifying   {:>12.2} us (+{:.2} us checksum overhead)",
+                rep.clean_latency_us, rep.verify_overhead_us
+            );
+            println!(
+                "  under faults     {:>12.2} us ({:.2}x, bit-identical to baseline)",
+                rep.total_latency_us,
+                rep.total_latency_us / rep.base_latency_us
+            );
+            println!("  retransmits      {:>12}", rep.retransmits());
+            println!("  crc detections   {:>12}", rep.corruptions_detected());
+            if rep.shm_crc_fails() > 0 {
+                println!("  shm redo copies  {:>12}", rep.shm_crc_fails());
+            }
+            println!("  undetected risk  {:>15.2e}", rep.undetected_risk());
+            if rep.restarts > 0 {
+                println!("  full restarts    {:>12}", rep.restarts);
+            }
+            if let Some(rec) = &rep.recovery {
+                println!(
+                    "  recovered        partition {} in {} pass(es); detected {:.2} us, \
+                     replan {:.2} us",
+                    rec.partition, rec.passes, rec.detected_at_us, rec.replan_us
+                );
+            }
+            Ok(())
+        }
+        Err(VerifiedError::Integrity(e)) => {
+            println!("  outcome          structured integrity failure (no corrupt data returned)");
+            println!("  {e}");
+            Ok(())
+        }
+        Err(VerifiedError::Run(e)) => Err(e.to_string()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -632,9 +731,10 @@ fn main() {
         "app" => cmd_app(rest),
         "faults" => cmd_faults(rest),
         "recover" => cmd_recover(rest),
+        "integrity" => cmd_integrity(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover> [options]\n\
+                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
                  dpml profile --cluster a --nodes 8 --alg dpml:4 --bytes 64K [--sweep]\n     \
@@ -644,7 +744,9 @@ fn main() {
                  dpml faults --cluster a --nodes 8 --alg sharp-socket --bytes 256 \
                  --intensity 0.5 [--deny-sharp|--flaky-sharp N]\n     \
                  dpml recover --cluster a --nodes 4 --leaders 2 --bytes 1M \
-                 --crash-rank 6 [--crash-at-us T] [--detect-us T]"
+                 --crash-rank 6 [--crash-at-us T] [--detect-us T]\n     \
+                 dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K \
+                 --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]"
             );
             Ok(())
         }

@@ -8,7 +8,7 @@ use dpml::core::resilience::{
 };
 use dpml::core::run::run_allreduce;
 use dpml::fabric::presets::{cluster_a, cluster_c};
-use dpml::faults::{FaultPlan, ProcessFaults, SharpFaults};
+use dpml::faults::{DataFaults, FaultPlan, ProcessFaults, SharpFaults};
 
 #[test]
 fn zero_intensity_plan_is_bit_identical_across_algorithms() {
@@ -157,6 +157,45 @@ fn flaky_sharp_retries_and_accounts_time() {
     assert_eq!(rep.report.report.stats.sharp_retries, 1);
     // One failed attempt burns the 50us op timeout plus 10us backoff.
     assert!(rep.latency_us >= rep.report.latency_us + 60.0 - 1e-9);
+}
+
+#[test]
+fn wire_corruption_detected_and_retransmitted() {
+    let p = cluster_c();
+    let spec = p.spec(4, 8).expect("4x8 spec");
+    let alg = Algorithm::Dpml {
+        leaders: 4,
+        inner: FlatAlg::RecursiveDoubling,
+    };
+    let clean = run_allreduce(&p, &spec, alg, 256 * 1024).expect("clean run");
+    let plan = FaultPlan {
+        seed: 17,
+        data: DataFaults {
+            max_retransmits: 64,
+            ..DataFaults::wire(0.1, 0.05)
+        },
+        ..FaultPlan::zero()
+    };
+    let faulted =
+        run_allreduce_faulted(&p, &spec, alg, 256 * 1024, &plan).expect("faulted run completes");
+    faulted
+        .report
+        .verify_allreduce()
+        .expect("retransmitted run still correct");
+    let st = &faulted.report.stats;
+    assert!(st.retransmits > 0, "a 10%/5% wire must retransmit");
+    assert!(st.corruptions_detected > 0, "CRC must catch corrupt frames");
+    assert!(
+        st.undetected_risk > 0.0 && st.undetected_risk < 1e-6,
+        "residual risk is detections * 2^-32, got {}",
+        st.undetected_risk
+    );
+    assert!(
+        faulted.latency_us > clean.latency_us,
+        "retransmits must cost time: {} vs {}",
+        faulted.latency_us,
+        clean.latency_us
+    );
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! End-to-end integrity guarantees through the public facade: under any
+//! seeded silent-corruption plan, the self-verifying allreduce either
+//! returns a result bit-identical to the fault-free baseline or a
+//! structured `IntegrityError` — never silently wrong data.
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::core::integrity::{
+    run_allreduce_verified, IntegrityErrorKind, IntegrityPolicy, VerifiedError,
+};
+use dpml::fabric::presets::cluster_b;
+use dpml::faults::{DataFaults, FaultPlan};
+use proptest::prelude::*;
+
+fn matrix_alg(ix: u8) -> Algorithm {
+    match ix % 6 {
+        0 => Algorithm::RecursiveDoubling,
+        1 => Algorithm::Rabenseifner,
+        2 => Algorithm::Ring,
+        3 => Algorithm::SingleLeader {
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        4 => Algorithm::Dpml {
+            leaders: 2,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        _ => Algorithm::DpmlPipelined {
+            leaders: 2,
+            chunks: 2,
+        },
+    }
+}
+
+fn wire_plan(seed: u64, corruption: f64, drop: f64, budget: u32) -> FaultPlan {
+    FaultPlan {
+        seed,
+        data: DataFaults {
+            max_retransmits: budget,
+            ..DataFaults::wire(corruption, drop)
+        },
+        ..FaultPlan::zero()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central claim of the integrity ladder: for ANY seed and any
+    /// nonzero corruption/drop rates with a sufficient retry budget, the
+    /// verified runner ends in exactly one of two states — a report that
+    /// passed end-to-end verification AND matched the fault-free
+    /// baseline (the runner's own gate), or a structured integrity
+    /// error. A simulator-level escape (`VerifiedError::Run`) or a
+    /// panic/hang is a protocol bug.
+    #[test]
+    fn corruption_is_absorbed_or_reported(
+        seed in 0u64..1_000_000,
+        corruption in 0.001f64..0.3,
+        drop in 0.0f64..0.15,
+        alg_ix in 0u8..6,
+        bytes_exp in 12u32..18,
+    ) {
+        let p = cluster_b();
+        let spec = p.spec(2, 4).expect("2x4 spec");
+        let alg = matrix_alg(alg_ix);
+        let plan = wire_plan(seed, corruption, drop, 64);
+        match run_allreduce_verified(&p, &spec, alg, 1u64 << bytes_exp, &plan,
+                                     IntegrityPolicy::default()) {
+            Ok(rep) => {
+                // Ok means the gate already proved bit-identity with the
+                // fault-free baseline; sanity-check the accounting.
+                prop_assert!(rep.total_latency_us >= rep.clean_latency_us - 1e-9,
+                    "{}: faults cannot make the run faster", alg.name());
+                prop_assert!(rep.undetected_risk() >= 0.0);
+                prop_assert!(rep.verify_overhead_us > 0.0);
+            }
+            Err(VerifiedError::Integrity(e)) => {
+                // Structured give-up: allowed, but it must carry a cause.
+                prop_assert!(!e.detail.is_empty());
+                prop_assert!(e.kind != IntegrityErrorKind::VerifyMismatch,
+                    "{}: a VerifyMismatch means corrupt data reached the \
+                     finish line: {e}", alg.name());
+            }
+            Err(VerifiedError::Run(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "{}: unstructured escape from the ladder: {e}", alg.name())));
+            }
+        }
+    }
+}
+
+#[test]
+fn verified_run_replays_bit_identically() {
+    let p = cluster_b();
+    let spec = p.spec(4, 4).expect("4x4 spec");
+    let alg = Algorithm::Dpml {
+        leaders: 4,
+        inner: FlatAlg::RecursiveDoubling,
+    };
+    let plan = wire_plan(42, 0.1, 0.05, 64);
+    let a = run_allreduce_verified(&p, &spec, alg, 1 << 17, &plan, IntegrityPolicy::default())
+        .expect("seed 42 completes");
+    let b = run_allreduce_verified(&p, &spec, alg, 1 << 17, &plan, IntegrityPolicy::default())
+        .expect("seed 42 again");
+    assert_eq!(a.total_latency_us.to_bits(), b.total_latency_us.to_bits());
+    assert_eq!(a.retransmits(), b.retransmits());
+    assert_eq!(a.corruptions_detected(), b.corruptions_detected());
+    assert!(a.retransmits() > 0, "a 10%/5% wire must cost retransmits");
+}
+
+#[test]
+fn exhausted_budget_is_structured_never_wrong() {
+    let p = cluster_b();
+    let spec = p.spec(2, 4).expect("2x4 spec");
+    // Every delivery corrupt and a budget of one: no algorithm can win.
+    let plan = wire_plan(5, 1.0, 0.0, 1);
+    for alg in [
+        Algorithm::Ring,
+        Algorithm::Dpml {
+            leaders: 2,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+    ] {
+        let err =
+            run_allreduce_verified(&p, &spec, alg, 1 << 14, &plan, IntegrityPolicy::default())
+                .expect_err("hopeless wire must not succeed");
+        let VerifiedError::Integrity(e) = err else {
+            panic!(
+                "{}: expected structured integrity error, got {err:?}",
+                alg.name()
+            );
+        };
+        assert!(
+            matches!(
+                e.kind,
+                IntegrityErrorKind::BudgetExhausted | IntegrityErrorKind::RecoveryFailed
+            ),
+            "{}: unexpected kind {:?}",
+            alg.name(),
+            e.kind
+        );
+        assert!(e.attempts >= 2, "{}: budget 1 means 2 attempts", alg.name());
+    }
+}
+
+#[test]
+fn zero_rate_verification_overhead_stays_small() {
+    let p = cluster_b();
+    let spec = p.spec(4, 4).expect("4x4 spec");
+    for ix in 0..6u8 {
+        let alg = matrix_alg(ix);
+        let rep = run_allreduce_verified(
+            &p,
+            &spec,
+            alg,
+            1 << 16,
+            &FaultPlan::zero(),
+            IntegrityPolicy::default(),
+        )
+        .expect("zero plan completes");
+        assert_eq!(rep.retransmits(), 0, "{}", alg.name());
+        assert_eq!(rep.corruptions_detected(), 0, "{}", alg.name());
+        assert_eq!(rep.restarts, 0, "{}", alg.name());
+        assert!(rep.recovery.is_none(), "{}", alg.name());
+        assert!(
+            rep.overhead_fraction() < 0.05,
+            "{}: verification cost {:.2}% exceeds a few percent",
+            alg.name(),
+            100.0 * rep.overhead_fraction()
+        );
+    }
+}
