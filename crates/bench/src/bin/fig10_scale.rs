@@ -9,7 +9,7 @@
 
 use dpml_bench::sweep::quick_sizes;
 use dpml_bench::{
-    arg_flag, arg_num, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, Table,
+    arg_flag, arg_num, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, sweep, Table,
 };
 use dpml_core::selector::Library;
 use dpml_fabric::presets::cluster_d;
@@ -48,18 +48,25 @@ fn main() {
         "vs MVAPICH2",
         "vs Intel",
     ]);
-    let mut points = Vec::new();
+    // Each (size, library) point simulates an independent world; fan them
+    // out over the scenario-parallel sweep runner. Results return in input
+    // order, so table rows and serialized points match the serial loop.
+    let mut scenarios = Vec::new();
     for &bytes in &sizes {
-        let mut lat = [0.0f64; 3];
-        for (i, lib) in libs.iter().enumerate() {
-            let alg = lib.choose(&preset, &spec, bytes);
-            lat[i] = latency_us(&preset, &spec, alg, bytes);
-            points.push(Point {
-                library: lib.name(),
-                bytes,
-                latency_us: lat[i],
-            });
+        for &lib in &libs {
+            scenarios.push((bytes, lib));
         }
+    }
+    let points: Vec<Point> = sweep(scenarios, |(bytes, lib)| {
+        let alg = lib.choose(&preset, &spec, bytes);
+        Point {
+            library: lib.name(),
+            bytes,
+            latency_us: latency_us(&preset, &spec, alg, bytes),
+        }
+    });
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let lat: Vec<f64> = (0..3).map(|j| points[i * 3 + j].latency_us).collect();
         table.row([
             fmt_bytes(bytes),
             fmt_us(lat[0]),

@@ -10,7 +10,7 @@
 
 use dpml_bench::sweep::quick_sizes;
 use dpml_bench::{
-    arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results,
+    arg_flag, arg_num, arg_value, fmt_bytes, fmt_us, latency_us, paper_sizes, save_results, sweep,
     SizeBand, Table,
 };
 use dpml_core::algorithms::{Algorithm, FlatAlg};
@@ -57,6 +57,9 @@ fn main() {
         spec.world_size()
     );
 
+    // Fan the (band, size, leaders) matrix out over the scenario-parallel
+    // sweep runner; each point is an independent simulation and results
+    // return in input order, so panels print exactly as the serial loop did.
     let mut points = Vec::new();
     for band in SizeBand::all() {
         let band_sizes: Vec<u64> = sizes
@@ -73,36 +76,42 @@ fn main() {
                 .chain(["best".to_string()]),
         );
         println!("\npanel: {}", band.label());
+        let mut scenarios = Vec::new();
         for &bytes in &band_sizes {
+            for &l in &leader_counts {
+                scenarios.push((bytes, l.min(spec.ppn)));
+            }
+        }
+        let band_points: Vec<Point> = sweep(scenarios, |(bytes, l)| Point {
+            cluster: preset.id,
+            nodes,
+            ppn: spec.ppn,
+            leaders: l,
+            bytes,
+            latency_us: latency_us(
+                &preset,
+                &spec,
+                Algorithm::Dpml {
+                    leaders: l,
+                    inner: FlatAlg::RecursiveDoubling,
+                },
+                bytes,
+            ),
+        });
+        for (i, &bytes) in band_sizes.iter().enumerate() {
             let mut cells = vec![fmt_bytes(bytes)];
             let mut best = (0u32, f64::INFINITY);
-            for &l in &leader_counts {
-                let l = l.min(spec.ppn);
-                let us = latency_us(
-                    &preset,
-                    &spec,
-                    Algorithm::Dpml {
-                        leaders: l,
-                        inner: FlatAlg::RecursiveDoubling,
-                    },
-                    bytes,
-                );
-                if us < best.1 {
-                    best = (l, us);
+            for (j, &_l) in leader_counts.iter().enumerate() {
+                let p = &band_points[i * leader_counts.len() + j];
+                if p.latency_us < best.1 {
+                    best = (p.leaders, p.latency_us);
                 }
-                cells.push(fmt_us(us));
-                points.push(Point {
-                    cluster: preset.id,
-                    nodes,
-                    ppn: spec.ppn,
-                    leaders: l,
-                    bytes,
-                    latency_us: us,
-                });
+                cells.push(fmt_us(p.latency_us));
             }
             cells.push(format!("l={}", best.0));
             table.row(cells);
         }
+        points.extend(band_points);
         table.print();
     }
     let name = format!("fig{fig}_leader_sweep_{}", preset.id.to_lowercase());

@@ -24,7 +24,7 @@
 //! `FaultPlan::canonical(seed, 0.5)` (OS noise, brownout, link flap),
 //! the nightly chaos-soak configuration.
 
-use dpml_bench::{arg_flag, arg_num, fmt_bytes, fmt_us, save_results, Table};
+use dpml_bench::{arg_flag, arg_num, fmt_bytes, fmt_us, save_results, sweep, Table};
 use dpml_core::algorithms::{Algorithm, FlatAlg};
 use dpml_core::integrity::{
     run_allreduce_verified, IntegrityErrorKind, IntegrityPolicy, VerifiedError,
@@ -141,7 +141,94 @@ fn main() {
         }
     );
 
-    let mut sweep = Vec::new();
+    // Each (algorithm, rate, seed) point is a closed world: its own fault
+    // plan and RNG stream, nothing shared. Run the matrix through the
+    // scenario-parallel sweep runner; results come back in input order, so
+    // the table, counters, and serialized JSON are identical to the old
+    // serial triple loop.
+    let mut scenarios = Vec::new();
+    for alg in matrix() {
+        for rate in RATES {
+            for seed in 1..=seeds {
+                scenarios.push((alg, rate, seed));
+            }
+        }
+    }
+    let outcomes = sweep(scenarios, |(alg, rate, seed)| {
+        let base = if canonical {
+            FaultPlan::canonical(seed, 0.5)
+        } else {
+            FaultPlan::zero()
+        };
+        let plan = FaultPlan {
+            seed,
+            data: DataFaults {
+                max_retransmits: budget,
+                ..DataFaults::wire(rate, rate / 2.0)
+            },
+            ..base
+        };
+        match run_allreduce_verified(&preset, &spec, alg, bytes, &plan, policy) {
+            Ok(rep) => {
+                let overhead = (rate == 0.0 && seed == 1).then(|| OverheadPoint {
+                    algorithm: rep.algorithm.clone(),
+                    base_latency_us: rep.base_latency_us,
+                    verify_overhead_us: rep.verify_overhead_us,
+                    overhead_fraction: rep.overhead_fraction(),
+                });
+                let point = Point {
+                    algorithm: rep.algorithm.clone(),
+                    bytes,
+                    corruption_rate: rate,
+                    drop_rate: rate / 2.0,
+                    seed,
+                    outcome: "bit-identical".into(),
+                    total_latency_us: rep.total_latency_us,
+                    overhead_fraction: rep.overhead_fraction(),
+                    retransmits: rep.retransmits(),
+                    corruptions_detected: rep.corruptions_detected(),
+                    undetected_risk: rep.undetected_risk(),
+                    restarts: rep.restarts,
+                    recovered_partition: rep.recovery.as_ref().map(|r| r.partition),
+                };
+                (overhead, point)
+            }
+            Err(VerifiedError::Integrity(e)) => {
+                // A VerifyMismatch means the ladder let corrupt
+                // data reach the finish line — that IS an escape.
+                let escaped = e.kind == IntegrityErrorKind::VerifyMismatch;
+                let name = if escaped {
+                    "ESCAPE"
+                } else {
+                    "structured-error"
+                };
+                let point = Point {
+                    algorithm: alg.name(),
+                    bytes,
+                    corruption_rate: rate,
+                    drop_rate: rate / 2.0,
+                    seed,
+                    outcome: name.into(),
+                    total_latency_us: f64::NAN,
+                    overhead_fraction: f64::NAN,
+                    retransmits: 0,
+                    corruptions_detected: 0,
+                    undetected_risk: 0.0,
+                    restarts: 0,
+                    recovered_partition: None,
+                };
+                (None, point)
+            }
+            Err(VerifiedError::Run(e)) => {
+                panic!(
+                    "{} rate {rate} seed {seed}: harness failure: {e}",
+                    alg.name()
+                )
+            }
+        }
+    });
+
+    let mut sweep_points = Vec::new();
     let mut overhead_at_zero = Vec::new();
     let mut verified_ok = 0usize;
     let mut structured_errors = 0usize;
@@ -156,114 +243,32 @@ fn main() {
         "rtx",
         "detected",
     ]);
-    for alg in matrix() {
-        for rate in RATES {
-            for seed in 1..=seeds {
-                let base = if canonical {
-                    FaultPlan::canonical(seed, 0.5)
-                } else {
-                    FaultPlan::zero()
-                };
-                let plan = FaultPlan {
-                    seed,
-                    data: DataFaults {
-                        max_retransmits: budget,
-                        ..DataFaults::wire(rate, rate / 2.0)
-                    },
-                    ..base
-                };
-                let (outcome, point) =
-                    match run_allreduce_verified(&preset, &spec, alg, bytes, &plan, policy) {
-                        Ok(rep) => {
-                            verified_ok += 1;
-                            if rate == 0.0 && seed == 1 {
-                                overhead_at_zero.push(OverheadPoint {
-                                    algorithm: rep.algorithm.clone(),
-                                    base_latency_us: rep.base_latency_us,
-                                    verify_overhead_us: rep.verify_overhead_us,
-                                    overhead_fraction: rep.overhead_fraction(),
-                                });
-                            }
-                            (
-                                "bit-identical".to_string(),
-                                Point {
-                                    algorithm: rep.algorithm.clone(),
-                                    bytes,
-                                    corruption_rate: rate,
-                                    drop_rate: rate / 2.0,
-                                    seed,
-                                    outcome: "bit-identical".into(),
-                                    total_latency_us: rep.total_latency_us,
-                                    overhead_fraction: rep.overhead_fraction(),
-                                    retransmits: rep.retransmits(),
-                                    corruptions_detected: rep.corruptions_detected(),
-                                    undetected_risk: rep.undetected_risk(),
-                                    restarts: rep.restarts,
-                                    recovered_partition: rep.recovery.as_ref().map(|r| r.partition),
-                                },
-                            )
-                        }
-                        Err(VerifiedError::Integrity(e)) => {
-                            // A VerifyMismatch means the ladder let corrupt
-                            // data reach the finish line — that IS an escape.
-                            let escaped = e.kind == IntegrityErrorKind::VerifyMismatch;
-                            if escaped {
-                                silent_escapes += 1;
-                            } else {
-                                structured_errors += 1;
-                            }
-                            let name = if escaped {
-                                "ESCAPE"
-                            } else {
-                                "structured-error"
-                            };
-                            (
-                                name.to_string(),
-                                Point {
-                                    algorithm: alg.name(),
-                                    bytes,
-                                    corruption_rate: rate,
-                                    drop_rate: rate / 2.0,
-                                    seed,
-                                    outcome: name.into(),
-                                    total_latency_us: f64::NAN,
-                                    overhead_fraction: f64::NAN,
-                                    retransmits: 0,
-                                    corruptions_detected: 0,
-                                    undetected_risk: 0.0,
-                                    restarts: 0,
-                                    recovered_partition: None,
-                                },
-                            )
-                        }
-                        Err(VerifiedError::Run(e)) => {
-                            panic!(
-                                "{} rate {rate} seed {seed}: harness failure: {e}",
-                                alg.name()
-                            )
-                        }
-                    };
-                table.row([
-                    point.algorithm.clone(),
-                    format!("{rate:.3}"),
-                    seed.to_string(),
-                    outcome,
-                    if point.total_latency_us.is_nan() {
-                        "-".into()
-                    } else {
-                        fmt_us(point.total_latency_us)
-                    },
-                    if point.overhead_fraction.is_nan() {
-                        "-".into()
-                    } else {
-                        format!("{:.1}%", 100.0 * point.overhead_fraction)
-                    },
-                    point.retransmits.to_string(),
-                    point.corruptions_detected.to_string(),
-                ]);
-                sweep.push(point);
-            }
+    for (overhead, point) in outcomes {
+        match point.outcome.as_str() {
+            "bit-identical" => verified_ok += 1,
+            "ESCAPE" => silent_escapes += 1,
+            _ => structured_errors += 1,
         }
+        overhead_at_zero.extend(overhead);
+        table.row([
+            point.algorithm.clone(),
+            format!("{:.3}", point.corruption_rate),
+            point.seed.to_string(),
+            point.outcome.clone(),
+            if point.total_latency_us.is_nan() {
+                "-".into()
+            } else {
+                fmt_us(point.total_latency_us)
+            },
+            if point.overhead_fraction.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}%", 100.0 * point.overhead_fraction)
+            },
+            point.retransmits.to_string(),
+            point.corruptions_detected.to_string(),
+        ]);
+        sweep_points.push(point);
     }
     table.print();
 
@@ -314,7 +319,7 @@ fn main() {
         shm_poison.push(p);
     }
 
-    let runs = sweep.len() + shm_poison.len();
+    let runs = sweep_points.len() + shm_poison.len();
     let coverage = Coverage {
         runs,
         verified_ok,
@@ -352,7 +357,7 @@ fn main() {
         retry_budget: budget,
         coverage,
         overhead_at_zero,
-        sweep,
+        sweep: sweep_points,
         shm_poison,
     };
     let path = save_results("integrity", &results).expect("write results");

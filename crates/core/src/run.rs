@@ -84,6 +84,25 @@ pub fn run_allreduce(
     run_allreduce_placed(preset, spec, Placement::Block, alg, bytes)
 }
 
+/// Run a batch of independent `(algorithm, bytes)` scenarios across
+/// worker threads. Each scenario is a closed world (own `SimConfig`, own
+/// schedule), so results are byte-identical to running [`run_allreduce`]
+/// serially — and they return in input order regardless of completion
+/// order (DESIGN.md §11). This is the parallel entry point behind the
+/// CLI `sweep` subcommand; the bench binaries use the more general
+/// `dpml_bench::sweep` runner.
+pub fn run_allreduce_batch(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    scenarios: Vec<(Algorithm, u64)>,
+) -> Vec<Result<AllreduceReport, RunError>> {
+    use rayon::prelude::*;
+    scenarios
+        .into_par_iter()
+        .map(|(alg, bytes)| run_allreduce(preset, spec, alg, bytes))
+        .collect()
+}
+
 /// [`run_allreduce`] with an explicit rank placement (block vs cyclic) —
 /// used by the placement ablation: flat algorithms degrade badly under
 /// cyclic placement while DPML's node-aware structure does not.

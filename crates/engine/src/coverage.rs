@@ -85,21 +85,15 @@ impl RankSet {
         self.words.iter().all(|&w| w == 0)
     }
 
-    /// Canonical form: trailing zero words stripped (needed for `Eq` to be
-    /// semantic equality).
-    fn normalize(&mut self) {
-        while self.words.last() == Some(&0) {
-            self.words.pop();
-        }
-    }
-
-    /// Semantic equality (ignores trailing zero words).
+    /// Semantic equality (ignores trailing zero words). Allocation-free:
+    /// compares the common word prefix and requires the longer set's tail
+    /// to be all zero — this sits inside every coalesce step on the
+    /// simulator's delivery hot path.
     pub fn set_eq(&self, other: &RankSet) -> bool {
-        let mut a = self.clone();
-        let mut b = other.clone();
-        a.normalize();
-        b.normalize();
-        a == b
+        let n = self.words.len().min(other.words.len());
+        self.words[..n] == other.words[..n]
+            && self.words[n..].iter().all(|&w| w == 0)
+            && other.words[n..].iter().all(|&w| w == 0)
     }
 
     /// Iterate over members in ascending order.
@@ -156,12 +150,27 @@ impl CoverageMap {
         self.segs.iter().map(|(s, e, _)| e - s).sum()
     }
 
+    /// Index of the first segment whose end is past `at` (candidate
+    /// overlap start — segments are sorted and disjoint).
+    #[inline]
+    fn lower(&self, at: u64) -> usize {
+        self.segs.partition_point(|seg| seg.1 <= at)
+    }
+
+    /// Index of the first segment starting at or past `end` (one past the
+    /// overlap window for a range ending at `end`).
+    #[inline]
+    fn upper(&self, end: u64) -> usize {
+        self.segs.partition_point(|seg| seg.0 < end)
+    }
+
     /// The rank set held at byte offset `at`, if any.
     pub fn at(&self, at: u64) -> Option<&RankSet> {
-        self.segs
-            .iter()
-            .find(|(s, e, _)| *s <= at && at < *e)
-            .map(|(_, _, r)| r)
+        let i = self.lower(at);
+        match self.segs.get(i) {
+            Some((s, _, set)) if *s <= at => Some(set),
+            _ => None,
+        }
     }
 
     /// Extract the sub-map covering `[start, end)`.
@@ -169,15 +178,59 @@ impl CoverageMap {
         if start >= end {
             return CoverageMap::empty();
         }
-        let mut out = CoverageMap::empty();
-        for (s, e, set) in &self.segs {
-            let ns = (*s).max(start);
-            let ne = (*e).min(end);
-            if ns < ne {
-                out.segs.push((ns, ne, set.clone()));
-            }
+        let (i, j) = (self.lower(start), self.upper(end));
+        let mut out = Vec::with_capacity(j.saturating_sub(i));
+        for (s, e, set) in &self.segs[i..j] {
+            out.push(((*s).max(start), (*e).min(end), set.clone()));
         }
-        out
+        CoverageMap { segs: out }
+    }
+
+    /// Replace all coverage in `[start, end)` with `mid` — segments that
+    /// must already lie within `[start, end)`, sorted, disjoint, and
+    /// internally coalesced. Splices only the overlap window; boundary
+    /// segments are split and the two joints re-coalesced, so cost is
+    /// O(window + log n) rather than a full-map rebuild.
+    fn splice_window(&mut self, start: u64, end: u64, mid: Vec<(u64, u64, RankSet)>) {
+        let (i, j) = (self.lower(start), self.upper(end));
+        let mut repl: Vec<(u64, u64, RankSet)> = Vec::with_capacity(mid.len() + 2);
+        if i < j && self.segs[i].0 < start {
+            repl.push((self.segs[i].0, start, self.segs[i].2.clone()));
+        }
+        for seg in mid {
+            push_coalesced(&mut repl, seg);
+        }
+        if i < j && self.segs[j - 1].1 > end {
+            push_coalesced(
+                &mut repl,
+                (end, self.segs[j - 1].1, self.segs[j - 1].2.clone()),
+            );
+        }
+        let len = repl.len();
+        self.segs.splice(i..j, repl);
+        // Re-coalesce the joints with the untouched neighbors: first the
+        // right joint (higher index, so the left joint's indices survive a
+        // merge), then the left.
+        let right = i + len;
+        if right > 0 {
+            self.merge_joint(right - 1);
+        }
+        if i > 0 {
+            self.merge_joint(i - 1);
+        }
+        self.assert_invariants();
+    }
+
+    /// Merge `segs[idx]` into `segs[idx + 1]`'s slot when they are
+    /// adjacent and hold the same set.
+    fn merge_joint(&mut self, idx: usize) {
+        if idx + 1 < self.segs.len()
+            && self.segs[idx].1 == self.segs[idx + 1].0
+            && self.segs[idx].2.set_eq(&self.segs[idx + 1].2)
+        {
+            self.segs[idx].1 = self.segs[idx + 1].1;
+            self.segs.remove(idx + 1);
+        }
     }
 
     /// Remove all coverage within `[start, end)`.
@@ -185,21 +238,7 @@ impl CoverageMap {
         if start >= end {
             return;
         }
-        let mut out: Vec<(u64, u64, RankSet)> = Vec::with_capacity(self.segs.len() + 2);
-        for (s, e, set) in self.segs.drain(..) {
-            if e <= start || s >= end {
-                out.push((s, e, set));
-                continue;
-            }
-            if s < start {
-                out.push((s, start, set.clone()));
-            }
-            if e > end {
-                out.push((end, e, set));
-            }
-        }
-        self.segs = out;
-        self.coalesce();
+        self.splice_window(start, end, Vec::new());
     }
 
     /// Overwrite `[start, end)` with `src`'s contents over the same range
@@ -207,12 +246,11 @@ impl CoverageMap {
     /// of a plain copy or a received message: payload *replaces* buffer
     /// content.
     pub fn overwrite(&mut self, src: &CoverageMap, start: u64, end: u64) {
-        self.clear_range(start, end);
+        if start >= end {
+            return;
+        }
         let add = src.restrict(start, end);
-        self.segs.extend(add.segs);
-        self.segs.sort_by_key(|(s, _, _)| *s);
-        self.coalesce();
-        self.assert_invariants();
+        self.splice_window(start, end, add.segs);
     }
 
     /// Pointwise-union `src`'s contents over `[start, end)` into this map —
@@ -222,24 +260,43 @@ impl CoverageMap {
         if add.is_empty() {
             return;
         }
-        // Boundary sweep: gather all cut points, rebuild the affected range.
-        // invariant: `add` is non-empty (checked above), so first/last
-        // segments exist; `segs` is kept sorted by construction.
-        let lo = add.segs.first().unwrap().0.min(start);
-        let hi = add.segs.last().unwrap().1.max(lo);
-        let mine = self.restrict(lo, hi);
-        let mut cuts: Vec<u64> = Vec::new();
-        for (s, e, _) in mine.segs.iter().chain(add.segs.iter()) {
+        // Sweep the cut points of both maps across the window `add` spans
+        // (outside it the union changes nothing), advancing a cursor into
+        // each segment list — O(window), no per-cut linear scans.
+        let lo = add.segs.first().unwrap().0;
+        let hi = add.segs.last().unwrap().1;
+        let (i0, j0) = (self.lower(lo), self.upper(hi));
+        let mine = &self.segs[i0..j0];
+        let mut cuts: Vec<u64> = Vec::with_capacity((mine.len() + add.segs.len()) * 2);
+        for (s, e, _) in mine {
+            cuts.push((*s).max(lo));
+            cuts.push((*e).min(hi));
+        }
+        for (s, e, _) in &add.segs {
             cuts.push(*s);
             cuts.push(*e);
         }
         cuts.sort_unstable();
         cuts.dedup();
-        let mut rebuilt: Vec<(u64, u64, RankSet)> = Vec::new();
+        let mut rebuilt: Vec<(u64, u64, RankSet)> = Vec::with_capacity(cuts.len());
+        let (mut ai, mut bi) = (0usize, 0usize);
         for w in cuts.windows(2) {
             let (s, e) = (w[0], w[1]);
-            let a = mine.at(s);
-            let b = add.at(s);
+            while ai < mine.len() && mine[ai].1 <= s {
+                ai += 1;
+            }
+            while bi < add.segs.len() && add.segs[bi].1 <= s {
+                bi += 1;
+            }
+            let a = mine
+                .get(ai)
+                .filter(|(ms, _, _)| *ms <= s)
+                .map(|(_, _, r)| r);
+            let b = add
+                .segs
+                .get(bi)
+                .filter(|(bs, _, _)| *bs <= s)
+                .map(|(_, _, r)| r);
             let set = match (a, b) {
                 (None, None) => continue,
                 (Some(x), None) => x.clone(),
@@ -250,13 +307,9 @@ impl CoverageMap {
                     u
                 }
             };
-            rebuilt.push((s, e, set));
+            push_coalesced(&mut rebuilt, (s, e, set));
         }
-        self.clear_range(lo, hi);
-        self.segs.extend(rebuilt);
-        self.segs.sort_by_key(|(s, _, _)| *s);
-        self.coalesce();
-        self.assert_invariants();
+        self.splice_window(lo, hi, rebuilt);
     }
 
     /// True when `[start, end)` is fully covered and every byte holds
@@ -266,7 +319,7 @@ impl CoverageMap {
             return true;
         }
         let mut cursor = start;
-        for (s, e, set) in &self.segs {
+        for (s, e, set) in &self.segs[self.lower(start)..] {
             if *e <= cursor {
                 continue;
             }
@@ -284,24 +337,6 @@ impl CoverageMap {
         cursor >= end
     }
 
-    /// Merge adjacent segments with identical sets.
-    fn coalesce(&mut self) {
-        let mut out: Vec<(u64, u64, RankSet)> = Vec::with_capacity(self.segs.len());
-        for (s, e, set) in self.segs.drain(..) {
-            if s >= e {
-                continue;
-            }
-            if let Some(last) = out.last_mut() {
-                if last.1 == s && last.2.set_eq(&set) {
-                    last.1 = e;
-                    continue;
-                }
-            }
-            out.push((s, e, set));
-        }
-        self.segs = out;
-    }
-
     #[inline]
     fn assert_invariants(&self) {
         debug_assert!(
@@ -315,6 +350,22 @@ impl CoverageMap {
     pub fn segments(&self) -> impl Iterator<Item = (u64, u64, &RankSet)> {
         self.segs.iter().map(|(s, e, set)| (*s, *e, set))
     }
+}
+
+/// Append `seg` to `out`, extending the last segment instead when the two
+/// are adjacent with equal sets (the canonical-form invariant).
+#[inline]
+fn push_coalesced(out: &mut Vec<(u64, u64, RankSet)>, seg: (u64, u64, RankSet)) {
+    if seg.0 >= seg.1 {
+        return;
+    }
+    if let Some(last) = out.last_mut() {
+        if last.1 == seg.0 && last.2.set_eq(&seg.2) {
+            last.1 = seg.1;
+            return;
+        }
+    }
+    out.push(seg);
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 pub mod coverage;
 pub mod critical;
 pub mod program;
+pub mod queue;
 pub mod report;
 pub mod resources;
 pub mod sim;

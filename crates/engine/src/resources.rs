@@ -13,9 +13,24 @@
 //! adding flows just splits the same capacity (Zone C), while on the IB
 //! model each flow is capped well below `node_bw` and concurrency adds real
 //! throughput.
+//!
+//! ## Incremental water-filling (DESIGN.md §11)
+//!
+//! Flow arrival/teardown marks only the touched resources dirty;
+//! [`FluidSystem::recompute`] walks the resource↔flow bipartite graph from
+//! the dirty set and re-levels just that bottleneck-connected region. All
+//! state lives in slot-indexed slabs ([`FluidSystem`]'s `flows` +
+//! per-resource flow index `res_flows`), so the walk and the fill do no
+//! hashing — visited marks are generation stamps, membership removal is an
+//! O(1) swap-remove via per-claim back-pointers. When the dirty set grows
+//! past [`FULL_SOLVE_THRESHOLD`] of all resources the incremental walk
+//! stops paying for itself and [`FluidSystem::recompute_full`] re-levels
+//! every component from scratch instead. Both paths run the identical
+//! per-component progressive fill in flow-id order, so they agree to the
+//! bit — `prop_incremental_matches_scratch_to_0_ulp` holds them to 0 ULP.
 
 use crate::time::SimTime;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Identifies a capacity-limited resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,9 +43,17 @@ pub struct FlowId(pub u64);
 /// Bytes below which a flow counts as drained (absorbs fp rounding).
 const EPS_BYTES: f64 = 1e-6;
 
+/// When more than this fraction of all resources is dirty, the incremental
+/// walk would visit most of the graph anyway — recompute from scratch.
+const FULL_SOLVE_THRESHOLD: f64 = 0.5;
+
 #[derive(Debug, Clone)]
 struct FlowState<T> {
+    /// Monotonic public identity (never reused, unlike the slot).
+    id: u64,
     claims: Vec<ResourceId>,
+    /// `claim_pos[k]` = this flow's index within `res_flows[claims[k]]`.
+    claim_pos: Vec<u32>,
     cap: f64,
     remaining: f64,
     rate: f64,
@@ -60,8 +83,17 @@ struct UtilState {
 #[derive(Debug)]
 pub struct FluidSystem<T> {
     caps: Vec<f64>,
-    flows: HashMap<u64, FlowState<T>>,
-    res_flows: Vec<HashSet<u64>>,
+    /// Slot-indexed flow slab; freed slots go to `free_slots` for reuse.
+    flows: Vec<Option<FlowState<T>>>,
+    free_slots: Vec<u32>,
+    /// Public-id → slot (only consulted at the FlowId-keyed API edge:
+    /// add/remove/rate_of; every hot loop walks the slab directly).
+    slot_of: HashMap<u64, u32>,
+    live: usize,
+    /// Per-resource flow index: the slots of the flows claiming each
+    /// resource, as `(slot, claim_index)` so removal is one swap_remove
+    /// plus a back-pointer fix.
+    res_flows: Vec<Vec<(u32, u32)>>,
     dirty_resources: Vec<u32>,
     next_flow: u64,
     last_update: SimTime,
@@ -70,6 +102,7 @@ pub struct FluidSystem<T> {
     scratch_residual: Vec<f64>,
     scratch_count: Vec<u32>,
     scratch_stamp: Vec<u64>,
+    flow_stamp: Vec<u64>,
     stamp: u64,
     // Optional per-resource occupancy accounting (profiling runs only;
     // `None` costs nothing on the hot path).
@@ -82,7 +115,10 @@ impl<T> FluidSystem<T> {
     pub fn new() -> Self {
         FluidSystem {
             caps: Vec::new(),
-            flows: HashMap::new(),
+            flows: Vec::new(),
+            free_slots: Vec::new(),
+            slot_of: HashMap::new(),
+            live: 0,
             res_flows: Vec::new(),
             dirty_resources: Vec::new(),
             next_flow: 0,
@@ -91,6 +127,7 @@ impl<T> FluidSystem<T> {
             scratch_residual: Vec::new(),
             scratch_count: Vec::new(),
             scratch_stamp: Vec::new(),
+            flow_stamp: Vec::new(),
             stamp: 0,
             util: None,
             util_scratch: Vec::new(),
@@ -118,7 +155,7 @@ impl<T> FluidSystem<T> {
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
         assert!(capacity > 0.0, "resource capacity must be positive");
         self.caps.push(capacity);
-        self.res_flows.push(HashSet::new());
+        self.res_flows.push(Vec::new());
         self.scratch_residual.push(0.0);
         self.scratch_count.push(0);
         self.scratch_stamp.push(0);
@@ -161,7 +198,7 @@ impl<T> FluidSystem<T> {
 
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.live
     }
 
     /// True if rates need recomputation since the last change.
@@ -174,41 +211,69 @@ impl<T> FluidSystem<T> {
     pub fn add_flow(&mut self, claims: Vec<ResourceId>, cap: f64, bytes: f64, token: T) -> FlowId {
         assert!(cap > 0.0, "flow cap must be positive");
         assert!(bytes >= 0.0, "flow bytes must be non-negative");
-        for c in &claims {
+        for (k, c) in claims.iter().enumerate() {
             assert!((c.0 as usize) < self.caps.len(), "unknown resource {c:?}");
+            debug_assert!(
+                !claims[..k].contains(c),
+                "duplicate claim {c:?}: the per-resource flow index stores one entry per flow"
+            );
         }
         let id = self.next_flow;
         self.next_flow += 1;
-        for c in &claims {
-            self.res_flows[c.0 as usize].insert(id);
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.flows.push(None);
+                self.flow_stamp.push(0);
+                self.flows.len() as u32 - 1
+            }
+        };
+        let mut claim_pos = Vec::with_capacity(claims.len());
+        for (k, c) in claims.iter().enumerate() {
+            let list = &mut self.res_flows[c.0 as usize];
+            claim_pos.push(list.len() as u32);
+            list.push((slot, k as u32));
             self.dirty_resources.push(c.0);
         }
-        self.flows.insert(
+        self.flows[slot as usize] = Some(FlowState {
             id,
-            FlowState {
-                claims,
-                cap,
-                remaining: bytes,
-                rate: 0.0,
-                token,
-            },
-        );
+            claims,
+            claim_pos,
+            cap,
+            remaining: bytes,
+            rate: 0.0,
+            token,
+        });
+        self.slot_of.insert(id, slot);
+        self.live += 1;
         self.dirty = true;
         FlowId(id)
     }
 
     /// Remove a flow (normally after completion), returning its token.
     pub fn remove_flow(&mut self, id: FlowId) -> Option<T> {
-        let f = self.flows.remove(&id.0)?;
-        for c in &f.claims {
-            self.res_flows[c.0 as usize].remove(&id.0);
+        let slot = self.slot_of.remove(&id.0)?;
+        let f = self.flows[slot as usize].take().expect("indexed live flow");
+        for (c, &pos) in f.claims.iter().zip(f.claim_pos.iter()) {
+            let list = &mut self.res_flows[c.0 as usize];
+            list.swap_remove(pos as usize);
+            if let Some(&(moved_slot, moved_k)) = list.get(pos as usize) {
+                self.flows[moved_slot as usize]
+                    .as_mut()
+                    .expect("indexed live flow")
+                    .claim_pos[moved_k as usize] = pos;
+            }
             self.dirty_resources.push(c.0);
         }
+        self.free_slots.push(slot);
+        self.live -= 1;
         self.dirty = true;
         Some(f.token)
     }
 
-    /// Advance virtual time: drain every flow by `rate * dt`.
+    /// Advance virtual time: drain every flow by `rate * dt`. Flows at
+    /// rate zero are skipped — subtracting `0.0 * dt` is the identity on
+    /// a non-negative `remaining`, so the fast path is bit-identical.
     pub fn advance_to(&mut self, now: SimTime) {
         let dt = now - self.last_update;
         debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
@@ -216,8 +281,10 @@ impl<T> FluidSystem<T> {
             if self.util.is_some() {
                 self.account_utilization(dt);
             }
-            for f in self.flows.values_mut() {
-                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            for f in self.flows.iter_mut().flatten() {
+                if f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
             }
         }
         self.last_update = now;
@@ -229,13 +296,18 @@ impl<T> FluidSystem<T> {
         let mut loads = std::mem::take(&mut self.util_scratch);
         loads.clear();
         loads.resize(self.caps.len(), 0.0);
-        // HashMap iteration order is seeded per process; accumulate in
-        // flow-id order so the floating-point sums (and the peak_util they
-        // feed) are bit-identical across runs.
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let f = &self.flows[&id];
+        // Accumulate in flow-id order (slots are reused, so slab order is
+        // not id order) so the floating-point sums — and the peak_util
+        // they feed — are bit-identical across runs.
+        let mut order: Vec<(u64, u32)> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, f)| f.as_ref().map(|f| (f.id, slot as u32)))
+            .collect();
+        order.sort_unstable();
+        for (_, slot) in order {
+            let f = self.flows[slot as usize].as_ref().expect("live slot");
             if f.rate > 0.0 {
                 for c in &f.claims {
                     loads[c.0 as usize] += f.rate;
@@ -260,31 +332,39 @@ impl<T> FluidSystem<T> {
 
     /// Recompute max-min fair rates (progressive filling with per-flow
     /// caps) over the connected component(s) touched since the last
-    /// recompute. Clears the dirty bit.
+    /// recompute, or from scratch when the dirty set is large. Clears the
+    /// dirty bit.
     pub fn recompute(&mut self) {
         self.dirty = false;
-        if self.flows.is_empty() {
+        if self.live == 0 {
             self.dirty_resources.clear();
             return;
         }
-        // Gather the affected component: BFS from dirty resources over the
-        // resource↔flow bipartite graph. `scratch_stamp` doubles as the
-        // visited marker (a fresh stamp per recompute).
+        if self.dirty_resources.len() as f64 > FULL_SOLVE_THRESHOLD * self.caps.len() as f64 {
+            self.dirty_resources.clear();
+            self.recompute_full();
+            return;
+        }
+        // Gather the affected region: BFS from dirty resources over the
+        // resource↔flow bipartite graph. `scratch_stamp`/`flow_stamp`
+        // double as visited markers (a fresh stamp per recompute).
         self.stamp += 1;
         let bfs_stamp = self.stamp;
-        let mut flow_seen: HashSet<u64> = HashSet::new();
         let mut res_queue: Vec<u32> = std::mem::take(&mut self.dirty_resources);
-        let mut affected: Vec<u64> = Vec::new();
+        let mut affected: Vec<(u64, u32)> = Vec::new();
         while let Some(r) = res_queue.pop() {
             let ri = r as usize;
             if self.scratch_stamp[ri] == bfs_stamp {
                 continue;
             }
             self.scratch_stamp[ri] = bfs_stamp;
-            for &fid in &self.res_flows[ri] {
-                if flow_seen.insert(fid) {
-                    affected.push(fid);
-                    for c in &self.flows[&fid].claims {
+            for idx in 0..self.res_flows[ri].len() {
+                let (slot, _) = self.res_flows[ri][idx];
+                if self.flow_stamp[slot as usize] != bfs_stamp {
+                    self.flow_stamp[slot as usize] = bfs_stamp;
+                    let f = self.flows[slot as usize].as_ref().expect("indexed flow");
+                    affected.push((f.id, slot));
+                    for c in &f.claims {
                         if self.scratch_stamp[c.0 as usize] != bfs_stamp {
                             res_queue.push(c.0);
                         }
@@ -292,70 +372,125 @@ impl<T> FluidSystem<T> {
                 }
             }
         }
+        self.dirty_resources = res_queue; // return the (drained) buffer
         if affected.is_empty() {
             return;
         }
-        // Deterministic order.
+        // Deterministic order: fill walks flows by ascending id.
         affected.sort_unstable();
-        self.fill_component(&affected);
+        self.fill_region(&affected);
     }
 
-    /// Progressive filling restricted to one component (the flows share no
-    /// resources with any flow outside it).
-    fn fill_component(&mut self, component: &[u64]) {
+    /// From-scratch re-level: partition all live flows into bottleneck
+    /// components and fill each one, in ascending-flow-id order. Used
+    /// directly by [`FluidSystem::recompute`] past the dirty-set
+    /// threshold; also the reference the incremental path is property-
+    /// tested against (they must agree to 0 ULP — fills run the same
+    /// arithmetic in the same order either way).
+    pub fn recompute_full(&mut self) {
+        self.dirty = false;
+        self.dirty_resources.clear();
+        let mut order: Vec<(u64, u32)> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, f)| f.as_ref().map(|f| (f.id, slot as u32)))
+            .collect();
+        order.sort_unstable();
+        self.stamp += 1;
+        let visit_stamp = self.stamp;
+        let mut component: Vec<(u64, u32)> = Vec::new();
+        let mut res_queue: Vec<u32> = Vec::new();
+        for &(id, slot) in &order {
+            if self.flow_stamp[slot as usize] == visit_stamp {
+                continue;
+            }
+            // BFS this flow's component.
+            component.clear();
+            self.flow_stamp[slot as usize] = visit_stamp;
+            component.push((id, slot));
+            res_queue.extend(
+                self.flows[slot as usize]
+                    .as_ref()
+                    .expect("live slot")
+                    .claims
+                    .iter()
+                    .map(|c| c.0),
+            );
+            while let Some(r) = res_queue.pop() {
+                let ri = r as usize;
+                if self.scratch_stamp[ri] == visit_stamp {
+                    continue;
+                }
+                self.scratch_stamp[ri] = visit_stamp;
+                for idx in 0..self.res_flows[ri].len() {
+                    let (s2, _) = self.res_flows[ri][idx];
+                    if self.flow_stamp[s2 as usize] != visit_stamp {
+                        self.flow_stamp[s2 as usize] = visit_stamp;
+                        let f = self.flows[s2 as usize].as_ref().expect("indexed flow");
+                        component.push((f.id, s2));
+                        for c in &f.claims {
+                            if self.scratch_stamp[c.0 as usize] != visit_stamp {
+                                res_queue.push(c.0);
+                            }
+                        }
+                    }
+                }
+            }
+            component.sort_unstable();
+            let comp = std::mem::take(&mut component);
+            self.fill_region(&comp);
+            component = comp;
+        }
+    }
+
+    /// Progressive filling over one bottleneck-connected region (the
+    /// flows share no resources with any flow outside it), given as
+    /// `(id, slot)` pairs in ascending-id order.
+    fn fill_region(&mut self, region: &[(u64, u32)]) {
         #[cfg(feature = "fluid-stats")]
         {
             use std::sync::atomic::{AtomicU64, Ordering};
             static CALLS: AtomicU64 = AtomicU64::new(0);
             static WORK: AtomicU64 = AtomicU64::new(0);
             let c = CALLS.fetch_add(1, Ordering::Relaxed) + 1;
-            let w =
-                WORK.fetch_add(component.len() as u64, Ordering::Relaxed) + component.len() as u64;
+            let w = WORK.fetch_add(region.len() as u64, Ordering::Relaxed) + region.len() as u64;
             if c.is_multiple_of(10_000) {
-                eprintln!("fill_component calls={c} total_flows_filled={w}");
+                eprintln!("fill_region calls={c} total_flows_filled={w}");
             }
         }
-        // Local working copies to avoid repeated hashing in the hot loop.
-        struct Work {
-            id: u64,
-            cap: f64,
-            claims: Vec<u32>,
-        }
-        let mut work: Vec<Work> = component
-            .iter()
-            .map(|&id| {
-                let f = &self.flows[&id];
-                Work {
-                    id,
-                    cap: f.cap,
-                    claims: f.claims.iter().map(|c| c.0).collect(),
-                }
-            })
-            .collect();
-        // Stamped scratch reset: only the component's resources are touched.
+        // Scratch moves to locals so the fill can read flow claims from
+        // the slab without aliasing (no per-flow claim-vector clones).
+        let mut residual = std::mem::take(&mut self.scratch_residual);
+        let mut count = std::mem::take(&mut self.scratch_count);
+        let mut stamps = std::mem::take(&mut self.scratch_stamp);
         self.stamp += 1;
         let fill_stamp = self.stamp;
-        for w in &work {
-            for &r in &w.claims {
-                let ri = r as usize;
-                if self.scratch_stamp[ri] != fill_stamp {
-                    self.scratch_stamp[ri] = fill_stamp;
-                    self.scratch_residual[ri] = self.caps[ri];
-                    self.scratch_count[ri] = 0;
+        for &(_, slot) in region {
+            let f = self.flows[slot as usize].as_ref().expect("live slot");
+            for c in &f.claims {
+                let ri = c.0 as usize;
+                if stamps[ri] != fill_stamp {
+                    stamps[ri] = fill_stamp;
+                    residual[ri] = self.caps[ri];
+                    count[ri] = 0;
                 }
-                self.scratch_count[ri] += 1;
+                count[ri] += 1;
             }
         }
+        let mut work: Vec<u32> = region.iter().map(|&(_, slot)| slot).collect();
         let mut cands: Vec<f64> = vec![0.0; work.len()];
+        let mut frozen: Vec<u32> = Vec::new();
         while !work.is_empty() {
             let mut min_share = f64::INFINITY;
-            for (w, cand) in work.iter().zip(cands.iter_mut()) {
-                let mut share = w.cap;
-                for &r in &w.claims {
-                    let ri = r as usize;
-                    let n = self.scratch_count[ri];
+            for (&slot, cand) in work.iter().zip(cands.iter_mut()) {
+                let f = self.flows[slot as usize].as_ref().expect("live slot");
+                let mut share = f.cap;
+                for c in &f.claims {
+                    let ri = c.0 as usize;
+                    let n = count[ri];
                     if n > 0 {
-                        share = share.min(self.scratch_residual[ri] / n as f64);
+                        share = share.min(residual[ri] / n as f64);
                     }
                 }
                 *cand = share;
@@ -364,28 +499,31 @@ impl<T> FluidSystem<T> {
             debug_assert!(min_share.is_finite() && min_share >= 0.0);
             let mut still = Vec::with_capacity(work.len());
             let mut still_c = Vec::with_capacity(work.len());
-            let mut froze_any = false;
-            for (w, cand) in work.drain(..).zip(cands.drain(..)) {
+            frozen.clear();
+            for (slot, cand) in work.drain(..).zip(cands.drain(..)) {
                 if cand <= min_share * (1.0 + 1e-12) {
-                    for &r in &w.claims {
-                        let ri = r as usize;
-                        self.scratch_residual[ri] =
-                            (self.scratch_residual[ri] - min_share).max(0.0);
-                        self.scratch_count[ri] -= 1;
+                    let f = self.flows[slot as usize].as_ref().expect("live slot");
+                    for c in &f.claims {
+                        let ri = c.0 as usize;
+                        residual[ri] = (residual[ri] - min_share).max(0.0);
+                        count[ri] -= 1;
                     }
-                    // invariant: `work` was built from `self.flows` at the
-                    // top of this call and nothing removes flows mid-fill.
-                    self.flows.get_mut(&w.id).expect("live flow").rate = min_share;
-                    froze_any = true;
+                    frozen.push(slot);
                 } else {
-                    still.push(w);
+                    still.push(slot);
                     still_c.push(0.0);
                 }
             }
-            debug_assert!(froze_any, "progressive filling made no progress");
+            debug_assert!(!frozen.is_empty(), "progressive filling made no progress");
+            for &slot in &frozen {
+                self.flows[slot as usize].as_mut().expect("live slot").rate = min_share;
+            }
             work = still;
             cands = still_c;
         }
+        self.scratch_residual = residual;
+        self.scratch_count = count;
+        self.scratch_stamp = stamps;
     }
 
     /// The earliest predicted completion among active flows, given current
@@ -393,7 +531,7 @@ impl<T> FluidSystem<T> {
     pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
         debug_assert!(!self.dirty, "call recompute() before next_completion()");
         let mut best: Option<(SimTime, FlowId)> = None;
-        for (&id, f) in &self.flows {
+        for f in self.flows.iter().flatten() {
             let t = if f.remaining <= EPS_BYTES {
                 self.last_update
             } else if f.rate > 0.0 {
@@ -402,8 +540,8 @@ impl<T> FluidSystem<T> {
                 continue; // starved flow: cannot finish until rates change
             };
             match best {
-                Some((bt, bid)) if (bt, bid) <= (t, FlowId(id)) => {}
-                _ => best = Some((t, FlowId(id))),
+                Some((bt, bid)) if (bt, bid) <= (t, FlowId(f.id)) => {}
+                _ => best = Some((t, FlowId(f.id))),
             }
         }
         best
@@ -414,8 +552,9 @@ impl<T> FluidSystem<T> {
         let mut v: Vec<FlowId> = self
             .flows
             .iter()
-            .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(&id, _)| FlowId(id))
+            .flatten()
+            .filter(|f| f.remaining <= EPS_BYTES)
+            .map(|f| FlowId(f.id))
             .collect();
         v.sort_unstable();
         v
@@ -423,12 +562,13 @@ impl<T> FluidSystem<T> {
 
     /// Current rate of a flow (test/diagnostic).
     pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id.0).map(|f| f.rate)
+        let slot = *self.slot_of.get(&id.0)?;
+        self.flows[slot as usize].as_ref().map(|f| f.rate)
     }
 
     /// Aggregate current rate over all flows (test/diagnostic).
     pub fn total_rate(&self) -> f64 {
-        self.flows.values().map(|f| f.rate).sum()
+        self.flows.iter().flatten().map(|f| f.rate).sum()
     }
 }
 
@@ -437,7 +577,6 @@ impl<T> Default for FluidSystem<T> {
         Self::new()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +858,104 @@ mod tests {
                 let r = s.rate_of(ids[i]).unwrap();
                 prop_assert!(r <= cap * (1.0 + 1e-6));
                 prop_assert!(r > 0.0);
+            }
+        }
+
+        /// The tentpole equivalence (DESIGN.md §11): after an arbitrary
+        /// interleaving of arrivals, teardowns, capacity faults, and
+        /// incremental recomputes, a from-scratch re-level of the whole
+        /// system reproduces every incrementally-maintained rate to 0 ULP.
+        #[test]
+        fn prop_incremental_matches_scratch_to_0_ulp(
+            caps in proptest::collection::vec(1.0f64..100.0, 2..6),
+            ops in proptest::collection::vec(
+                (0u8..4, proptest::collection::vec(0usize..6, 1..4), 0.5f64..50.0, 1.0f64..80.0),
+                1..40,
+            ),
+        ) {
+            let mut s: FluidSystem<usize> = FluidSystem::new();
+            let rids: Vec<ResourceId> = caps.iter().map(|&c| s.add_resource(c)).collect();
+            let mut live: Vec<FlowId> = Vec::new();
+            let mut t = 0.0f64;
+            for (i, (kind, picks, cap, bytes)) in ops.iter().enumerate() {
+                match kind {
+                    // Arrival.
+                    0 | 1 => {
+                        let mut cl: Vec<ResourceId> =
+                            picks.iter().map(|&c| rids[c % rids.len()]).collect();
+                        cl.sort_by_key(|r| r.0);
+                        cl.dedup();
+                        live.push(s.add_flow(cl, *cap, *bytes, i));
+                    }
+                    // Teardown of the oldest live flow.
+                    2 => {
+                        if !live.is_empty() {
+                            s.remove_flow(live.remove(0));
+                        }
+                    }
+                    // Capacity fault on some resource.
+                    _ => {
+                        let r = rids[picks[0] % rids.len()];
+                        s.set_capacity(r, *cap);
+                    }
+                }
+                // Drain a little and re-level incrementally.
+                t += 0.01;
+                s.recompute();
+                s.advance_to(SimTime::new(t));
+            }
+            let incremental: Vec<Option<u64>> = live
+                .iter()
+                .map(|&f| s.rate_of(f).map(f64::to_bits))
+                .collect();
+            s.recompute_full();
+            let scratch: Vec<Option<u64>> = live
+                .iter()
+                .map(|&f| s.rate_of(f).map(f64::to_bits))
+                .collect();
+            prop_assert_eq!(incremental, scratch, "incremental vs from-scratch rates differ");
+        }
+
+        /// Max-min optimality: every flow is bottlenecked — pinned at its
+        /// own cap, or crossing a resource that is saturated (or dead).
+        #[test]
+        fn prop_every_flow_is_bottlenecked(
+            caps in proptest::collection::vec(1.0f64..100.0, 1..5),
+            flows in proptest::collection::vec(
+                (proptest::collection::vec(0usize..5, 1..4), 0.5f64..50.0),
+                1..12,
+            ),
+        ) {
+            let mut s: FluidSystem<usize> = FluidSystem::new();
+            let rids: Vec<ResourceId> = caps.iter().map(|&c| s.add_resource(c)).collect();
+            let mut ids = Vec::new();
+            for (i, (claims, cap)) in flows.iter().enumerate() {
+                let mut cl: Vec<ResourceId> =
+                    claims.iter().map(|&c| rids[c % rids.len()]).collect();
+                cl.sort_by_key(|r| r.0);
+                cl.dedup();
+                ids.push((s.add_flow(cl.clone(), *cap, 1.0, i), cl, *cap));
+            }
+            s.recompute();
+            // Total load per resource, summed over the flows crossing it.
+            let mut load = vec![0.0f64; rids.len()];
+            for (fid, cl, _) in &ids {
+                let r = s.rate_of(*fid).unwrap();
+                for c in cl {
+                    load[c.0 as usize] += r;
+                }
+            }
+            for (fid, cl, cap) in &ids {
+                let r = s.rate_of(*fid).unwrap();
+                let at_cap = r >= cap * (1.0 - 1e-9);
+                let at_saturated_resource = cl.iter().any(|c| {
+                    let ri = c.0 as usize;
+                    load[ri] >= caps[ri] * (1.0 - 1e-6)
+                });
+                prop_assert!(
+                    at_cap || at_saturated_resource,
+                    "flow {fid:?} rate {r} is below cap {cap} yet crosses no saturated resource"
+                );
             }
         }
     }

@@ -18,6 +18,7 @@
 
 use crate::coverage::CoverageMap;
 use crate::program::{BufKey, ByteRange, Instr, ReqId, Tag, WorldProgram, BUF_RESULT};
+use crate::queue::EventQueue;
 use crate::report::{ResourceUsage, RunReport, RunStats};
 use crate::resources::{FlowId, FluidSystem, ResourceId};
 use crate::time::SimTime;
@@ -25,8 +26,7 @@ use crate::trace::{MsgTrace, Phase, Release, Span, SpanKind, Trace};
 use dpml_fabric::Fabric;
 use dpml_faults::{FaultClock, FaultPlan, WireFault};
 use dpml_topology::{Rank, RankMap, SwitchTree, SwitchTreeSpec, TopologyError};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Provides SHArP operation timing to the engine (implemented by
 /// `dpml-sharp`; the engine stays independent of the aggregation model).
@@ -426,8 +426,7 @@ struct SimState<'a> {
     world: &'a WorldProgram,
     oracle: Option<&'a dyn SharpOracle>,
     now: SimTime,
-    seq: u64,
-    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
+    events: EventQueue<Ev>,
     ranks: Vec<RankState>,
     shared: Vec<HashMap<u32, CoverageMap>>,
     msgs: Vec<Msg>,
@@ -551,8 +550,7 @@ impl<'a> SimState<'a> {
             world,
             oracle,
             now: SimTime::ZERO,
-            seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             ranks,
             shared: (0..h).map(|_| HashMap::new()).collect(),
             msgs: Vec::new(),
@@ -698,13 +696,12 @@ impl<'a> SimState<'a> {
     }
 
     fn push(&mut self, t: SimTime, ev: Ev) {
-        self.seq += 1;
-        self.events.push(Reverse((t, self.seq, ev)));
+        self.events.push(t, ev);
     }
 
     fn run(&mut self) -> Result<(), SimError> {
         let mut processed: u64 = 0;
-        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+        while let Some((t, ev)) = self.events.pop() {
             processed += 1;
             if processed > self.event_budget {
                 return Err(SimError::EventBudgetExceeded(self.event_budget));
@@ -730,12 +727,8 @@ impl<'a> SimState<'a> {
             // fluid rates: synchronized collectives start/finish thousands
             // of flows at the same instant, and one shared recompute turns
             // O(events × flows) into O(timestamps × flows).
-            while self
-                .events
-                .peek()
-                .is_some_and(|Reverse((t2, _, _))| *t2 <= self.now)
-            {
-                let Reverse((_, _, ev2)) = self.events.pop().expect("peeked");
+            while self.events.peek_time().is_some_and(|t2| t2 <= self.now) {
+                let (_, ev2) = self.events.pop().expect("peeked");
                 processed += 1;
                 if processed > self.event_budget {
                     return Err(SimError::EventBudgetExceeded(self.event_budget));
@@ -854,17 +847,20 @@ impl<'a> SimState<'a> {
     // ---- program interpretation ------------------------------------------
 
     fn run_rank(&mut self, r: u32) -> Result<(), SimError> {
+        // Copy the program reference out of `self` so the interpreter can
+        // match instructions in place (no per-step `Instr` clone) while
+        // still calling `&mut self` handlers.
+        let world = self.world;
         loop {
             let pc = self.ranks[r as usize].pc;
-            let prog = &self.world.programs[r as usize];
+            let prog = &world.programs[r as usize];
             if pc >= prog.instrs.len() {
                 self.ranks[r as usize].status = Status::Done;
                 self.ranks[r as usize].finish = Some(self.now);
                 return Ok(());
             }
-            let instr = prog.instrs[pc].clone();
             let phase = prog.phase_at(pc);
-            match instr {
+            match &prog.instrs[pc] {
                 Instr::ISend {
                     to,
                     tag,
@@ -873,12 +869,12 @@ impl<'a> SimState<'a> {
                 } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::SendInject, range.len(), phase);
-                    self.exec_isend(r, to, tag, src, range, phase);
+                    self.exec_isend(r, *to, *tag, *src, *range, phase);
                     return Ok(()); // busy for the injection overhead
                 }
                 Instr::IRecv { from, tag, dst } => {
                     self.ranks[r as usize].pc += 1;
-                    self.exec_irecv(r, from, tag, dst)?;
+                    self.exec_irecv(r, *from, *tag, *dst)?;
                     // continues immediately
                 }
                 Instr::WaitAll { reqs } => {
@@ -889,7 +885,7 @@ impl<'a> SimState<'a> {
                         self.ranks[r as usize].pc += 1;
                         continue;
                     }
-                    self.ranks[r as usize].waiting = reqs;
+                    self.ranks[r as usize].waiting = reqs.clone();
                     self.ranks[r as usize].status = Status::OnWait;
                     self.begin_span(r, SpanKind::Wait, 0, phase);
                     return Ok(());
@@ -900,12 +896,16 @@ impl<'a> SimState<'a> {
                     range,
                     cross_socket,
                 } => {
+                    let cross_socket = *cross_socket;
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Copy, range.len(), phase);
                     self.ranks[r as usize].pending_local = Some(PendingLocal {
-                        kind: LocalKind::Copy { src, cross_socket },
-                        dst,
-                        range,
+                        kind: LocalKind::Copy {
+                            src: *src,
+                            cross_socket,
+                        },
+                        dst: *dst,
+                        range: *range,
                     });
                     self.ranks[r as usize].status = Status::Busy;
                     let lat = self.cfg.fabric.mem.copy_latency(cross_socket) * self.noise_factor(r);
@@ -917,9 +917,9 @@ impl<'a> SimState<'a> {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Reduce, range.len() * srcs.len() as u64, phase);
                     self.ranks[r as usize].pending_local = Some(PendingLocal {
-                        kind: LocalKind::Reduce { srcs },
-                        dst,
-                        range,
+                        kind: LocalKind::Reduce { srcs: srcs.clone() },
+                        dst: *dst,
+                        range: *range,
                     });
                     self.ranks[r as usize].status = Status::Busy;
                     let lat = self.cfg.fabric.compute.reduce_latency * self.noise_factor(r);
@@ -938,7 +938,7 @@ impl<'a> SimState<'a> {
                 Instr::Barrier { id } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Barrier, 0, phase);
-                    self.exec_barrier(r, id)?;
+                    self.exec_barrier(r, *id)?;
                     return Ok(());
                 }
                 Instr::Sharp {
@@ -949,7 +949,7 @@ impl<'a> SimState<'a> {
                 } => {
                     self.ranks[r as usize].pc += 1;
                     self.begin_span(r, SpanKind::Sharp, range.len(), phase);
-                    self.exec_sharp(r, group, src, dst, range, None)?;
+                    self.exec_sharp(r, *group, *src, *dst, *range, None)?;
                     return Ok(());
                 }
                 Instr::ISharp {
@@ -961,7 +961,7 @@ impl<'a> SimState<'a> {
                     self.ranks[r as usize].pc += 1;
                     let req_idx = self.ranks[r as usize].reqs.len() as u32;
                     self.ranks[r as usize].reqs.push(ReqState::SharpPending);
-                    self.exec_sharp(r, group, src, dst, range, Some(req_idx))?;
+                    self.exec_sharp(r, *group, *src, *dst, *range, Some(req_idx))?;
                     // Non-blocking: continue interpreting.
                 }
             }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against a committed perf baseline.
+
+Compares two `perf` result files (see `crates/bench/src/bin/perf.rs`,
+which writes `results/perf_wallclock.json`) point by point and fails if
+any matching sweep point's discrete-event throughput (events/sec)
+regressed more than the threshold below the baseline.
+
+Points are matched on (cluster, algorithm, nodes, ppn, bytes). Tiny
+points are excluded (`--min-events`): their wall-clock is dominated by
+timer noise, not engine speed. CI runs:
+
+    target/release/perf --quick
+    python3 scripts/perf_check.py results/perf_baseline_quick.json \
+        results/perf_wallclock.json
+
+Regenerate the committed baseline after deliberate engine changes with:
+
+    target/release/perf --quick
+    cp results/perf_wallclock.json results/perf_baseline_quick.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(p):
+    return (p["cluster"], p["algorithm"], p["nodes"], p["ppn"], p["bytes"])
+
+
+def load_points(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {key(p): p for p in data["points"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional events/sec regression (default 0.25)",
+    )
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=20_000,
+        help="ignore points smaller than this many simulated events",
+    )
+    args = ap.parse_args()
+
+    base = load_points(args.baseline)
+    cur = load_points(args.current)
+    gated = sorted(k for k in cur if k in base and base[k]["events"] >= args.min_events)
+    if not gated:
+        print("perf_check: no comparable points above --min-events; refusing to pass vacuously")
+        return 1
+
+    regressions = []
+    for k in gated:
+        old = base[k]["events_per_sec"]
+        new = cur[k]["events_per_sec"]
+        ratio = new / old if old > 0 else float("inf")
+        marker = ""
+        if new < (1.0 - args.threshold) * old:
+            regressions.append(k)
+            marker = "  <-- REGRESSION"
+        print(
+            f"  {k[0]}/{k[1]}/{k[2]}x{k[3]}/{k[4]}B: "
+            f"{old:,.0f} -> {new:,.0f} events/s ({ratio:.2f}x){marker}"
+        )
+
+    print(
+        f"perf_check: {len(gated)} gated point(s), "
+        f"{len(regressions)} regression(s) beyond {args.threshold:.0%}"
+    )
+    if regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

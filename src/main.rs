@@ -313,20 +313,30 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         print!("  {:>16}", a.name());
     }
     println!();
+    // Fan the (size, algorithm) matrix out across worker threads; results
+    // return in input order, so the table matches a serial sweep exactly.
+    let mut sizes = Vec::new();
     let mut bytes = 4u64;
     while bytes <= 1 << 20 {
-        print!("{bytes:>8}");
+        sizes.push(bytes);
+        bytes *= 4;
+    }
+    let mut scenarios = Vec::new();
+    for &bytes in &sizes {
         for &a in &algs {
-            match run_allreduce(&preset, &spec, a, bytes) {
+            scenarios.push((a, bytes));
+        }
+    }
+    let reports = dpml_core::run::run_allreduce_batch(&preset, &spec, scenarios);
+    for (i, &bytes) in sizes.iter().enumerate() {
+        print!("{bytes:>8}");
+        for j in 0..algs.len() {
+            match &reports[i * algs.len() + j] {
                 Ok(rep) => print!("  {:>14.1}us", rep.latency_us),
-                Err(e) => {
-                    let _ = e;
-                    print!("  {:>16}", "-")
-                }
+                Err(_) => print!("  {:>16}", "-"),
             }
         }
         println!();
-        bytes *= 4;
     }
     Ok(())
 }

@@ -91,3 +91,57 @@ fn world_program_serde_round_trip() {
     let back: dpml::engine::WorldProgram = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(w, back);
 }
+
+#[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    // The scenario-parallel sweep runner must leak no thread-schedule
+    // dependence into results: the same seeded faulty matrix run through
+    // the parallel runner twice and through the single-threaded reference
+    // must serialize to byte-identical JSON. Each scenario gets its RNG
+    // stream from (base_seed, index) only, and results collect in input
+    // order regardless of completion order.
+    use dpml::core::integrity::{run_allreduce_verified, IntegrityPolicy};
+    use dpml::faults::{DataFaults, FaultPlan};
+    use dpml_bench::{sweep_seeded, sweep_serial};
+
+    let preset = cluster_c();
+    let spec = preset.spec(2, 4).unwrap();
+    let algs = [
+        Algorithm::Ring,
+        Algorithm::Dpml {
+            leaders: 2,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: 2,
+            chunks: 2,
+        },
+    ];
+    // Six scenarios: each algorithm twice, under different derived streams.
+    let scenarios: Vec<Algorithm> = algs.iter().cycle().take(6).copied().collect();
+    let run = |alg: Algorithm, seed: u64| {
+        let plan = FaultPlan {
+            seed,
+            data: DataFaults {
+                max_retransmits: 64,
+                ..DataFaults::wire(0.02, 0.01)
+            },
+            ..FaultPlan::canonical(seed, 0.5)
+        };
+        let rep = run_allreduce_verified(
+            &preset,
+            &spec,
+            alg,
+            16_384,
+            &plan,
+            IntegrityPolicy::default(),
+        )
+        .expect("verified faulty run");
+        serde_json::to_string(&rep).expect("serialize")
+    };
+    let par1 = sweep_seeded(0xD5, scenarios.clone(), run);
+    let par2 = sweep_seeded(0xD5, scenarios.clone(), run);
+    let serial = sweep_serial(0xD5, scenarios, run);
+    assert_eq!(par1, par2, "two parallel sweeps diverged");
+    assert_eq!(par1, serial, "parallel sweep differs from serial reference");
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements exactly the surface the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `map(..).collect::<Vec<_>>()` (plus
+//! `for_each`) — on top of `std::thread::scope`. Work is distributed by an
+//! atomic index counter and every result is written back to the slot of the
+//! item that produced it, so `collect` is order-preserving regardless of
+//! which thread ran which item: output `i` always comes from input `i`.
+//! Anything outside that surface is deliberately absent and fails to
+//! compile rather than silently misbehaving (see vendor/README.md).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use for `n` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An eager "parallel iterator": the items are materialized up front and
+/// the `map` closure runs across threads at `collect`/`for_each` time.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A `ParIter` with a pending map stage.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+    <std::ops::Range<T> as Iterator>::Item: Send,
+{
+    type Item = <std::ops::Range<T> as Iterator>::Item;
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Run `f` over `items` across threads; result `i` comes from item `i`.
+fn run_parallel<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self::Item, F>;
+    fn run<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Vec<R>;
+
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        self.run(&f);
+    }
+    fn collect<C: FromParallelResults<Self::Item>>(self) -> C {
+        C::from_results(self.run(|i| i))
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+    fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+    fn run<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> Vec<R> {
+        run_parallel(self.items, &f)
+    }
+}
+
+impl<I: Send, R: Send, M: Fn(I) -> R + Sync> ParallelIterator for ParMap<I, M> {
+    type Item = R;
+    fn map<R2: Send, F: Fn(R) -> R2 + Sync>(self, f: F) -> ParMap<R, F> {
+        // Two chained maps: run the first eagerly (still parallel), then
+        // stage the second. The workspace never chains more than two.
+        let mid = run_parallel(self.items, &self.f);
+        ParMap { items: mid, f }
+    }
+    fn run<R2: Send, F: Fn(R) -> R2 + Sync>(self, f: F) -> Vec<R2> {
+        let g = &self.f;
+        run_parallel(self.items, &|i| f(g(i)))
+    }
+}
+
+/// What `collect()` can build. Only `Vec<T>` — the surface the workspace uses.
+pub trait FromParallelResults<T> {
+    fn from_results(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelResults<T> for Vec<T> {
+    fn from_results(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v, (0u64..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u32, 2, 3, 4];
+        let v: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn chained_maps() {
+        let v: Vec<String> = vec![1i32, 2, 3]
+            .into_par_iter()
+            .map(|x| x * 10)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(v, vec!["10", "20", "30"]);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..101).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}
