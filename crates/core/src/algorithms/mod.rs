@@ -80,6 +80,68 @@ impl Algorithm {
         }
     }
 
+    /// Parse a CLI/protocol algorithm spec:
+    /// `rd | rabenseifner | ring | binomial | single-leader[:rd|rab|ring]
+    ///  | dpml:<l>[:rd|rab|ring] | dpml-pipelined:<l>:<k>
+    ///  | sharp-node | sharp-socket`.
+    ///
+    /// Shared by the `dpml` CLI and the `dpml-serve` network protocol, so
+    /// a job spec uses exactly the grammar the command line does.
+    pub fn parse(s: &str) -> Result<Algorithm, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let flat = |name: &str| -> Result<FlatAlg, String> {
+            match name {
+                "rd" => Ok(FlatAlg::RecursiveDoubling),
+                "rab" | "rabenseifner" => Ok(FlatAlg::Rabenseifner),
+                "ring" => Ok(FlatAlg::Ring),
+                other => Err(format!("unknown inner algorithm `{other}`")),
+            }
+        };
+        match parts[0] {
+            "rd" | "recursive-doubling" => Ok(Algorithm::RecursiveDoubling),
+            "rab" | "rabenseifner" => Ok(Algorithm::Rabenseifner),
+            "ring" => Ok(Algorithm::Ring),
+            "binomial" => Ok(Algorithm::BinomialReduceBcast),
+            "single-leader" => {
+                let inner = if parts.len() > 1 {
+                    flat(parts[1])?
+                } else {
+                    FlatAlg::RecursiveDoubling
+                };
+                Ok(Algorithm::SingleLeader { inner })
+            }
+            "dpml" => {
+                let leaders: u32 = parts
+                    .get(1)
+                    .ok_or("dpml needs a leader count, e.g. dpml:16")?
+                    .parse()
+                    .map_err(|e| format!("bad leader count: {e}"))?;
+                let inner = if parts.len() > 2 {
+                    flat(parts[2])?
+                } else {
+                    FlatAlg::RecursiveDoubling
+                };
+                Ok(Algorithm::Dpml { leaders, inner })
+            }
+            "dpml-pipelined" => {
+                let leaders: u32 = parts
+                    .get(1)
+                    .ok_or("dpml-pipelined needs leaders, e.g. dpml-pipelined:16:8")?
+                    .parse()
+                    .map_err(|e| format!("bad leader count: {e}"))?;
+                let chunks: u32 = parts
+                    .get(2)
+                    .ok_or("dpml-pipelined needs a chunk count, e.g. dpml-pipelined:16:8")?
+                    .parse()
+                    .map_err(|e| format!("bad chunk count: {e}"))?;
+                Ok(Algorithm::DpmlPipelined { leaders, chunks })
+            }
+            "sharp-node" => Ok(Algorithm::SharpNodeLeader),
+            "sharp-socket" => Ok(Algorithm::SharpSocketLeader),
+            other => Err(format!("unknown algorithm `{other}` (see `dpml info`)")),
+        }
+    }
+
     /// True when the schedule issues `Sharp` instructions (requires a
     /// SHArP-capable fabric and oracle).
     pub fn needs_sharp(&self) -> bool {
@@ -207,6 +269,67 @@ mod tests {
             "dpml-l16-k4"
         );
         assert_eq!(Algorithm::SharpSocketLeader.name(), "sharp-socket-leader");
+    }
+
+    #[test]
+    fn parse_covers_the_cli_grammar() {
+        assert_eq!(Algorithm::parse("rd"), Ok(Algorithm::RecursiveDoubling));
+        assert_eq!(
+            Algorithm::parse("recursive-doubling"),
+            Ok(Algorithm::RecursiveDoubling)
+        );
+        assert_eq!(Algorithm::parse("rab"), Ok(Algorithm::Rabenseifner));
+        assert_eq!(Algorithm::parse("ring"), Ok(Algorithm::Ring));
+        assert_eq!(
+            Algorithm::parse("binomial"),
+            Ok(Algorithm::BinomialReduceBcast)
+        );
+        assert_eq!(
+            Algorithm::parse("single-leader"),
+            Ok(Algorithm::SingleLeader {
+                inner: FlatAlg::RecursiveDoubling
+            })
+        );
+        assert_eq!(
+            Algorithm::parse("single-leader:ring"),
+            Ok(Algorithm::SingleLeader {
+                inner: FlatAlg::Ring
+            })
+        );
+        assert_eq!(
+            Algorithm::parse("dpml:16"),
+            Ok(Algorithm::Dpml {
+                leaders: 16,
+                inner: FlatAlg::RecursiveDoubling
+            })
+        );
+        assert_eq!(
+            Algorithm::parse("dpml:8:rab"),
+            Ok(Algorithm::Dpml {
+                leaders: 8,
+                inner: FlatAlg::Rabenseifner
+            })
+        );
+        assert_eq!(
+            Algorithm::parse("dpml-pipelined:16:8"),
+            Ok(Algorithm::DpmlPipelined {
+                leaders: 16,
+                chunks: 8
+            })
+        );
+        assert_eq!(
+            Algorithm::parse("sharp-node"),
+            Ok(Algorithm::SharpNodeLeader)
+        );
+        assert_eq!(
+            Algorithm::parse("sharp-socket"),
+            Ok(Algorithm::SharpSocketLeader)
+        );
+        assert!(Algorithm::parse("dpml").is_err());
+        assert!(Algorithm::parse("dpml:x").is_err());
+        assert!(Algorithm::parse("dpml:4:bogus").is_err());
+        assert!(Algorithm::parse("dpml-pipelined:4").is_err());
+        assert!(Algorithm::parse("no-such-alg").is_err());
     }
 
     #[test]

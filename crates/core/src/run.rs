@@ -103,6 +103,56 @@ pub fn run_allreduce_batch(
         .collect()
 }
 
+/// [`run_allreduce`] with optional engine budgets: the simulation aborts
+/// with [`RunError::Sim`] (`EventBudgetExceeded` / `TimeBudgetExceeded`)
+/// instead of running to completion once either budget is exhausted.
+/// `dpml-serve` maps job deadlines onto these budgets so a runaway
+/// scenario cannot pin a worker forever.
+pub fn run_allreduce_budgeted(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    alg: Algorithm,
+    bytes: u64,
+    event_budget: Option<u64>,
+    time_budget_s: Option<f64>,
+) -> Result<AllreduceReport, RunError> {
+    let map = RankMap::block(spec);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)?;
+    let world = alg.build(&map, bytes)?;
+    fn budgeted<'a>(
+        mut sim: Simulator<'a>,
+        events: Option<u64>,
+        secs: Option<f64>,
+    ) -> Simulator<'a> {
+        if let Some(events) = events {
+            sim = sim.with_event_budget(events);
+        }
+        if let Some(s) = secs {
+            sim = sim.with_time_budget(s);
+        }
+        sim
+    }
+    let report = if alg.needs_sharp() {
+        let params = preset.fabric.sharp.ok_or(RunError::NoSharpOnFabric)?;
+        let oracle = SharpFabric::new(params, cfg.tree.clone(), map);
+        budgeted(
+            Simulator::new(&cfg).with_sharp(&oracle),
+            event_budget,
+            time_budget_s,
+        )
+        .run(&world)?
+    } else {
+        budgeted(Simulator::new(&cfg), event_budget, time_budget_s).run(&world)?
+    };
+    report.verify_allreduce()?;
+    Ok(AllreduceReport {
+        algorithm: alg.name(),
+        bytes,
+        latency_us: report.latency_us(),
+        report,
+    })
+}
+
 /// [`run_allreduce`] with an explicit rank placement (block vs cyclic) —
 /// used by the placement ablation: flat algorithms degrade badly under
 /// cyclic placement while DPML's node-aware structure does not.
@@ -173,6 +223,31 @@ mod tests {
         let spec = p.spec(4, 4).unwrap();
         let rep = run_allreduce(&p, &spec, Algorithm::SharpSocketLeader, 256).unwrap();
         assert_eq!(rep.report.stats.sharp_ops, 1);
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_and_trips_on_tiny_budgets() {
+        let p = cluster_b();
+        let spec = p.spec(4, 4).unwrap();
+        let alg = Algorithm::Dpml {
+            leaders: 4,
+            inner: FlatAlg::RecursiveDoubling,
+        };
+        let plain = run_allreduce(&p, &spec, alg, 65536).unwrap();
+        let roomy =
+            run_allreduce_budgeted(&p, &spec, alg, 65536, Some(10_000_000), Some(10.0)).unwrap();
+        assert_eq!(plain.latency_us.to_bits(), roomy.latency_us.to_bits());
+
+        let err = run_allreduce_budgeted(&p, &spec, alg, 65536, Some(3), None).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Sim(dpml_engine::sim::SimError::EventBudgetExceeded(_))
+        ));
+        let err = run_allreduce_budgeted(&p, &spec, alg, 65536, None, Some(1e-9)).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Sim(dpml_engine::sim::SimError::TimeBudgetExceeded(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod retry;
+pub use retry::{RetryPlan, RETRY_JITTER_SALT};
+
 /// Smallest message-rate factor honored by the engine: a slower NIC still
 /// serves its queue in finite time (a zero rate would schedule an event at
 /// `t = +inf`, which virtual time rejects). Use [`LinkFault::bw_factor`]
@@ -379,17 +382,28 @@ impl DataFaults {
         self.active(t) && u01(seed ^ DATA_DRAW_SALT, rank, counter) < self.shm_flip_rate
     }
 
-    /// Delay before retransmission attempt `attempt` (0-based): the NACK
-    /// backoff when the receiver detected the corruption, the full RTO
-    /// when the drop was silent; doubling per attempt, capped.
+    /// The wire protocol's retry schedule as a reusable [`RetryPlan`]:
+    /// the NACK backoff base when the receiver detects corruption, the
+    /// full RTO base for silent drops; jitter-free (the simulator's
+    /// virtual clock needs no decorrelation, and golden-locked runs must
+    /// not move), budgeted by [`DataFaults::max_retransmits`].
     #[inline]
-    pub fn retransmit_delay(&self, attempt: u32, detected: bool) -> f64 {
+    pub fn retry_plan(&self, detected: bool) -> RetryPlan {
         let base = if detected {
             self.backoff
         } else {
             self.ack_timeout
         };
-        base * f64::from(1u32 << attempt.min(BACKOFF_CAP_DOUBLINGS))
+        RetryPlan::capped_exponential(base, BACKOFF_CAP_DOUBLINGS, self.max_retransmits)
+    }
+
+    /// Delay before retransmission attempt `attempt` (0-based): the NACK
+    /// backoff when the receiver detected the corruption, the full RTO
+    /// when the drop was silent; doubling per attempt, capped — the
+    /// envelope of [`DataFaults::retry_plan`].
+    #[inline]
+    pub fn retransmit_delay(&self, attempt: u32, detected: bool) -> f64 {
+        self.retry_plan(detected).envelope(attempt)
     }
 }
 

@@ -5,7 +5,7 @@
 //! strictly inside an interval would be silently missed).
 
 use dpml_faults::{
-    DataFaults, FaultClock, FaultPlan, LinkFault, NoiseModel, ProcessFaults, SharpFaults,
+    DataFaults, FaultClock, FaultPlan, LinkFault, NoiseModel, ProcessFaults, RetryPlan, SharpFaults,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -117,6 +117,90 @@ proptest! {
             if bs.contains(&lo) {
                 prop_assert_eq!(clk.factors_at(probe_node, lo), first);
             }
+        }
+    }
+
+    // --- RetryPlan: the reusable backoff schedule (DESIGN.md §12) ---
+
+    #[test]
+    fn retry_envelope_monotone_and_capped(
+        base in 1e-7f64..1e-2,
+        cap in 0u32..12,
+        budget in 0u32..40,
+    ) {
+        let p = RetryPlan::capped_exponential(base, cap, budget);
+        p.validate().expect("generated plans are valid");
+        let ds = p.delays();
+        prop_assert_eq!(ds.len(), budget as usize);
+        // Monotone non-decreasing, and constant once the cap is reached.
+        for w in ds.windows(2) {
+            prop_assert!(w[1] >= w[0], "envelope must never shrink: {:?}", ds);
+        }
+        let ceiling = base * f64::exp2(cap as f64);
+        for (a, d) in ds.iter().enumerate() {
+            prop_assert!(*d <= ceiling, "attempt {a} delay {d} above cap {ceiling}");
+            if a as u32 >= cap {
+                prop_assert_eq!(*d, ceiling, "past the cap the delay is the cap");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_schedule_reproduces_exactly_from_seed(
+        base in 1e-7f64..1e-2,
+        cap in 0u32..10,
+        budget in 1u32..32,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = RetryPlan::capped_exponential(base, cap, budget).with_jitter(jitter, seed);
+        let a: Vec<u64> = p.delays().iter().map(|d| d.to_bits()).collect();
+        let b: Vec<u64> = p.delays().iter().map(|d| d.to_bits()).collect();
+        prop_assert_eq!(a, b, "same seed must reproduce the schedule bit for bit");
+        // Jitter stays within its envelope band.
+        for (k, d) in p.delays().iter().enumerate() {
+            let env = p.envelope(k as u32);
+            prop_assert!(*d >= env && *d <= env * (1.0 + jitter),
+                "attempt {}: {} outside [{}, {}]", k, d, env, env * (1.0 + jitter));
+        }
+    }
+
+    #[test]
+    fn retry_zero_budget_never_delays(
+        base in 1e-7f64..1e-2,
+        cap in 0u32..10,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = RetryPlan::capped_exponential(base, cap, 0).with_jitter(jitter, seed);
+        prop_assert_eq!(p.delay(0), None);
+        prop_assert_eq!(p.delay(17), None);
+        prop_assert!(p.delays().is_empty());
+        prop_assert_eq!(p.total_backoff(), 0.0);
+    }
+
+    #[test]
+    fn wire_retransmit_delay_is_the_plan_envelope(
+        backoff in 1e-7f64..1e-3,
+        ack in 1e-6f64..1e-2,
+        budget in 0u32..16,
+        attempt in 0u32..24,
+    ) {
+        let d = DataFaults {
+            backoff,
+            ack_timeout: ack,
+            max_retransmits: budget,
+            ..DataFaults::default()
+        };
+        for detected in [true, false] {
+            let plan = d.retry_plan(detected);
+            prop_assert_eq!(plan.max_retries, budget);
+            prop_assert_eq!(plan.jitter, 0.0, "wire protocol is jitter-free");
+            prop_assert_eq!(
+                d.retransmit_delay(attempt, detected).to_bits(),
+                plan.envelope(attempt).to_bits(),
+                "retransmit delays and the RetryPlan envelope must agree bitwise"
+            );
         }
     }
 }

@@ -1,0 +1,114 @@
+//! Content-addressed result cache.
+//!
+//! The simulator is deterministic, so a job's scenario digest fully
+//! determines its result: a repeat query is a hash lookup, not a
+//! re-simulation. Bounded FIFO eviction keeps the daemon's memory flat
+//! under sustained cold traffic.
+
+use crate::job::JobResult;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Bounded digest → result map with FIFO eviction.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Arc<JobResult>>,
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// New cache holding at most `capacity` results (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look a digest up.
+    pub fn get(&self, digest: &str) -> Option<Arc<JobResult>> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .get(digest)
+            .cloned()
+    }
+
+    /// Insert a result under its digest, evicting the oldest entry at
+    /// capacity. Re-inserting an existing digest refreshes the value
+    /// without growing the eviction queue.
+    pub fn insert(&self, digest: String, result: Arc<JobResult>) {
+        let mut g = self.inner.lock().expect("cache lock poisoned");
+        if g.map.insert(digest.clone(), result).is_none() {
+            g.order.push_back(digest);
+            while g.map.len() > self.capacity {
+                if let Some(old) = g.order.pop_front() {
+                    g.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(digest: &str) -> Arc<JobResult> {
+        Arc::new(JobResult {
+            digest: digest.into(),
+            scenarios: vec![],
+            failed: 0,
+            zone: None,
+        })
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let c = ResultCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), result("a"));
+        assert_eq!(c.get("a").unwrap().digest, "a");
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), result("a"));
+        c.insert("b".into(), result("b"));
+        c.insert("c".into(), result("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), result("a"));
+        c.insert("a".into(), result("a"));
+        c.insert("b".into(), result("b"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! Deadline plumbing: wall-clock deadlines → engine budgets and
+//! preset-scaled watchdog limits.
+//!
+//! The engine enforces *virtual-time* budgets (see
+//! [`crate::job::budgets_for`]); this module handles the *wall-clock*
+//! side — turning a preset's [`dpml_fabric::WatchdogLimits`] into the
+//! [`dpml_shm::WatchdogConfig`] that bounds real blocking waits, and
+//! tightening it to whatever is left of a job's deadline. The scheduler
+//! uses the recv half as its condvar poll interval, so a stuck queue is
+//! re-examined on the same cadence the preset considers "hung".
+
+use dpml_fabric::{Preset, WatchdogLimits};
+use dpml_shm::WatchdogConfig;
+use std::time::Duration;
+
+/// Watchdog limits → concrete timeout config.
+pub fn watchdog_config(limits: &WatchdogLimits) -> WatchdogConfig {
+    WatchdogConfig::from_millis(limits.barrier_ms, limits.recv_ms)
+}
+
+/// The watchdog for a job on `preset`, tightened so no blocking wait can
+/// outlive the job's remaining deadline. `None` remaining = no deadline.
+pub fn job_watchdog(preset: &Preset, remaining: Option<Duration>) -> WatchdogConfig {
+    let base = watchdog_config(&preset.watchdog);
+    match remaining {
+        Some(left) => base.tightened(left),
+        None => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_fabric::presets::{cluster_b, cluster_d};
+
+    #[test]
+    fn preset_limits_flow_into_the_config() {
+        let b = job_watchdog(&cluster_b(), None);
+        assert_eq!(b.recv, Duration::from_millis(cluster_b().watchdog.recv_ms));
+        // Cluster D's slow cores get looser limits than B's Xeons.
+        let d = job_watchdog(&cluster_d(), None);
+        assert!(d.recv > b.recv);
+        assert!(d.barrier > b.barrier);
+    }
+
+    #[test]
+    fn deadline_tightens_but_never_loosens() {
+        let p = cluster_b();
+        let tight = job_watchdog(&p, Some(Duration::from_millis(10)));
+        assert_eq!(tight.recv, Duration::from_millis(10));
+        assert_eq!(tight.barrier, Duration::from_millis(10));
+        let loose = job_watchdog(&p, Some(Duration::from_secs(3600)));
+        assert_eq!(loose.recv, Duration::from_millis(p.watchdog.recv_ms));
+    }
+}

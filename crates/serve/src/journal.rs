@@ -1,0 +1,362 @@
+//! Crash-safe job journal.
+//!
+//! An append-only file of CRC32C-framed JSON records — one per admit,
+//! start, and finish — so a killed daemon can reconstruct exactly which
+//! jobs were admitted but never finished and re-queue them on startup.
+//!
+//! Record framing: `[4-byte LE payload length][4-byte LE CRC32C of the
+//! payload][JSON payload]`. A process killed mid-append leaves a torn
+//! tail (short header, short payload, or CRC mismatch); the reader
+//! treats everything up to the tear as authoritative and reports the
+//! byte offset of the last valid record, which [`Journal::open`] uses to
+//! truncate the tear away before appending new records — otherwise the
+//! garbage tail would wall off every later record from future replays.
+
+use crate::job::{JobOutcome, JobSpec};
+use dpml_shm::crc32c_bytes;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Largest accepted journal record payload.
+pub const MAX_RECORD: usize = 16 << 20;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A job passed admission and entered the queue.
+    Admit {
+        /// Server-assigned id.
+        id: u64,
+        /// Content digest of the scenario set.
+        digest: String,
+        /// The full spec, so replay can re-queue without the client.
+        spec: JobSpec,
+    },
+    /// A worker began (re-)executing the job.
+    Start {
+        /// Job id.
+        id: u64,
+        /// 0-based attempt number.
+        attempt: u32,
+    },
+    /// The job reached a terminal outcome.
+    Finish {
+        /// Job id.
+        id: u64,
+        /// Result or structured error (also warms the cache on replay).
+        outcome: JobOutcome,
+    },
+}
+
+impl Record {
+    /// The job id this record is about.
+    pub fn id(&self) -> u64 {
+        match self {
+            Record::Admit { id, .. } | Record::Start { id, .. } | Record::Finish { id, .. } => *id,
+        }
+    }
+}
+
+/// Everything a replay learned from the journal file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// All valid records, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset just past the last valid record.
+    pub valid_len: u64,
+    /// True when a torn/corrupt tail was dropped.
+    pub torn_tail: bool,
+}
+
+impl Replay {
+    /// Jobs admitted but never finished — the re-queue set, in admission
+    /// order, each exactly once.
+    pub fn pending(&self) -> Vec<(u64, String, JobSpec)> {
+        let mut admitted: Vec<(u64, String, JobSpec)> = Vec::new();
+        for r in &self.records {
+            if let Record::Admit { id, digest, spec } = r {
+                admitted.push((*id, digest.clone(), spec.clone()));
+            }
+        }
+        let finished: std::collections::HashSet<u64> = self
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Finish { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        admitted.retain(|(id, _, _)| !finished.contains(id));
+        admitted
+    }
+
+    /// Successful outcomes, for warming the content-addressed cache.
+    pub fn finished(&self) -> Vec<(u64, JobOutcome)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Finish { id, outcome } => Some((*id, outcome.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Highest id seen (0 when empty) — the id allocator resumes above it.
+    pub fn max_id(&self) -> u64 {
+        self.records.iter().map(Record::id).max().unwrap_or(0)
+    }
+}
+
+/// Parse journal bytes, stopping cleanly at a torn tail.
+pub fn replay_bytes(bytes: &[u8]) -> Replay {
+    let mut out = Replay::default();
+    let mut off = 0usize;
+    loop {
+        let rest = &bytes[off..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < 8 {
+            out.torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_RECORD || rest.len() < 8 + len {
+            out.torn_tail = true;
+            break;
+        }
+        let payload = &rest[8..8 + len];
+        if crc32c_bytes(payload) != crc {
+            out.torn_tail = true;
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            out.torn_tail = true;
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<Record>(text) else {
+            out.torn_tail = true;
+            break;
+        };
+        out.records.push(record);
+        off += 8 + len;
+        out.valid_len = off as u64;
+    }
+    out
+}
+
+/// Read and parse a journal file. A missing file is an empty replay.
+pub fn replay_file(path: &Path) -> std::io::Result<Replay> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    Ok(replay_bytes(&bytes))
+}
+
+/// The live, append-only journal writer.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Replay `path`, truncate any torn tail, and open for appending.
+    /// Returns the writer and what the replay learned.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let replay = replay_file(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        // Drop the torn tail so future appends extend the valid prefix.
+        file.set_len(replay.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                path,
+            },
+            replay,
+        ))
+    }
+
+    /// Append one record and flush it to the OS.
+    pub fn append(&self, record: &Record) -> std::io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let payload = json.as_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c_bytes(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let mut f = self.file.lock().expect("journal lock poisoned");
+        // One write per record keeps a torn append confined to the tail.
+        f.write_all(&frame)?;
+        f.flush()
+    }
+
+    /// Durably sync the journal (used at drain).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.file.lock().expect("journal lock poisoned").sync_all()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobError, JobKind};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Simulate,
+            preset: "b".into(),
+            nodes: 2,
+            ppn: 2,
+            algorithms: vec!["ring".into()],
+            sizes: vec![1024],
+            deadline_ms: 0,
+            panic_attempts: 0,
+        }
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dpml-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let (j, r) = Journal::open(&path).unwrap();
+        assert!(r.records.is_empty());
+        j.append(&Record::Admit {
+            id: 1,
+            digest: spec().digest(),
+            spec: spec(),
+        })
+        .unwrap();
+        j.append(&Record::Start { id: 1, attempt: 0 }).unwrap();
+        j.append(&Record::Finish {
+            id: 1,
+            outcome: JobOutcome::Error(JobError::Canceled),
+        })
+        .unwrap();
+        drop(j);
+        let r = replay_file(&path).unwrap();
+        assert_eq!(r.records.len(), 3);
+        assert!(!r.torn_tail);
+        assert!(r.pending().is_empty());
+        assert_eq!(r.max_id(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pending_jobs_are_admits_without_finish_exactly_once() {
+        let path = temp("pending");
+        std::fs::remove_file(&path).ok();
+        let (j, _) = Journal::open(&path).unwrap();
+        for id in 1..=3u64 {
+            j.append(&Record::Admit {
+                id,
+                digest: spec().digest(),
+                spec: spec(),
+            })
+            .unwrap();
+        }
+        // Job 2 started twice (a retry) but never finished; job 1 done.
+        j.append(&Record::Start { id: 2, attempt: 0 }).unwrap();
+        j.append(&Record::Start { id: 2, attempt: 1 }).unwrap();
+        j.append(&Record::Finish {
+            id: 1,
+            outcome: JobOutcome::Error(JobError::Canceled),
+        })
+        .unwrap();
+        drop(j);
+        let r = replay_file(&path).unwrap();
+        let pending = r.pending();
+        let ids: Vec<u64> = pending.iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let path = temp("torn");
+        std::fs::remove_file(&path).ok();
+        let (j, _) = Journal::open(&path).unwrap();
+        j.append(&Record::Start { id: 1, attempt: 0 }).unwrap();
+        j.append(&Record::Start { id: 2, attempt: 0 }).unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the second record: keep its header, lose payload bytes.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let r = replay_file(&path).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert!(r.torn_tail);
+
+        // Re-open: the torn bytes must be truncated, and a fresh append
+        // must land right after record 1.
+        let (j, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.records.len(), 1);
+        j.append(&Record::Start { id: 3, attempt: 0 }).unwrap();
+        drop(j);
+        let r = replay_file(&path).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(
+            r.records,
+            vec![
+                Record::Start { id: 1, attempt: 0 },
+                Record::Start { id: 3, attempt: 0 }
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = temp("crc");
+        std::fs::remove_file(&path).ok();
+        let (j, _) = Journal::open(&path).unwrap();
+        j.append(&Record::Start { id: 1, attempt: 0 }).unwrap();
+        j.append(&Record::Start { id: 2, attempt: 0 }).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the first record: both records after
+        // the corruption point are untrusted.
+        bytes[10] ^= 0x40;
+        let r = replay_bytes(&bytes);
+        assert!(r.records.is_empty());
+        assert!(r.torn_tail);
+        assert_eq!(r.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_replay() {
+        let r = replay_file(Path::new("/nonexistent/definitely/missing.journal"));
+        assert!(r.is_err() || r.unwrap().records.is_empty());
+    }
+}

@@ -1,0 +1,844 @@
+//! The daemon: admission → bounded queue → isolated workers → journal →
+//! cache, with graceful drain.
+//!
+//! Robustness invariants, in the order a job meets them:
+//!
+//! 1. **Bounded admission** — the scheduler never holds more than
+//!    `queue_capacity` jobs (queued + retry-pending + running); excess
+//!    submits are shed immediately with a `retry_after_ms` hint, and each
+//!    client connection is capped at `client_inflight_cap` jobs.
+//! 2. **Journal before queue** — a job is visible to workers only after
+//!    its `Admit` record is on disk, so a kill can lose an unacknowledged
+//!    submit but never an acknowledged one.
+//! 3. **Fault isolation** — workers run jobs under `catch_unwind`; a
+//!    panicking job retires its worker (a fresh one is respawned) and is
+//!    retried on a seeded, capped-exponential, jittered schedule from
+//!    [`dpml_faults::RetryPlan`]. When the retry budget is spent the
+//!    client gets a structured [`JobError::Panicked`], not a dead server.
+//! 4. **Deadlines** — wall-clock deadlines become engine budgets inside
+//!    [`crate::job::execute`]; `cancel` flips a cooperative flag that the
+//!    sweep loop polls between chunks.
+//! 5. **Drain** — `Shutdown` stops admission; workers finish (or retry
+//!    to completion) everything already admitted, the journal is synced,
+//!    and [`ServerHandle::wait`] returns 0.
+
+use crate::cache::ResultCache;
+use crate::deadline::watchdog_config;
+use crate::job::{execute, JobCtx, JobError, JobOutcome, JobSpec};
+use crate::journal::{Journal, Record, Replay};
+use crate::protocol::{self, reject, CounterStat, HistogramStat, Request, Response, ServeStats};
+use dpml_fabric::Preset;
+use dpml_faults::RetryPlan;
+use dpml_shm::Registry;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Exponential-backoff doubling cap for job retries.
+const RETRY_CAP_DOUBLINGS: u32 = 4;
+
+/// Jitter fraction on retry delays (decorrelates retry storms after a
+/// mass worker failure while staying seeded-deterministic).
+const RETRY_JITTER: f64 = 0.25;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Max jobs admitted at once (queued + awaiting retry + running).
+    pub queue_capacity: usize,
+    /// Max in-flight jobs per client connection.
+    pub client_inflight_cap: usize,
+    /// Journal file path.
+    pub journal_path: PathBuf,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Retry budget for transient (panic) failures.
+    pub max_retries: u32,
+    /// Base retry delay, milliseconds.
+    pub retry_base_ms: f64,
+    /// Seed for the deterministic retry jitter.
+    pub retry_seed: u64,
+    /// Preset whose watchdog limits pace the scheduler's stall checks.
+    pub watchdog_preset: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            client_inflight_cap: 16,
+            journal_path: PathBuf::from("serve.journal"),
+            cache_capacity: 1024,
+            max_retries: 4,
+            retry_base_ms: 5.0,
+            retry_seed: 0xd931_05ab_5c1e_77f0,
+            watchdog_preset: "b".into(),
+        }
+    }
+}
+
+/// One admitted job moving through the scheduler.
+struct Job {
+    id: u64,
+    digest: String,
+    spec: JobSpec,
+    attempt: u32,
+    ctx: Arc<JobCtx>,
+    /// Submitting connection; `None` for journal-replayed jobs.
+    client: Option<Arc<ClientConn>>,
+}
+
+/// Per-connection state shared between the reader thread and workers.
+struct ClientConn {
+    writer: Mutex<TcpStream>,
+    inflight: AtomicUsize,
+}
+
+impl ClientConn {
+    /// Push a response; errors (client gone) are the caller's to count.
+    fn push(&self, resp: &Response) -> std::io::Result<()> {
+        let mut w = self.writer.lock().expect("client writer poisoned");
+        protocol::send(&mut *w, resp)
+    }
+}
+
+/// A retry waiting for its backoff to elapse. Min-heap by due time.
+struct RetryEntry {
+    due: Instant,
+    job: Job,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for RetryEntry {}
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due) // reversed: earliest due on top
+    }
+}
+
+/// Where a tracked job currently is (for `cancel`).
+enum Phase {
+    Queued,
+    Running,
+}
+
+struct Tracked {
+    ctx: Arc<JobCtx>,
+    phase: Phase,
+}
+
+/// Scheduler state under one lock.
+struct Sched {
+    queue: VecDeque<Job>,
+    retries: BinaryHeap<RetryEntry>,
+    running: usize,
+    tracked: HashMap<u64, Tracked>,
+    draining: bool,
+}
+
+impl Sched {
+    fn admitted(&self) -> usize {
+        self.queue.len() + self.retries.len() + self.running
+    }
+    fn drained(&self) -> bool {
+        self.draining && self.admitted() == 0
+    }
+}
+
+/// Shared daemon state.
+pub struct ServerState {
+    cfg: ServeConfig,
+    sched: Mutex<Sched>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    journal: Journal,
+    cache: ResultCache,
+    metrics: Registry,
+    next_id: AtomicU64,
+    accept_done: AtomicBool,
+    /// Scheduler stall-check cadence, from the preset watchdog limits.
+    poll: Duration,
+}
+
+impl ServerState {
+    fn counter(&self, name: &str) -> std::sync::Arc<dpml_shm::Counter> {
+        self.metrics.counter(name)
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Public metrics snapshot in wire form.
+    pub fn stats(&self) -> ServeStats {
+        let snap = self.metrics.snapshot();
+        ServeStats {
+            counters: snap
+                .counters
+                .iter()
+                .map(|c| CounterStat {
+                    name: c.name.clone(),
+                    value: c.value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| HistogramStat {
+                    name: h.name.clone(),
+                    count: h.count,
+                    mean: h.mean,
+                    p50: h.p50,
+                    p99: h.p99,
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop admission and wake everyone; returns jobs still admitted.
+    pub fn begin_drain(&self) -> u64 {
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        s.draining = true;
+        let pending = s.admitted() as u64;
+        self.work_cv.notify_all();
+        self.idle_cv.notify_all();
+        pending
+    }
+
+    /// Handle one decoded request. Returns the responses to write in
+    /// order, plus an optional dequeued-by-cancel job to conclude
+    /// *after* the ack is on the wire (so the client never sees the
+    /// canceled job's `Finished` push before its `CancelAck`).
+    fn handle(
+        self: &Arc<Self>,
+        client: &Arc<ClientConn>,
+        req: Request,
+    ) -> (Vec<Response>, Option<Job>) {
+        match req {
+            Request::Submit { spec } => (self.handle_submit(client, spec), None),
+            Request::Cancel { id } => {
+                let (resp, dequeued) = self.handle_cancel(id);
+                (vec![resp], dequeued)
+            }
+            Request::Stats => (
+                vec![Response::StatsReply {
+                    stats: self.stats(),
+                }],
+                None,
+            ),
+            Request::Shutdown => {
+                let pending = self.begin_drain();
+                (vec![Response::ShutdownAck { pending }], None)
+            }
+            Request::Ping => (vec![Response::Pong], None),
+        }
+    }
+
+    fn handle_submit(self: &Arc<Self>, client: &Arc<ClientConn>, spec: JobSpec) -> Vec<Response> {
+        self.counter("serve.submitted").inc();
+        if let Err(message) = spec.validate() {
+            self.counter("serve.rejected_invalid").inc();
+            return vec![Response::Rejected {
+                reason: reject::INVALID.into(),
+                message,
+                retry_after_ms: 0,
+            }];
+        }
+        let digest = spec.digest();
+
+        // Content-addressed fast path: determinism makes a repeat query
+        // a lookup. No queue slot, no journal records, no worker.
+        if let Some(hit) = self.cache.get(&digest) {
+            self.counter("serve.cache_hit").inc();
+            let id = self.alloc_id();
+            return vec![
+                Response::Accepted {
+                    id,
+                    digest,
+                    cached: true,
+                },
+                Response::Finished {
+                    id,
+                    outcome: JobOutcome::Done((*hit).clone()),
+                },
+            ];
+        }
+        self.counter("serve.cache_miss").inc();
+
+        if client.inflight.load(Ordering::Acquire) >= self.cfg.client_inflight_cap {
+            self.counter("serve.rejected_client_cap").inc();
+            return vec![Response::Rejected {
+                reason: reject::CLIENT_CAP.into(),
+                message: format!(
+                    "client already has {} jobs in flight",
+                    self.cfg.client_inflight_cap
+                ),
+                retry_after_ms: self.cfg.retry_base_ms.ceil() as u64,
+            }];
+        }
+
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        if s.draining {
+            self.counter("serve.rejected_draining").inc();
+            return vec![Response::Rejected {
+                reason: reject::DRAINING.into(),
+                message: "daemon is draining".into(),
+                retry_after_ms: 0,
+            }];
+        }
+        if s.admitted() >= self.cfg.queue_capacity {
+            let depth = s.admitted();
+            drop(s);
+            self.counter("serve.rejected_overload").inc();
+            // Load-shedding hint scales with queue depth, bounded so
+            // clients never back off for longer than half a second.
+            let hint = (10 + 5 * depth as u64).min(500);
+            return vec![Response::Rejected {
+                reason: reject::OVERLOADED.into(),
+                message: format!(
+                    "{depth} jobs admitted (capacity {})",
+                    self.cfg.queue_capacity
+                ),
+                retry_after_ms: hint,
+            }];
+        }
+
+        let id = self.alloc_id();
+        // Journal *before* the job becomes visible: an acknowledged job
+        // survives a kill because its Admit record is already on disk.
+        if let Err(e) = self.journal.append(&Record::Admit {
+            id,
+            digest: digest.clone(),
+            spec: spec.clone(),
+        }) {
+            drop(s);
+            self.counter("serve.journal_error").inc();
+            return vec![Response::Rejected {
+                reason: reject::OVERLOADED.into(),
+                message: format!("journal append failed: {e}"),
+                retry_after_ms: 50,
+            }];
+        }
+        // Ack *before* the job becomes visible to workers: a fast worker
+        // must not race its `Finished` push ahead of this `Accepted`.
+        // (Writing under the sched lock is fine at this request rate.)
+        let acked = client
+            .push(&Response::Accepted {
+                id,
+                digest: digest.clone(),
+                cached: false,
+            })
+            .is_ok();
+        if !acked {
+            // Client vanished between submit and ack. The Admit record
+            // is on disk, so the job still runs — its result is cached
+            // and journaled; only the pushes are lost.
+            self.counter("serve.push_fail").inc();
+        }
+        let ctx = Arc::new(JobCtx::new());
+        s.tracked.insert(
+            id,
+            Tracked {
+                ctx: Arc::clone(&ctx),
+                phase: Phase::Queued,
+            },
+        );
+        s.queue.push_back(Job {
+            id,
+            digest,
+            spec,
+            attempt: 0,
+            ctx,
+            client: acked.then(|| Arc::clone(client)),
+        });
+        if acked {
+            client.inflight.fetch_add(1, Ordering::AcqRel);
+        }
+        self.counter("serve.accepted").inc();
+        self.work_cv.notify_one();
+        drop(s);
+        vec![]
+    }
+
+    fn handle_cancel(self: &Arc<Self>, id: u64) -> (Response, Option<Job>) {
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        let Some(tracked) = s.tracked.get(&id) else {
+            return (
+                Response::CancelAck {
+                    id,
+                    state: "unknown".into(),
+                },
+                None,
+            );
+        };
+        match tracked.phase {
+            Phase::Running => {
+                // Cooperative: the sweep loop polls this between chunks.
+                tracked.ctx.cancel.store(true, Ordering::Release);
+                (
+                    Response::CancelAck {
+                        id,
+                        state: "signaled".into(),
+                    },
+                    None,
+                )
+            }
+            Phase::Queued => {
+                let job = remove_queued(&mut s, id);
+                (
+                    Response::CancelAck {
+                        id,
+                        state: "dequeued".into(),
+                    },
+                    job,
+                )
+            }
+        }
+    }
+
+    /// Blocking worker fetch; `None` means drained — the worker exits.
+    fn next_job(&self) -> Option<Job> {
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        loop {
+            let now = Instant::now();
+            let due = s
+                .retries
+                .peek()
+                .map(|e| e.due.saturating_duration_since(now));
+            if due == Some(Duration::ZERO) {
+                let entry = s.retries.pop().expect("peeked");
+                s.running += 1;
+                if let Some(t) = s.tracked.get_mut(&entry.job.id) {
+                    t.phase = Phase::Running;
+                }
+                return Some(entry.job);
+            }
+            if let Some(job) = s.queue.pop_front() {
+                s.running += 1;
+                if let Some(t) = s.tracked.get_mut(&job.id) {
+                    t.phase = Phase::Running;
+                }
+                return Some(job);
+            }
+            if s.draining && s.retries.is_empty() {
+                self.idle_cv.notify_all();
+                return None;
+            }
+            let wait = due
+                .unwrap_or(self.poll)
+                .min(self.poll)
+                .max(Duration::from_millis(1));
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(s, wait)
+                .expect("sched lock poisoned");
+            s = guard;
+        }
+    }
+
+    /// Record a terminal outcome: cache, journal, client push, metrics.
+    /// `was_running` jobs release their scheduler slot here — *after*
+    /// the Finish record is journaled, so a drain can never observe an
+    /// idle scheduler while a terminal record is still in flight.
+    fn conclude(&self, job: Job, outcome: JobOutcome, started: Option<Instant>, was_running: bool) {
+        match &outcome {
+            JobOutcome::Done(res) => {
+                self.cache.insert(job.digest.clone(), Arc::new(res.clone()));
+                self.counter("serve.completed_ok").inc();
+            }
+            JobOutcome::Error(JobError::Canceled) => {
+                self.counter("serve.canceled").inc();
+            }
+            JobOutcome::Error(JobError::DeadlineExceeded { .. }) => {
+                self.counter("serve.deadline_exceeded").inc();
+            }
+            JobOutcome::Error(_) => {
+                self.counter("serve.failed").inc();
+            }
+        }
+        if self
+            .journal
+            .append(&Record::Finish {
+                id: job.id,
+                outcome: outcome.clone(),
+            })
+            .is_err()
+        {
+            self.counter("serve.journal_error").inc();
+        }
+        if let Some(started) = started {
+            self.metrics
+                .histogram("serve.job_ms")
+                .record(started.elapsed().as_millis() as u64);
+        }
+        if let Some(client) = &job.client {
+            client.inflight.fetch_sub(1, Ordering::AcqRel);
+            if client
+                .push(&Response::Finished {
+                    id: job.id,
+                    outcome,
+                })
+                .is_err()
+            {
+                // Client disconnected mid-job: the result is journaled
+                // and cached; only the push is lost.
+                self.counter("serve.push_fail").inc();
+            }
+        }
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        if was_running {
+            s.running -= 1;
+        }
+        s.tracked.remove(&job.id);
+        if s.drained() {
+            self.idle_cv.notify_all();
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// A worker's `catch_unwind` tripped: retry on the seeded backoff
+    /// schedule, or fail the job when the budget is spent.
+    fn after_panic(&self, mut job: Job, message: String, started: Instant) {
+        self.counter("serve.worker_panic").inc();
+        let plan = RetryPlan::capped_exponential(
+            self.cfg.retry_base_ms,
+            RETRY_CAP_DOUBLINGS,
+            self.cfg.max_retries,
+        )
+        .with_jitter(RETRY_JITTER, self.cfg.retry_seed ^ job.id);
+        match plan.delay(job.attempt) {
+            Some(delay_ms) => {
+                self.counter("serve.retried").inc();
+                let due = Instant::now() + Duration::from_micros((delay_ms * 1000.0) as u64);
+                job.attempt += 1;
+                let mut s = self.sched.lock().expect("sched lock poisoned");
+                s.running -= 1;
+                if let Some(t) = s.tracked.get_mut(&job.id) {
+                    t.phase = Phase::Queued;
+                }
+                s.retries.push(RetryEntry { due, job });
+                self.work_cv.notify_one();
+            }
+            None => {
+                let attempts = job.attempt + 1;
+                self.conclude(
+                    job,
+                    JobOutcome::Error(JobError::Panicked { attempts, message }),
+                    Some(started),
+                    true,
+                );
+            }
+        }
+    }
+}
+
+/// Remove a queued job (queue or retry heap) by id.
+fn remove_queued(s: &mut Sched, id: u64) -> Option<Job> {
+    s.tracked.remove(&id);
+    if let Some(pos) = s.queue.iter().position(|j| j.id == id) {
+        return s.queue.remove(pos);
+    }
+    let mut kept = BinaryHeap::with_capacity(s.retries.len());
+    let mut found = None;
+    for entry in s.retries.drain() {
+        if entry.job.id == id {
+            found = Some(entry.job);
+        } else {
+            kept.push(entry);
+        }
+    }
+    s.retries = kept;
+    found
+}
+
+/// Render a panic payload for [`JobError::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+thread_local! {
+    /// True while this worker thread is inside a job's `catch_unwind`.
+    static IN_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install a panic hook (once per process) that stays quiet for panics
+/// caught inside a job — they become structured [`JobError::Panicked`]
+/// results, so the default message + backtrace on stderr is pure noise.
+/// Panics anywhere else still reach the previous hook untouched.
+fn install_quiet_job_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_JOB.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Spawn worker `idx`. On a caught panic the worker handles the retry
+/// bookkeeping, spawns its own replacement, and retires — unwinding
+/// leaves no reused thread state behind.
+fn spawn_worker(state: Arc<ServerState>, idx: usize) {
+    std::thread::Builder::new()
+        .name(format!("dpml-serve-worker-{idx}"))
+        .spawn(move || loop {
+            let Some(job) = state.next_job() else {
+                return;
+            };
+            if state
+                .journal
+                .append(&Record::Start {
+                    id: job.id,
+                    attempt: job.attempt,
+                })
+                .is_err()
+            {
+                state.counter("serve.journal_error").inc();
+            }
+            let started = Instant::now();
+            let spec = job.spec.clone();
+            let ctx = Arc::clone(&job.ctx);
+            let attempt = job.attempt;
+            IN_JOB.with(|f| f.set(true));
+            let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, &ctx, attempt)));
+            IN_JOB.with(|f| f.set(false));
+            match outcome {
+                Ok(out) => {
+                    state.conclude(job, out, Some(started), true);
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    state.after_panic(job, msg, started);
+                    spawn_worker(Arc::clone(&state), idx);
+                    return;
+                }
+            }
+        })
+        .expect("spawn serve worker");
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    /// The bound address (resolves `:0` to the real port).
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Programmatic drain (same as the `Shutdown` verb).
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Shared state, for in-process inspection (tests, stats).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Block until drain completes; returns the process exit code (0 on
+    /// a clean drain with the journal synced).
+    pub fn wait(self) -> i32 {
+        {
+            let mut s = self.state.sched.lock().expect("sched lock poisoned");
+            while !s.drained() {
+                let (guard, _) = self
+                    .state
+                    .idle_cv
+                    .wait_timeout(s, Duration::from_millis(100))
+                    .expect("sched lock poisoned");
+                s = guard;
+            }
+        }
+        self.state.accept_done.store(true, Ordering::Release);
+        let _ = self.accept.join();
+        if self.state.journal.sync().is_err() {
+            return 1;
+        }
+        0
+    }
+}
+
+/// Bind, replay the journal (re-queueing every admitted-but-unfinished
+/// job exactly once and warming the cache from finished results), and
+/// start workers plus the accept loop.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    install_quiet_job_panic_hook();
+    let (journal, replay) = Journal::open(&cfg.journal_path)?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let poll = Preset::by_id(&cfg.watchdog_preset)
+        .map(|p| watchdog_config(&p.watchdog).recv)
+        .unwrap_or(Duration::from_millis(100));
+    let cache = ResultCache::new(cfg.cache_capacity);
+    let metrics = Registry::new();
+    let next_id = replay.max_id() + 1;
+    let workers = cfg.workers.max(1);
+
+    let state = Arc::new(ServerState {
+        cfg,
+        sched: Mutex::new(Sched {
+            queue: VecDeque::new(),
+            retries: BinaryHeap::new(),
+            running: 0,
+            tracked: HashMap::new(),
+            draining: false,
+        }),
+        work_cv: Condvar::new(),
+        idle_cv: Condvar::new(),
+        journal,
+        cache,
+        metrics,
+        next_id: AtomicU64::new(next_id),
+        accept_done: AtomicBool::new(false),
+        poll,
+    });
+
+    seed_from_replay(&state, replay);
+
+    for idx in 0..workers {
+        spawn_worker(Arc::clone(&state), idx);
+    }
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("dpml-serve-accept".into())
+        .spawn(move || accept_loop(accept_state, listener))
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept,
+    })
+}
+
+/// Apply a journal replay to fresh state: warm the cache from finished
+/// results, re-queue pending jobs (no new Admit records — they are
+/// already admitted on disk).
+fn seed_from_replay(state: &Arc<ServerState>, replay: Replay) {
+    for (_, outcome) in replay.finished() {
+        if let JobOutcome::Done(res) = outcome {
+            state.cache.insert(res.digest.clone(), Arc::new(res));
+        }
+    }
+    let pending = replay.pending();
+    if pending.is_empty() {
+        return;
+    }
+    let mut s = state.sched.lock().expect("sched lock poisoned");
+    for (id, digest, spec) in pending {
+        state.counter("serve.replayed").inc();
+        let ctx = Arc::new(JobCtx::new());
+        s.tracked.insert(
+            id,
+            Tracked {
+                ctx: Arc::clone(&ctx),
+                phase: Phase::Queued,
+            },
+        );
+        s.queue.push_back(Job {
+            id,
+            digest,
+            spec,
+            attempt: 0,
+            ctx,
+            client: None,
+        });
+    }
+    state.work_cv.notify_all();
+}
+
+fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
+    loop {
+        if state.accept_done.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(&state);
+                let _ = std::thread::Builder::new()
+                    .name("dpml-serve-conn".into())
+                    .spawn(move || conn_loop(state, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn conn_loop(state: Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let client = Arc::new(ClientConn {
+        writer: Mutex::new(writer),
+        inflight: AtomicUsize::new(0),
+    });
+    let mut reader = stream;
+    loop {
+        match protocol::recv::<_, Request>(&mut reader) {
+            Ok(Some(req)) => {
+                let (responses, dequeued) = state.handle(&client, req);
+                let mut client_gone = false;
+                for resp in responses {
+                    if client.push(&resp).is_err() {
+                        client_gone = true;
+                        break;
+                    }
+                }
+                // A job dequeued by cancel concludes after its ack is on
+                // the wire — and even if the client vanished mid-write.
+                if let Some(job) = dequeued {
+                    state.conclude(job, JobOutcome::Error(JobError::Canceled), None, false);
+                }
+                if client_gone {
+                    return; // running jobs run on
+                }
+            }
+            Ok(None) => return, // clean disconnect
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = client.push(&Response::ProtocolError {
+                    message: e.to_string(),
+                });
+                return;
+            }
+            Err(_) => return, // torn frame / reset: jobs run on
+        }
+    }
+}

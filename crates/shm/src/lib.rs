@@ -32,4 +32,4 @@ pub use integrity::{crc32c, crc32c_bytes, PoisonPlan};
 pub use intranode::{IntraAlgo, NodeRuntime};
 pub use metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 pub use region::SharedSlots;
-pub use watchdog::ShmTimeout;
+pub use watchdog::{ShmTimeout, WatchdogConfig};

@@ -19,6 +19,9 @@
 //! * [`faults`] — deterministic fault-injection plans (OS noise,
 //!   link degradation, SHArP resource faults) executed by the engine
 //! * [`workloads`] — HPCG-like and miniAMR-like application skeletons
+//! * [`serve`] — a fault-isolated simulation daemon: bounded queues,
+//!   deadlines, deterministic retries, crash-safe job journaling, and a
+//!   content-addressed result cache (DESIGN.md §12)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,6 +30,7 @@ pub use dpml_engine as engine;
 pub use dpml_fabric as fabric;
 pub use dpml_faults as faults;
 pub use dpml_model as model;
+pub use dpml_serve as serve;
 pub use dpml_sharp as sharp;
 pub use dpml_shm as shm;
 pub use dpml_topology as topology;

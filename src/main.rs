@@ -11,21 +11,134 @@
 //! dpml faults   --cluster a --nodes 8 --alg sharp-socket --bytes 256 --intensity 0.5
 //! dpml recover  --cluster a --nodes 4 --leaders 2 --bytes 1M --crash-rank 6 --crash-at-us 800
 //! dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K --corruption 0.05 --drop 0.02
+//! dpml serve    --addr 127.0.0.1:7077 --workers 4 --journal serve.journal
 //! ```
+//!
+//! Exit codes (stable, for scripts and CI):
+//!
+//! | code | class     | meaning                                            |
+//! |------|-----------|----------------------------------------------------|
+//! | 0    | ok        | command succeeded                                  |
+//! | 1    | internal  | I/O or other unexpected failure                    |
+//! | 2    | usage     | bad flags, sizes, algorithm specs, unknown command |
+//! | 3    | build     | topology or schedule construction failed           |
+//! | 4    | sim       | the discrete-event simulation itself failed        |
+//! | 5    | integrity | result verification failed or the integrity ladder |
+//! |      |           | exhausted its budget (no trustworthy result)       |
+//! | 6    | partial   | sweep finished but some scenarios failed; the      |
+//! |      |           | table above the summary holds the partial results  |
 
 use dpml::core::algorithms::{Algorithm, FlatAlg};
 use dpml::core::heal::{run_dpml_failstop, FailstopOutcome};
 use dpml::core::integrity::{run_allreduce_verified, IntegrityPolicy, VerifiedError};
 use dpml::core::profile::profile_allreduce;
 use dpml::core::resilience::{run_allreduce_resilient, FaultPolicy};
-use dpml::core::run::run_allreduce;
+use dpml::core::run::{run_allreduce, RunError};
 use dpml::core::selector::Library;
 use dpml::core::tuner::{default_candidates, tune};
 use dpml::fabric::presets::{all_presets, Preset};
 use dpml::faults::{DataFaults, FaultPlan, ProcessFaults, SharpFaults};
+use dpml::serve::{start, ServeConfig};
 use dpml::topology::ClusterSpec;
-use dpml::workloads::app::run_app;
+use dpml::workloads::app::{run_app, AppError};
 use dpml::workloads::{HpcgConfig, MiniAmrConfig};
+
+/// A classified CLI failure. Each class maps to a distinct, documented
+/// exit code (see the module docs) so scripts can branch on *why* a
+/// command failed without parsing stderr.
+enum CliError {
+    /// I/O or other unexpected failure (exit 1).
+    Internal(String),
+    /// Bad flags, sizes, algorithm specs, unknown command (exit 2).
+    Usage(String),
+    /// Topology or schedule construction failed (exit 3).
+    Build(String),
+    /// The simulation itself failed — deadlock, budget, oracle (exit 4).
+    Sim(String),
+    /// Verification or data-integrity failure (exit 5).
+    Integrity(String),
+    /// A sweep completed but some scenarios failed (exit 6).
+    Partial { failed: usize, total: usize },
+}
+
+impl CliError {
+    fn io(e: impl std::fmt::Display) -> Self {
+        CliError::Internal(e.to_string())
+    }
+
+    fn class(&self) -> &'static str {
+        match self {
+            CliError::Internal(_) => "internal",
+            CliError::Usage(_) => "usage",
+            CliError::Build(_) => "build",
+            CliError::Sim(_) => "sim",
+            CliError::Integrity(_) => "integrity",
+            CliError::Partial { .. } => "partial",
+        }
+    }
+
+    fn code(&self) -> i32 {
+        match self {
+            CliError::Internal(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Build(_) => 3,
+            CliError::Sim(_) => 4,
+            CliError::Integrity(_) => 5,
+            CliError::Partial { .. } => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Internal(m)
+            | CliError::Usage(m)
+            | CliError::Build(m)
+            | CliError::Sim(m)
+            | CliError::Integrity(m) => write!(f, "{m}"),
+            CliError::Partial { failed, total } => write!(
+                f,
+                "sweep completed with {failed} of {total} scenarios failed \
+                 (partial results above)"
+            ),
+        }
+    }
+}
+
+/// Bare-string errors come from flag/spec parsing — usage class.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        match &e {
+            RunError::Topology(_) | RunError::Build(_) | RunError::NoSharpOnFabric => {
+                CliError::Build(e.to_string())
+            }
+            RunError::Sim(_) => CliError::Sim(e.to_string()),
+            RunError::Verify(_) => CliError::Integrity(e.to_string()),
+        }
+    }
+}
+
+impl From<AppError> for CliError {
+    fn from(e: AppError) -> Self {
+        match &e {
+            AppError::Topology(_) | AppError::Build(_) => CliError::Build(e.to_string()),
+            AppError::Sim(_) => CliError::Sim(e.to_string()),
+        }
+    }
+}
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -59,63 +172,13 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
         .map_err(|e| format!("bad size `{s}`: {e}"))
 }
 
-/// Parse algorithm specs:
+/// Parse algorithm specs via the canonical grammar in
+/// [`Algorithm::parse`] (shared with the serve protocol):
 /// `rd | rabenseifner | ring | binomial | single-leader[:rd|rab|ring]
 ///  | dpml:<l>[:rd|rab|ring] | dpml-pipelined:<l>:<k>
 ///  | sharp-node | sharp-socket`.
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
-    let parts: Vec<&str> = s.split(':').collect();
-    let flat = |name: &str| -> Result<FlatAlg, String> {
-        match name {
-            "rd" => Ok(FlatAlg::RecursiveDoubling),
-            "rab" | "rabenseifner" => Ok(FlatAlg::Rabenseifner),
-            "ring" => Ok(FlatAlg::Ring),
-            other => Err(format!("unknown inner algorithm `{other}`")),
-        }
-    };
-    match parts[0] {
-        "rd" | "recursive-doubling" => Ok(Algorithm::RecursiveDoubling),
-        "rab" | "rabenseifner" => Ok(Algorithm::Rabenseifner),
-        "ring" => Ok(Algorithm::Ring),
-        "binomial" => Ok(Algorithm::BinomialReduceBcast),
-        "single-leader" => {
-            let inner = if parts.len() > 1 {
-                flat(parts[1])?
-            } else {
-                FlatAlg::RecursiveDoubling
-            };
-            Ok(Algorithm::SingleLeader { inner })
-        }
-        "dpml" => {
-            let leaders: u32 = parts
-                .get(1)
-                .ok_or("dpml needs a leader count, e.g. dpml:16")?
-                .parse()
-                .map_err(|e| format!("bad leader count: {e}"))?;
-            let inner = if parts.len() > 2 {
-                flat(parts[2])?
-            } else {
-                FlatAlg::RecursiveDoubling
-            };
-            Ok(Algorithm::Dpml { leaders, inner })
-        }
-        "dpml-pipelined" => {
-            let leaders: u32 = parts
-                .get(1)
-                .ok_or("dpml-pipelined needs leaders, e.g. dpml-pipelined:16:8")?
-                .parse()
-                .map_err(|e| format!("bad leader count: {e}"))?;
-            let chunks: u32 = parts
-                .get(2)
-                .ok_or("dpml-pipelined needs a chunk count, e.g. dpml-pipelined:16:8")?
-                .parse()
-                .map_err(|e| format!("bad chunk count: {e}"))?;
-            Ok(Algorithm::DpmlPipelined { leaders, chunks })
-        }
-        "sharp-node" => Ok(Algorithm::SharpNodeLeader),
-        "sharp-socket" => Ok(Algorithm::SharpSocketLeader),
-        other => Err(format!("unknown algorithm `{other}` (see `dpml info`)")),
-    }
+    Algorithm::parse(s)
 }
 
 fn cluster_and_spec(args: &[String]) -> Result<(Preset, ClusterSpec), String> {
@@ -163,11 +226,11 @@ fn cmd_info() {
     println!("\nsizes accept K/M suffixes: 64, 4K, 2M");
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
-    let alg = parse_algorithm(&arg_value(args, "--alg").ok_or("--alg required")?)?;
-    let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
-    let rep = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+    let alg = parse_algorithm(&arg_value(args, "--alg").ok_or("--alg required".to_string())?)?;
+    let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required".to_string())?)?;
+    let rep = run_allreduce(&preset, &spec, alg, bytes)?;
     println!(
         "{} on {} ({} x {} = {} ranks), {} bytes:",
         alg.name(),
@@ -197,7 +260,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let alg = parse_algorithm(&arg_value(args, "--alg").unwrap_or_else(|| "dpml:4".into()))?;
 
@@ -217,7 +280,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         );
         let mut bytes = 4u64;
         while bytes <= 4 << 20 {
-            let run = profile_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+            let run = profile_allreduce(&preset, &spec, alg, bytes)?;
             println!(
                 "{:>10} {:>10.2}us {:>16} {:>14}",
                 bytes, run.profile.latency_us, run.profile.zone, run.profile.dominant
@@ -228,7 +291,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
 
     let bytes = parse_bytes(&arg_value(args, "--bytes").unwrap_or_else(|| "64K".into()))?;
-    let run = profile_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+    let run = profile_allreduce(&preset, &spec, alg, bytes)?;
     let prof = &run.profile;
     println!(
         "{} on {} ({} x {} = {} ranks), {} bytes:",
@@ -279,19 +342,19 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         }
     }
 
-    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+    std::fs::create_dir_all("results").map_err(CliError::io)?;
     let json_path = format!("results/profile_{}_{}.json", prof.algorithm, bytes);
-    let json = serde_json::to_string_pretty(prof).map_err(|e| e.to_string())?;
-    std::fs::write(&json_path, json).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(prof).map_err(CliError::io)?;
+    std::fs::write(&json_path, json).map_err(CliError::io)?;
     let trace = run.report.trace.as_ref().expect("profiled run is traced");
     let trace_path = "results/dpml_timeline.json";
-    std::fs::write(trace_path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    std::fs::write(trace_path, trace.to_chrome_json()).map_err(CliError::io)?;
     println!("\n  profile written to {json_path}");
     println!("  Perfetto trace written to {trace_path} (open at https://ui.perfetto.dev)");
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let alg_specs = arg_values(args, "--alg");
     if alg_specs.is_empty() {
@@ -328,20 +391,38 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
     }
     let reports = dpml_core::run::run_allreduce_batch(&preset, &spec, scenarios);
+    let mut failures: Vec<(u64, String, String)> = Vec::new();
     for (i, &bytes) in sizes.iter().enumerate() {
         print!("{bytes:>8}");
-        for j in 0..algs.len() {
+        for (j, a) in algs.iter().enumerate() {
             match &reports[i * algs.len() + j] {
                 Ok(rep) => print!("  {:>14.1}us", rep.latency_us),
-                Err(_) => print!("  {:>16}", "-"),
+                Err(e) => {
+                    print!("  {:>16}", "-");
+                    failures.push((bytes, a.name(), e.to_string()));
+                }
             }
         }
         println!();
     }
-    Ok(())
+    // Partial results stay on stdout above; the failure summary and the
+    // distinct exit code let scripts tell "all clean" from "holes".
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        let total = sizes.len() * algs.len();
+        println!("\n{} of {} scenarios failed:", failures.len(), total);
+        for (bytes, name, why) in &failures {
+            println!("  {name} @ {bytes}B: {why}");
+        }
+        Err(CliError::Partial {
+            failed: failures.len(),
+            total,
+        })
+    }
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
     println!(
@@ -352,7 +433,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     );
     for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
         let alg = lib.choose(&preset, &spec, bytes);
-        let rep = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+        let rep = run_allreduce(&preset, &spec, alg, bytes)?;
         println!(
             "  {:<16} -> {:<16} {:>12.2} us",
             lib.name(),
@@ -363,7 +444,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_tune(args: &[String]) -> Result<(), String> {
+fn cmd_tune(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let sizes: Vec<u64> = (2..=20).map(|e| 1u64 << e).collect();
     let cands = default_candidates(&preset, &spec);
@@ -385,14 +466,14 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(out) = arg_value(args, "--out") {
-        let json = serde_json::to_string_pretty(&table).map_err(|e| e.to_string())?;
-        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&table).map_err(CliError::io)?;
+        std::fs::write(&out, json).map_err(CliError::io)?;
         println!("table written to {out}");
     }
     Ok(())
 }
 
-fn cmd_app(args: &[String]) -> Result<(), String> {
+fn cmd_app(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let app = arg_value(args, "--app").ok_or("--app hpcg|miniamr required")?;
     match app.as_str() {
@@ -427,7 +508,7 @@ fn cmd_app(args: &[String]) -> Result<(), String> {
                 )]
             };
             for (name, alg) in designs {
-                let rep = run_app(&preset, &spec, &profile, &|_| alg).map_err(|e| e.to_string())?;
+                let rep = run_app(&preset, &spec, &profile, &|_| alg)?;
                 println!(
                     "  {:<12} total {:>10.1}us  ddot {:>9.1}us",
                     name, rep.total_us, rep.comm_us
@@ -447,17 +528,16 @@ fn cmd_app(args: &[String]) -> Result<(), String> {
                 cfg.refinement_bytes(spec.world_size())
             );
             for lib in [Library::Mvapich2, Library::IntelMpi, Library::DpmlTuned] {
-                let rep = run_app(&preset, &spec, &profile, &|b| lib.choose(&preset, &spec, b))
-                    .map_err(|e| e.to_string())?;
+                let rep = run_app(&preset, &spec, &profile, &|b| lib.choose(&preset, &spec, b))?;
                 println!("  {:<16} refine comm {:>10.1}us", lib.name(), rep.comm_us);
             }
         }
-        other => return Err(format!("unknown app `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown app `{other}`"))),
     }
     Ok(())
 }
 
-fn cmd_faults(args: &[String]) -> Result<(), String> {
+fn cmd_faults(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let alg = parse_algorithm(&arg_value(args, "--alg").ok_or("--alg required")?)?;
     let bytes = parse_bytes(&arg_value(args, "--bytes").ok_or("--bytes required")?)?;
@@ -491,10 +571,8 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     }
 
     let policy = FaultPolicy::default();
-    let clean = run_allreduce_resilient(&preset, &spec, alg, bytes, &FaultPlan::zero(), policy)
-        .map_err(|e| e.to_string())?;
-    let faulted = run_allreduce_resilient(&preset, &spec, alg, bytes, &plan, policy)
-        .map_err(|e| e.to_string())?;
+    let clean = run_allreduce_resilient(&preset, &spec, alg, bytes, &FaultPlan::zero(), policy)?;
+    let faulted = run_allreduce_resilient(&preset, &spec, alg, bytes, &plan, policy)?;
 
     println!(
         "{} on {} ({} x {} = {} ranks), {} bytes, fault intensity {:.2}, seed {}:",
@@ -522,7 +600,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recover(args: &[String]) -> Result<(), String> {
+fn cmd_recover(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let leaders: u32 = arg_value(args, "--leaders")
         .map(|v| v.parse().map_err(|e| format!("bad --leaders: {e}")))
@@ -534,16 +612,16 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
     if crash_rank >= spec.world_size() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--crash-rank {crash_rank} out of range (world size {})",
             spec.world_size()
-        ));
+        )));
     }
     let alg = Algorithm::Dpml {
         leaders,
         inner: FlatAlg::RecursiveDoubling,
     };
-    let clean = run_allreduce(&preset, &spec, alg, bytes).map_err(|e| e.to_string())?;
+    let clean = run_allreduce(&preset, &spec, alg, bytes)?;
     // Default crash time: 60% through the fault-free run (mid-phase-3).
     let crash_at = arg_value(args, "--crash-at-us")
         .map(|v| {
@@ -574,8 +652,7 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         FlatAlg::RecursiveDoubling,
         bytes,
         &plan,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
 
     println!(
         "dpml-l{leaders} on {} ({} x {} = {} ranks), {} bytes; rank {} crashes at {:.1}us:",
@@ -623,17 +700,17 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_integrity(args: &[String]) -> Result<(), String> {
+fn cmd_integrity(args: &[String]) -> Result<(), CliError> {
     let (preset, spec) = cluster_and_spec(args)?;
     let alg = parse_algorithm(&arg_value(args, "--alg").unwrap_or_else(|| "dpml:4".into()))?;
     let bytes = parse_bytes(&arg_value(args, "--bytes").unwrap_or_else(|| "256K".into()))?;
-    let rate = |flag: &str, default: f64| -> Result<f64, String> {
+    let rate = |flag: &str, default: f64| -> Result<f64, CliError> {
         let v: f64 = arg_value(args, flag)
             .map(|v| v.parse().map_err(|e| format!("bad {flag}: {e}")))
             .transpose()?
             .unwrap_or(default);
         if !(0.0..=1.0).contains(&v) {
-            return Err(format!("{flag} must be in [0, 1]"));
+            return Err(CliError::Usage(format!("{flag} must be in [0, 1]")));
         }
         Ok(v)
     };
@@ -714,9 +791,54 @@ fn cmd_integrity(args: &[String]) -> Result<(), String> {
         Err(VerifiedError::Integrity(e)) => {
             println!("  outcome          structured integrity failure (no corrupt data returned)");
             println!("  {e}");
-            Ok(())
+            // The collective reported honestly instead of returning
+            // corrupt data — still a failure for the caller: exit 5.
+            Err(CliError::Integrity(e.to_string()))
         }
-        Err(VerifiedError::Run(e)) => Err(e.to_string()),
+        Err(VerifiedError::Run(e)) => Err(e.into()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = ServeConfig {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into()),
+        ..ServeConfig::default()
+    };
+    let usize_flag = |flag: &str, default: usize| -> Result<usize, CliError> {
+        arg_value(args, flag)
+            .map(|v| v.parse().map_err(|e| format!("bad {flag}: {e}")))
+            .transpose()
+            .map_err(CliError::from)
+            .map(|v| v.unwrap_or(default))
+    };
+    cfg.workers = usize_flag("--workers", cfg.workers)?.max(1);
+    cfg.queue_capacity = usize_flag("--queue", cfg.queue_capacity)?.max(1);
+    cfg.client_inflight_cap = usize_flag("--client-cap", cfg.client_inflight_cap)?.max(1);
+    cfg.cache_capacity = usize_flag("--cache", cfg.cache_capacity)?;
+    cfg.max_retries = usize_flag("--max-retries", cfg.max_retries as usize)? as u32;
+    if let Some(p) = arg_value(args, "--journal") {
+        cfg.journal_path = p.into();
+    }
+    if let Some(id) = arg_value(args, "--watchdog-preset") {
+        Preset::by_id(&id).ok_or(format!("unknown watchdog preset `{id}` (a|b|c|d)"))?;
+        cfg.watchdog_preset = id;
+    }
+
+    let handle = start(cfg.clone()).map_err(CliError::io)?;
+    println!(
+        "dpml-serve listening on {} ({} workers, queue {}, journal {})",
+        handle.addr,
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.journal_path.display()
+    );
+    println!("send the `shutdown` verb to drain; exit 0 means a clean drain");
+    // Blocks until a client sends Shutdown and the admitted work drains.
+    let code = handle.wait();
+    if code == 0 {
+        Ok(())
+    } else {
+        Err(CliError::Internal(format!("drain exited with code {code}")))
     }
 }
 
@@ -742,9 +864,10 @@ fn main() {
         "faults" => cmd_faults(rest),
         "recover" => cmd_recover(rest),
         "integrity" => cmd_integrity(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity> [options]\n\
+                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity|serve> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
                  dpml profile --cluster a --nodes 8 --alg dpml:4 --bytes 64K [--sweep]\n     \
@@ -756,14 +879,19 @@ fn main() {
                  dpml recover --cluster a --nodes 4 --leaders 2 --bytes 1M \
                  --crash-rank 6 [--crash-at-us T] [--detect-us T]\n     \
                  dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K \
-                 --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]"
+                 --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]\n     \
+                 dpml serve [--addr H:P] [--workers N] [--queue N] [--client-cap N] \
+                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d]\n\
+                 exit codes: 0 ok, 1 internal, 2 usage, 3 build, 4 sim, 5 integrity, 6 partial sweep"
             );
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`; try `dpml help`")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `dpml help`"
+        ))),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error[{}]: {e}", e.class());
+        std::process::exit(e.code());
     }
 }
