@@ -1,0 +1,214 @@
+//! Delta-debugging shrinker: minimize a failing case while preserving
+//! its failure signature.
+//!
+//! Given a case whose outcome signature is interesting (a violation, or
+//! a structured failure worth pinning as a regression), the shrinker
+//! greedily walks the shrink lattice (`dpml_faults::mutate`):
+//!
+//! 1. **Geometry**: halve the message size, then ranks-per-node, then
+//!    nodes (faults aimed at removed ranks/links are dropped);
+//! 2. **Faults**: remove one fault at a time ([`shrink_candidates`] —
+//!    each step strictly reduces [`fault_count`]);
+//! 3. **Narrowing**: bounded rounds of window/rate halving
+//!    ([`narrow_candidates`]).
+//!
+//! A candidate is accepted iff re-running it reproduces the signature
+//! bit-for-bit deterministic — so the result is a *minimal
+//! deterministic reproducer*, ready for the regression corpus.
+
+use crate::outcome::{run_case, Scenario};
+use dpml_faults::{clamp_to_world, fault_count, narrow_candidates, shrink_candidates, FaultPlan};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on narrowing rounds (each halves some window or rate).
+const NARROW_ROUNDS: u32 = 6;
+
+/// The shrinker's result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShrinkResult {
+    /// Minimized scenario.
+    pub scenario: Scenario,
+    /// Minimized plan.
+    pub plan: FaultPlan,
+    /// The preserved signature.
+    pub signature: String,
+    /// Case executions the shrink spent.
+    pub evals: u32,
+    /// Fault count before/after.
+    pub initial_faults: usize,
+    pub final_faults: usize,
+}
+
+/// Geometry-shrink candidates for a scenario: halve bytes, ppn, nodes.
+fn geometry_candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.bytes >= 2048 {
+        out.push(Scenario {
+            bytes: sc.bytes / 2,
+            ..sc.clone()
+        });
+    }
+    if sc.ppn >= 3 {
+        out.push(Scenario {
+            ppn: sc.ppn / 2,
+            ..sc.clone()
+        });
+    }
+    if sc.nodes >= 3 {
+        out.push(Scenario {
+            nodes: sc.nodes / 2,
+            ..sc.clone()
+        });
+    }
+    out
+}
+
+/// Minimize `(scenario, plan)` while its outcome signature stays equal
+/// to the signature of the input case. `max_evals` bounds the work; the
+/// shrink stops early when the budget runs out.
+pub fn shrink_case(scenario: &Scenario, plan: &FaultPlan, max_evals: u32) -> ShrinkResult {
+    let signature = run_case(scenario, plan).signature;
+    let initial_faults = fault_count(plan);
+    let mut sc = scenario.clone();
+    let mut best = plan.clone();
+    let mut evals = 1u32;
+
+    let reproduce = |sc: &Scenario, plan: &FaultPlan, evals: &mut u32| -> bool {
+        *evals += 1;
+        run_case(sc, plan).signature == signature
+    };
+
+    // Phase 1+2 interleaved to fixpoint: geometry first (a smaller
+    // world makes every later eval cheaper), then single-fault drops.
+    loop {
+        if evals >= max_evals {
+            break;
+        }
+        let mut improved = false;
+        for cand_sc in geometry_candidates(&sc) {
+            let cand_plan = clamp_to_world(&best, cand_sc.nodes, cand_sc.ppn);
+            if reproduce(&cand_sc, &cand_plan, &mut evals) {
+                sc = cand_sc;
+                best = cand_plan;
+                improved = true;
+                break;
+            }
+            if evals >= max_evals {
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for cand in shrink_candidates(&best) {
+            if reproduce(&sc, &cand, &mut evals) {
+                best = cand;
+                improved = true;
+                break;
+            }
+            if evals >= max_evals {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Phase 3: bounded narrowing (same fault count, smaller windows).
+    for _ in 0..NARROW_ROUNDS {
+        if evals >= max_evals {
+            break;
+        }
+        let mut improved = false;
+        for cand in narrow_candidates(&best) {
+            if reproduce(&sc, &cand, &mut evals) {
+                best = cand;
+                improved = true;
+                break;
+            }
+            if evals >= max_evals {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        final_faults: fault_count(&best),
+        scenario: sc,
+        plan: best,
+        signature,
+        evals,
+        initial_faults,
+    }
+}
+
+/// The seeded "known-bad" plan used by the bench and the shrinker demo:
+/// a deliberately bloated plan — noise, a straggler, three link
+/// windows, a crash, wire corruption in a burst with a starved retry
+/// budget — whose signature is carried by just one or two of those
+/// faults. The shrinker must strip the freight.
+pub fn known_bad_case(seed: u64) -> (Scenario, FaultPlan) {
+    let sc = Scenario {
+        preset: "b".into(),
+        nodes: 4,
+        ppn: 4,
+        alg: "ring".into(),
+        bytes: 65536,
+    };
+    let mut plan = FaultPlan::zero();
+    plan.seed = seed;
+    plan.noise.intensity = 0.8;
+    plan.noise.straggler = Some(dpml_faults::Straggler {
+        rank: 3,
+        slowdown: 4.0,
+    });
+    for node in [None, Some(1), Some(2)] {
+        plan.links.push(dpml_faults::LinkFault {
+            node,
+            start: 0.0,
+            end: Some(5e-4),
+            bw_factor: 0.5,
+            msg_rate_factor: 0.8,
+        });
+    }
+    plan.data.corruption_rate = 1.0;
+    plan.data.max_retransmits = 0;
+    plan.data.burst = Some((0.0, 1e-3));
+    plan.validate().expect("known-bad plan is valid");
+    (sc, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinker_reduces_known_bad_to_three_faults_or_fewer() {
+        let (sc, plan) = known_bad_case(0xbad_5eed);
+        assert!(fault_count(&plan) >= 7, "the seeded plan starts bloated");
+        let out = run_case(&sc, &plan);
+        assert!(
+            out.class.starts_with("err:"),
+            "total corruption with zero budget must fail structurally, got {}",
+            out.class
+        );
+
+        let shrunk = shrink_case(&sc, &plan, 400);
+        assert!(
+            shrunk.final_faults <= 3,
+            "shrinker left {} faults (from {})",
+            shrunk.final_faults,
+            shrunk.initial_faults
+        );
+        assert!(shrunk.scenario.bytes < 65536 || shrunk.scenario.world() < 16);
+        // The minimized case still reproduces, bit-for-bit.
+        let a = run_case(&shrunk.scenario, &shrunk.plan);
+        let b = run_case(&shrunk.scenario, &shrunk.plan);
+        assert_eq!(a.signature, shrunk.signature);
+        assert_eq!(a.digest, b.digest);
+    }
+}

@@ -80,6 +80,36 @@ impl IntegrityPolicy {
     }
 }
 
+/// One rung of the degradation ladder, as exported for outcome-coverage
+/// accounting (the chaos campaign engine keys its coverage map on which
+/// rungs a run actually exercised).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LadderRung {
+    /// Rung 1: a receiver-side CRC failure or dropped message was
+    /// re-delivered over the wire.
+    WireRetransmit,
+    /// Rung 2: a shared-memory publish failed its checksum and was
+    /// redone from clean state.
+    ShmRedo,
+    /// Rung 3: one partition was re-reduced from surviving deposits.
+    PartitionRereduce,
+    /// Rung 4: the whole collective restarted with a reseeded plan.
+    FullRestart,
+}
+
+impl LadderRung {
+    /// Stable kebab-case coverage label. Renaming one invalidates the
+    /// committed chaos regression corpus.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LadderRung::WireRetransmit => "retransmit",
+            LadderRung::ShmRedo => "shm-redo",
+            LadderRung::PartitionRereduce => "partition-rereduce",
+            LadderRung::FullRestart => "restart",
+        }
+    }
+}
+
 /// Why a self-verifying run gave up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IntegrityErrorKind {
@@ -91,6 +121,17 @@ pub enum IntegrityErrorKind {
     /// the fault-free baseline (an escape the ladder exists to prevent;
     /// reaching this kind is a bug in the protocol, not in the caller).
     VerifyMismatch,
+}
+
+impl IntegrityErrorKind {
+    /// Stable kebab-case coverage label (see [`LadderRung::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntegrityErrorKind::BudgetExhausted => "integrity-budget-exhausted",
+            IntegrityErrorKind::RecoveryFailed => "integrity-recovery-failed",
+            IntegrityErrorKind::VerifyMismatch => "integrity-verify-mismatch",
+        }
+    }
 }
 
 /// Structured failure of a self-verifying allreduce: the collective did
@@ -222,6 +263,25 @@ impl IntegrityReport {
     /// Residual silent-corruption exposure (`detected * 2^-32`).
     pub fn undetected_risk(&self) -> f64 {
         self.report.stats.undetected_risk
+    }
+
+    /// Which degradation-ladder rungs this run exercised, ascending —
+    /// the coverage export consumed by the chaos campaign engine.
+    pub fn rungs(&self) -> Vec<LadderRung> {
+        let mut out = Vec::new();
+        if self.retransmits() > 0 {
+            out.push(LadderRung::WireRetransmit);
+        }
+        if self.shm_crc_fails() > 0 {
+            out.push(LadderRung::ShmRedo);
+        }
+        if self.recovery.is_some() {
+            out.push(LadderRung::PartitionRereduce);
+        }
+        if self.restarts > 0 {
+            out.push(LadderRung::FullRestart);
+        }
+        out
     }
 
     /// Slowdown of the end-to-end verified run over the unverified

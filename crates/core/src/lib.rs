@@ -37,7 +37,7 @@ pub use algorithms::{Algorithm, BuildError, FlatAlg};
 pub use heal::{run_dpml_failstop, FailstopOutcome, RecoveryReport};
 pub use integrity::{
     run_allreduce_verified, IntegrityError, IntegrityErrorKind, IntegrityPolicy, IntegrityReport,
-    PartitionRecovery, VerifiedError,
+    LadderRung, PartitionRecovery, VerifiedError,
 };
 pub use profile::{profile_allreduce, CostBreakdown, PhaseBreakdown, ProfileReport, ProfiledRun};
 pub use resilience::{

@@ -103,6 +103,28 @@ pub fn run_allreduce_batch(
         .collect()
 }
 
+/// [`run_allreduce_budgeted`] over a scenario chunk, executed on the
+/// scenario-parallel runner (order-preserving). `dpml-serve` routes each
+/// sweep chunk through this instead of simulating one scenario at a time
+/// on the worker thread, keeping its cancel/deadline checkpoints at the
+/// chunk boundaries.
+pub fn run_allreduce_batch_budgeted(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    scenarios: &[(Algorithm, u64)],
+    event_budget: Option<u64>,
+    time_budget_s: Option<f64>,
+) -> Vec<Result<AllreduceReport, RunError>> {
+    use rayon::prelude::*;
+    scenarios
+        .to_vec()
+        .into_par_iter()
+        .map(|(alg, bytes)| {
+            run_allreduce_budgeted(preset, spec, alg, bytes, event_budget, time_budget_s)
+        })
+        .collect()
+}
+
 /// [`run_allreduce`] with optional engine budgets: the simulation aborts
 /// with [`RunError::Sim`] (`EventBudgetExceeded` / `TimeBudgetExceeded`)
 /// instead of running to completion once either budget is exhausted.

@@ -136,6 +136,27 @@ pub struct PendingOp {
     pub what: String,
 }
 
+impl SimError {
+    /// Stable kebab-case variant label, the outcome-coverage key used by
+    /// the chaos campaign engine. Labels carry no payload fields so two
+    /// errors of the same shape land in the same coverage cell; renaming
+    /// one invalidates the committed chaos regression corpus.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::NoSharpOracle => "no-sharp-oracle",
+            SimError::UnknownGroup(..) => "unknown-group",
+            SimError::EventBudgetExceeded(_) => "event-budget",
+            SimError::TimeBudgetExceeded(_) => "time-budget",
+            SimError::SharpDenied(_) => "sharp-denied",
+            SimError::SharpTimeout { .. } => "sharp-timeout",
+            SimError::LinkDown { .. } => "link-down",
+            SimError::RankDead { .. } => "rank-dead",
+            SimError::RetryBudgetExhausted { .. } => "retry-exhausted",
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

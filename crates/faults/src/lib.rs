@@ -19,7 +19,11 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod mutate;
 pub mod retry;
+pub use mutate::{
+    clamp_to_world, fault_count, mutate, narrow_candidates, shrink_candidates, Mutator,
+};
 pub use retry::{RetryPlan, RETRY_JITTER_SALT};
 
 /// Smallest message-rate factor honored by the engine: a slower NIC still

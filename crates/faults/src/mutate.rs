@@ -1,0 +1,451 @@
+//! Seeded fault-plan mutation and the shrink lattice.
+//!
+//! The chaos campaign engine (`dpml-chaos`) searches the fault space by
+//! *mutating* plans instead of sampling them blindly. This module owns
+//! the two halves of that search that belong with the plan type itself:
+//!
+//! * [`mutate`] — one seeded, validity-preserving edit of a [`FaultPlan`]
+//!   (add/remove/retune one fault class, retime a window, retarget a
+//!   rank or link, reseed the draw stream). Every mutation is a pure
+//!   function of the [`Mutator`] stream, so a campaign is replayable
+//!   from its seed alone.
+//! * the shrink lattice — [`shrink_candidates`] proposes plans with
+//!   *strictly fewer* faults (delta-debugging steps), and
+//!   [`narrow_candidates`] proposes same-cardinality simplifications
+//!   (narrower windows, lower rates). A shrinker that only ever accepts
+//!   candidates from these two generators terminates: the first phase
+//!   strictly decreases [`fault_count`], the second strictly decreases a
+//!   continuous measure and is bounded by the caller.
+//!
+//! Mutations only ever produce plans that pass [`FaultPlan::validate`];
+//! this is asserted in debug builds and is part of the module's contract.
+
+use crate::{FaultPlan, LinkFault, ProcessFault, Straggler, DEFAULT_RETRY_BUDGET};
+
+/// A deterministic mutation stream: a thin splitmix64 walker. Two
+/// `Mutator`s built from the same seed yield identical decision
+/// sequences, which makes every campaign and every shrink replayable.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    state: u64,
+}
+
+impl Mutator {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            // Avoid the all-zeros fixed point of a raw counter start.
+            state: seed ^ 0x6d75_7461_746f_7221,
+        }
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n == 0` yields 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// One element of a non-empty menu.
+    pub fn pick<'a, T>(&mut self, menu: &'a [T]) -> &'a T {
+        &menu[self.below(menu.len())]
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Window start times the mutator draws from, seconds. Collective runs
+/// at chaos geometry finish within a few hundred microseconds, so the
+/// menu clusters there; `0.0` exercises faults active from the first
+/// event.
+const STARTS: [f64; 4] = [0.0, 5e-6, 2e-5, 1e-4];
+/// Window widths, seconds.
+const WIDTHS: [f64; 4] = [1e-5, 5e-5, 2e-4, 1e-3];
+/// Wire/shm fault probabilities. `1.0` forces every draw to fire, the
+/// fastest route to retry-budget exhaustion.
+const RATES: [f64; 5] = [0.0, 0.01, 0.1, 0.6, 1.0];
+
+/// Hard cap on mutated link-fault windows: past this the plan stops
+/// getting more interesting and only gets slower to simulate.
+const MAX_LINKS: usize = 4;
+/// Hard cap on mutated crash faults.
+const MAX_CRASHES: usize = 3;
+
+/// Apply one seeded mutation to `plan` for a world of `nodes * ppn`
+/// ranks. The result always validates; the input is never modified.
+pub fn mutate(plan: &FaultPlan, nodes: u32, ppn: u32, m: &mut Mutator) -> FaultPlan {
+    let world = (nodes * ppn).max(1);
+    let mut out = plan.clone();
+    match m.below(11) {
+        // --- OS noise / stragglers -----------------------------------
+        0 => {
+            out.noise.intensity = *m.pick(&[0.0, 0.2, 0.5, 0.8, 1.0]);
+        }
+        1 => {
+            out.noise.straggler = if out.noise.straggler.is_some() && m.chance(1, 2) {
+                None
+            } else {
+                Some(Straggler {
+                    rank: m.below(world as usize) as u32,
+                    slowdown: *m.pick(&[2.0, 4.0, 8.0]),
+                })
+            };
+        }
+        // --- link/NIC degradation ------------------------------------
+        2 => {
+            if out.links.len() < MAX_LINKS {
+                let start = *m.pick(&STARTS);
+                // An open-ended zero-bandwidth window is a severed NIC:
+                // the one shape that can surface `SimError::LinkDown`.
+                let end = if m.chance(7, 10) {
+                    Some(start + *m.pick(&WIDTHS))
+                } else {
+                    None
+                };
+                out.links.push(LinkFault {
+                    node: if m.chance(1, 2) {
+                        None
+                    } else {
+                        Some(m.below(nodes as usize) as u32)
+                    },
+                    start,
+                    end,
+                    bw_factor: *m.pick(&[0.0, 0.05, 0.25, 0.6]),
+                    msg_rate_factor: *m.pick(&[1.0, 0.5, 0.1]),
+                });
+            }
+        }
+        3 => {
+            if !out.links.is_empty() {
+                let i = m.below(out.links.len());
+                out.links.remove(i);
+            }
+        }
+        // --- SHArP resource faults -----------------------------------
+        4 => {
+            if m.chance(1, 3) {
+                out.sharp.deny_groups = !out.sharp.deny_groups;
+            } else {
+                out.sharp.flaky_attempts = m.below(4) as u32;
+                out.sharp.op_timeout = *m.pick(&[0.0, 1e-5, 1e-4]);
+            }
+        }
+        // --- fail-stop process faults --------------------------------
+        5 => {
+            if !out.process.crashes.is_empty() && m.chance(1, 3) {
+                let i = m.below(out.process.crashes.len());
+                out.process.crashes.remove(i);
+            } else if out.process.crashes.len() < MAX_CRASHES {
+                out.process.crashes.push(ProcessFault {
+                    rank: m.below(world as usize) as u32,
+                    crash_at: *m.pick(&[0.0, 1e-5, 5e-5, 2e-4]),
+                });
+                if out.process.detection_timeout <= 0.0 {
+                    out.process.detection_timeout = 1e-4;
+                }
+            }
+        }
+        // --- silent data corruption ----------------------------------
+        // One axis per op: a plan that corrupts *and* drops *and* flips
+        // shm lines only arises from stacked mutations, which is exactly
+        // the compound behavior guided search is supposed to discover.
+        6 => {
+            out.data.corruption_rate = (*m.pick(&RATES)).min(1.0 - out.data.drop_rate);
+        }
+        7 => {
+            let drop: f64 = *m.pick(&[0.0, 0.01, 0.1, 0.6]);
+            out.data.drop_rate = drop.min(1.0 - out.data.corruption_rate);
+        }
+        8 => {
+            out.data.shm_flip_rate = *m.pick(&[0.0, 0.01, 0.1, 0.6]);
+        }
+        9 => {
+            // Retry budget and burst window: a tiny budget plus a hot
+            // burst is the fastest path down the degradation ladder.
+            out.data.max_retransmits = *m.pick(&[0u32, 1, 2, DEFAULT_RETRY_BUDGET]);
+            out.data.burst = if m.chance(1, 2) {
+                let s = *m.pick(&STARTS);
+                Some((s, s + *m.pick(&WIDTHS)))
+            } else {
+                None
+            };
+        }
+        // --- reseed the draw stream ----------------------------------
+        _ => {
+            out.seed = m.next_u64();
+        }
+    }
+    debug_assert!(
+        out.validate().is_ok(),
+        "mutation produced an invalid plan: {:?}",
+        out.validate()
+    );
+    out
+}
+
+/// Number of distinct injected faults in `plan` — the measure the
+/// shrinker minimizes. Counts one per link window, crash, lost node,
+/// and active fault knob (noise, straggler, SHArP deny/flake, each
+/// nonzero data rate, a non-default retry budget, a burst window).
+pub fn fault_count(plan: &FaultPlan) -> usize {
+    let mut n = plan.links.len() + plan.process.crashes.len() + plan.process.lost_nodes.len();
+    n += usize::from(plan.noise.intensity > 0.0);
+    n += usize::from(plan.noise.straggler.is_some());
+    n += usize::from(plan.sharp.deny_groups);
+    n += usize::from(plan.sharp.flaky_attempts > 0);
+    n += usize::from(plan.data.corruption_rate > 0.0);
+    n += usize::from(plan.data.drop_rate > 0.0);
+    n += usize::from(plan.data.shm_flip_rate > 0.0);
+    n += usize::from(plan.data.max_retransmits != DEFAULT_RETRY_BUDGET);
+    n += usize::from(plan.data.burst.is_some());
+    n
+}
+
+/// Delta-debugging step candidates: every plan obtained by removing one
+/// fault from `plan`. Each candidate has `fault_count` strictly lower
+/// than the input, so a shrinker that only moves along these edges
+/// terminates.
+pub fn shrink_candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    for i in 0..plan.links.len() {
+        let mut p = plan.clone();
+        p.links.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.process.crashes.len() {
+        let mut p = plan.clone();
+        p.process.crashes.remove(i);
+        out.push(p);
+    }
+    for i in 0..plan.process.lost_nodes.len() {
+        let mut p = plan.clone();
+        p.process.lost_nodes.remove(i);
+        out.push(p);
+    }
+    if plan.noise.intensity > 0.0 {
+        let mut p = plan.clone();
+        p.noise.intensity = 0.0;
+        out.push(p);
+    }
+    if plan.noise.straggler.is_some() {
+        let mut p = plan.clone();
+        p.noise.straggler = None;
+        out.push(p);
+    }
+    if plan.sharp.deny_groups {
+        let mut p = plan.clone();
+        p.sharp.deny_groups = false;
+        out.push(p);
+    }
+    if plan.sharp.flaky_attempts > 0 {
+        let mut p = plan.clone();
+        p.sharp.flaky_attempts = 0;
+        out.push(p);
+    }
+    if plan.data.corruption_rate > 0.0 {
+        let mut p = plan.clone();
+        p.data.corruption_rate = 0.0;
+        out.push(p);
+    }
+    if plan.data.drop_rate > 0.0 {
+        let mut p = plan.clone();
+        p.data.drop_rate = 0.0;
+        out.push(p);
+    }
+    if plan.data.shm_flip_rate > 0.0 {
+        let mut p = plan.clone();
+        p.data.shm_flip_rate = 0.0;
+        out.push(p);
+    }
+    if plan.data.max_retransmits != DEFAULT_RETRY_BUDGET {
+        let mut p = plan.clone();
+        p.data.max_retransmits = DEFAULT_RETRY_BUDGET;
+        out.push(p);
+    }
+    if plan.data.burst.is_some() {
+        let mut p = plan.clone();
+        p.data.burst = None;
+        out.push(p);
+    }
+    out
+}
+
+/// Same-cardinality simplifications: halve every fault window and every
+/// fault rate. These never change [`fault_count`], so the caller bounds
+/// how many rounds it accepts (each round halves a continuous measure).
+pub fn narrow_candidates(plan: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    for (i, l) in plan.links.iter().enumerate() {
+        if let Some(end) = l.end {
+            let width = end - l.start;
+            if width > 1e-6 {
+                let mut p = plan.clone();
+                p.links[i].end = Some(l.start + width * 0.5);
+                out.push(p);
+            }
+        }
+    }
+    for (i, c) in plan.process.crashes.iter().enumerate() {
+        if c.crash_at > 1e-6 {
+            let mut p = plan.clone();
+            p.process.crashes[i].crash_at = c.crash_at * 0.5;
+            out.push(p);
+        }
+    }
+    if let Some((s, e)) = plan.data.burst {
+        if e - s > 1e-6 {
+            let mut p = plan.clone();
+            p.data.burst = Some((s, s + (e - s) * 0.5));
+            out.push(p);
+        }
+    }
+    for (get, set) in [
+        (
+            plan.data.corruption_rate,
+            (|p: &mut FaultPlan, v| p.data.corruption_rate = v) as fn(&mut FaultPlan, f64),
+        ),
+        (plan.data.drop_rate, |p: &mut FaultPlan, v| {
+            p.data.drop_rate = v
+        }),
+        (plan.data.shm_flip_rate, |p: &mut FaultPlan, v| {
+            p.data.shm_flip_rate = v
+        }),
+    ] {
+        if get > 1e-3 {
+            let mut p = plan.clone();
+            set(&mut p, get * 0.5);
+            out.push(p);
+        }
+    }
+    if plan.noise.intensity > 1e-3 {
+        let mut p = plan.clone();
+        p.noise.intensity = plan.noise.intensity * 0.5;
+        out.push(p);
+    }
+    out
+}
+
+/// Drop faults that reference ranks or nodes outside a (possibly
+/// shrunken) `nodes * ppn` world, so geometry shrinking cannot leave a
+/// plan aimed at targets that no longer exist.
+pub fn clamp_to_world(plan: &FaultPlan, nodes: u32, ppn: u32) -> FaultPlan {
+    let world = nodes * ppn;
+    let mut p = plan.clone();
+    p.links.retain(|l| l.node.is_none_or(|n| n < nodes));
+    p.process.crashes.retain(|c| c.rank < world);
+    p.process.lost_nodes.retain(|n| *n < nodes);
+    if let Some(s) = p.noise.straggler {
+        if s.rank >= world {
+            p.noise.straggler = None;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world_plan(seed: u64, edits: u32) -> FaultPlan {
+        let mut m = Mutator::new(seed);
+        let mut p = FaultPlan::zero();
+        for _ in 0..edits {
+            p = mutate(&p, 4, 4, &mut m);
+        }
+        p
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_always_valid() {
+        for seed in 0..64u64 {
+            let a = world_plan(seed, 12);
+            let b = world_plan(seed, 12);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "same seed must give the same mutation walk"
+            );
+            assert!(a.validate().is_ok(), "seed {seed}: {:?}", a.validate());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = serde_json::to_string(&world_plan(1, 8)).unwrap();
+        let b = serde_json::to_string(&world_plan(2, 8)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_reduce_fault_count() {
+        for seed in 0..32u64 {
+            let p = world_plan(seed, 10);
+            let n = fault_count(&p);
+            for cand in shrink_candidates(&p) {
+                assert!(cand.validate().is_ok());
+                assert!(
+                    fault_count(&cand) < n,
+                    "candidate must drop a fault: {n} -> {}",
+                    fault_count(&cand)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_candidates_preserve_fault_count_and_validity() {
+        for seed in 0..32u64 {
+            let p = world_plan(seed, 10);
+            let n = fault_count(&p);
+            for cand in narrow_candidates(&p) {
+                assert!(cand.validate().is_ok());
+                assert_eq!(fault_count(&cand), n);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_plan_shrinks_to_nothing() {
+        let z = FaultPlan::zero();
+        assert_eq!(fault_count(&z), 0);
+        assert!(shrink_candidates(&z).is_empty());
+        assert!(narrow_candidates(&z).is_empty());
+    }
+
+    #[test]
+    fn clamp_drops_out_of_world_targets() {
+        let mut p = FaultPlan::zero();
+        p.process.crashes.push(ProcessFault {
+            rank: 15,
+            crash_at: 1e-5,
+        });
+        p.process.detection_timeout = 1e-4;
+        p.links.push(LinkFault {
+            node: Some(3),
+            start: 0.0,
+            end: Some(1e-4),
+            bw_factor: 0.5,
+            msg_rate_factor: 1.0,
+        });
+        let c = clamp_to_world(&p, 2, 2);
+        assert!(c.process.crashes.is_empty());
+        assert!(c.links.is_empty());
+        let keep = clamp_to_world(&p, 4, 4);
+        assert_eq!(keep.process.crashes.len(), 1);
+        assert_eq!(keep.links.len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for [`RetryPlan`] edge cases: a zero retry budget must
+//! fail fast without ever producing a delay, and the capped-exponential
+//! envelope must saturate exactly (bit-for-bit constant past the cap,
+//! finite all the way to the maximum legal `cap_doublings` of 52).
+
+use dpml_faults::RetryPlan;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Zero budget = fail fast: no attempt ever gets a delay, the
+    /// schedule is empty, and the worst-case backoff is exactly zero —
+    /// regardless of base delay, cap, jitter, or seed.
+    #[test]
+    fn zero_budget_never_delays(
+        base in 0.0f64..1e3,
+        cap in 0u32..53,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+        attempts in vec(0u32..1000, 1..16),
+    ) {
+        let plan = RetryPlan::capped_exponential(base, cap, 0).with_jitter(jitter, seed);
+        prop_assert!(plan.validate().is_ok());
+        for &a in &attempts {
+            prop_assert_eq!(plan.delay(a), None);
+        }
+        prop_assert!(plan.delays().is_empty());
+        prop_assert_eq!(plan.total_backoff(), 0.0);
+    }
+
+    /// The budget boundary is exact: `delay(a)` is `Some` iff
+    /// `a < max_retries`.
+    #[test]
+    fn budget_boundary_is_exact(
+        base in 1e-9f64..1e3,
+        cap in 0u32..53,
+        max_retries in 0u32..64,
+        a in 0u32..128,
+    ) {
+        let plan = RetryPlan::capped_exponential(base, cap, max_retries);
+        prop_assert_eq!(plan.delay(a).is_some(), a < max_retries);
+    }
+
+    /// Envelope saturation: past `cap_doublings` the envelope is
+    /// bit-for-bit constant at `base * 2^cap`, finite even at the
+    /// maximum legal cap of 52, and monotone non-decreasing up to it.
+    #[test]
+    fn envelope_saturates_exactly_at_the_cap(
+        base in 1e-9f64..1e3,
+        cap in 0u32..53,
+        beyond in 0u32..1_000_000,
+    ) {
+        let plan = RetryPlan::capped_exponential(base, cap, u32::MAX);
+        prop_assert!(plan.validate().is_ok());
+        let ceiling = plan.envelope(cap);
+        prop_assert!(ceiling.is_finite());
+        prop_assert_eq!(ceiling, base * f64::exp2(cap as f64));
+        // Saturation: any attempt at or past the cap hits the ceiling
+        // exactly (no drift, no overflow however large the attempt).
+        prop_assert_eq!(plan.envelope(cap.saturating_add(beyond)).to_bits(), ceiling.to_bits());
+        // Monotone non-decreasing below the cap.
+        for a in 0..cap {
+            prop_assert!(plan.envelope(a) <= plan.envelope(a + 1));
+        }
+    }
+
+    /// Jittered delays always land in `[envelope, envelope*(1+jitter)]`,
+    /// and with `jitter == 0` the delay IS the envelope, bit for bit.
+    #[test]
+    fn jitter_stays_inside_the_band(
+        base in 1e-9f64..1e3,
+        cap in 0u32..53,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+        a in 0u32..64,
+    ) {
+        let max_retries = 64;
+        let plain = RetryPlan::capped_exponential(base, cap, max_retries);
+        let jittered = plain.with_jitter(jitter, seed);
+        let env = plain.envelope(a);
+        let d = jittered.delay(a).unwrap();
+        prop_assert!(d >= env);
+        prop_assert!(d <= env * (1.0 + jitter));
+        let bare = plain.delay(a).unwrap();
+        prop_assert_eq!(bare.to_bits(), env.to_bits());
+        // Determinism: the same plan yields the same schedule bitwise.
+        let d2 = jittered.delay(a).unwrap();
+        prop_assert_eq!(d.to_bits(), d2.to_bits());
+    }
+}

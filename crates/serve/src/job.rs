@@ -10,7 +10,7 @@
 
 use dpml_core::algorithms::Algorithm;
 use dpml_core::profile::profile_allreduce;
-use dpml_core::run::{run_allreduce_budgeted, RunError};
+use dpml_core::run::{run_allreduce_batch_budgeted, RunError};
 use dpml_fabric::Preset;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,8 +29,10 @@ pub const EVENTS_PER_DEADLINE_MS: u64 = 50_000;
 pub const VIRTUAL_TIME_GUARD_S: f64 = 10.0;
 
 /// Scenarios per cooperative checkpoint in the sweep loop: between
-/// chunks the worker polls the cancel flag and the wall-clock deadline.
-pub const SWEEP_CHUNK: usize = 4;
+/// chunks the worker polls the cancel flag and the wall-clock deadline;
+/// within a chunk the scenarios run concurrently on the
+/// scenario-parallel runner.
+pub const SWEEP_CHUNK: usize = 8;
 
 /// What the job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -339,9 +341,11 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
 
     // Simulate and sweep share the chunked loop: between chunks the
     // worker honors cancellation and the wall-clock deadline; inside a
-    // chunk each scenario carries an engine budget derived from the
-    // remaining deadline, so even a single scenario cannot overrun it
-    // by more than the budget-check granularity.
+    // chunk the scenarios run on the scenario-parallel runner
+    // (order-preserving, see `dpml_core::run::run_allreduce_batch_budgeted`),
+    // each carrying an engine budget derived from the remaining deadline,
+    // so even a single scenario cannot overrun it by more than the
+    // budget-check granularity.
     let mut results = Vec::with_capacity(scenarios.len());
     let mut failed = 0u32;
     for chunk in scenarios.chunks(SWEEP_CHUNK) {
@@ -355,8 +359,10 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
             });
         }
         let (event_budget, time_budget) = budgets_for(remaining);
-        for &(alg, bytes) in chunk {
-            match run_allreduce_budgeted(&preset, &cluster, alg, bytes, event_budget, time_budget) {
+        let chunk_results =
+            run_allreduce_batch_budgeted(&preset, &cluster, chunk, event_budget, time_budget);
+        for (&(alg, bytes), res) in chunk.iter().zip(chunk_results) {
+            match res {
                 Ok(rep) => results.push(ScenarioResult {
                     algorithm: alg.name(),
                     bytes,

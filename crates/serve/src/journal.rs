@@ -336,6 +336,71 @@ mod tests {
     }
 
     #[test]
+    fn tail_cut_inside_crc_trailer_heals_like_any_other_tear() {
+        // The second frame's header is [len:4][crc:4]; cut points landing
+        // *inside* the CRC32C field (frame offsets 5..8) leave a header
+        // that is neither complete nor absent. Every such tear must drop
+        // exactly the torn frame, keep the first record, and heal on
+        // reopen so a fresh append lands right after record 1.
+        let path = temp("crc-trailer-cut");
+        std::fs::remove_file(&path).ok();
+        let (j, _) = Journal::open(&path).unwrap();
+        j.append(&Record::Start { id: 1, attempt: 0 }).unwrap();
+        let frame1_len = std::fs::metadata(&path).unwrap().len() as usize;
+        j.append(&Record::Start { id: 2, attempt: 0 }).unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+
+        // Frame offsets 1..8 cover cuts inside the length field (1..4)
+        // and inside the CRC field (5..8); offset 8 is "header complete,
+        // payload missing" and 0 is "frame absent entirely" (clean tail).
+        for cut in 0..8usize {
+            std::fs::write(&path, &full[..frame1_len + cut]).unwrap();
+            let r = replay_file(&path).unwrap();
+            assert_eq!(r.records.len(), 1, "cut at header offset {cut}");
+            assert_eq!(r.valid_len, frame1_len as u64);
+            assert_eq!(r.torn_tail, cut != 0, "cut at header offset {cut}");
+
+            let (j, r) = Journal::open(&path).unwrap();
+            assert_eq!(r.records.len(), 1);
+            j.append(&Record::Start { id: 3, attempt: 0 }).unwrap();
+            drop(j);
+            let r = replay_file(&path).unwrap();
+            assert!(!r.torn_tail, "reopen must have truncated the tear");
+            assert_eq!(
+                r.records,
+                vec![
+                    Record::Start { id: 1, attempt: 0 },
+                    Record::Start { id: 3, attempt: 0 }
+                ],
+                "cut at header offset {cut}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_cut_mid_payload_after_valid_crc_heals() {
+        // Torn payload with a fully intact header (len + CRC both
+        // present): the declared length overruns the file, so the frame
+        // is torn even though its CRC field is valid.
+        let path = temp("payload-after-crc");
+        std::fs::remove_file(&path).ok();
+        let (j, _) = Journal::open(&path).unwrap();
+        j.append(&Record::Start { id: 1, attempt: 0 }).unwrap();
+        let frame1_len = std::fs::metadata(&path).unwrap().len() as usize;
+        j.append(&Record::Start { id: 2, attempt: 0 }).unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..frame1_len + 8 + 1]).unwrap();
+        let r = replay_file(&path).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert!(r.torn_tail);
+        assert_eq!(r.valid_len, frame1_len as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_crc_stops_replay() {
         let path = temp("crc");
         std::fs::remove_file(&path).ok();

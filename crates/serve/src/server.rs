@@ -224,6 +224,31 @@ impl ServerState {
         pending
     }
 
+    /// SIGTERM-grade drain: stop admitting, let *running* jobs finish,
+    /// and requeue everything still waiting (queued or in retry backoff)
+    /// to the journal instead of executing it — their `Admit` records
+    /// stay unfinished on disk, so the next daemon start replays them
+    /// exactly once. Returns `(running, requeued)`.
+    pub fn begin_terminate(&self) -> (u64, u64) {
+        let mut s = self.sched.lock().expect("sched lock poisoned");
+        s.draining = true;
+        let mut requeued = 0u64;
+        while let Some(job) = s.queue.pop_front() {
+            s.tracked.remove(&job.id);
+            requeued += 1;
+        }
+        while let Some(entry) = s.retries.pop() {
+            s.tracked.remove(&entry.job.id);
+            requeued += 1;
+        }
+        let running = s.running as u64;
+        drop(s);
+        self.counter("serve.requeued").add(requeued);
+        self.work_cv.notify_all();
+        self.idle_cv.notify_all();
+        (running, requeued)
+    }
+
     /// Handle one decoded request. Returns the responses to write in
     /// order, plus an optional dequeued-by-cancel job to conclude
     /// *after* the ack is on the wire (so the client never sees the
@@ -656,6 +681,14 @@ impl ServerHandle {
     /// Programmatic drain (same as the `Shutdown` verb).
     pub fn shutdown(&self) {
         self.state.begin_drain();
+    }
+
+    /// Graceful-termination drain (what the CLI maps SIGTERM/SIGINT to):
+    /// running jobs finish, waiting jobs are journal-requeued for the
+    /// next start. Follow with [`ServerHandle::wait`], which syncs the
+    /// journal and returns 0 on a clean exit.
+    pub fn terminate(&self) -> (u64, u64) {
+        self.state.begin_terminate()
     }
 
     /// Shared state, for in-process inspection (tests, stats).

@@ -442,3 +442,74 @@ fn startup_replay_requeues_and_finishes_admitted_jobs() {
     assert_eq!(finishes.len(), 2, "no duplicated finishes");
     std::fs::remove_file(&journal_path).ok();
 }
+
+#[test]
+fn graceful_terminate_requeues_waiting_jobs_and_exits_clean() {
+    let mut cfg = base_cfg("terminate");
+    cfg.workers = 1;
+    let journal_path = cfg.journal_path.clone();
+    let handle = start(cfg).unwrap();
+    let mut c = connect(handle.addr);
+
+    // One slow job to occupy the single worker, then two more that stay
+    // queued behind it.
+    let mut ids = Vec::new();
+    for spec in [slow_spec(), sim_spec(4096), sim_spec(8192)] {
+        let r = c.submit(&spec).unwrap();
+        let dpml_serve::Response::Accepted { id, .. } = r else {
+            panic!("expected acceptance, got {r:?}");
+        };
+        ids.push(id);
+    }
+    // SIGTERM-grade drain immediately after admission: at most one job
+    // can be running on the single worker, so at least two must be
+    // requeued (journal-requeue, not executed).
+    let (_running, requeued) = handle.terminate();
+    assert!(
+        requeued >= 2,
+        "the two queued jobs must be requeued, got {requeued}"
+    );
+    assert_eq!(handle.wait(), 0, "terminate drain exits clean");
+
+    let replay = journal::replay_file(&journal_path).unwrap();
+    let pending: Vec<u64> = replay.pending().iter().map(|(id, _, _)| *id).collect();
+    assert_eq!(
+        pending.len() as u64,
+        requeued,
+        "every requeued job is pending in the journal, exactly once"
+    );
+    for id in &pending {
+        assert!(ids.contains(id));
+    }
+
+    // A fresh daemon on the same journal replays and finishes them.
+    let cfg = ServeConfig {
+        workers: 2,
+        journal_path: journal_path.clone(),
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).unwrap();
+    let mut c = connect(handle.addr);
+    c.shutdown().unwrap();
+    assert_eq!(handle.wait(), 0);
+
+    let replay = journal::replay_file(&journal_path).unwrap();
+    assert!(
+        replay.pending().is_empty(),
+        "requeued jobs must finish after restart"
+    );
+    let mut finishes: Vec<u64> = replay
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Finish { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    finishes.sort_unstable();
+    let deduped = finishes.len();
+    finishes.dedup();
+    assert_eq!(finishes.len(), deduped, "no duplicated finishes");
+    assert_eq!(finishes, ids, "every admitted job finished exactly once");
+    std::fs::remove_file(&journal_path).ok();
+}

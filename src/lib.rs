@@ -22,9 +22,13 @@
 //! * [`serve`] — a fault-isolated simulation daemon: bounded queues,
 //!   deadlines, deterministic retries, crash-safe job journaling, and a
 //!   content-addressed result cache (DESIGN.md §12)
+//! * [`chaos`] — coverage-guided chaos campaigns: outcome-coverage
+//!   search over fault plans, delta-debugging failure shrinking, and a
+//!   replayable regression corpus (DESIGN.md §13)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use dpml_chaos as chaos;
 pub use dpml_core as core;
 pub use dpml_engine as engine;
 pub use dpml_fabric as fabric;

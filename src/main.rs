@@ -12,6 +12,9 @@
 //! dpml recover  --cluster a --nodes 4 --leaders 2 --bytes 1M --crash-rank 6 --crash-at-us 800
 //! dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K --corruption 0.05 --drop 0.02
 //! dpml serve    --addr 127.0.0.1:7077 --workers 4 --journal serve.journal
+//! dpml chaos    campaign --seed 7 --budget 256        # coverage-guided search
+//! dpml chaos    mine --dir tests/corpus               # shrink + commit reproducers
+//! dpml chaos    replay --dir tests/corpus             # bit-exact corpus replay
 //! ```
 //!
 //! Exit codes (stable, for scripts and CI):
@@ -28,6 +31,10 @@
 //! | 6    | partial   | sweep finished but some scenarios failed; the      |
 //! |      |           | table above the summary holds the partial results  |
 
+use dpml::chaos::{
+    replay_dir, run_campaign, run_serve_campaign, shrink_case, CampaignConfig, Reproducer,
+    ServeCampaignConfig,
+};
 use dpml::core::algorithms::{Algorithm, FlatAlg};
 use dpml::core::heal::{run_dpml_failstop, FailstopOutcome};
 use dpml::core::integrity::{run_allreduce_verified, IntegrityPolicy, VerifiedError};
@@ -833,12 +840,221 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         cfg.journal_path.display()
     );
     println!("send the `shutdown` verb to drain; exit 0 means a clean drain");
-    // Blocks until a client sends Shutdown and the admitted work drains.
+    install_terminate_monitor(&handle);
+    // Blocks until a client sends Shutdown (or SIGTERM/SIGINT arrives)
+    // and the admitted work drains.
     let code = handle.wait();
     if code == 0 {
         Ok(())
     } else {
         Err(CliError::Internal(format!("drain exited with code {code}")))
+    }
+}
+
+/// Map SIGTERM/SIGINT to a graceful terminate: stop admitting, finish
+/// running jobs, journal-requeue everything still waiting, flush, exit 0.
+/// Signal-handler rules allow almost nothing, so the handler only flips
+/// an atomic; a monitor thread does the real work.
+#[cfg(unix)]
+fn install_terminate_monitor(handle: &dpml::serve::ServerHandle) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+
+    let state = std::sync::Arc::clone(handle.state());
+    std::thread::Builder::new()
+        .name("dpml-serve-term".into())
+        .spawn(move || loop {
+            if TERM_REQUESTED.load(Ordering::SeqCst) {
+                let (running, requeued) = state.begin_terminate();
+                eprintln!(
+                    "dpml-serve: termination signal — finishing {running} running job(s), \
+                     {requeued} requeued to the journal for the next start"
+                );
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn terminate monitor");
+}
+
+#[cfg(not(unix))]
+fn install_terminate_monitor(_handle: &dpml::serve::ServerHandle) {}
+
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    let verb = args.first().map(String::as_str).unwrap_or("campaign");
+    let rest = if args.is_empty() { args } else { &args[1..] };
+    let seed: u64 = arg_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(0xc4a0_5eed);
+    match verb {
+        "campaign" => {
+            let budget: u32 = arg_value(rest, "--budget")
+                .map(|v| v.parse().map_err(|e| format!("bad --budget: {e}")))
+                .transpose()?
+                .unwrap_or(128);
+            let mut cfg = CampaignConfig::new(seed, budget);
+            cfg.guided = !rest.iter().any(|a| a == "--random");
+            let mode = if cfg.guided { "guided" } else { "random" };
+            println!("chaos campaign: seed {seed:#x}, budget {budget}, {mode}");
+            let report = run_campaign(&cfg);
+            println!(
+                "  coverage        {} cells from {} runs ({} discoveries)",
+                report.cells.len(),
+                report.executed,
+                report.discoveries.len()
+            );
+            for p in &report.curve {
+                println!("    after {:>5} runs: {:>3} cells", p.runs, p.cells);
+            }
+            if report.violations.is_empty() {
+                println!("  violations      none");
+                Ok(())
+            } else {
+                for v in &report.violations {
+                    println!(
+                        "  VIOLATION       {} on {}: {}",
+                        v.signature,
+                        v.scenario.id(),
+                        v.detail
+                    );
+                }
+                Err(CliError::Integrity(format!(
+                    "campaign found {} violation(s); shrink with `dpml chaos mine`",
+                    report.violations.len()
+                )))
+            }
+        }
+        "serve" => {
+            let iterations: u32 = arg_value(rest, "--iterations")
+                .map(|v| v.parse().map_err(|e| format!("bad --iterations: {e}")))
+                .transpose()?
+                .unwrap_or(3);
+            let report = run_serve_campaign(&ServeCampaignConfig::new(seed, iterations));
+            println!(
+                "serve chaos: {} daemon lifecycles, {} jobs, {} kill points audited",
+                report.iterations, report.jobs_submitted, report.kill_points
+            );
+            println!("  coverage        {} cells", report.cells.len());
+            for c in &report.cells {
+                println!("    {c}");
+            }
+            if report.violations.is_empty() {
+                println!("  violations      none (exactly-once held at every kill point)");
+                Ok(())
+            } else {
+                for v in &report.violations {
+                    println!("  VIOLATION       {v}");
+                }
+                Err(CliError::Integrity(format!(
+                    "serve campaign found {} violation(s)",
+                    report.violations.len()
+                )))
+            }
+        }
+        "shrink" => {
+            let (sc, plan) = dpml::chaos::shrink::known_bad_case(seed);
+            let before = dpml::faults::mutate::fault_count(&plan);
+            let out = shrink_case(&sc, &plan, 400);
+            println!(
+                "shrink demo: {} faults -> {} in {} evals (signature {})",
+                before, out.final_faults, out.evals, out.signature
+            );
+            println!(
+                "  minimized to    {} with plan {}",
+                out.scenario.id(),
+                serde_json::to_string(&out.plan).map_err(CliError::io)?
+            );
+            Ok(())
+        }
+        "mine" => {
+            let dir = std::path::PathBuf::from(
+                arg_value(rest, "--dir").unwrap_or_else(|| "tests/corpus".into()),
+            );
+            let budget: u32 = arg_value(rest, "--budget")
+                .map(|v| v.parse().map_err(|e| format!("bad --budget: {e}")))
+                .transpose()?
+                .unwrap_or(128);
+            let max: usize = arg_value(rest, "--max")
+                .map(|v| v.parse().map_err(|e| format!("bad --max: {e}")))
+                .transpose()?
+                .unwrap_or(8);
+            let report = run_campaign(&CampaignConfig::new(seed, budget));
+            // Reproducer candidates: violations first, then structured
+            // failures among the discoveries — one per signature.
+            let mut candidates: Vec<(dpml::chaos::Scenario, FaultPlan)> = report
+                .violations
+                .iter()
+                .map(|v| (v.scenario.clone(), v.plan.clone()))
+                .collect();
+            candidates.extend(
+                report
+                    .discoveries
+                    .iter()
+                    .map(|(sc, plan, _)| (sc.clone(), plan.clone())),
+            );
+            let mut seen = std::collections::BTreeSet::new();
+            let mut saved = 0usize;
+            for (sc, plan) in candidates {
+                if saved >= max {
+                    break;
+                }
+                let out = dpml::chaos::run_case(&sc, &plan);
+                let interesting = out.violation.is_some() || out.class.starts_with("err:");
+                if !interesting || !seen.insert(out.signature.clone()) {
+                    continue;
+                }
+                let shrunk = shrink_case(&sc, &plan, 200);
+                let rep = Reproducer::capture(
+                    &shrunk.scenario,
+                    &shrunk.plan,
+                    &format!(
+                        "mined: campaign seed {seed:#x} budget {budget}; \
+                         shrunk {} -> {} faults in {} evals",
+                        shrunk.initial_faults, shrunk.final_faults, shrunk.evals
+                    ),
+                );
+                let path = rep.save(&dir).map_err(CliError::io)?;
+                println!("saved {} ({})", path.display(), rep.signature);
+                saved += 1;
+            }
+            println!("mined {saved} reproducer(s) into {}", dir.display());
+            Ok(())
+        }
+        "replay" => {
+            let dir = std::path::PathBuf::from(
+                arg_value(rest, "--dir").unwrap_or_else(|| "tests/corpus".into()),
+            );
+            let (replayed, failures) = replay_dir(&dir).map_err(CliError::Internal)?;
+            if failures.is_empty() {
+                println!("corpus replay: {replayed} reproducer(s), all bit-exact");
+                Ok(())
+            } else {
+                for (path, why) in &failures {
+                    println!("DRIFT {}: {why}", path.display());
+                }
+                Err(CliError::Integrity(format!(
+                    "{} of {replayed} corpus reproducer(s) drifted",
+                    failures.len()
+                )))
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown chaos verb `{other}`; try campaign|serve|shrink|mine|replay"
+        ))),
     }
 }
 
@@ -865,9 +1081,10 @@ fn main() {
         "recover" => cmd_recover(rest),
         "integrity" => cmd_integrity(rest),
         "serve" => cmd_serve(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity|serve> [options]\n\
+                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity|serve|chaos> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
                  dpml profile --cluster a --nodes 8 --alg dpml:4 --bytes 64K [--sweep]\n     \
@@ -881,7 +1098,11 @@ fn main() {
                  dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K \
                  --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]\n     \
                  dpml serve [--addr H:P] [--workers N] [--queue N] [--client-cap N] \
-                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d]\n\
+                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d]\n     \
+                 dpml chaos campaign [--seed S] [--budget N] [--random]\n     \
+                 dpml chaos serve [--seed S] [--iterations N]\n     \
+                 dpml chaos mine [--dir tests/corpus] [--seed S] [--budget N] [--max N]\n     \
+                 dpml chaos replay [--dir tests/corpus]\n\
                  exit codes: 0 ok, 1 internal, 2 usage, 3 build, 4 sim, 5 integrity, 6 partial sweep"
             );
             Ok(())

@@ -1,0 +1,63 @@
+//! Tier-1 regression-corpus replay (DESIGN.md §13).
+//!
+//! Every reproducer under `tests/corpus/` was mined by a chaos campaign,
+//! minimized by the delta-debugging shrinker, and committed with the
+//! outcome digest observed at mining time. Replaying them here pins the
+//! simulator bit-exactly: any drift in latency bits, failure class, or
+//! detail string fails tier-1 with the offending file named.
+
+use dpml::chaos::shrink::known_bad_case;
+use dpml::chaos::{load_dir, replay_dir, shrink_case, SCHEMA_VERSION};
+use dpml::faults::fault_count;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+#[test]
+fn corpus_is_nonempty_and_well_formed() {
+    let reps = load_dir(corpus_dir()).expect("corpus dir must load");
+    assert!(
+        !reps.is_empty(),
+        "tests/corpus must hold at least one mined reproducer"
+    );
+    for (path, r) in &reps {
+        assert_eq!(r.schema, SCHEMA_VERSION, "{}: schema drift", path.display());
+        assert!(!r.signature.is_empty());
+        assert_eq!(r.expected_digest.len(), 16, "digest must be 16 hex chars");
+    }
+}
+
+#[test]
+fn corpus_replays_bit_exactly() {
+    let (count, drifts) = replay_dir(corpus_dir()).expect("corpus dir must load");
+    assert!(count > 0);
+    for (path, why) in &drifts {
+        eprintln!("DRIFT {}: {why}", path.display());
+    }
+    assert!(
+        drifts.is_empty(),
+        "{} of {count} corpus reproducer(s) drifted — the simulator's \
+         outcome digests changed; re-mine with `dpml chaos mine` if the \
+         change is intentional",
+        drifts.len()
+    );
+}
+
+#[test]
+fn shrinker_meets_three_fault_acceptance_bound() {
+    let (sc, plan) = known_bad_case(0xc4a0_5eed);
+    let before = fault_count(&plan);
+    assert!(before >= 6, "seeded known-bad plan must start fault-heavy");
+    let shrunk = shrink_case(&sc, &plan, 400);
+    assert!(
+        shrunk.final_faults <= 3,
+        "shrinker left {} faults (> 3) on the seeded known-bad plan",
+        shrunk.final_faults
+    );
+    assert_eq!(
+        shrunk.signature, "err:integrity-budget-exhausted",
+        "shrinking must preserve the failure signature"
+    );
+}
