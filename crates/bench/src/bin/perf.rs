@@ -14,15 +14,22 @@
 //! committed baseline (see `.github/workflows/ci.yml` and
 //! `scripts/perf_check.py`).
 //!
-//! Usage: `perf [--quick] [--nodes N] [--ppn P] [--reps R]`
-//!   --quick   CI matrix: 8×8 shape (seconds, not minutes)
-//!   --reps    simulate each point R times, report the best (default 3
-//!             in quick mode, 1 otherwise) — damps scheduler noise on
-//!             loaded CI machines
+//! Usage: `perf [--quick] [--nodes N] [--ppn P] [--reps R] [--no-flight] [--out NAME]`
+//!   --quick      CI matrix: 8×8 shape (seconds, not minutes)
+//!   --reps       simulate each point R times, report the best (default 3
+//!                in quick mode, 1 otherwise) — damps scheduler noise on
+//!                loaded CI machines
+//!   --no-flight  disable the always-on flight recorder for this run; CI
+//!                compares a `--no-flight` run against a default run on
+//!                the largest point to bound the recorder's overhead
+//!                (DESIGN.md §14 budgets it at <2% events/s)
+//!   --out        results file stem (default `perf_wallclock`), so the
+//!                overhead comparison can write both runs side by side
 
-use dpml_bench::{arg_flag, arg_num, fmt_bytes, save_results, sweep, Table};
+use dpml_bench::{arg_flag, arg_num, arg_value, fmt_bytes, save_results, sweep, Table};
 use dpml_core::algorithms::{Algorithm, FlatAlg};
 use dpml_core::run::run_allreduce;
+use dpml_engine::flight;
 use dpml_fabric::{presets, Preset};
 use serde::Serialize;
 use std::time::Instant;
@@ -44,6 +51,8 @@ struct Point {
 #[derive(Serialize)]
 struct Results {
     quick: bool,
+    /// True when the flight recorder was left on (the default).
+    flight: bool,
     nodes: u32,
     ppn: u32,
     sizes: Vec<u64>,
@@ -94,6 +103,11 @@ fn algorithms(ppn: u32) -> Vec<Algorithm> {
 
 fn main() {
     let quick = arg_flag("--quick");
+    let no_flight = arg_flag("--no-flight");
+    if no_flight {
+        flight::global().set_enabled(false);
+    }
+    let out_name = arg_value("--out").unwrap_or_else(|| "perf_wallclock".into());
     let (def_nodes, def_ppn) = if quick { (8, 8) } else { (16, 16) };
     let nodes: u32 = arg_num("--nodes", def_nodes);
     let ppn: u32 = arg_num("--ppn", def_ppn);
@@ -183,6 +197,7 @@ fn main() {
 
     let results = Results {
         quick,
+        flight: !no_flight,
         nodes,
         ppn,
         sizes,
@@ -192,6 +207,6 @@ fn main() {
         largest_events_per_sec: largest.events_per_sec,
         points,
     };
-    let path = save_results("perf_wallclock", &results).expect("write results");
+    let path = save_results(&out_name, &results).expect("write results");
     println!("wrote {}", path.display());
 }

@@ -27,6 +27,7 @@
 //! Writes `results/serve.json`.
 
 use dpml_bench::{arg_flag, arg_num, save_results};
+use dpml_engine::flight::PostmortemBundle;
 use dpml_serve::journal::replay_file;
 use dpml_serve::journal::Record;
 use dpml_serve::{start, Client, JobKind, JobSpec, ServeConfig, Submission};
@@ -62,6 +63,8 @@ struct ChaosReport {
     daemon_kills: usize,
     killed_jobs_admitted: usize,
     replayed_after_kill: u64,
+    /// Post-mortem bundles the panicking workers dumped (capped).
+    postmortem_bundles: usize,
 }
 
 #[derive(Serialize)]
@@ -439,12 +442,20 @@ fn main() {
     // ---- Phase 2: chaos ----
     let chaos_report = if chaos {
         let journal = temp_path("chaos.journal");
+        let postmortem_dir = std::env::temp_dir().join(format!(
+            "dpml-serve-bench-{}-postmortem",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&postmortem_dir).ok();
+        let max_postmortems = 8usize;
         let handle = start(ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue_capacity: 32,
             retry_base_ms: 1.0,
             journal_path: journal.clone(),
+            postmortem_dir: Some(postmortem_dir.clone()),
+            max_postmortems,
             ..ServeConfig::default()
         })
         .expect("chaos daemon start");
@@ -500,6 +511,29 @@ fn main() {
         audit.jobs_admitted += chaos_audit.jobs_admitted;
         audit.jobs_lost += chaos_audit.jobs_lost;
         audit.jobs_duplicated += chaos_audit.jobs_duplicated;
+
+        // Every worker panic dumps a post-mortem bundle, up to the cap;
+        // each bundle must parse as the current schema with the panic's
+        // job context attached.
+        let bundles: Vec<PathBuf> = std::fs::read_dir(&postmortem_dir)
+            .expect("panicking workers must create the post-mortem dir")
+            .map(|e| e.expect("read bundle entry").path())
+            .collect();
+        let expected = (worker_panics as usize).min(max_postmortems);
+        assert_eq!(
+            bundles.len(),
+            expected,
+            "expected {expected} post-mortem bundles (panics {worker_panics}, cap {max_postmortems})"
+        );
+        for path in &bundles {
+            let bundle = PostmortemBundle::load(path)
+                .unwrap_or_else(|e| panic!("unreadable bundle {}: {e}", path.display()));
+            assert_eq!(bundle.reason, "worker_panic", "{}", path.display());
+            assert!(bundle.job.is_some(), "bundle lacks job context");
+            assert!(bundle.metrics.is_some(), "bundle lacks metrics snapshot");
+        }
+        let postmortem_bundles = bundles.len();
+        std::fs::remove_dir_all(&postmortem_dir).ok();
         std::fs::remove_file(&journal).ok();
 
         // (c) Kill-and-restart mid-journal, in a separate process.
@@ -536,6 +570,7 @@ fn main() {
             daemon_kills: kills,
             killed_jobs_admitted: killed_admitted,
             replayed_after_kill: replayed,
+            postmortem_bundles,
         })
     } else {
         None
@@ -554,8 +589,14 @@ fn main() {
     );
     if let Some(c) = &report.chaos {
         println!(
-            "  chaos: {} panics ({} retries), {} orphans, {} daemon kills, {} jobs replayed",
-            c.worker_panics, c.retries, c.orphaned_clients, c.daemon_kills, c.replayed_after_kill
+            "  chaos: {} panics ({} retries), {} orphans, {} daemon kills, {} jobs replayed, \
+             {} post-mortem bundle(s)",
+            c.worker_panics,
+            c.retries,
+            c.orphaned_clients,
+            c.daemon_kills,
+            c.replayed_after_kill,
+            c.postmortem_bundles
         );
     }
     let path = save_results("serve", &report).expect("write results/serve.json");

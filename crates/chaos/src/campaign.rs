@@ -17,9 +17,11 @@
 //! picks, the mutation walk, and therefore the full coverage history.
 
 use crate::outcome::{run_case, Scenario};
+use dpml_engine::flight::{self, PostmortemBundle};
 use dpml_faults::{mutate, FaultPlan, Mutator};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -33,6 +35,13 @@ pub struct CampaignConfig {
     pub guided: bool,
     /// Scenario menu the sampler draws from.
     pub scenarios: Vec<Scenario>,
+    /// When set, every violation dumps a flight-recorder post-mortem
+    /// bundle here (the triggering case plus the engine trace tail), and
+    /// the [`Violation`] carries the bundle path for `chaos mine` to
+    /// link from its reproducer.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Cap on bundles written per directory (crash-loop guard).
+    pub max_postmortems: usize,
 }
 
 impl CampaignConfig {
@@ -68,6 +77,8 @@ impl CampaignConfig {
             budget,
             guided: true,
             scenarios: Self::default_menu(),
+            postmortem_dir: None,
+            max_postmortems: 16,
         }
     }
 }
@@ -93,6 +104,11 @@ pub struct Violation {
     pub signature: String,
     /// What went wrong.
     pub detail: String,
+    /// Path of the post-mortem bundle dumped for this violation, when
+    /// the campaign ran with a `postmortem_dir` (and the cap allowed
+    /// another bundle).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bundle: Option<String>,
 }
 
 /// What a campaign found.
@@ -124,6 +140,33 @@ fn fresh_sample(scenarios: &[Scenario], m: &mut Mutator) -> (Scenario, FaultPlan
         plan = mutate(&plan, sc.nodes, sc.ppn, m);
     }
     (sc, plan)
+}
+
+/// Dump one violation as a post-mortem bundle; returns the path as a
+/// string, or `None` when the cap is reached or the write fails (a
+/// chaos search must not abort because a diagnostic could not be
+/// written — the violation itself is still reported).
+fn dump_violation_bundle(
+    dir: &std::path::Path,
+    max_bundles: usize,
+    v: &Violation,
+    case_index: u32,
+) -> Option<String> {
+    let context = serde_json::json!({
+        "scenario": serde_json::to_value(&v.scenario).ok()?,
+        "plan": serde_json::to_value(&v.plan).ok()?,
+        "signature": v.signature.clone(),
+        "case_index": case_index,
+    });
+    let bundle = PostmortemBundle::capture("chaos_violation", v.detail.clone()).with_job(context);
+    match bundle.save(dir, max_bundles) {
+        Ok(Some(path)) => Some(path.display().to_string()),
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("chaos: failed to write post-mortem bundle: {e}");
+            None
+        }
+    }
 }
 
 /// Run one campaign to completion.
@@ -162,12 +205,22 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             discoveries.push((sc.clone(), plan.clone(), new));
         }
         if let Some(detail) = out.violation {
-            violations.push(Violation {
+            flight::global().record(
+                "chaos.violation",
+                None,
+                format!("case={} sig={} {}", sc.id(), out.signature, detail),
+            );
+            let mut v = Violation {
                 scenario: sc,
                 plan,
                 signature: out.signature,
                 detail,
-            });
+                bundle: None,
+            };
+            if let Some(dir) = &cfg.postmortem_dir {
+                v.bundle = dump_violation_bundle(dir, cfg.max_postmortems, &v, i);
+            }
+            violations.push(v);
         }
         if (i + 1) % checkpoint == 0 || i + 1 == cfg.budget {
             curve.push(CurvePoint {
@@ -200,6 +253,33 @@ mod tests {
             serde_json::to_string(&a.curve).unwrap(),
             serde_json::to_string(&b.curve).unwrap()
         );
+    }
+
+    #[test]
+    fn violation_bundle_carries_case_context() {
+        let (sc, plan) = crate::shrink::known_bad_case(3);
+        let v = Violation {
+            scenario: sc,
+            plan,
+            signature: "sig-test".into(),
+            detail: "synthetic violation".into(),
+            bundle: None,
+        };
+        let dir =
+            std::env::temp_dir().join(format!("dpml-chaos-bundle-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dump_violation_bundle(&dir, 4, &v, 7).expect("bundle written");
+        let bundle = PostmortemBundle::load(std::path::Path::new(&path)).unwrap();
+        assert_eq!(bundle.reason, "chaos_violation");
+        assert_eq!(bundle.notes, "synthetic violation");
+        let job = bundle.job.expect("case context");
+        assert_eq!(
+            job.get("signature").and_then(|v| v.as_str()),
+            Some("sig-test")
+        );
+        assert_eq!(job.get("case_index").and_then(|v| v.as_u64()), Some(7));
+        assert!(job.get("scenario").is_some(), "scenario context present");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

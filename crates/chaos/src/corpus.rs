@@ -44,6 +44,11 @@ pub struct Reproducer {
     pub expected_digest: String,
     /// Free-form provenance: campaign seed, shrink stats, date.
     pub notes: String,
+    /// Path of the post-mortem bundle dumped when the campaign caught
+    /// the original (un-shrunk) violation, when one was written. Older
+    /// corpus entries predate the field and deserialize as `None`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bundle: Option<String>,
 }
 
 impl Reproducer {
@@ -58,7 +63,14 @@ impl Reproducer {
             expected_class: out.class,
             expected_digest: out.digest,
             notes: notes.to_string(),
+            bundle: None,
         }
+    }
+
+    /// Link the post-mortem bundle the original violation dumped.
+    pub fn with_bundle(mut self, bundle: Option<String>) -> Self {
+        self.bundle = bundle;
+        self
     }
 
     /// File stem for this reproducer: its signature, sanitized, plus a
@@ -172,6 +184,27 @@ mod tests {
         let (n, failures) = replay_dir(&dir).unwrap();
         assert_eq!(n, 1);
         assert!(failures.is_empty(), "{:?}", failures);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bundle_link_roundtrips_and_defaults_for_old_corpus() {
+        let (sc, plan) = known_bad_case(11);
+        let rep = Reproducer::capture(&sc, &plan, "linked").with_bundle(Some(
+            "results/postmortem/postmortem_chaos_violation_1_0.json".into(),
+        ));
+        let dir = tmpdir("bundle-link");
+        let path = rep.save(&dir).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.bundle.as_deref(), rep.bundle.as_deref());
+
+        // A pre-field corpus entry (no `bundle` key on disk — `None`
+        // skips serialization, matching files written before the field
+        // existed) still loads, defaulting to `None`.
+        let old_text = serde_json::to_string(&Reproducer::capture(&sc, &plan, "old")).unwrap();
+        assert!(!old_text.contains("\"bundle\""));
+        let old: Reproducer = serde_json::from_str(&old_text).unwrap();
+        assert!(old.bundle.is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 

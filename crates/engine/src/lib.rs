@@ -30,6 +30,7 @@
 
 pub mod coverage;
 pub mod critical;
+pub mod flight;
 pub mod program;
 pub mod queue;
 pub mod report;
@@ -40,6 +41,7 @@ pub mod trace;
 
 pub use coverage::{CoverageMap, RankSet};
 pub use critical::{CostKind, CriticalPath, Segment, Zone};
+pub use flight::{FlightEvent, FlightRecorder, PostmortemBundle};
 pub use program::{BufKey, ByteRange, Instr, Program, ProgramBuilder, ReqId, Tag, WorldProgram};
 pub use report::{ResourceUsage, RunReport, RunStats, VerifyError};
 pub use sim::{PendingOp, SharpOracle, SimConfig, SimError, Simulator};

@@ -79,6 +79,7 @@ mod tests {
             scenarios: vec![],
             failed: 0,
             zone: None,
+            sim_events: 0,
         })
     }
 

@@ -7,7 +7,7 @@
 //! order).
 
 use crate::job::{JobOutcome, JobSpec};
-use crate::protocol::{self, Request, Response, ServeStats};
+use crate::protocol::{self, Request, Response, ServeStats, WatchFrame};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -26,7 +26,9 @@ pub enum ClientError {
     /// The server closed the connection mid-conversation.
     Disconnected,
     /// The server answered something the call cannot interpret.
-    Unexpected(Response),
+    /// Boxed: `Response` carries whole watch frames, and a fat error
+    /// variant would bloat every `Result` on the client hot path.
+    Unexpected(Box<Response>),
 }
 
 impl std::fmt::Display for ClientError {
@@ -122,7 +124,7 @@ impl Client {
                     // Finished for an earlier pipelined job on this
                     // connection: not ours, keep reading.
                     Response::Finished { .. } => continue,
-                    other => return Err(ClientError::Unexpected(other)),
+                    other => return Err(ClientError::Unexpected(Box::new(other))),
                 }
             },
             Response::Rejected {
@@ -133,7 +135,7 @@ impl Client {
                 reason,
                 retry_after_ms,
             }),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -142,7 +144,7 @@ impl Client {
         self.send(&Request::Cancel { id })?;
         match self.expect_response()? {
             Response::CancelAck { state, .. } => Ok(state),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -151,7 +153,7 @@ impl Client {
         self.send(&Request::Stats)?;
         match self.expect_response()? {
             Response::StatsReply { stats } => Ok(stats),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -160,7 +162,37 @@ impl Client {
         self.send(&Request::Shutdown)?;
         match self.expect_response()? {
             Response::ShutdownAck { pending } => Ok(pending),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetch the Prometheus-style text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.expect_response()? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Subscribe to a `watch` stream. After this, call
+    /// [`Client::next_frame`] once per expected frame; when `frames`
+    /// frames have arrived the connection returns to request/response
+    /// discipline.
+    pub fn watch_start(&mut self, interval_ms: u64, frames: u32) -> Result<(), ClientError> {
+        self.send(&Request::Watch {
+            interval_ms,
+            frames,
+        })?;
+        Ok(())
+    }
+
+    /// Read the next streamed frame; `None` on clean server close.
+    pub fn next_frame(&mut self) -> Result<Option<WatchFrame>, ClientError> {
+        match self.read_response()? {
+            Some(Response::Frame { frame }) => Ok(Some(frame)),
+            None => Ok(None),
+            Some(other) => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -169,7 +201,7 @@ impl Client {
         self.send(&Request::Ping)?;
         match self.expect_response()? {
             Response::Pong => Ok(()),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 }

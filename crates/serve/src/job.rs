@@ -190,6 +190,11 @@ pub struct JobResult {
     /// Zone classification, for `Profile` jobs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub zone: Option<String>,
+    /// Discrete engine events processed across all scenarios — the
+    /// daemon's `engine.events` throughput counter feeds on this.
+    /// Defaults to 0 when replaying pre-telemetry journals.
+    #[serde(default)]
+    pub sim_events: u64,
 }
 
 /// Structured terminal failure of a job.
@@ -332,6 +337,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
                 }],
                 failed: 0,
                 zone: Some(run.profile.zone.clone()),
+                sim_events: run.report.stats.events,
             }),
             Err(e) => JobOutcome::Error(JobError::Failed {
                 message: e.to_string(),
@@ -348,6 +354,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
     // budget-check granularity.
     let mut results = Vec::with_capacity(scenarios.len());
     let mut failed = 0u32;
+    let mut sim_events = 0u64;
     for chunk in scenarios.chunks(SWEEP_CHUNK) {
         if ctx.cancel.load(Ordering::Acquire) {
             return JobOutcome::Error(JobError::Canceled);
@@ -363,12 +370,15 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
             run_allreduce_batch_budgeted(&preset, &cluster, chunk, event_budget, time_budget);
         for (&(alg, bytes), res) in chunk.iter().zip(chunk_results) {
             match res {
-                Ok(rep) => results.push(ScenarioResult {
-                    algorithm: alg.name(),
-                    bytes,
-                    latency_us: rep.latency_us,
-                    error: None,
-                }),
+                Ok(rep) => {
+                    sim_events += rep.report.stats.events;
+                    results.push(ScenarioResult {
+                        algorithm: alg.name(),
+                        bytes,
+                        latency_us: rep.latency_us,
+                        error: None,
+                    });
+                }
                 Err(RunError::Sim(e))
                     if matches!(
                         e,
@@ -411,6 +421,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
         scenarios: results,
         failed,
         zone: None,
+        sim_events,
     })
 }
 

@@ -218,6 +218,17 @@ impl Journal {
         self.file.lock().expect("journal lock poisoned").sync_all()
     }
 
+    /// Current byte length of the journal — the append position. A
+    /// post-mortem bundle records this so its trace tail can be lined up
+    /// against "everything journaled up to the failure".
+    pub fn position(&self) -> std::io::Result<u64> {
+        self.file
+            .lock()
+            .expect("journal lock poisoned")
+            .metadata()
+            .map(|m| m.len())
+    }
+
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path

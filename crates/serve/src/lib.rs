@@ -17,11 +17,16 @@
 //! * **crash-safe journaling** — CRC32C-framed admit/start/finish
 //!   records, replayed (and tail-truncated) on startup ([`journal`]),
 //! * **content-addressed caching** — determinism makes every result
-//!   infinitely cacheable by scenario digest ([`cache`]).
+//!   infinitely cacheable by scenario digest ([`cache`]),
+//! * **continuous telemetry** — a background ticker samples the metrics
+//!   registry into a time-series ring; the `watch` verb streams derived
+//!   rate frames, the `metrics` verb emits Prometheus-style text
+//!   ([`telemetry`]), and the flight recorder dumps post-mortem bundles
+//!   on panics and deadline kills (DESIGN.md §14).
 //!
 //! The wire format is length-prefixed JSON ([`protocol`]); [`client`]
 //! is the blocking client used by the CLI, the load generator, and the
-//! tests.
+//! tests. [`top`] renders `watch` frames as the `dpml top` dashboard.
 
 pub mod cache;
 pub mod client;
@@ -30,10 +35,12 @@ pub mod job;
 pub mod journal;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
+pub mod top;
 
 pub use cache::ResultCache;
 pub use client::{Client, ClientError, Submission};
 pub use job::{JobCtx, JobError, JobKind, JobOutcome, JobResult, JobSpec, ScenarioResult};
 pub use journal::{Journal, Record, Replay};
-pub use protocol::{Request, Response, ServeStats};
+pub use protocol::{Request, Response, ServeStats, WatchFrame};
 pub use server::{start, ServeConfig, ServerHandle};

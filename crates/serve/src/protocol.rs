@@ -41,6 +41,18 @@ pub enum Request {
     },
     /// Snapshot the server's live counters.
     Stats,
+    /// Subscribe to a stream of periodic [`WatchFrame`]s. The server
+    /// pushes one [`Response::Frame`] per interval until `frames` frames
+    /// have been sent (0 = until disconnect or drain), then resumes
+    /// normal request handling on the connection.
+    Watch {
+        /// Milliseconds between frames (clamped to ≥ 10 server-side).
+        interval_ms: u64,
+        /// Frames to stream; 0 streams until disconnect/drain.
+        frames: u32,
+    },
+    /// One-shot Prometheus-style text exposition of the registry.
+    Metrics,
     /// Stop admission, finish in-flight work, exit 0.
     Shutdown,
     /// Liveness probe.
@@ -74,10 +86,70 @@ pub struct HistogramStat {
     pub count: u64,
     /// Mean sample.
     pub mean: f64,
-    /// Approximate p50 (log2-bucket lower bound).
+    /// Approximate p50 (within-bucket interpolation; error < 2×).
     pub p50: u64,
-    /// Approximate p99 (log2-bucket lower bound).
+    /// Approximate p99 (within-bucket interpolation; error < 2×).
     pub p99: u64,
+}
+
+/// One streamed telemetry frame (the `watch` verb's payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchFrame {
+    /// Frame sequence number within this subscription, from 0.
+    pub seq: u64,
+    /// Server wall clock at sample time, unix milliseconds.
+    pub t_ms: u64,
+    /// Jobs queued (not yet running, not in retry backoff).
+    pub queue_depth: u64,
+    /// Jobs currently executing on workers.
+    pub running: u64,
+    /// Jobs waiting out a retry backoff.
+    pub retrying: u64,
+    /// True once drain has begun.
+    pub draining: bool,
+    /// Cumulative counters/histograms, as in the `stats` verb.
+    pub stats: ServeStats,
+    /// Per-counter rates over the window since the previous sample.
+    /// Empty on the first frame after daemon start (no window yet).
+    pub rates: Vec<RateStat>,
+    /// Windowed histogram quantiles over the same window.
+    pub windows: Vec<WindowStat>,
+    /// Window length the rates were derived over, milliseconds.
+    pub window_ms: u64,
+}
+
+/// One counter's per-second rate in a [`WatchFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateStat {
+    /// Counter name.
+    pub name: String,
+    /// Increase over the window.
+    pub delta: u64,
+    /// Increase per second.
+    pub per_sec: f64,
+}
+
+/// One histogram's windowed quantiles in a [`WatchFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowStat {
+    /// Histogram name.
+    pub name: String,
+    /// Samples recorded during the window.
+    pub count: u64,
+    /// Interpolated median over the window.
+    pub p50: u64,
+    /// Interpolated 99th percentile over the window.
+    pub p99: u64,
+}
+
+impl WatchFrame {
+    /// Per-second rate of a counter by name, if present in this frame.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        self.rates
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.per_sec)
+    }
 }
 
 impl ServeStats {
@@ -132,6 +204,16 @@ pub enum Response {
     StatsReply {
         /// Snapshot of the server metrics registry.
         stats: ServeStats,
+    },
+    /// One telemetry frame of a `Watch` subscription.
+    Frame {
+        /// The sampled frame.
+        frame: WatchFrame,
+    },
+    /// Reply to `Metrics`: Prometheus-style text exposition.
+    MetricsText {
+        /// The exposition body (`# TYPE` lines + samples).
+        text: String,
     },
     /// Reply to `Shutdown`: drain has begun.
     ShutdownAck {

@@ -26,9 +26,15 @@ use crate::cache::ResultCache;
 use crate::deadline::watchdog_config;
 use crate::job::{execute, JobCtx, JobError, JobOutcome, JobSpec};
 use crate::journal::{Journal, Record, Replay};
-use crate::protocol::{self, reject, CounterStat, HistogramStat, Request, Response, ServeStats};
+use crate::protocol::{
+    self, reject, CounterStat, HistogramStat, RateStat, Request, Response, ServeStats, WatchFrame,
+    WindowStat,
+};
+use crate::telemetry;
+use dpml_engine::flight::{self, PostmortemBundle};
 use dpml_fabric::Preset;
 use dpml_faults::RetryPlan;
+use dpml_shm::metrics::{rates_between, TimeSeriesRing};
 use dpml_shm::Registry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,6 +50,14 @@ const RETRY_CAP_DOUBLINGS: u32 = 4;
 /// Jitter fraction on retry delays (decorrelates retry storms after a
 /// mass worker failure while staying seeded-deterministic).
 const RETRY_JITTER: f64 = 0.25;
+
+/// Snapshots held by the telemetry time-series ring. At the default
+/// 500 ms sample interval this is about two minutes of history.
+const SERIES_CAPACITY: usize = 256;
+
+/// Floor on the `watch` verb's frame interval: a hostile client must not
+/// turn the daemon into a snapshot treadmill.
+const MIN_WATCH_INTERVAL_MS: u64 = 10;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +82,15 @@ pub struct ServeConfig {
     pub retry_seed: u64,
     /// Preset whose watchdog limits pace the scheduler's stall checks.
     pub watchdog_preset: String,
+    /// Background telemetry sample interval, milliseconds (0 disables
+    /// the ticker; `watch` subscriptions still sample on their own).
+    pub sample_interval_ms: u64,
+    /// Where post-mortem bundles are dumped on panic/deadline failures;
+    /// `None` disables dumping (the in-memory flight ring still records).
+    pub postmortem_dir: Option<PathBuf>,
+    /// Cap on bundle files kept in `postmortem_dir` — a crash loop must
+    /// not fill the disk.
+    pub max_postmortems: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +106,9 @@ impl Default for ServeConfig {
             retry_base_ms: 5.0,
             retry_seed: 0xd931_05ab_5c1e_77f0,
             watchdog_preset: "b".into(),
+            sample_interval_ms: 500,
+            postmortem_dir: None,
+            max_postmortems: 16,
         }
     }
 }
@@ -173,6 +199,9 @@ pub struct ServerState {
     journal: Journal,
     cache: ResultCache,
     metrics: Registry,
+    /// Continuous-telemetry buffer: timestamped registry snapshots the
+    /// ticker and `watch` subscriptions push into.
+    series: TimeSeriesRing,
     next_id: AtomicU64,
     accept_done: AtomicBool,
     /// Scheduler stall-check cadence, from the preset watchdog limits.
@@ -211,6 +240,146 @@ impl ServerState {
                     p99: h.p99,
                 })
                 .collect(),
+        }
+    }
+
+    /// Queue / running / retry-backoff depths plus the drain flag, read
+    /// under the scheduler lock.
+    fn sched_gauges(&self) -> (u64, u64, u64, bool) {
+        let s = self.sched.lock().expect("sched lock poisoned");
+        (
+            s.queue.len() as u64,
+            s.running as u64,
+            s.retries.len() as u64,
+            s.draining,
+        )
+    }
+
+    /// Take one timestamped registry snapshot into the time-series ring
+    /// and return it (the ticker and `watch` streams both call this).
+    pub fn sample(&self) -> dpml_shm::metrics::TimedSnapshot {
+        let t_ms = flight::now_ms();
+        self.series.push(t_ms, self.metrics.snapshot());
+        self.series.latest().expect("just pushed")
+    }
+
+    /// Build one `watch` frame: sample now, derive rates against the
+    /// previous sample in the ring.
+    pub fn watch_frame(&self, seq: u64) -> WatchFrame {
+        let newer = self.sample();
+        let (queue_depth, running, retrying, draining) = self.sched_gauges();
+        let (rates, windows, window_ms) = match self.series.last_two() {
+            Some((older, newer)) => {
+                let r = rates_between(&older, &newer);
+                (
+                    r.rates
+                        .into_iter()
+                        .map(|x| RateStat {
+                            name: x.name,
+                            delta: x.delta,
+                            per_sec: x.per_sec,
+                        })
+                        .collect(),
+                    r.windows
+                        .into_iter()
+                        .map(|w| WindowStat {
+                            name: w.name,
+                            count: w.count,
+                            p50: w.p50,
+                            p99: w.p99,
+                        })
+                        .collect(),
+                    r.dt_ms,
+                )
+            }
+            None => (Vec::new(), Vec::new(), 0),
+        };
+        WatchFrame {
+            seq,
+            t_ms: newer.t_ms,
+            queue_depth,
+            running,
+            retrying,
+            draining,
+            stats: self.stats(),
+            rates,
+            windows,
+            window_ms,
+        }
+    }
+
+    /// Prometheus-style text exposition of the registry plus scheduler
+    /// gauges (the `metrics` verb's payload).
+    pub fn exposition(&self) -> String {
+        let (queue_depth, running, retrying, draining) = self.sched_gauges();
+        telemetry::exposition(
+            &self.metrics.snapshot(),
+            &[
+                ("serve.queue_depth", queue_depth),
+                ("serve.running", running),
+                ("serve.retrying", retrying),
+                ("serve.draining", u64::from(draining)),
+            ],
+        )
+    }
+
+    /// Capped-jittered load-shed hint from the shared [`RetryPlan`]
+    /// machinery: the backoff "attempt" scales with how far over
+    /// capacity the queue is, and `salt` decorrelates concurrent
+    /// shedded clients while staying seeded-deterministic.
+    fn shed_hint(&self, depth: usize, salt: u64) -> u64 {
+        let attempt = if self.cfg.queue_capacity == 0 {
+            RETRY_CAP_DOUBLINGS
+        } else {
+            ((depth * RETRY_CAP_DOUBLINGS as usize) / self.cfg.queue_capacity.max(1)) as u32
+        }
+        .min(RETRY_CAP_DOUBLINGS);
+        let plan = RetryPlan::capped_exponential(
+            self.cfg.retry_base_ms,
+            RETRY_CAP_DOUBLINGS,
+            // Budget covers every attempt index we might ask for.
+            RETRY_CAP_DOUBLINGS + 1,
+        )
+        .with_jitter(RETRY_JITTER, self.cfg.retry_seed ^ salt);
+        plan.delay(attempt)
+            .map(|ms| (ms.ceil() as u64).max(1))
+            .unwrap_or_else(|| self.cfg.retry_base_ms.ceil() as u64)
+    }
+
+    /// Count a shed and leave a flight-recorder trace of it.
+    fn note_shed(&self, reason: &str, hint_ms: u64) {
+        self.counter("serve.shed").inc();
+        flight::global().record(
+            "job.shed",
+            None,
+            format!("{reason} retry_after_ms={hint_ms}"),
+        );
+    }
+
+    /// Dump a post-mortem bundle (flight tail + metrics + job context +
+    /// journal position) if a dump directory is configured.
+    fn postmortem(&self, reason: &str, job: &Job, notes: &str) {
+        let Some(dir) = &self.cfg.postmortem_dir else {
+            return;
+        };
+        let mut bundle = PostmortemBundle::capture(reason, notes).with_job(serde_json::json!({
+            "id": job.id,
+            "digest": job.digest.clone(),
+            "attempt": job.attempt,
+            "spec": serde_json::to_value(&job.spec).ok(),
+        }));
+        if let Ok(metrics) = serde_json::to_value(&self.metrics.snapshot()) {
+            bundle = bundle.with_metrics(metrics);
+        }
+        if let Ok(pos) = self.journal.position() {
+            bundle = bundle.with_journal_position(pos);
+        }
+        match bundle.save(dir, self.cfg.max_postmortems) {
+            Ok(Some(_)) => self.counter("serve.postmortem").inc(),
+            Ok(None) => {} // at cap: skip silently, the ring still has it
+            Err(_) => {
+                self.counter("serve.postmortem_error").inc();
+            }
         }
     }
 
@@ -270,6 +439,20 @@ impl ServerState {
                 }],
                 None,
             ),
+            Request::Metrics => (
+                vec![Response::MetricsText {
+                    text: self.exposition(),
+                }],
+                None,
+            ),
+            // Multi-frame streaming is driven by the connection loop;
+            // reaching here means a single frame was requested inline.
+            Request::Watch { .. } => (
+                vec![Response::Frame {
+                    frame: self.watch_frame(0),
+                }],
+                None,
+            ),
             Request::Shutdown => {
                 let pending = self.begin_drain();
                 (vec![Response::ShutdownAck { pending }], None)
@@ -311,22 +494,30 @@ impl ServerState {
 
         if client.inflight.load(Ordering::Acquire) >= self.cfg.client_inflight_cap {
             self.counter("serve.rejected_client_cap").inc();
+            // Per-client sheds back off from attempt 0 of the shared
+            // retry plan — a real capped-jittered hint, never 0.
+            let salt = self.metrics.counter("serve.shed").get();
+            let hint = self.shed_hint(0, salt);
+            self.note_shed(reject::CLIENT_CAP, hint);
             return vec![Response::Rejected {
                 reason: reject::CLIENT_CAP.into(),
                 message: format!(
                     "client already has {} jobs in flight",
                     self.cfg.client_inflight_cap
                 ),
-                retry_after_ms: self.cfg.retry_base_ms.ceil() as u64,
+                retry_after_ms: hint,
             }];
         }
 
         let mut s = self.sched.lock().expect("sched lock poisoned");
         if s.draining {
             self.counter("serve.rejected_draining").inc();
+            self.note_shed(reject::DRAINING, 0);
             return vec![Response::Rejected {
                 reason: reject::DRAINING.into(),
                 message: "daemon is draining".into(),
+                // Draining is terminal for this daemon instance: 0 means
+                // "don't retry here", not "retry immediately".
                 retry_after_ms: 0,
             }];
         }
@@ -334,9 +525,12 @@ impl ServerState {
             let depth = s.admitted();
             drop(s);
             self.counter("serve.rejected_overload").inc();
-            // Load-shedding hint scales with queue depth, bounded so
-            // clients never back off for longer than half a second.
-            let hint = (10 + 5 * depth as u64).min(500);
+            // Load-shedding hint from the shared retry plan: backoff
+            // attempt scales with queue depth, capped and jittered so a
+            // thundering herd of shedded clients decorrelates.
+            let salt = self.metrics.counter("serve.shed").get();
+            let hint = self.shed_hint(depth, salt);
+            self.note_shed(reject::OVERLOADED, hint);
             return vec![Response::Rejected {
                 reason: reject::OVERLOADED.into(),
                 message: format!(
@@ -379,6 +573,7 @@ impl ServerState {
             // and journaled; only the pushes are lost.
             self.counter("serve.push_fail").inc();
         }
+        let digest_for_flight = digest.clone();
         let ctx = Arc::new(JobCtx::new());
         s.tracked.insert(
             id,
@@ -399,6 +594,7 @@ impl ServerState {
             client.inflight.fetch_add(1, Ordering::AcqRel);
         }
         self.counter("serve.accepted").inc();
+        flight::global().record("job.admit", Some(id), format!("digest={digest_for_flight}"));
         self.work_cv.notify_one();
         drop(s);
         vec![]
@@ -419,6 +615,7 @@ impl ServerState {
             Phase::Running => {
                 // Cooperative: the sweep loop polls this between chunks.
                 tracked.ctx.cancel.store(true, Ordering::Release);
+                flight::global().record("job.cancel", Some(id), "signaled");
                 (
                     Response::CancelAck {
                         id,
@@ -429,6 +626,7 @@ impl ServerState {
             }
             Phase::Queued => {
                 let job = remove_queued(&mut s, id);
+                flight::global().record("job.cancel", Some(id), "dequeued");
                 (
                     Response::CancelAck {
                         id,
@@ -489,15 +687,39 @@ impl ServerState {
             JobOutcome::Done(res) => {
                 self.cache.insert(job.digest.clone(), Arc::new(res.clone()));
                 self.counter("serve.completed_ok").inc();
+                // Engine throughput feed: discrete events this job's
+                // scenarios processed → the dashboard's events/s rate.
+                self.counter("engine.events").add(res.sim_events);
+                flight::global().record(
+                    "job.finish",
+                    Some(job.id),
+                    format!(
+                        "ok scenarios={} events={}",
+                        res.scenarios.len(),
+                        res.sim_events
+                    ),
+                );
             }
             JobOutcome::Error(JobError::Canceled) => {
                 self.counter("serve.canceled").inc();
+                flight::global().record("job.finish", Some(job.id), "canceled");
             }
-            JobOutcome::Error(JobError::DeadlineExceeded { .. }) => {
+            JobOutcome::Error(JobError::DeadlineExceeded { after_ms }) => {
                 self.counter("serve.deadline_exceeded").inc();
+                flight::global().record(
+                    "job.finish",
+                    Some(job.id),
+                    format!("deadline_exceeded after_ms={after_ms}"),
+                );
+                self.postmortem(
+                    "deadline_kill",
+                    &job,
+                    &format!("deadline exceeded after {after_ms} ms"),
+                );
             }
-            JobOutcome::Error(_) => {
+            JobOutcome::Error(e) => {
                 self.counter("serve.failed").inc();
+                flight::global().record("job.finish", Some(job.id), format!("failed: {e}"));
             }
         }
         if self
@@ -544,6 +766,12 @@ impl ServerState {
     /// schedule, or fail the job when the budget is spent.
     fn after_panic(&self, mut job: Job, message: String, started: Instant) {
         self.counter("serve.worker_panic").inc();
+        flight::global().record(
+            "job.panic",
+            Some(job.id),
+            format!("attempt={} msg={message}", job.attempt),
+        );
+        self.postmortem("worker_panic", &job, &message);
         let plan = RetryPlan::capped_exponential(
             self.cfg.retry_base_ms,
             RETRY_CAP_DOUBLINGS,
@@ -553,6 +781,11 @@ impl ServerState {
         match plan.delay(job.attempt) {
             Some(delay_ms) => {
                 self.counter("serve.retried").inc();
+                flight::global().record(
+                    "job.retry",
+                    Some(job.id),
+                    format!("attempt={} delay_ms={delay_ms:.1}", job.attempt + 1),
+                );
                 let due = Instant::now() + Duration::from_micros((delay_ms * 1000.0) as u64);
                 job.attempt += 1;
                 let mut s = self.sched.lock().expect("sched lock poisoned");
@@ -647,6 +880,11 @@ fn spawn_worker(state: Arc<ServerState>, idx: usize) {
             {
                 state.counter("serve.journal_error").inc();
             }
+            flight::global().record(
+                "job.start",
+                Some(job.id),
+                format!("attempt={} worker={idx}", job.attempt),
+            );
             let started = Instant::now();
             let spec = job.spec.clone();
             let ctx = Arc::clone(&job.ctx);
@@ -751,6 +989,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         journal,
         cache,
         metrics,
+        series: TimeSeriesRing::new(SERIES_CAPACITY),
         next_id: AtomicU64::new(next_id),
         accept_done: AtomicBool::new(false),
         poll,
@@ -760,6 +999,23 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 
     for idx in 0..workers {
         spawn_worker(Arc::clone(&state), idx);
+    }
+
+    // Background telemetry ticker: one registry snapshot per interval
+    // into the time-series ring, so `watch` clients and post-mortem
+    // bundles see recent history even when nobody is streaming. Exits
+    // within one interval of the accept loop shutting down.
+    if state.cfg.sample_interval_ms > 0 {
+        let tick_state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("dpml-serve-ticker".into())
+            .spawn(move || {
+                let interval = Duration::from_millis(tick_state.cfg.sample_interval_ms.max(10));
+                while !tick_state.accept_done.load(Ordering::Acquire) {
+                    tick_state.sample();
+                    std::thread::sleep(interval);
+                }
+            });
     }
 
     let accept_state = Arc::clone(&state);
@@ -833,6 +1089,35 @@ fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
     }
 }
 
+/// Stream `frames` telemetry frames (0 = until drain) at `interval_ms`
+/// to one client. Returns false when the client vanished mid-stream.
+fn stream_watch(
+    state: &Arc<ServerState>,
+    client: &Arc<ClientConn>,
+    interval_ms: u64,
+    frames: u32,
+) -> bool {
+    let interval = Duration::from_millis(interval_ms.max(MIN_WATCH_INTERVAL_MS));
+    let mut seq = 0u64;
+    loop {
+        let frame = state.watch_frame(seq);
+        let drained = frame.draining;
+        if client.push(&Response::Frame { frame }).is_err() {
+            state.counter("serve.push_fail").inc();
+            return false;
+        }
+        seq += 1;
+        if frames != 0 && seq >= u64::from(frames) {
+            return true;
+        }
+        if drained && state.accept_done.load(Ordering::Acquire) {
+            // The daemon is gone; an unbounded subscription ends here.
+            return true;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn conn_loop(state: Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let writer = match stream.try_clone() {
@@ -846,6 +1131,16 @@ fn conn_loop(state: Arc<ServerState>, stream: TcpStream) {
     let mut reader = stream;
     loop {
         match protocol::recv::<_, Request>(&mut reader) {
+            Ok(Some(Request::Watch {
+                interval_ms,
+                frames,
+            })) => {
+                // Stream frames inline on this connection, then fall
+                // back to normal request handling.
+                if !stream_watch(&state, &client, interval_ms, frames) {
+                    return; // client gone mid-stream
+                }
+            }
             Ok(Some(req)) => {
                 let (responses, dequeued) = state.handle(&client, req);
                 let mut client_gone = false;

@@ -16,7 +16,17 @@
 //!   (counter; see [`crate::integrity`]),
 //! * `shm.retransmit` — clean-copy recoveries and partition re-reductions
 //!   after a checksum failure (counter).
+//!
+//! On top of the live registry sits a **time-series layer** for
+//! continuous telemetry (`dpml-serve`'s `watch` verb and `dpml top`): a
+//! fixed-capacity [`TimeSeriesRing`] of timestamped [`MetricsSnapshot`]s
+//! plus [`rates_between`], which derives per-second counter rates and
+//! windowed histogram quantiles from the *deltas* between two snapshots —
+//! so a dashboard shows "what happened in the last sample interval", not
+//! since process start.
 
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -93,6 +103,64 @@ fn bucket_floor(i: usize) -> u64 {
     }
 }
 
+/// Width of a bucket: bucket `i >= 1` covers `[2^(i-1), 2^i)`.
+fn bucket_width(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        bucket_floor(i)
+    }
+}
+
+/// How [`Histogram::quantile_with`] reads a value out of the bucket
+/// holding the `q`-th sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileMode {
+    /// Legacy behavior: report the bucket's inclusive lower bound. A
+    /// log2 floor systematically *understates* — by up to 2× when the
+    /// true sample sits near the bucket's upper edge. Kept under this
+    /// flag so callers pinned to historical outputs (golden files,
+    /// committed baselines) can stay bit-stable.
+    BucketFloor,
+    /// Linear interpolation within the bucket (Prometheus
+    /// `histogram_quantile` convention): assuming samples are uniform in
+    /// the bucket, the reported value is `floor + width * rank / count`.
+    /// The result always lies within the true sample's bucket
+    /// `[2^(i-1), 2^i]`, so the worst-case relative error is < 2× in
+    /// either direction (vs. a guaranteed understatement before) and is
+    /// exact when in-bucket samples are uniformly spread.
+    Interpolated,
+}
+
+/// Quantile over raw bucket counts (shared by live histograms and the
+/// time-series delta path). `total` must equal `counts.iter().sum()`.
+fn quantile_from_counts(counts: &[u64], total: u64, q: f64, mode: QuantileMode) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        seen += c;
+        if seen >= target {
+            return match mode {
+                QuantileMode::BucketFloor => bucket_floor(i),
+                QuantileMode::Interpolated => {
+                    let rank = target - (seen - c); // 1-based rank within the bucket
+                    let v =
+                        bucket_floor(i) as f64 + bucket_width(i) as f64 * (rank as f64 / c as f64);
+                    // Stay inside the bucket's closed upper edge.
+                    (v as u64).min(bucket_floor(i) + bucket_width(i))
+                }
+            };
+        }
+    }
+    bucket_floor(BUCKETS - 1)
+}
+
 impl Histogram {
     /// New empty histogram.
     pub fn new() -> Self {
@@ -126,22 +194,33 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in `0.0..=1.0`: the lower bound of the
-    /// bucket holding the `q`-th sample.
+    /// Approximate quantile `q` in `0.0..=1.0`, linearly interpolated
+    /// within the log2 bucket holding the `q`-th sample (see
+    /// [`QuantileMode::Interpolated`] for the error bound).
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+        self.quantile_with(q, QuantileMode::Interpolated)
+    }
+
+    /// Legacy quantile: the lower bound of the bucket holding the `q`-th
+    /// sample (can understate by up to 2×; see [`QuantileMode`]).
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        self.quantile_with(q, QuantileMode::BucketFloor)
+    }
+
+    /// Quantile under an explicit [`QuantileMode`].
+    pub fn quantile_with(&self, q: f64, mode: QuantileMode) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        quantile_from_counts(&counts, total, q, mode)
+    }
+
+    /// Raw per-bucket counts (a relaxed-atomic snapshot).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return bucket_floor(i);
-            }
-        }
-        bucket_floor(BUCKETS - 1)
+        out
     }
 
     /// Reset all buckets.
@@ -167,7 +246,7 @@ impl Histogram {
 }
 
 /// Point-in-time value of one counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSample {
     /// Registered name.
     pub name: String,
@@ -176,7 +255,7 @@ pub struct CounterSample {
 }
 
 /// Point-in-time summary of one histogram.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSample {
     /// Registered name.
     pub name: String,
@@ -186,14 +265,19 @@ pub struct HistogramSample {
     pub sum: u64,
     /// Mean sample.
     pub mean: f64,
-    /// Approximate median (bucket lower bound).
+    /// Approximate median (interpolated; see [`QuantileMode`]).
     pub p50: u64,
-    /// Approximate 99th percentile (bucket lower bound).
+    /// Approximate 99th percentile (interpolated; see [`QuantileMode`]).
     pub p99: u64,
+    /// Non-empty raw buckets as `(bucket_index, count)` pairs, so the
+    /// time-series layer can compute quantiles over *deltas* between two
+    /// snapshots. Empty when deserializing older snapshots.
+    #[serde(default)]
+    pub buckets: Vec<(u32, u64)>,
 }
 
 /// A consistent-enough view of every registered metric.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSample>,
@@ -269,13 +353,21 @@ impl Registry {
             .lock()
             .expect("metrics registry poisoned")
             .iter()
-            .map(|(n, h)| HistogramSample {
-                name: n.clone(),
-                count: h.count(),
-                sum: h.sum(),
-                mean: h.mean(),
-                p50: h.quantile(0.5),
-                p99: h.quantile(0.99),
+            .map(|(n, h)| {
+                let counts = h.bucket_counts();
+                HistogramSample {
+                    name: n.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                    buckets: counts
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &c)| (c > 0).then_some((i as u32, c)))
+                        .collect(),
+                }
             })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
@@ -300,6 +392,194 @@ impl Registry {
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// A [`MetricsSnapshot`] stamped with wall-clock time (unix epoch ms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedSnapshot {
+    /// Sample time, milliseconds since the unix epoch.
+    pub t_ms: u64,
+    /// Registry contents at that time.
+    pub snap: MetricsSnapshot,
+}
+
+/// Fixed-capacity ring of [`TimedSnapshot`]s: the continuous-telemetry
+/// buffer a sampler pushes into and a dashboard reads windows out of.
+/// Oldest entries are dropped once `capacity` is reached. All methods
+/// take `&self`; the ring is internally locked.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    cap: usize,
+    ring: Mutex<VecDeque<TimedSnapshot>>,
+}
+
+impl TimeSeriesRing {
+    /// New ring holding at most `cap` snapshots (min 2, so a rate window
+    /// always fits).
+    pub fn new(cap: usize) -> Self {
+        TimeSeriesRing {
+            cap: cap.max(2),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append a snapshot, dropping the oldest when full.
+    pub fn push(&self, t_ms: u64, snap: MetricsSnapshot) {
+        let mut g = self.ring.lock().expect("time-series ring poisoned");
+        if g.len() == self.cap {
+            g.pop_front();
+        }
+        g.push_back(TimedSnapshot { t_ms, snap });
+    }
+
+    /// Most recent snapshot, if any.
+    pub fn latest(&self) -> Option<TimedSnapshot> {
+        self.ring
+            .lock()
+            .expect("time-series ring poisoned")
+            .back()
+            .cloned()
+    }
+
+    /// The two most recent snapshots as `(older, newer)` — the natural
+    /// input to [`rates_between`]. `None` until two samples exist.
+    pub fn last_two(&self) -> Option<(TimedSnapshot, TimedSnapshot)> {
+        let g = self.ring.lock().expect("time-series ring poisoned");
+        if g.len() < 2 {
+            return None;
+        }
+        Some((g[g.len() - 2].clone(), g[g.len() - 1].clone()))
+    }
+
+    /// Up to the `n` most recent snapshots, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TimedSnapshot> {
+        let g = self.ring.lock().expect("time-series ring poisoned");
+        let skip = g.len().saturating_sub(n);
+        g.iter().skip(skip).cloned().collect()
+    }
+
+    /// Snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("time-series ring poisoned").len()
+    }
+
+    /// True when no snapshot has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum snapshots held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Per-second rate of one counter over a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSample {
+    /// Counter name.
+    pub name: String,
+    /// Increase over the window.
+    pub delta: u64,
+    /// Increase per second.
+    pub per_sec: f64,
+}
+
+/// Windowed histogram summary: quantiles over only the samples recorded
+/// *during* the window (bucket-count deltas), not since process start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedHistogram {
+    /// Histogram name.
+    pub name: String,
+    /// Samples recorded during the window.
+    pub count: u64,
+    /// Interpolated median of the window's samples.
+    pub p50: u64,
+    /// Interpolated 99th percentile of the window's samples.
+    pub p99: u64,
+}
+
+/// Derived rates and windowed quantiles between two snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateReport {
+    /// Window length in milliseconds.
+    pub dt_ms: u64,
+    /// Per-counter rates, in the newer snapshot's name order.
+    pub rates: Vec<RateSample>,
+    /// Per-histogram windowed summaries, in the newer snapshot's order.
+    pub windows: Vec<WindowedHistogram>,
+}
+
+impl RateReport {
+    /// Per-second rate of a counter by name, if present.
+    pub fn per_sec(&self, name: &str) -> Option<f64> {
+        self.rates
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.per_sec)
+    }
+
+    /// Windowed histogram summary by name, if present.
+    pub fn window(&self, name: &str) -> Option<&WindowedHistogram> {
+        self.windows.iter().find(|w| w.name == name)
+    }
+}
+
+/// Derive per-second counter rates and windowed histogram quantiles from
+/// the deltas between two snapshots. Counters absent from `older` are
+/// treated as starting at zero; decreases (a [`Registry::reset`] between
+/// samples) saturate to zero rather than reporting negative rates. The
+/// window length is floored at 1 ms so a zero/backwards clock cannot
+/// divide by zero.
+pub fn rates_between(older: &TimedSnapshot, newer: &TimedSnapshot) -> RateReport {
+    let dt_ms = newer.t_ms.saturating_sub(older.t_ms).max(1);
+    let secs = dt_ms as f64 / 1000.0;
+    let rates = newer
+        .snap
+        .counters
+        .iter()
+        .map(|c| {
+            let before = older.snap.counter(&c.name).unwrap_or(0);
+            let delta = c.value.saturating_sub(before);
+            RateSample {
+                name: c.name.clone(),
+                delta,
+                per_sec: delta as f64 / secs,
+            }
+        })
+        .collect();
+    let windows = newer
+        .snap
+        .histograms
+        .iter()
+        .map(|h| {
+            let mut counts = [0u64; BUCKETS];
+            for &(i, c) in &h.buckets {
+                if (i as usize) < BUCKETS {
+                    counts[i as usize] = c;
+                }
+            }
+            if let Some(prev) = older.snap.histogram(&h.name) {
+                for &(i, c) in &prev.buckets {
+                    if (i as usize) < BUCKETS {
+                        counts[i as usize] = counts[i as usize].saturating_sub(c);
+                    }
+                }
+            }
+            let total: u64 = counts.iter().sum();
+            WindowedHistogram {
+                name: h.name.clone(),
+                count: total,
+                p50: quantile_from_counts(&counts, total, 0.5, QuantileMode::Interpolated),
+                p99: quantile_from_counts(&counts, total, 0.99, QuantileMode::Interpolated),
+            }
+        })
+        .collect();
+    RateReport {
+        dt_ms,
+        rates,
+        windows,
+    }
 }
 
 #[cfg(test)]
@@ -353,10 +633,32 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 115);
         assert!((h.mean() - 23.0).abs() < 1e-12);
-        // Median sample is 4 → bucket floor 4.
-        assert_eq!(h.quantile(0.5), 4);
-        // p99 lands in 100's bucket (floor 64).
-        assert_eq!(h.quantile(0.99), 64);
+        // Legacy mode: bucket floors. Median sample 4 → floor 4; p99
+        // lands in 100's bucket [64, 128) → floor 64.
+        assert_eq!(h.quantile_floor(0.5), 4);
+        assert_eq!(h.quantile_floor(0.99), 64);
+        // Interpolated mode: a lone sample in its bucket interpolates to
+        // the bucket's upper edge — still within [2^(i-1), 2^i], i.e.
+        // within 2× of the true sample in either direction.
+        assert_eq!(h.quantile(0.5), 8);
+        assert_eq!(h.quantile(0.99), 128);
+    }
+
+    #[test]
+    fn interpolated_quantile_tracks_in_bucket_rank() {
+        // 25 samples each of 4,5,6,7 — all in bucket [4, 8).
+        let h = Histogram::new();
+        for v in [4u64, 5, 6, 7] {
+            for _ in 0..25 {
+                h.record(v);
+            }
+        }
+        // target rank 50 of 100 in a 100-sample bucket: 4 + 4*(50/100).
+        assert_eq!(h.quantile(0.5), 6);
+        // target rank 99: 4 + 4*0.99 = 7.96 → 7.
+        assert_eq!(h.quantile(0.99), 7);
+        // Legacy floor collapses everything to the lower bound.
+        assert_eq!(h.quantile_floor(0.99), 4);
     }
 
     #[test]
@@ -393,5 +695,99 @@ mod tests {
     fn global_registry_is_a_singleton() {
         global().counter("test.global.counter").add(1);
         assert!(global().snapshot().counter("test.global.counter").is_some());
+    }
+
+    #[test]
+    fn time_series_ring_wraps_dropping_oldest() {
+        let ring = TimeSeriesRing::new(3);
+        assert!(ring.is_empty());
+        for t in 0..5u64 {
+            ring.push(t, MetricsSnapshot::default());
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        let recent = ring.recent(10);
+        let times: Vec<u64> = recent.iter().map(|s| s.t_ms).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(ring.latest().unwrap().t_ms, 4);
+        let (older, newer) = ring.last_two().unwrap();
+        assert_eq!((older.t_ms, newer.t_ms), (3, 4));
+    }
+
+    #[test]
+    fn rates_between_derives_per_second_deltas() {
+        let reg = Registry::new();
+        let c = reg.counter("req");
+        let h = reg.histogram("lat");
+        c.add(10);
+        h.record(1);
+        h.record(1);
+        let older = TimedSnapshot {
+            t_ms: 1_000,
+            snap: reg.snapshot(),
+        };
+        c.add(30);
+        for _ in 0..4 {
+            h.record(64);
+        }
+        let newer = TimedSnapshot {
+            t_ms: 3_000,
+            snap: reg.snapshot(),
+        };
+        let report = rates_between(&older, &newer);
+        assert_eq!(report.dt_ms, 2_000);
+        assert_eq!(report.per_sec("req"), Some(15.0));
+        // The window sees only the four new samples of 64: quantiles come
+        // from bucket deltas, not the cumulative histogram.
+        let w = report.window("lat").unwrap();
+        assert_eq!(w.count, 4);
+        assert_eq!(w.p50, 96); // 64 + 64*(2/4)
+        assert_eq!(w.p99, 128);
+    }
+
+    #[test]
+    fn rates_between_saturates_after_reset() {
+        let reg = Registry::new();
+        reg.counter("req").add(10);
+        let older = TimedSnapshot {
+            t_ms: 0,
+            snap: reg.snapshot(),
+        };
+        reg.reset();
+        reg.counter("req").add(3);
+        let newer = TimedSnapshot {
+            t_ms: 1_000,
+            snap: reg.snapshot(),
+        };
+        let report = rates_between(&older, &newer);
+        // 3 < 10: a reset happened mid-window; report zero, not negative.
+        assert_eq!(report.per_sec("req"), Some(0.0));
+    }
+
+    #[test]
+    fn rates_between_treats_new_counters_as_zero_based() {
+        let reg = Registry::new();
+        let older = TimedSnapshot {
+            t_ms: 0,
+            snap: reg.snapshot(),
+        };
+        reg.counter("late").add(8);
+        let newer = TimedSnapshot {
+            t_ms: 4_000,
+            snap: reg.snapshot(),
+        };
+        assert_eq!(rates_between(&older, &newer).per_sec("late"), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip_preserves_buckets() {
+        let reg = Registry::new();
+        reg.counter("a").add(7);
+        reg.histogram("b").record(100);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.histogram("b").unwrap().buckets, vec![(7, 1)]);
     }
 }

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus-style text exposition (the `dpml metrics` verb).
+
+Reads the exposition from a file argument or stdin and enforces the
+naming and typing invariants `crates/serve/src/telemetry.rs` promises
+(CI scrapes a live daemon and pipes the output through this script):
+
+  * no blank lines;
+  * every sample line is preceded by a `# TYPE` line for its metric
+    (`_sum`/`_count` attribute to their summary's base name);
+  * every metric name starts with the `dpml_` namespace and contains
+    only `[a-zA-Z0-9_]`;
+  * `# TYPE` kinds are limited to counter | gauge | summary;
+  * counter names end in `_total`;
+  * summaries carry `quantile="..."` labels and both `_sum` and
+    `_count` lines;
+  * every sample value parses as a finite number.
+
+Exit 0 when clean; exit 1 with one line per violation otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^(?P<name>[^{\s]+)(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$")
+
+
+def lint(text):
+    errors = []
+    typed = {}  # metric name -> kind
+    summaries = {}  # base name -> set of parts seen ("quantile", "sum", "count")
+
+    for n, line in enumerate(text.splitlines(), 1):
+        def err(why):
+            errors.append(f"line {n}: {why}: {line!r}")
+
+        if not line.strip():
+            err("blank line in exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                err("malformed TYPE line")
+                continue
+            name, kind = parts
+            if not NAME_RE.match(name):
+                err(f"bad metric name {name!r}")
+            if not name.startswith("dpml_"):
+                err("metric outside the dpml_ namespace")
+            if kind not in ("counter", "gauge", "summary"):
+                err(f"unknown kind {kind!r}")
+            if kind == "counter" and not name.endswith("_total"):
+                err("counter name must end in _total")
+            if name in typed:
+                err("duplicate TYPE line")
+            typed[name] = kind
+            if kind == "summary":
+                summaries[name] = set()
+            continue
+        if line.startswith("#"):
+            err("only # TYPE comments are emitted")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        name = m.group("name")
+        base = name
+        part = None
+        if name.endswith("_sum"):
+            base, part = name[: -len("_sum")], "sum"
+        elif name.endswith("_count"):
+            base, part = name[: -len("_count")], "count"
+        if base not in typed:
+            err("sample without a preceding TYPE line")
+            continue
+        if part is not None and typed[base] != "summary":
+            err(f"{part} sample on non-summary metric")
+        labels = m.group("labels") or ""
+        if typed[base] == "summary":
+            if part is None and 'quantile="' not in labels:
+                err("summary sample without a quantile label")
+            summaries[base].add(part or "quantile")
+        try:
+            v = float(m.group("value"))
+            if not math.isfinite(v):
+                err("non-finite sample value")
+        except ValueError:
+            err("sample value is not a number")
+
+    for base, parts in sorted(summaries.items()):
+        for needed in ("quantile", "sum", "count"):
+            if needed not in parts:
+                errors.append(f"summary {base}: missing {needed} line(s)")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [exposition.txt]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = lint(text)
+    samples = sum(
+        1 for l in text.splitlines() if l.strip() and not l.startswith("#")
+    )
+    for e in errors:
+        print(e)
+    print(
+        f"metrics_lint: {samples} sample(s), "
+        f"{len(errors)} violation(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,11 +51,26 @@ def main():
         default=20_000,
         help="ignore points smaller than this many simulated events",
     )
+    ap.add_argument(
+        "--only",
+        help="gate a single point, `cluster/algorithm/NODESxPPN/BYTES` "
+        "(e.g. `b/ring/16x16/1048576`) — used by the flight-recorder "
+        "overhead gate, which compares two same-machine runs on the "
+        "largest point only",
+    )
     args = ap.parse_args()
 
     base = load_points(args.baseline)
     cur = load_points(args.current)
     gated = sorted(k for k in cur if k in base and base[k]["events"] >= args.min_events)
+    if args.only:
+        cluster, algorithm, shape, size = args.only.split("/")
+        nodes, ppn = shape.split("x")
+        want = (cluster, algorithm, int(nodes), int(ppn), int(size))
+        gated = [k for k in gated if k == want]
+        if not gated:
+            print(f"perf_check: --only point {args.only} not present in both files")
+            return 1
     if not gated:
         print("perf_check: no comparable points above --min-events; refusing to pass vacuously")
         return 1

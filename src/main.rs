@@ -12,6 +12,8 @@
 //! dpml recover  --cluster a --nodes 4 --leaders 2 --bytes 1M --crash-rank 6 --crash-at-us 800
 //! dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K --corruption 0.05 --drop 0.02
 //! dpml serve    --addr 127.0.0.1:7077 --workers 4 --journal serve.journal
+//! dpml top      --addr 127.0.0.1:7077 --interval 1000 # live telemetry dashboard
+//! dpml metrics  --addr 127.0.0.1:7077                 # Prometheus-style exposition
 //! dpml chaos    campaign --seed 7 --budget 256        # coverage-guided search
 //! dpml chaos    mine --dir tests/corpus               # shrink + commit reproducers
 //! dpml chaos    replay --dir tests/corpus             # bit-exact corpus replay
@@ -830,6 +832,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Preset::by_id(&id).ok_or(format!("unknown watchdog preset `{id}` (a|b|c|d)"))?;
         cfg.watchdog_preset = id;
     }
+    if let Some(ms) = arg_value(args, "--sample-interval") {
+        cfg.sample_interval_ms = ms
+            .parse()
+            .map_err(|e| format!("bad --sample-interval: {e}"))?;
+    }
+    cfg.postmortem_dir = arg_value(args, "--postmortem-dir").map(Into::into);
+    cfg.max_postmortems = usize_flag("--max-postmortems", cfg.max_postmortems)?;
 
     let handle = start(cfg.clone()).map_err(CliError::io)?;
     println!(
@@ -849,6 +858,60 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     } else {
         Err(CliError::Internal(format!("drain exited with code {code}")))
     }
+}
+
+/// Connect a telemetry client to a running daemon.
+fn telemetry_client(args: &[String]) -> Result<dpml::serve::Client, CliError> {
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into());
+    let client = dpml::serve::Client::connect(&addr)
+        .map_err(|e| CliError::Internal(format!("connect {addr}: {e}")))?;
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(60)))
+        .map_err(CliError::io)?;
+    Ok(client)
+}
+
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let interval_ms: u64 = arg_value(args, "--interval")
+        .map(|v| v.parse().map_err(|e| format!("bad --interval: {e}")))
+        .transpose()?
+        .unwrap_or(1000);
+    let frames: u32 = arg_value(args, "--frames")
+        .map(|v| v.parse().map_err(|e| format!("bad --frames: {e}")))
+        .transpose()?
+        .unwrap_or(0); // 0 = until the daemon drains or we are killed
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7077".into());
+    let mut client = telemetry_client(args)?;
+    client
+        .watch_start(interval_ms, frames)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
+    let mut dash = dpml::serve::top::Dashboard::new();
+    let mut seen = 0u32;
+    loop {
+        match client.next_frame() {
+            Ok(Some(frame)) => {
+                // Clear and home with plain ANSI; the renderer owns the rest.
+                print!("\x1b[2J\x1b[H{}", dash.render(&addr, &frame));
+                use std::io::Write as _;
+                std::io::stdout().flush().map_err(CliError::io)?;
+                seen += 1;
+                if frames > 0 && seen >= frames {
+                    return Ok(()); // bounded watch: server stops after N too
+                }
+            }
+            Ok(None) => return Ok(()), // daemon drained: clean exit
+            Err(e) => return Err(CliError::Internal(format!("watch stream: {e}"))),
+        }
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    let mut client = telemetry_client(args)?;
+    let text = client
+        .metrics()
+        .map_err(|e| CliError::Internal(e.to_string()))?;
+    print!("{text}");
+    Ok(())
 }
 
 /// Map SIGTERM/SIGINT to a graceful terminate: stop admitting, finish
@@ -908,6 +971,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
                 .unwrap_or(128);
             let mut cfg = CampaignConfig::new(seed, budget);
             cfg.guided = !rest.iter().any(|a| a == "--random");
+            cfg.postmortem_dir = arg_value(rest, "--postmortem-dir").map(Into::into);
             let mode = if cfg.guided { "guided" } else { "random" };
             println!("chaos campaign: seed {seed:#x}, budget {budget}, {mode}");
             let report = run_campaign(&cfg);
@@ -931,6 +995,9 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
                         v.scenario.id(),
                         v.detail
                     );
+                    if let Some(bundle) = &v.bundle {
+                        println!("    post-mortem   {bundle}");
+                    }
                 }
                 Err(CliError::Integrity(format!(
                     "campaign found {} violation(s); shrink with `dpml chaos mine`",
@@ -992,23 +1059,27 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
                 .map(|v| v.parse().map_err(|e| format!("bad --max: {e}")))
                 .transpose()?
                 .unwrap_or(8);
-            let report = run_campaign(&CampaignConfig::new(seed, budget));
-            // Reproducer candidates: violations first, then structured
-            // failures among the discoveries — one per signature.
-            let mut candidates: Vec<(dpml::chaos::Scenario, FaultPlan)> = report
+            let mut cfg = CampaignConfig::new(seed, budget);
+            cfg.postmortem_dir = arg_value(rest, "--postmortem-dir").map(Into::into);
+            let report = run_campaign(&cfg);
+            // Reproducer candidates: violations first (carrying their
+            // post-mortem bundle link, if one was dumped), then
+            // structured failures among the discoveries — one per
+            // signature.
+            let mut candidates: Vec<(dpml::chaos::Scenario, FaultPlan, Option<String>)> = report
                 .violations
                 .iter()
-                .map(|v| (v.scenario.clone(), v.plan.clone()))
+                .map(|v| (v.scenario.clone(), v.plan.clone(), v.bundle.clone()))
                 .collect();
             candidates.extend(
                 report
                     .discoveries
                     .iter()
-                    .map(|(sc, plan, _)| (sc.clone(), plan.clone())),
+                    .map(|(sc, plan, _)| (sc.clone(), plan.clone(), None)),
             );
             let mut seen = std::collections::BTreeSet::new();
             let mut saved = 0usize;
-            for (sc, plan) in candidates {
+            for (sc, plan, bundle) in candidates {
                 if saved >= max {
                     break;
                 }
@@ -1026,7 +1097,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
                          shrunk {} -> {} faults in {} evals",
                         shrunk.initial_faults, shrunk.final_faults, shrunk.evals
                     ),
-                );
+                )
+                .with_bundle(bundle);
                 let path = rep.save(&dir).map_err(CliError::io)?;
                 println!("saved {} ({})", path.display(), rep.signature);
                 saved += 1;
@@ -1081,10 +1153,12 @@ fn main() {
         "recover" => cmd_recover(rest),
         "integrity" => cmd_integrity(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
+        "metrics" => cmd_metrics(rest),
         "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!(
-                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity|serve|chaos> [options]\n\
+                "usage: dpml <info|simulate|profile|sweep|compare|tune|app|faults|recover|integrity|serve|top|metrics|chaos> [options]\n\
                  try: dpml info\n     \
                  dpml simulate --cluster c --nodes 16 --alg dpml:16 --bytes 64K\n     \
                  dpml profile --cluster a --nodes 8 --alg dpml:4 --bytes 64K [--sweep]\n     \
@@ -1098,10 +1172,14 @@ fn main() {
                  dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K \
                  --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]\n     \
                  dpml serve [--addr H:P] [--workers N] [--queue N] [--client-cap N] \
-                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d]\n     \
-                 dpml chaos campaign [--seed S] [--budget N] [--random]\n     \
+                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d] \
+                 [--sample-interval MS] [--postmortem-dir DIR] [--max-postmortems N]\n     \
+                 dpml top [--addr H:P] [--interval MS] [--frames N]\n     \
+                 dpml metrics [--addr H:P]\n     \
+                 dpml chaos campaign [--seed S] [--budget N] [--random] [--postmortem-dir DIR]\n     \
                  dpml chaos serve [--seed S] [--iterations N]\n     \
-                 dpml chaos mine [--dir tests/corpus] [--seed S] [--budget N] [--max N]\n     \
+                 dpml chaos mine [--dir tests/corpus] [--seed S] [--budget N] [--max N] \
+                 [--postmortem-dir DIR]\n     \
                  dpml chaos replay [--dir tests/corpus]\n\
                  exit codes: 0 ok, 1 internal, 2 usage, 3 build, 4 sim, 5 integrity, 6 partial sweep"
             );
