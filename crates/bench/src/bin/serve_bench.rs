@@ -21,7 +21,14 @@
 //!      hidden `--daemon` flag) is SIGKILLed mid-journal with jobs in
 //!      flight, then restarted on the same journal — replay must
 //!      re-queue every admitted-but-unfinished job exactly once and
-//!      drain it to a clean exit 0.
+//!      drain it to a clean exit 0;
+//!    * a **durability round**: the subprocess daemon runs with a
+//!      journal byte budget and a checkpoint store, is SIGKILLed the
+//!      moment the first sweep checkpoint lands on disk, and the
+//!      restarted daemon must *resume* from the persisted checkpoints
+//!      (not cold-restart), compact the journal back under its budget,
+//!      and balance the exactly-once ledger across the `Record::Compact`
+//!      marker (surviving finishes + dropped-by-compaction = admitted).
 //!
 //! Usage: `serve_bench [--quick] [--chaos] [--clients N] [--requests N]`
 //! Writes `results/serve.json`.
@@ -75,10 +82,23 @@ struct AuditReport {
 }
 
 #[derive(Serialize)]
+struct DurabilityReport {
+    journal_budget: u64,
+    jobs: usize,
+    resumes: u64,
+    scenarios_resumed: u64,
+    checkpoints_written: u64,
+    compactions: u64,
+    dropped_by_compaction: u64,
+    final_journal_bytes: u64,
+}
+
+#[derive(Serialize)]
 struct ServeBenchReport {
     quick: bool,
     throughput: ThroughputReport,
     chaos: Option<ChaosReport>,
+    durability: Option<DurabilityReport>,
     audit: AuditReport,
 }
 
@@ -146,6 +166,24 @@ fn heavy_spec(salt: u64) -> JobSpec {
     }
 }
 
+/// Many-chunk sweep for the durability round: 48 scenarios → sweep
+/// checkpoints at indices 8, 16, … 40 with `SWEEP_CHUNK = 8`, each
+/// chunk cheap enough that the first checkpoint lands within ~100 ms.
+fn durable_spec(salt: u64) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Sweep,
+        preset: "b".into(),
+        nodes: 8,
+        ppn: 8,
+        algorithms: vec!["rd".into(), "ring".into(), "rab".into()],
+        sizes: (0..16)
+            .map(|i| (1 << 20) + (i << 18) + salt * 4096)
+            .collect(),
+        deadline_ms: 0,
+        panic_attempts: 0,
+    }
+}
+
 /// Count finishes per admitted job in a journal; zero = lost, >1 =
 /// duplicated. The drained daemon must leave neither.
 fn audit_journal(path: &Path) -> AuditReport {
@@ -161,7 +199,7 @@ fn audit_journal(path: &Path) -> AuditReport {
         match r {
             Record::Admit { id, .. } => admits.push(*id),
             Record::Finish { id, .. } => *finishes.entry(*id).or_default() += 1,
-            Record::Start { .. } => {}
+            Record::Start { .. } | Record::Compact { .. } => {}
         }
     }
     let lost = admits
@@ -284,7 +322,7 @@ fn throughput_phase(
 // Every caller either kills+waits the child or waits for a clean exit;
 // clippy can't see across the kill_restart_round control flow.
 #[allow(clippy::zombie_processes)]
-fn spawn_daemon(journal: &Path, addr_file: &Path) -> (Child, SocketAddr) {
+fn spawn_daemon(journal: &Path, addr_file: &Path, extra: &[&str]) -> (Child, SocketAddr) {
     std::fs::remove_file(addr_file).ok();
     let child = Command::new(std::env::current_exe().expect("current exe"))
         .args([
@@ -294,6 +332,7 @@ fn spawn_daemon(journal: &Path, addr_file: &Path) -> (Child, SocketAddr) {
             "--addr-file",
             addr_file.to_str().expect("utf8 path"),
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -313,7 +352,9 @@ fn spawn_daemon(journal: &Path, addr_file: &Path) -> (Child, SocketAddr) {
     }
 }
 
-/// Hidden child mode: run a real daemon until a client drains it.
+/// Hidden child mode: run a real daemon until a client drains it. The
+/// durability round passes the journal budget and checkpoint store
+/// through so the subprocess exercises the production config surface.
 fn daemon_main() -> ! {
     let journal = dpml_bench::arg_value("--journal").expect("--journal required");
     let addr_file = dpml_bench::arg_value("--addr-file").expect("--addr-file required");
@@ -321,6 +362,9 @@ fn daemon_main() -> ! {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         journal_path: PathBuf::from(journal),
+        journal_max_bytes: arg_num("--journal-max-bytes", 0u64),
+        checkpoint_interval: arg_num("--checkpoint-interval", 1u64),
+        checkpoint_dir: dpml_bench::arg_value("--checkpoint-dir").map(PathBuf::from),
         ..ServeConfig::default()
     };
     let handle = start(cfg).expect("daemon start");
@@ -337,7 +381,7 @@ fn daemon_main() -> ! {
 /// SIGKILL it mid-journal, restart on the same journal, drain, and
 /// count what replay recovered.
 fn kill_restart_round(journal: &Path, addr_file: &Path, jobs: usize, round: u64) -> (usize, u64) {
-    let (mut child, addr) = spawn_daemon(journal, addr_file);
+    let (mut child, addr) = spawn_daemon(journal, addr_file, &[]);
     let mut client = Client::connect(addr).expect("connect to child daemon");
     client
         .set_timeout(Some(Duration::from_secs(120)))
@@ -374,7 +418,7 @@ fn kill_restart_round(journal: &Path, addr_file: &Path, jobs: usize, round: u64)
     drop(client);
 
     // Restart on the same journal; replay must re-queue the survivors.
-    let (mut child, addr) = spawn_daemon(journal, addr_file);
+    let (mut child, addr) = spawn_daemon(journal, addr_file, &[]);
     let mut client = Client::connect(addr).expect("reconnect after restart");
     client
         .set_timeout(Some(Duration::from_secs(300)))
@@ -391,6 +435,156 @@ fn kill_restart_round(journal: &Path, addr_file: &Path, jobs: usize, round: u64)
         "restarted daemon must drain to exit 0, got {status:?}"
     );
     (admitted, replayed)
+}
+
+/// Durability round: a budgeted, checkpointing subprocess daemon is
+/// SIGKILLed the instant its first sweep checkpoint lands on disk, then
+/// restarted on the same journal + checkpoint store. The restart must
+/// *resume* from the persisted progress (not cold-start), keep the
+/// journal under its byte budget via compaction, and balance the
+/// exactly-once ledger across `Record::Compact` markers: surviving
+/// finishes + dropped-by-compaction = every job ever admitted.
+fn durability_round(quick: bool) -> DurabilityReport {
+    let journal = temp_path("durable.journal");
+    let ckpt_dir = temp_path("durable.ckpt");
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let addr_file = temp_path("durable.addr");
+    let budget: u64 = 4096;
+    let jobs = if quick { 3 } else { 5 };
+    let budget_s = budget.to_string();
+    let flags = [
+        "--journal-max-bytes",
+        budget_s.as_str(),
+        "--checkpoint-interval",
+        "1",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().expect("utf8 path"),
+    ];
+
+    let (mut child, addr) = spawn_daemon(&journal, &addr_file, &flags);
+    let mut client = Client::connect(addr).expect("connect durable daemon");
+    client
+        .set_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    for i in 0..jobs {
+        client
+            .send(&dpml_serve::Request::Submit {
+                spec: durable_spec(i as u64),
+            })
+            .expect("durable submit");
+        loop {
+            match client.read_response().expect("ack").expect("ack eof") {
+                dpml_serve::Response::Accepted { cached, .. } => {
+                    assert!(!cached, "durability specs must be cache-cold");
+                    break;
+                }
+                dpml_serve::Response::Finished { .. } => continue,
+                other => panic!("durability submit: {other:?}"),
+            }
+        }
+    }
+    // Kill the moment the first checkpoint file appears: the job that
+    // wrote it is 8 scenarios into 48, so the restart has real progress
+    // to restore and real work left to do.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let have_ckpt = std::fs::read_dir(&ckpt_dir)
+            .map(|d| d.filter_map(|e| e.ok()).next().is_some())
+            .unwrap_or(false);
+        if have_ckpt {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "durable daemon never wrote a checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("kill durable daemon");
+    child.wait().expect("reap durable daemon");
+    drop(client);
+
+    // Restart with the same budget + store. Poll the journal from the
+    // outside (compaction renames are atomic; torn tails are tolerated
+    // by the reader) until every admitted job is accounted for — either
+    // a surviving Finish or the Compact marker's dropped count.
+    let (mut child, addr) = spawn_daemon(&journal, &addr_file, &flags);
+    let mut client = Client::connect(addr).expect("reconnect durable daemon");
+    client
+        .set_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let (stats, dropped) = loop {
+        let replay = replay_file(&journal).expect("journal readable");
+        let finished: std::collections::HashSet<u64> = replay
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Finish { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let dropped = replay.dropped_jobs();
+        let drained = replay.pending().is_empty() && finished.len() as u64 + dropped == jobs as u64;
+        if drained {
+            let stats = client.stats().expect("durable stats");
+            if stats.counter("serve.journal_compactions").unwrap_or(0) >= 1 {
+                break (stats, dropped);
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "durable restart never drained + compacted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let resumes = stats.counter("serve.resumes").unwrap_or(0);
+    let scenarios_resumed = stats.counter("serve.scenarios_resumed").unwrap_or(0);
+    let checkpoints_written = stats.counter("serve.checkpoints_written").unwrap_or(0);
+    let compactions = stats.counter("serve.journal_compactions").unwrap_or(0);
+    assert!(
+        resumes >= 1,
+        "restart must resume from the persisted checkpoint, not cold-start"
+    );
+    assert!(
+        scenarios_resumed >= 1,
+        "a resume must restore at least one scenario of progress"
+    );
+    assert!(
+        checkpoints_written >= 1,
+        "the restarted daemon must keep checkpointing"
+    );
+    client.shutdown().expect("durable drain");
+    let status = child.wait().expect("reap restarted durable daemon");
+    assert!(
+        status.success(),
+        "restarted durable daemon must drain to exit 0, got {status:?}"
+    );
+
+    let final_bytes = std::fs::metadata(&journal).expect("journal metadata").len();
+    assert!(
+        final_bytes <= budget,
+        "drained journal is {final_bytes} bytes, budget {budget}"
+    );
+    // Finished jobs' checkpoints are garbage-collected on conclude.
+    let leftover = std::fs::read_dir(&ckpt_dir)
+        .map(|d| d.filter_map(|e| e.ok()).count())
+        .unwrap_or(0);
+    assert_eq!(leftover, 0, "checkpoint files must be removed on finish");
+
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    std::fs::remove_file(&addr_file).ok();
+    DurabilityReport {
+        journal_budget: budget,
+        jobs,
+        resumes,
+        scenarios_resumed,
+        checkpoints_written,
+        compactions,
+        dropped_by_compaction: dropped,
+        final_journal_bytes: final_bytes,
+    }
 }
 
 fn main() {
@@ -576,10 +770,31 @@ fn main() {
         None
     };
 
+    // ---- Phase 3: durability (budgeted journal + checkpoint resume) ----
+    let durability = if chaos {
+        println!("serve_bench: durability phase — checkpoint resume + journal compaction");
+        let d = durability_round(quick);
+        println!(
+            "  durability: {} jobs, {} resumed ({} scenarios restored), {} checkpoints, \
+             {} compactions, journal {}B <= {}B",
+            d.jobs,
+            d.resumes,
+            d.scenarios_resumed,
+            d.checkpoints_written,
+            d.compactions,
+            d.final_journal_bytes,
+            d.journal_budget
+        );
+        Some(d)
+    } else {
+        None
+    };
+
     let report = ServeBenchReport {
         quick,
         throughput,
         chaos: chaos_report,
+        durability,
         audit,
     };
     let ok = report.audit.jobs_lost == 0 && report.audit.jobs_duplicated == 0;

@@ -24,9 +24,12 @@
 //! *values* nondeterministic, so — unlike the simulator campaign — the
 //! serve campaign asserts invariants, not bit-exact digests.
 
-use dpml_faults::Mutator;
+use dpml_faults::{Mutator, StorageFaultPlan};
+use dpml_serve::job::SWEEP_CHUNK;
 use dpml_serve::journal::{replay_bytes, replay_file};
-use dpml_serve::{start, Client, JobKind, JobSpec, Record, Request, Response, ServeConfig};
+use dpml_serve::{
+    load_from_bytes, start, Client, JobKind, JobSpec, Record, Request, Response, ServeConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 use std::path::PathBuf;
@@ -42,6 +45,13 @@ pub struct ServeCampaignConfig {
     /// Prefix cuts audited per iteration (beyond the always-audited
     /// full journal and the one restarted cut).
     pub cuts_per_iteration: u32,
+    /// Enable the storage-fault ladder (seeded ENOSPC / short / torn /
+    /// bit-flip injection on the journal + checkpoint write paths) on a
+    /// seeded subset of iterations.
+    pub storage_faults: bool,
+    /// Journal byte budget applied on a seeded subset of iterations so
+    /// compaction windows become kill-point coverage (0 = never).
+    pub journal_max_bytes: u64,
 }
 
 impl ServeCampaignConfig {
@@ -50,6 +60,8 @@ impl ServeCampaignConfig {
             seed,
             iterations,
             cuts_per_iteration: 8,
+            storage_faults: true,
+            journal_max_bytes: 6144,
         }
     }
 }
@@ -100,6 +112,13 @@ fn gen_spec(m: &mut Mutator, prior: &mut Vec<JobSpec>) -> JobSpec {
         deadline_ms: 0,
         panic_attempts: m.below(3) as u32,
     };
+    if spec.kind == JobKind::Sweep {
+        // Multi-chunk grids so sweeps cross checkpoint boundaries and
+        // leave durable progress behind for the resume path to find.
+        spec.algorithms = vec!["ring".into(), "rd".into()];
+        let n = 5 + m.below(6) as u64;
+        spec.sizes = (0..n).map(|i| 2048 + 1024 * i).collect();
+    }
     if m.chance(1, 6) {
         // Fails validation at admission: exercises the reject path.
         spec.preset = "no-such-preset".into();
@@ -132,7 +151,13 @@ fn pump_until(client: &mut Client, mut want: impl FnMut(&Response) -> bool) -> O
 
 /// Structural audit of a journal state: ids admit at most once, start
 /// and finish only after admit, finish at most once.
-fn audit_records(records: &[Record]) -> Result<(), String> {
+///
+/// `lossy` relaxes the "only after admit" half: under injected bit
+/// flips a silently corrupt `Admit` frame is *skipped* at replay (by
+/// design — resync, not a wall), which makes later records of that job
+/// look orphaned. The exactly-once halves (no duplicate admit, no
+/// duplicate finish) hold even then.
+fn audit_records(records: &[Record], lossy: bool) -> Result<(), String> {
     let mut admitted: HashSet<u64> = HashSet::new();
     let mut finished: HashSet<u64> = HashSet::new();
     for r in records {
@@ -143,18 +168,22 @@ fn audit_records(records: &[Record]) -> Result<(), String> {
                 }
             }
             Record::Start { id, .. } => {
-                if !admitted.contains(id) {
+                if !lossy && !admitted.contains(id) {
                     return Err(format!("job {id} started without admit"));
                 }
             }
             Record::Finish { id, .. } => {
-                if !admitted.contains(id) {
+                if !lossy && !admitted.contains(id) {
                     return Err(format!("job {id} finished without admit"));
                 }
                 if !finished.insert(*id) {
                     return Err(format!("job {id} finished twice"));
                 }
             }
+            // A compaction marker carries accounting, not a lifecycle
+            // transition; nothing to check per-record here (segment-
+            // level accounting is audited via `Replay::dropped_jobs`).
+            Record::Compact { .. } => {}
         }
     }
     Ok(())
@@ -172,11 +201,36 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
         let tag = format!("{:x}-{iter}", cfg.seed);
         let journal_path = temp_journal(&tag);
         std::fs::remove_file(&journal_path).ok();
+        let ckpt_dir = std::env::temp_dir().join(format!(
+            "dpml-chaos-serve-{}-{tag}.ckpt",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+        // Seeded iteration shape: some lifecycles run under a journal
+        // byte budget (compaction windows become crash states), some
+        // under the storage-fault ladder, some under both.
+        let budgeted = cfg.journal_max_bytes > 0 && m.chance(1, 2);
+        // Every other iteration runs the storage-fault ladder, so even a
+        // 2-iteration CI campaign exercises the faulty write paths.
+        let faulty = cfg.storage_faults && (iter % 2 == 1 || m.chance(1, 3));
+        let fault_plan = faulty.then(|| StorageFaultPlan {
+            seed: cfg.seed ^ u64::from(iter).wrapping_mul(0x9e37),
+            enospc_rate: 0.05,
+            torn_write_rate: 0.05,
+            short_write_rate: 0.05,
+            bit_flip_rate: 0.05,
+        });
         let serve_cfg = ServeConfig {
             journal_path: journal_path.clone(),
             workers: 2,
             max_retries: 3,
             retry_base_ms: 0.2,
+            journal_max_bytes: if budgeted { cfg.journal_max_bytes } else { 0 },
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            // Keep finished jobs' checkpoint files: phase 4 audits their
+            // byte prefixes through the fallback ladder.
+            retain_checkpoints: true,
+            storage_faults: fault_plan,
             ..ServeConfig::default()
         };
         let handle = match start(serve_cfg) {
@@ -239,9 +293,46 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
         drop(client);
         let state = std::sync::Arc::clone(handle.state());
         let code = handle.wait();
-        for c in &state.stats().counters {
+        let stats = state.stats();
+        let counter = |name: &str| {
+            stats
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        for c in &stats.counters {
             if c.value > 0 {
                 cells.insert(format!("serve:{}", c.name.trim_start_matches("serve.")));
+            }
+        }
+        // Durability coverage, under the names the roadmap tracks.
+        if counter("serve.journal_compactions") > 0 {
+            cells.insert("serve:journal-compaction".into());
+        }
+        if counter("serve.checkpoints_written") > 0 {
+            cells.insert("serve:checkpointed".into());
+        }
+        if counter("serve.resumes") > 0 {
+            cells.insert("serve:resumed".into());
+        }
+        if counter("serve.checkpoint_fallbacks") > 0 {
+            cells.insert("serve:ckpt-fallback".into());
+        }
+        // Storage-fault ladder coverage from the injector's own tallies.
+        if let Some(counts) = state.storage_fault_counts() {
+            if counts.enospc > 0 {
+                cells.insert("storage:enospc".into());
+            }
+            if counts.torn > 0 {
+                cells.insert("storage:torn-write".into());
+            }
+            if counts.short > 0 {
+                cells.insert("storage:short-write".into());
+            }
+            if counts.bit_flips > 0 {
+                cells.insert("storage:bit-flip".into());
             }
         }
         if code != 0 {
@@ -261,10 +352,13 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
             }
         };
         let full = replay_bytes(&bytes);
-        if let Err(why) = audit_records(&full.records) {
+        if let Err(why) = audit_records(&full.records, faulty) {
             violations.push(format!("iter {iter}: full journal: {why}"));
         }
-        if !full.pending().is_empty() {
+        // Under injected storage faults a lost Finish (ENOSPC / torn
+        // append) legitimately leaves the job pending on disk — that is
+        // the journal being honest about what it could not record.
+        if !faulty && !full.pending().is_empty() {
             violations.push(format!(
                 "iter {iter}: drained daemon left {} pending jobs",
                 full.pending().len()
@@ -277,8 +371,58 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
             if replay.torn_tail {
                 cells.insert("serve:torn-tail".into());
             }
-            if let Err(why) = audit_records(&replay.records) {
+            if let Err(why) = audit_records(&replay.records, faulty) {
                 violations.push(format!("iter {iter}: cut@{cut}: {why}"));
+            }
+        }
+
+        // Phase 4: checkpoint files are crash states too. Every byte
+        // prefix of a retained `job-<id>.ckpt` must drive the fallback
+        // ladder, never a panic or an over-long resume.
+        if let Ok(entries) = std::fs::read_dir(&ckpt_dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(id) = name
+                    .strip_prefix("job-")
+                    .and_then(|s| s.strip_suffix(".ckpt"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                let Some((digest, total)) = full.records.iter().find_map(|r| match r {
+                    Record::Admit {
+                        id: aid,
+                        digest,
+                        spec,
+                    } if *aid == id => spec
+                        .scenarios()
+                        .ok()
+                        .map(|s| (digest.clone(), s.len() as u32)),
+                    _ => None,
+                }) else {
+                    continue;
+                };
+                let Ok(ck_bytes) = std::fs::read(entry.path()) else {
+                    continue;
+                };
+                for _ in 0..cfg.cuts_per_iteration.min(4) {
+                    let cut = m.below(ck_bytes.len() + 1);
+                    kill_points += 1;
+                    if let Some(load) =
+                        load_from_bytes(&ck_bytes[..cut], &digest, total, SWEEP_CHUNK as u32)
+                    {
+                        if load.ckpt.next_index > total {
+                            violations.push(format!(
+                                "iter {iter}: ckpt {id} cut@{cut}: resume index {} past total {total}",
+                                load.ckpt.next_index
+                            ));
+                        }
+                        if load.fallbacks > 0 {
+                            cells.insert("serve:ckpt-fallback".into());
+                        }
+                    }
+                }
+                cells.insert("serve:ckpt-prefix".into());
             }
         }
 
@@ -296,6 +440,10 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
                 workers: 2,
                 max_retries: 3,
                 retry_base_ms: 0.2,
+                // Fault-free restart sharing the dead daemon's checkpoint
+                // directory: re-queued sweeps resume mid-grid instead of
+                // cold-starting.
+                checkpoint_dir: Some(ckpt_dir.clone()),
                 ..ServeConfig::default()
             };
             match start(serve_cfg) {
@@ -307,13 +455,29 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
                         c.set_timeout(Some(Duration::from_secs(120))).ok();
                         c.shutdown().ok();
                     }
+                    let restart_state = std::sync::Arc::clone(handle.state());
                     let code = handle.wait();
+                    let restart_stats = restart_state.stats();
+                    let rc = |name: &str| {
+                        restart_stats
+                            .counters
+                            .iter()
+                            .find(|c| c.name == name)
+                            .map(|c| c.value)
+                            .unwrap_or(0)
+                    };
+                    if rc("serve.resumes") > 0 {
+                        cells.insert("serve:resumed".into());
+                    }
+                    if rc("serve.checkpoint_fallbacks") > 0 {
+                        cells.insert("serve:ckpt-fallback".into());
+                    }
                     if code != 0 {
                         violations.push(format!("iter {iter}: restarted daemon exited {code}"));
                     }
                     match replay_file(&cut_path) {
                         Ok(after) => {
-                            if let Err(why) = audit_records(&after.records) {
+                            if let Err(why) = audit_records(&after.records, faulty) {
                                 violations.push(format!("iter {iter}: after restart: {why}"));
                             }
                             let still: Vec<u64> =
@@ -335,6 +499,7 @@ pub fn run_serve_campaign(cfg: &ServeCampaignConfig) -> ServeCampaignReport {
         }
         std::fs::remove_file(&journal_path).ok();
         std::fs::remove_file(&cut_path).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 
     ServeCampaignReport {

@@ -24,6 +24,7 @@
 //! DPML configuration tables of Section 6.4.
 
 pub mod algorithms;
+pub mod checkpoint;
 pub mod collectives;
 pub mod heal;
 pub mod integrity;
@@ -34,6 +35,10 @@ pub mod selector;
 pub mod tuner;
 
 pub use algorithms::{Algorithm, BuildError, FlatAlg};
+pub use checkpoint::{
+    run_allreduce_checkpointed, ChunkControl, ScenarioCell, SweepCheckpoint, SweepEnd,
+    CHECKPOINT_SCHEMA,
+};
 pub use heal::{run_dpml_failstop, FailstopOutcome, RecoveryReport};
 pub use integrity::{
     run_allreduce_verified, IntegrityError, IntegrityErrorKind, IntegrityPolicy, IntegrityReport,

@@ -21,10 +21,12 @@ use serde::{Deserialize, Serialize};
 
 pub mod mutate;
 pub mod retry;
+pub mod storage;
 pub use mutate::{
     clamp_to_world, fault_count, mutate, narrow_candidates, shrink_candidates, Mutator,
 };
 pub use retry::{RetryPlan, RETRY_JITTER_SALT};
+pub use storage::{StorageFaultCounts, StorageFaultPlan, StorageFaults, WriteFault};
 
 /// Smallest message-rate factor honored by the engine: a slower NIC still
 /// serves its queue in finite time (a zero rate would schedule an event at

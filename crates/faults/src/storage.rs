@@ -1,0 +1,299 @@
+//! Seeded storage-fault injection for durable write paths.
+//!
+//! The journal and checkpoint stores in `dpml-serve` promise that *any*
+//! byte prefix of their files is a valid crash state. That promise is
+//! only as strong as the write paths that produce those bytes, and real
+//! disks fail in more ways than a clean SIGKILL: a write can land
+//! partially (short write), land partially and then the process dies
+//! before it can heal (torn write), fail outright with `ENOSPC`, or
+//! succeed while silently corrupting bits in flight. `StorageFaultPlan`
+//! models that ladder as seeded per-write probabilities so chaos
+//! campaigns can replay the exact same fault schedule from a seed —
+//! the same splitmix64 discipline every other fault class in this
+//! crate follows.
+//!
+//! The plan is pure configuration; [`StorageFaults`] wraps it with an
+//! atomic per-write operation counter so concurrent writers draw
+//! distinct, deterministic-given-ordering decisions, and tallies how
+//! many faults of each kind actually fired so campaigns can emit
+//! coverage cells only for fault classes that were exercised.
+
+use crate::u01;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stream ids (the `rank` argument of [`u01`]) for the independent
+/// decision draws, so the fault choice, the cut offset, and the bit
+/// offset never reuse a random value.
+const STREAM_KIND: u32 = 0;
+const STREAM_CUT: u32 = 1;
+const STREAM_BIT: u32 = 2;
+
+/// Seeded probabilities for the storage-fault ladder, applied
+/// independently to every durable write.
+///
+/// Rates are stacked in severity order — `enospc`, then `torn_write`,
+/// then `short_write`, then `bit_flip` — against a single uniform draw
+/// per write, so one write suffers at most one fault and the expected
+/// fault mix matches the configured rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaultPlan {
+    /// Seed for the deterministic per-write draws.
+    pub seed: u64,
+    /// Probability a write fails with an out-of-space error before any
+    /// byte lands. The caller sees the error and nothing was written.
+    pub enospc_rate: f64,
+    /// Probability a write lands a strict prefix and the writer dies
+    /// before it can heal: the partial bytes stay on disk and the
+    /// handle is poisoned, exactly like a crash mid-`write(2)`.
+    pub torn_write_rate: f64,
+    /// Probability a write lands a strict prefix but the writer
+    /// survives to observe the error and heal (truncate back to the
+    /// pre-write offset).
+    pub short_write_rate: f64,
+    /// Probability the write succeeds but one bit of the frame body is
+    /// silently flipped in flight — only detectable at replay time via
+    /// the CRC32C trailer.
+    pub bit_flip_rate: f64,
+}
+
+impl StorageFaultPlan {
+    /// A plan that never fires, regardless of seed.
+    pub fn quiet(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            enospc_rate: 0.0,
+            torn_write_rate: 0.0,
+            short_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+        }
+    }
+
+    /// True when every rate is zero — callers can skip wrapping the
+    /// write path entirely.
+    pub fn is_quiet(&self) -> bool {
+        self.enospc_rate <= 0.0
+            && self.torn_write_rate <= 0.0
+            && self.short_write_rate <= 0.0
+            && self.bit_flip_rate <= 0.0
+    }
+
+    /// Decide the fate of write number `op` of `len` bytes.
+    ///
+    /// Pure in `(plan, op, len)`: campaigns can re-derive the exact
+    /// fault schedule from the seed without replaying any state.
+    pub fn decide(&self, op: u64, len: usize) -> WriteFault {
+        if len == 0 || self.is_quiet() {
+            return WriteFault::None;
+        }
+        let draw = u01(self.seed, STREAM_KIND, op);
+        let mut floor = 0.0;
+        if draw < floor + self.enospc_rate {
+            return WriteFault::Enospc;
+        }
+        floor += self.enospc_rate;
+        // Partial writes keep a strict prefix: at least 1 byte short so
+        // the tear is observable, and cutting at 0 is allowed (nothing
+        // landed at all).
+        let cut = (u01(self.seed, STREAM_CUT, op) * len as f64) as usize;
+        let keep = cut.min(len - 1);
+        if draw < floor + self.torn_write_rate {
+            return WriteFault::Torn { keep };
+        }
+        floor += self.torn_write_rate;
+        if draw < floor + self.short_write_rate {
+            return WriteFault::Short { keep };
+        }
+        floor += self.short_write_rate;
+        if draw < floor + self.bit_flip_rate {
+            // Never flip inside the 4-byte length header: a corrupted
+            // length turns silent corruption into a torn tail, which is
+            // a different rung of the ladder. Bits in the CRC or the
+            // payload are fair game.
+            let span = len.saturating_sub(4).max(1);
+            let bit = (u01(self.seed, STREAM_BIT, op) * (span * 8) as f64) as usize;
+            let bit = bit.min(span * 8 - 1);
+            return WriteFault::BitFlip {
+                offset: 4.min(len - 1) + bit / 8,
+                mask: 1u8 << (bit % 8),
+            };
+        }
+        WriteFault::None
+    }
+}
+
+/// The fate of a single durable write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write proceeds untouched.
+    None,
+    /// No byte lands; the caller sees an out-of-space error.
+    Enospc,
+    /// The first `keep` bytes land, then the writer "dies": the handle
+    /// must be poisoned without healing the partial frame.
+    Torn { keep: usize },
+    /// The first `keep` bytes land, the caller sees an error and is
+    /// expected to heal by truncating back to the pre-write offset.
+    Short { keep: usize },
+    /// The write succeeds but the byte at `offset` has `mask` XORed in.
+    BitFlip { offset: usize, mask: u8 },
+}
+
+/// Tallies of faults that actually fired, for campaign coverage cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageFaultCounts {
+    pub enospc: u64,
+    pub torn: u64,
+    pub short: u64,
+    pub bit_flips: u64,
+    /// Total writes that consulted the plan (faulted or not).
+    pub writes: u64,
+}
+
+/// Stateful injector: a [`StorageFaultPlan`] plus an atomic operation
+/// counter, shared by every durable writer of one process.
+#[derive(Debug)]
+pub struct StorageFaults {
+    plan: StorageFaultPlan,
+    ops: AtomicU64,
+    enospc: AtomicU64,
+    torn: AtomicU64,
+    short: AtomicU64,
+    bit_flips: AtomicU64,
+}
+
+impl StorageFaults {
+    pub fn new(plan: StorageFaultPlan) -> Self {
+        StorageFaults {
+            plan,
+            ops: AtomicU64::new(0),
+            enospc: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            short: AtomicU64::new(0),
+            bit_flips: AtomicU64::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &StorageFaultPlan {
+        &self.plan
+    }
+
+    /// Draw the fate of the next write of `len` bytes and tally it.
+    pub fn next(&self, len: usize) -> WriteFault {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.decide(op, len);
+        match fault {
+            WriteFault::Enospc => {
+                self.enospc.fetch_add(1, Ordering::Relaxed);
+            }
+            WriteFault::Torn { .. } => {
+                self.torn.fetch_add(1, Ordering::Relaxed);
+            }
+            WriteFault::Short { .. } => {
+                self.short.fetch_add(1, Ordering::Relaxed);
+            }
+            WriteFault::BitFlip { .. } => {
+                self.bit_flips.fetch_add(1, Ordering::Relaxed);
+            }
+            WriteFault::None => {}
+        }
+        fault
+    }
+
+    pub fn counts(&self) -> StorageFaultCounts {
+        StorageFaultCounts {
+            enospc: self.enospc.load(Ordering::Relaxed),
+            torn: self.torn.load(Ordering::Relaxed),
+            short: self.short.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            writes: self.ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spicy(seed: u64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed,
+            enospc_rate: 0.1,
+            torn_write_rate: 0.1,
+            short_write_rate: 0.1,
+            bit_flip_rate: 0.1,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = StorageFaultPlan::quiet(7);
+        for op in 0..1000 {
+            assert_eq!(plan.decide(op, 64), WriteFault::None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_seed_and_op() {
+        let a = spicy(42);
+        let b = spicy(42);
+        for op in 0..500 {
+            assert_eq!(a.decide(op, 128), b.decide(op, 128));
+        }
+        let c = spicy(43);
+        let diverged = (0..500).any(|op| a.decide(op, 128) != c.decide(op, 128));
+        assert!(
+            diverged,
+            "different seeds should produce different schedules"
+        );
+    }
+
+    #[test]
+    fn all_fault_kinds_fire_at_ten_percent_each() {
+        let inj = StorageFaults::new(spicy(1));
+        for _ in 0..2000 {
+            inj.next(256);
+        }
+        let counts = inj.counts();
+        assert_eq!(counts.writes, 2000);
+        assert!(counts.enospc > 0, "enospc never fired");
+        assert!(counts.torn > 0, "torn never fired");
+        assert!(counts.short > 0, "short never fired");
+        assert!(counts.bit_flips > 0, "bit flip never fired");
+        let total = counts.enospc + counts.torn + counts.short + counts.bit_flips;
+        // 40% nominal rate; allow generous slack for a 2000-draw sample.
+        assert!(
+            (500..1100).contains(&total),
+            "fault total {total} out of band"
+        );
+    }
+
+    #[test]
+    fn partial_writes_keep_a_strict_prefix() {
+        let plan = spicy(9);
+        for op in 0..2000 {
+            match plan.decide(op, 64) {
+                WriteFault::Torn { keep } | WriteFault::Short { keep } => {
+                    assert!(keep < 64, "keep {keep} must be a strict prefix");
+                }
+                WriteFault::BitFlip { offset, mask } => {
+                    assert!(
+                        (4..64).contains(&offset),
+                        "offset {offset} inside frame body"
+                    );
+                    assert_ne!(mask, 0);
+                    assert_eq!(mask.count_ones(), 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_writes_are_never_faulted() {
+        let plan = spicy(5);
+        for op in 0..100 {
+            assert_eq!(plan.decide(op, 0), WriteFault::None);
+        }
+    }
+}

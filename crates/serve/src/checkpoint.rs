@@ -1,0 +1,414 @@
+//! Journal-adjacent durable storage for sweep progress checkpoints.
+//!
+//! One file per in-flight job, `job-<id>.ckpt`, inside a directory next
+//! to the journal (`<journal>.ckpt/` by default). Each file is an
+//! append-only sequence of CRC32C frames (the shared [`crate::frame`]
+//! codec), each frame one schema-versioned [`SweepCheckpoint`] JSON
+//! snapshot. Appending — rather than rewriting — means a crash mid-save
+//! costs at most the newest snapshot: the loader walks candidates
+//! newest-first and takes the first one that passes both integrity
+//! layers, which is exactly the fallback ladder the durability design
+//! promises:
+//!
+//! 1. **latest checkpoint** — newest frame, CRC-valid, cursor chain
+//!    verifies against the job's digest/chunking;
+//! 2. **earlier checkpoint** — if the newest frame is torn (crash
+//!    mid-append), corrupt (bit rot), or semantically inconsistent,
+//!    fall back one frame at a time;
+//! 3. **cold start** — no frame survives: resume from scenario zero,
+//!    which is always correct, merely slower.
+//!
+//! Files are bounded by [`CKPT_ROTATE_BYTES`]: once a file outgrows the
+//! budget it is rewritten to just its newest snapshot via the same
+//! write-temp → fsync → atomic-rename protocol the journal compactor
+//! uses. A finished job's file is deleted (checkpoints are progress
+//! records, not results — the journal's `Finish` record supersedes
+//! them), unless the store is in retain mode for chaos audits.
+
+use crate::frame::{encode_frame, scan_frames};
+use dpml_core::SweepCheckpoint;
+use dpml_faults::{StorageFaults, WriteFault};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Per-job checkpoint file size budget: outgrowing it triggers a
+/// rewrite down to the newest snapshot.
+pub const CKPT_ROTATE_BYTES: u64 = 256 * 1024;
+
+/// A checkpoint recovered from durable storage.
+#[derive(Debug, Clone)]
+pub struct CheckpointLoad {
+    /// The newest checkpoint that passed frame CRC + cursor-chain
+    /// verification.
+    pub ckpt: SweepCheckpoint,
+    /// Newer candidates that were rejected on the way (torn tail,
+    /// corrupt frame, failed verification) — rungs of the fallback
+    /// ladder actually descended.
+    pub fallbacks: u32,
+}
+
+/// Recover the best checkpoint from raw file bytes — the pure core of
+/// [`CheckpointStore::load`], exposed so chaos campaigns can audit every
+/// byte prefix of a checkpoint file without a store.
+///
+/// Never panics, whatever the bytes: any failure mode is a rung down
+/// the ladder, and exhausting the ladder returns `None` (cold start).
+pub fn load_from_bytes(
+    bytes: &[u8],
+    digest: &str,
+    scenario_count: u32,
+    chunk: u32,
+) -> Option<CheckpointLoad> {
+    let scan = scan_frames(bytes);
+    let mut fallbacks = scan.corrupt_frames + scan.torn_tail as u32;
+    for frame in scan.frames.iter().rev() {
+        let parsed = std::str::from_utf8(&frame.payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<SweepCheckpoint>(text).ok());
+        match parsed {
+            Some(ckpt)
+                if ckpt.verify(digest, scenario_count, chunk).is_ok() && ckpt.next_index > 0 =>
+            {
+                return Some(CheckpointLoad { ckpt, fallbacks });
+            }
+            _ => fallbacks += 1,
+        }
+    }
+    None
+}
+
+/// The durable checkpoint store.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Persist every `interval`-th chunk boundary; `0` disables the
+    /// store entirely (no files are ever written).
+    interval: u64,
+    /// Keep finished jobs' files (chaos audits inspect them post-drain).
+    retain: bool,
+    faults: Option<Arc<StorageFaults>>,
+}
+
+impl CheckpointStore {
+    pub fn new(dir: impl Into<PathBuf>, interval: u64) -> Self {
+        CheckpointStore {
+            dir: dir.into(),
+            interval,
+            retain: false,
+            faults: None,
+        }
+    }
+
+    pub fn with_retain(mut self, retain: bool) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: Option<Arc<StorageFaults>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// False when checkpointing is disabled (`interval == 0`).
+    pub fn enabled(&self) -> bool {
+        self.interval > 0
+    }
+
+    /// Chunk boundaries between persisted snapshots.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn path_for(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id}.ckpt"))
+    }
+
+    /// Should the checkpoint at this (1-based) chunk ordinal be
+    /// persisted? Completion is excluded: the job's `Finish` journal
+    /// record supersedes a final snapshot.
+    pub fn due(&self, chunk_ordinal: u64, complete: bool) -> bool {
+        self.enabled() && !complete && chunk_ordinal.is_multiple_of(self.interval)
+    }
+
+    /// Append one snapshot frame to the job's checkpoint file, rotating
+    /// the file down to this snapshot if it outgrew the byte budget.
+    pub fn save(&self, id: u64, ckpt: &SweepCheckpoint) -> std::io::Result<()> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(id);
+        let json = serde_json::to_string(ckpt)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut frame = encode_frame(json.as_bytes());
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let pos = file.seek(SeekFrom::End(0))?;
+        match self.faults.as_ref().map(|f| f.next(frame.len())) {
+            Some(WriteFault::Enospc) => {
+                return Err(std::io::Error::other("storage fault: no space left"));
+            }
+            Some(WriteFault::Short { keep }) => {
+                // Writer survives the short write: heal by truncation.
+                let _ = file.write_all(&frame[..keep]);
+                file.set_len(pos)?;
+                return Err(std::io::Error::other("storage fault: short write"));
+            }
+            Some(WriteFault::Torn { keep }) => {
+                // Writer "dies" mid-write: the garbage stays. Later
+                // saves append after it and are walled off from the
+                // loader — progress freezes at the pre-tear snapshot,
+                // which the fallback ladder handles.
+                let _ = file.write_all(&frame[..keep]);
+                let _ = file.flush();
+                return Err(std::io::Error::other("storage fault: torn write"));
+            }
+            Some(WriteFault::BitFlip { offset, mask }) => {
+                if offset < frame.len() {
+                    frame[offset] ^= mask;
+                }
+            }
+            Some(WriteFault::None) | None => {}
+        }
+        file.write_all(&frame)?;
+        file.flush()?;
+        let len = pos + frame.len() as u64;
+        drop(file);
+        if len > CKPT_ROTATE_BYTES {
+            self.rotate(&path, &frame)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite `path` to contain only `latest_frame`, atomically.
+    fn rotate(&self, path: &Path, latest_frame: &[u8]) -> std::io::Result<()> {
+        let tmp = path.with_extension("ckpt.rotate");
+        {
+            let mut t = File::create(&tmp)?;
+            t.write_all(latest_frame)?;
+            t.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Recover the best checkpoint for a job, or `None` for cold start.
+    /// `digest`/`scenario_count`/`chunk` come from the job spec being
+    /// resumed — a checkpoint from any other job or chunking verifies
+    /// false and is skipped.
+    pub fn load(
+        &self,
+        id: u64,
+        digest: &str,
+        scenario_count: u32,
+        chunk: u32,
+    ) -> Option<CheckpointLoad> {
+        if !self.enabled() {
+            return None;
+        }
+        let bytes = std::fs::read(self.path_for(id)).ok()?;
+        load_from_bytes(&bytes, digest, scenario_count, chunk)
+    }
+
+    /// Delete a finished job's checkpoint file (kept in retain mode).
+    pub fn remove(&self, id: u64) {
+        if self.retain || !self.enabled() {
+            return;
+        }
+        std::fs::remove_file(self.path_for(id)).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpml_core::ScenarioCell;
+
+    fn cell(i: u64) -> ScenarioCell {
+        ScenarioCell {
+            algorithm: format!("alg-{i}"),
+            bytes: 1024 * i,
+            latency_us: i as f64 * 1.5,
+            error: None,
+            sim_events: 10 * i,
+            budget_tripped: false,
+        }
+    }
+
+    fn ckpt_at(digest: &str, total: u32, chunk: u32, done: u32) -> SweepCheckpoint {
+        let mut ck = SweepCheckpoint::new(digest.into(), total, chunk);
+        let mut i = 0u64;
+        while ck.next_index < done {
+            let n = chunk.min(done - ck.next_index) as u64;
+            ck.advance((0..n).map(|k| cell(i + k)).collect());
+            i += n;
+        }
+        ck
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dpml-ckpt-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn save_load_round_trip_newest_wins() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::new(&dir, 1);
+        let early = ckpt_at("d", 8, 2, 2);
+        let late = ckpt_at("d", 8, 2, 6);
+        store.save(7, &early).unwrap();
+        store.save(7, &late).unwrap();
+        let load = store.load(7, "d", 8, 2).unwrap();
+        assert_eq!(load.ckpt, late);
+        assert_eq!(load.fallbacks, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_ladder_descends_on_torn_and_corrupt_frames() {
+        let dir = temp_dir("ladder");
+        let store = CheckpointStore::new(&dir, 1);
+        let early = ckpt_at("d", 8, 2, 2);
+        let late = ckpt_at("d", 8, 2, 6);
+        store.save(1, &early).unwrap();
+        let early_len = std::fs::metadata(store.path_for(1)).unwrap().len() as usize;
+        store.save(1, &late).unwrap();
+        let full = std::fs::read(store.path_for(1)).unwrap();
+
+        // Rung 2: newest frame torn at every byte → fall back to early.
+        for cut in early_len + 1..full.len() {
+            let load = load_from_bytes(&full[..cut], "d", 8, 2).unwrap();
+            assert_eq!(load.ckpt, early, "cut at {cut}");
+            assert_eq!(load.fallbacks, 1, "cut at {cut}");
+        }
+        // Rung 2 via corruption: newest frame's payload bit-flipped.
+        let mut corrupt = full.clone();
+        corrupt[early_len + 10] ^= 0x80;
+        let load = load_from_bytes(&corrupt, "d", 8, 2).unwrap();
+        assert_eq!(load.ckpt, early);
+        assert_eq!(load.fallbacks, 1);
+
+        // Rung 3: everything torn → cold start.
+        for cut in 0..early_len {
+            let load = load_from_bytes(&full[..cut], "d", 8, 2);
+            assert!(
+                load.is_none() || load.unwrap().ckpt.next_index == 0,
+                "cut at {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verification_guards_digest_count_and_chunking() {
+        let dir = temp_dir("verify");
+        let store = CheckpointStore::new(&dir, 1);
+        let ck = ckpt_at("d", 8, 2, 4);
+        store.save(3, &ck).unwrap();
+        assert!(store.load(3, "d", 8, 2).is_some());
+        assert!(store.load(3, "other", 8, 2).is_none(), "wrong digest");
+        assert!(store.load(3, "d", 9, 2).is_none(), "wrong count");
+        assert!(store.load(3, "d", 8, 4).is_none(), "wrong chunking");
+        assert!(store.load(99, "d", 8, 2).is_none(), "missing file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cursor_tampering_falls_through_to_earlier_frame() {
+        let dir = temp_dir("tamper");
+        let store = CheckpointStore::new(&dir, 1);
+        let early = ckpt_at("d", 8, 2, 2);
+        store.save(5, &early).unwrap();
+        // A frame that is CRC-valid JSON but whose cells were edited:
+        // frame integrity passes, cursor-chain verification must not.
+        let mut evil = ckpt_at("d", 8, 2, 6);
+        evil.cells[0].latency_us += 0.5;
+        let json = serde_json::to_string(&evil).unwrap();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store.path_for(5))
+            .unwrap();
+        f.write_all(&encode_frame(json.as_bytes())).unwrap();
+        drop(f);
+        let load = store.load(5, "d", 8, 2).unwrap();
+        assert_eq!(load.ckpt, early, "tampered frame must be rejected");
+        assert_eq!(load.fallbacks, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_store_writes_and_loads_nothing() {
+        let dir = temp_dir("disabled");
+        let store = CheckpointStore::new(&dir, 0);
+        assert!(!store.enabled());
+        store.save(1, &ckpt_at("d", 8, 2, 4)).unwrap();
+        assert!(!dir.exists());
+        assert!(store.load(1, "d", 8, 2).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn due_schedule_honors_interval_and_skips_completion() {
+        let dir = temp_dir("due");
+        let every = CheckpointStore::new(&dir, 1);
+        assert!(every.due(1, false) && every.due(2, false));
+        assert!(!every.due(4, true), "completion snapshot is superseded");
+        let sparse = CheckpointStore::new(&dir, 3);
+        let fired: Vec<u64> = (1..=9).filter(|&o| sparse.due(o, false)).collect();
+        assert_eq!(fired, vec![3, 6, 9]);
+        let off = CheckpointStore::new(&dir, 0);
+        assert!(!off.due(1, false));
+    }
+
+    #[test]
+    fn oversized_file_rotates_to_newest_snapshot() {
+        let dir = temp_dir("rotate");
+        let store = CheckpointStore::new(&dir, 1);
+        // A snapshot with enough cells to make frames several KiB each.
+        let big = ckpt_at("d", 512, 8, 512);
+        store.save(2, &big).unwrap();
+        let frame_len = std::fs::metadata(store.path_for(2)).unwrap().len();
+        assert!(frame_len > 0 && frame_len < CKPT_ROTATE_BYTES);
+        // Enough appends to exceed the budget; the save that crosses it
+        // rewrites the file down to that single newest frame.
+        let saves = CKPT_ROTATE_BYTES / frame_len + 2;
+        for _ in 0..saves {
+            store.save(2, &big).unwrap();
+        }
+        let len = std::fs::metadata(store.path_for(2)).unwrap().len();
+        assert!(
+            len <= CKPT_ROTATE_BYTES,
+            "rotation must keep the file under budget ({len} bytes)"
+        );
+        // After rotation, exactly the newest snapshot must load.
+        let load = store.load(2, "d", 512, 8).unwrap();
+        assert_eq!(load.ckpt, big);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_respects_retain() {
+        let dir = temp_dir("remove");
+        let store = CheckpointStore::new(&dir, 1);
+        store.save(1, &ckpt_at("d", 8, 2, 2)).unwrap();
+        store.remove(1);
+        assert!(!store.path_for(1).exists());
+
+        let retain = CheckpointStore::new(&dir, 1).with_retain(true);
+        retain.save(2, &ckpt_at("d", 8, 2, 2)).unwrap();
+        retain.remove(2);
+        assert!(retain.path_for(2).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,11 +9,12 @@
 //! clean run, and should hit the same cache line.
 
 use dpml_core::algorithms::Algorithm;
+use dpml_core::checkpoint::{run_allreduce_checkpointed, ChunkControl, SweepCheckpoint, SweepEnd};
 use dpml_core::profile::profile_allreduce;
-use dpml_core::run::{run_allreduce_batch_budgeted, RunError};
 use dpml_fabric::Preset;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Engine event budget granted per millisecond of remaining wall-clock
@@ -258,13 +259,29 @@ impl JobOutcome {
     }
 }
 
+/// Observer for freshly advanced sweep checkpoints — the scheduler
+/// installs one that persists snapshots to the durable checkpoint store.
+pub type CheckpointSink = Box<dyn Fn(&SweepCheckpoint) + Send + Sync>;
+
 /// Execution context threaded from the scheduler into [`execute`]:
-/// cooperative cancellation plus the admission-relative deadline.
+/// cooperative cancellation, the admission-relative deadline, and the
+/// durability hooks (resume checkpoint in, snapshot sink out).
 pub struct JobCtx {
     /// Set by the `cancel` verb; polled at sweep checkpoints.
     pub cancel: AtomicBool,
     /// When the job was admitted (deadline epoch).
     pub admitted: Instant,
+    /// Checkpoint to resume the next attempt from, installed by the
+    /// scheduler after loading (and verifying) durable state.
+    resume: Mutex<Option<SweepCheckpoint>>,
+    /// Where freshly advanced checkpoints go (chunk-boundary callback).
+    sink: Mutex<Option<CheckpointSink>>,
+    /// Scenarios actually simulated by the current/last attempt —
+    /// the "rework" half of the resume-savings accounting.
+    pub executed_scenarios: AtomicU64,
+    /// Scenarios restored from the resume checkpoint instead of being
+    /// re-simulated — the "saved" half.
+    pub resumed_scenarios: AtomicU64,
 }
 
 impl JobCtx {
@@ -273,6 +290,10 @@ impl JobCtx {
         JobCtx {
             cancel: AtomicBool::new(false),
             admitted: Instant::now(),
+            resume: Mutex::new(None),
+            sink: Mutex::new(None),
+            executed_scenarios: AtomicU64::new(0),
+            resumed_scenarios: AtomicU64::new(0),
         }
     }
 
@@ -284,6 +305,28 @@ impl JobCtx {
         }
         let elapsed = self.admitted.elapsed().as_millis() as u64;
         Some(deadline_ms.saturating_sub(elapsed))
+    }
+
+    /// Install a checkpoint for the next [`execute`] call to resume
+    /// from. It is re-verified against the spec inside `execute`; an
+    /// inconsistent checkpoint degrades to a cold start, never an error.
+    pub fn set_resume(&self, ckpt: SweepCheckpoint) {
+        *self.resume.lock().expect("ctx resume lock") = Some(ckpt);
+    }
+
+    /// Install the chunk-boundary checkpoint observer.
+    pub fn set_checkpoint_sink(&self, sink: CheckpointSink) {
+        *self.sink.lock().expect("ctx sink lock") = Some(sink);
+    }
+
+    fn take_resume(&self) -> Option<SweepCheckpoint> {
+        self.resume.lock().expect("ctx resume lock").take()
+    }
+
+    fn emit_checkpoint(&self, ckpt: &SweepCheckpoint) {
+        if let Some(sink) = self.sink.lock().expect("ctx sink lock").as_ref() {
+            sink(ckpt);
+        }
     }
 }
 
@@ -345,70 +388,120 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
         };
     }
 
-    // Simulate and sweep share the chunked loop: between chunks the
-    // worker honors cancellation and the wall-clock deadline; inside a
-    // chunk the scenarios run on the scenario-parallel runner
-    // (order-preserving, see `dpml_core::run::run_allreduce_batch_budgeted`),
-    // each carrying an engine budget derived from the remaining deadline,
-    // so even a single scenario cannot overrun it by more than the
-    // budget-check granularity.
-    let mut results = Vec::with_capacity(scenarios.len());
+    // Simulate and sweep share the core checkpointed loop
+    // (`dpml_core::checkpoint::run_allreduce_checkpointed`): between
+    // chunks the control closure honors cancellation and the wall-clock
+    // deadline, and every advanced checkpoint is offered to the sink the
+    // scheduler installed (which persists it to the durable store).
+    // Inside a chunk the scenarios run on the scenario-parallel runner,
+    // each carrying an engine budget derived from the remaining
+    // deadline, so even a single scenario cannot overrun it by more
+    // than the budget-check granularity. Because every scenario is a
+    // closed deterministic world, an attempt resumed from a durable
+    // checkpoint produces cells — and therefore a `JobResult` —
+    // byte-identical to an uninterrupted run.
+    let digest = spec.digest();
+    let total = scenarios.len() as u32;
+    ctx.executed_scenarios.store(0, Ordering::Relaxed);
+    ctx.resumed_scenarios.store(0, Ordering::Relaxed);
+    let mut ckpt = match ctx.take_resume() {
+        // Defense in depth: the scheduler verified the checkpoint when
+        // loading it, but an inconsistent one must degrade to a cold
+        // start here, never to a wrong result.
+        Some(ck) if ck.verify(&digest, total, SWEEP_CHUNK as u32).is_ok() => {
+            ctx.resumed_scenarios
+                .store(ck.next_index as u64, Ordering::Relaxed);
+            ck
+        }
+        _ => SweepCheckpoint::new(digest, total, SWEEP_CHUNK as u32),
+    };
+    let resumed_at = ckpt.next_index;
+    let mut stop_reason: Option<JobError> = None;
+    let mut trip_scan = 0usize;
+    let mut progressed = resumed_at;
+    let end = run_allreduce_checkpointed(
+        &preset,
+        &cluster,
+        &scenarios,
+        &mut ckpt,
+        |ck| {
+            if ctx.cancel.load(Ordering::Acquire) {
+                stop_reason = Some(JobError::Canceled);
+                return ChunkControl::Stop;
+            }
+            // A budget trip in an already-completed chunk is the
+            // deadline firing inside the engine: stop executing further
+            // chunks (the post-scan below converts it into the error).
+            if spec.deadline_ms > 0 && ck.cells[trip_scan..].iter().any(|c| c.budget_tripped) {
+                return ChunkControl::Stop;
+            }
+            trip_scan = ck.cells.len();
+            let remaining = ctx.remaining_ms(spec.deadline_ms);
+            if remaining == Some(0) {
+                stop_reason = Some(JobError::DeadlineExceeded {
+                    after_ms: spec.deadline_ms,
+                });
+                return ChunkControl::Stop;
+            }
+            let (event_budget, time_budget_s) = budgets_for(remaining);
+            ChunkControl::Proceed {
+                event_budget,
+                time_budget_s,
+            }
+        },
+        |ck| {
+            ctx.executed_scenarios
+                .fetch_add(u64::from(ck.next_index - progressed), Ordering::Relaxed);
+            progressed = ck.next_index;
+            ctx.emit_checkpoint(ck);
+        },
+    );
+    // Convert cells into the job-level outcome, in scenario order, with
+    // the same precedence the chunk loop historically applied: a budget
+    // trip under a deadline fails the whole job as a deadline miss; any
+    // failure of a `Simulate`'s single scenario fails the job; sweep
+    // failures stay cell-local (partial results).
+    let mut results = Vec::with_capacity(ckpt.cells.len());
     let mut failed = 0u32;
     let mut sim_events = 0u64;
-    for chunk in scenarios.chunks(SWEEP_CHUNK) {
-        if ctx.cancel.load(Ordering::Acquire) {
-            return JobOutcome::Error(JobError::Canceled);
-        }
-        let remaining = ctx.remaining_ms(spec.deadline_ms);
-        if remaining == Some(0) {
+    for cell in &ckpt.cells {
+        if cell.budget_tripped && spec.deadline_ms > 0 {
+            // The per-scenario budget is the deadline's proxy inside
+            // the engine: treat a trip as the deadline.
             return JobOutcome::Error(JobError::DeadlineExceeded {
-                after_ms: spec.deadline_ms,
+                after_ms: ctx.admitted.elapsed().as_millis() as u64,
             });
         }
-        let (event_budget, time_budget) = budgets_for(remaining);
-        let chunk_results =
-            run_allreduce_batch_budgeted(&preset, &cluster, chunk, event_budget, time_budget);
-        for (&(alg, bytes), res) in chunk.iter().zip(chunk_results) {
-            match res {
-                Ok(rep) => {
-                    sim_events += rep.report.stats.events;
-                    results.push(ScenarioResult {
-                        algorithm: alg.name(),
-                        bytes,
-                        latency_us: rep.latency_us,
-                        error: None,
-                    });
-                }
-                Err(RunError::Sim(e))
-                    if matches!(
-                        e,
-                        dpml_engine::sim::SimError::EventBudgetExceeded(_)
-                            | dpml_engine::sim::SimError::TimeBudgetExceeded(_)
-                    ) && spec.deadline_ms > 0 =>
-                {
-                    // The per-scenario budget is the deadline's proxy
-                    // inside the engine: treat a trip as the deadline.
-                    return JobOutcome::Error(JobError::DeadlineExceeded {
-                        after_ms: ctx.admitted.elapsed().as_millis() as u64,
-                    });
-                }
-                Err(e) if spec.kind == JobKind::Simulate => {
-                    return JobOutcome::Error(JobError::Failed {
-                        message: e.to_string(),
-                    });
-                }
-                Err(e) => {
-                    failed += 1;
-                    results.push(ScenarioResult {
-                        algorithm: alg.name(),
-                        bytes,
-                        latency_us: 0.0,
-                        error: Some(e.to_string()),
-                    });
-                }
+        match &cell.error {
+            None => {
+                sim_events += cell.sim_events;
+                results.push(ScenarioResult {
+                    algorithm: cell.algorithm.clone(),
+                    bytes: cell.bytes,
+                    latency_us: cell.latency_us,
+                    error: None,
+                });
+            }
+            Some(message) if spec.kind == JobKind::Simulate => {
+                return JobOutcome::Error(JobError::Failed {
+                    message: message.clone(),
+                });
+            }
+            Some(message) => {
+                failed += 1;
+                results.push(ScenarioResult {
+                    algorithm: cell.algorithm.clone(),
+                    bytes: cell.bytes,
+                    latency_us: 0.0,
+                    error: Some(message.clone()),
+                });
             }
         }
     }
+    if let Some(err) = stop_reason {
+        return JobOutcome::Error(err);
+    }
+    debug_assert_eq!(end, SweepEnd::Completed);
     // A deadline is a promise about when the answer arrives, not just
     // whether work got done: completing late is still a miss.
     if ctx.remaining_ms(spec.deadline_ms) == Some(0) {
@@ -417,7 +510,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
         });
     }
     JobOutcome::Done(JobResult {
-        digest: spec.digest(),
+        digest: ckpt.digest,
         scenarios: results,
         failed,
         zone: None,

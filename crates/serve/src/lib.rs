@@ -29,8 +29,10 @@
 //! tests. [`top`] renders `watch` frames as the `dpml top` dashboard.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod client;
 pub mod deadline;
+pub mod frame;
 pub mod job;
 pub mod journal;
 pub mod protocol;
@@ -39,8 +41,9 @@ pub mod telemetry;
 pub mod top;
 
 pub use cache::ResultCache;
+pub use checkpoint::{load_from_bytes, CheckpointLoad, CheckpointStore};
 pub use client::{Client, ClientError, Submission};
 pub use job::{JobCtx, JobError, JobKind, JobOutcome, JobResult, JobSpec, ScenarioResult};
-pub use journal::{Journal, Record, Replay};
+pub use journal::{CompactionStats, Journal, Record, Replay};
 pub use protocol::{Request, Response, ServeStats, WatchFrame};
 pub use server::{start, ServeConfig, ServerHandle};

@@ -23,8 +23,9 @@
 //!    and [`ServerHandle::wait`] returns 0.
 
 use crate::cache::ResultCache;
+use crate::checkpoint::CheckpointStore;
 use crate::deadline::watchdog_config;
-use crate::job::{execute, JobCtx, JobError, JobOutcome, JobSpec};
+use crate::job::{execute, JobCtx, JobError, JobKind, JobOutcome, JobSpec, SWEEP_CHUNK};
 use crate::journal::{Journal, Record, Replay};
 use crate::protocol::{
     self, reject, CounterStat, HistogramStat, RateStat, Request, Response, ServeStats, WatchFrame,
@@ -33,7 +34,7 @@ use crate::protocol::{
 use crate::telemetry;
 use dpml_engine::flight::{self, PostmortemBundle};
 use dpml_fabric::Preset;
-use dpml_faults::RetryPlan;
+use dpml_faults::{RetryPlan, StorageFaultCounts, StorageFaultPlan, StorageFaults};
 use dpml_shm::metrics::{rates_between, TimeSeriesRing};
 use dpml_shm::Registry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -91,6 +92,20 @@ pub struct ServeConfig {
     /// Cap on bundle files kept in `postmortem_dir` — a crash loop must
     /// not fill the disk.
     pub max_postmortems: usize,
+    /// Chunk boundaries between persisted sweep checkpoints (0 disables
+    /// checkpointing; 1 persists every boundary).
+    pub checkpoint_interval: u64,
+    /// Checkpoint directory; `None` derives `<journal_path>.ckpt/`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Journal byte budget: exceeding it triggers compaction (0 = never
+    /// compact).
+    pub journal_max_bytes: u64,
+    /// Keep finished jobs' checkpoint files instead of deleting them
+    /// (chaos campaigns audit them post-drain).
+    pub retain_checkpoints: bool,
+    /// Seeded storage-fault injection on the journal + checkpoint write
+    /// paths (chaos campaigns only; `None` in production).
+    pub storage_faults: Option<StorageFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +124,11 @@ impl Default for ServeConfig {
             sample_interval_ms: 500,
             postmortem_dir: None,
             max_postmortems: 16,
+            checkpoint_interval: 1,
+            checkpoint_dir: None,
+            journal_max_bytes: 0,
+            retain_checkpoints: false,
+            storage_faults: None,
         }
     }
 }
@@ -197,6 +217,10 @@ pub struct ServerState {
     work_cv: Condvar,
     idle_cv: Condvar,
     journal: Journal,
+    checkpoints: Arc<CheckpointStore>,
+    storage_faults: Option<Arc<StorageFaults>>,
+    /// Single-flight guard: at most one compaction at a time.
+    compacting: AtomicBool,
     cache: ResultCache,
     metrics: Registry,
     /// Continuous-telemetry buffer: timestamped registry snapshots the
@@ -215,6 +239,77 @@ impl ServerState {
 
     fn alloc_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append a record, publish the journal's byte level, and trigger
+    /// compaction when the byte budget is exceeded. Returns whether the
+    /// append landed (failures are counted, not fatal — the job-level
+    /// invariants decide what an unjournaled record means).
+    fn journal_append(&self, record: &Record) -> bool {
+        let ok = self.journal.append(record).is_ok();
+        if !ok {
+            self.counter("serve.journal_error").inc();
+        }
+        if let Ok(pos) = self.journal.position() {
+            self.counter("serve.journal_bytes").set(pos);
+        }
+        ok
+    }
+
+    /// Compact the journal if it outgrew `journal_max_bytes`. Single-
+    /// flight; safe to call from any thread after an append.
+    fn maybe_compact(&self) {
+        let budget = self.cfg.journal_max_bytes;
+        if budget == 0 {
+            return;
+        }
+        let over = self.journal.position().map(|p| p > budget).unwrap_or(false);
+        if !over {
+            return;
+        }
+        if self
+            .compacting
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // someone else is already compacting
+        }
+        let result = self
+            .journal
+            .compact(|records| compaction_keep(records, budget));
+        self.compacting.store(false, Ordering::Release);
+        match result {
+            Ok(stats) => {
+                self.counter("serve.journal_compactions").inc();
+                self.counter("serve.journal_bytes").set(stats.after_bytes);
+                flight::global().record(
+                    "journal.compact",
+                    None,
+                    format!(
+                        "bytes {} -> {} records {} -> {}",
+                        stats.before_bytes,
+                        stats.after_bytes,
+                        stats.records_before,
+                        stats.records_after
+                    ),
+                );
+            }
+            Err(e) => {
+                self.counter("serve.journal_error").inc();
+                flight::global().record("journal.compact", None, format!("failed: {e}"));
+            }
+        }
+    }
+
+    /// Injected storage-fault tallies, when fault injection is active
+    /// (chaos campaigns read these to emit coverage cells).
+    pub fn storage_fault_counts(&self) -> Option<StorageFaultCounts> {
+        self.storage_faults.as_ref().map(|f| f.counts())
+    }
+
+    /// The durable checkpoint store (chaos campaigns audit its files).
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        &self.checkpoints
     }
 
     /// Public metrics snapshot in wire form.
@@ -597,6 +692,10 @@ impl ServerState {
         flight::global().record("job.admit", Some(id), format!("digest={digest_for_flight}"));
         self.work_cv.notify_one();
         drop(s);
+        if let Ok(pos) = self.journal.position() {
+            self.counter("serve.journal_bytes").set(pos);
+        }
+        self.maybe_compact();
         vec![]
     }
 
@@ -722,16 +821,18 @@ impl ServerState {
                 flight::global().record("job.finish", Some(job.id), format!("failed: {e}"));
             }
         }
-        if self
-            .journal
-            .append(&Record::Finish {
-                id: job.id,
-                outcome: outcome.clone(),
-            })
-            .is_err()
-        {
-            self.counter("serve.journal_error").inc();
-        }
+        self.journal_append(&Record::Finish {
+            id: job.id,
+            outcome: outcome.clone(),
+        });
+        // The Finish record supersedes the job's checkpoint file.
+        self.checkpoints.remove(job.id);
+        // Resume-savings accounting: scenarios this job actually
+        // simulated vs scenarios restored from a durable checkpoint.
+        self.counter("serve.scenarios_executed")
+            .add(job.ctx.executed_scenarios.load(Ordering::Relaxed));
+        self.counter("serve.scenarios_resumed")
+            .add(job.ctx.resumed_scenarios.load(Ordering::Relaxed));
         if let Some(started) = started {
             self.metrics
                 .histogram("serve.job_ms")
@@ -751,15 +852,19 @@ impl ServerState {
                 self.counter("serve.push_fail").inc();
             }
         }
-        let mut s = self.sched.lock().expect("sched lock poisoned");
-        if was_running {
-            s.running -= 1;
+        {
+            let mut s = self.sched.lock().expect("sched lock poisoned");
+            if was_running {
+                s.running -= 1;
+            }
+            s.tracked.remove(&job.id);
+            if s.drained() {
+                self.idle_cv.notify_all();
+                self.work_cv.notify_all();
+            }
         }
-        s.tracked.remove(&job.id);
-        if s.drained() {
-            self.idle_cv.notify_all();
-            self.work_cv.notify_all();
-        }
+        // Outside the scheduler lock: compaction replays the whole file.
+        self.maybe_compact();
     }
 
     /// A worker's `catch_unwind` tripped: retry on the seeded backoff
@@ -807,6 +912,96 @@ impl ServerState {
             }
         }
     }
+}
+
+/// Choose the records that survive a compaction.
+///
+/// The live tail is sacred: every `Admit`/`Start` of a job that has no
+/// `Finish` yet is kept, so `Replay::pending` is identical before and
+/// after the rewrite. Finished jobs are cache-warmth, not correctness:
+/// the newest `Admit`+`Finish` pairs are retained until they fill about
+/// half the byte budget, and the rest are dropped — counted into the
+/// leading [`Record::Compact`] marker (cumulative with prior markers) so
+/// exactly-once audits still balance. The marker also carries the
+/// highest id ever journaled, preserving the id-allocator floor.
+fn compaction_keep(records: &[Record], budget: u64) -> Vec<Record> {
+    use std::collections::HashSet;
+    let max_id = records.iter().map(Record::id).max().unwrap_or(0);
+    let prior_dropped = records
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            Record::Compact { dropped_jobs, .. } => Some(*dropped_jobs),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let finished: HashSet<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Finish { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+
+    // Live records, in original append order.
+    let live: Vec<Record> = records
+        .iter()
+        .filter(|r| match r {
+            Record::Admit { id, .. } | Record::Start { id, .. } => !finished.contains(id),
+            _ => false,
+        })
+        .cloned()
+        .collect();
+
+    // Cache-warm tail: newest finished Admit+Finish pairs under ~half
+    // the budget (the other half is headroom for the live tail to grow
+    // before the next compaction trips).
+    let frame_bytes = |r: &Record| -> u64 {
+        serde_json::to_string(r)
+            .map(|s| s.len() as u64 + 8)
+            .unwrap_or(0)
+    };
+    let admit_of = |id: u64| -> Option<&Record> {
+        records
+            .iter()
+            .find(|r| matches!(r, Record::Admit { id: aid, .. } if *aid == id))
+    };
+    let mut warm: Vec<Record> = Vec::new();
+    let mut warm_bytes = 0u64;
+    let mut dropped_now = 0u64;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for r in records.iter().rev() {
+        let Record::Finish { id, .. } = r else {
+            continue;
+        };
+        if !seen.insert(*id) {
+            continue; // duplicate Finish: keep only the newest
+        }
+        let Some(admit) = admit_of(*id) else {
+            dropped_now += 1; // orphan Finish (admit lost earlier): drop
+            continue;
+        };
+        let pair = frame_bytes(admit) + frame_bytes(r);
+        if warm_bytes + pair <= budget / 2 {
+            warm_bytes += pair;
+            // Reverse-order push; the final reverse restores Admit
+            // before Finish and oldest-first across pairs.
+            warm.push(r.clone());
+            warm.push(admit.clone());
+        } else {
+            dropped_now += 1;
+        }
+    }
+    warm.reverse();
+
+    let mut out = Vec::with_capacity(1 + warm.len() + live.len());
+    out.push(Record::Compact {
+        max_id,
+        dropped_jobs: prior_dropped + dropped_now,
+    });
+    out.extend(warm);
+    out.extend(live);
+    out
 }
 
 /// Remove a queued job (queue or retry heap) by id.
@@ -870,21 +1065,57 @@ fn spawn_worker(state: Arc<ServerState>, idx: usize) {
             let Some(job) = state.next_job() else {
                 return;
             };
-            if state
-                .journal
-                .append(&Record::Start {
-                    id: job.id,
-                    attempt: job.attempt,
-                })
-                .is_err()
-            {
-                state.counter("serve.journal_error").inc();
-            }
+            state.journal_append(&Record::Start {
+                id: job.id,
+                attempt: job.attempt,
+            });
             flight::global().record(
                 "job.start",
                 Some(job.id),
                 format!("attempt={} worker={idx}", job.attempt),
             );
+            // Durability hooks: resume sweep progress from the durable
+            // checkpoint store (the fallback ladder lives in `load`) and
+            // persist freshly advanced checkpoints at chunk boundaries.
+            if matches!(job.spec.kind, JobKind::Sweep | JobKind::Simulate) {
+                if let Ok(scenarios) = job.spec.scenarios() {
+                    let total = scenarios.len() as u32;
+                    if let Some(load) =
+                        state
+                            .checkpoints
+                            .load(job.id, &job.digest, total, SWEEP_CHUNK as u32)
+                    {
+                        state.counter("serve.resumes").inc();
+                        state
+                            .counter("serve.checkpoint_fallbacks")
+                            .add(u64::from(load.fallbacks));
+                        flight::global().record(
+                            "job.resume",
+                            Some(job.id),
+                            format!(
+                                "from_index={} of {total} fallbacks={}",
+                                load.ckpt.next_index, load.fallbacks
+                            ),
+                        );
+                        job.ctx.set_resume(load.ckpt);
+                    }
+                    if state.checkpoints.enabled() {
+                        let store = Arc::clone(&state.checkpoints);
+                        let written = state.counter("serve.checkpoints_written");
+                        let errors = state.counter("serve.checkpoint_errors");
+                        let id = job.id;
+                        job.ctx.set_checkpoint_sink(Box::new(move |ck| {
+                            let ordinal = u64::from(ck.next_index.div_ceil(ck.chunk));
+                            if store.due(ordinal, ck.complete()) {
+                                match store.save(id, ck) {
+                                    Ok(()) => written.inc(),
+                                    Err(_) => errors.inc(),
+                                }
+                            }
+                        }));
+                    }
+                }
+            }
             let started = Instant::now();
             let spec = job.spec.clone();
             let ctx = Arc::clone(&job.ctx);
@@ -962,7 +1193,22 @@ impl ServerHandle {
 /// start workers plus the accept loop.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     install_quiet_job_panic_hook();
-    let (journal, replay) = Journal::open(&cfg.journal_path)?;
+    let storage_faults = cfg
+        .storage_faults
+        .clone()
+        .filter(|p| !p.is_quiet())
+        .map(|p| Arc::new(StorageFaults::new(p)));
+    let (journal, replay) = Journal::open_with(&cfg.journal_path, storage_faults.clone())?;
+    let checkpoint_dir = cfg.checkpoint_dir.clone().unwrap_or_else(|| {
+        let mut s = cfg.journal_path.as_os_str().to_os_string();
+        s.push(".ckpt");
+        PathBuf::from(s)
+    });
+    let checkpoints = Arc::new(
+        CheckpointStore::new(checkpoint_dir, cfg.checkpoint_interval)
+            .with_retain(cfg.retain_checkpoints)
+            .with_faults(storage_faults.clone()),
+    );
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -987,6 +1233,9 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         work_cv: Condvar::new(),
         idle_cv: Condvar::new(),
         journal,
+        checkpoints,
+        storage_faults,
+        compacting: AtomicBool::new(false),
         cache,
         metrics,
         series: TimeSeriesRing::new(SERIES_CAPACITY),
@@ -1035,6 +1284,33 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 /// results, re-queue pending jobs (no new Admit records — they are
 /// already admitted on disk).
 fn seed_from_replay(state: &Arc<ServerState>, replay: Replay) {
+    // Register the durability counters up front so scrapers and the
+    // `top` dashboard see them at zero instead of absent.
+    for name in [
+        "serve.checkpoints_written",
+        "serve.resumes",
+        "serve.journal_compactions",
+        "serve.journal_torn_tail",
+    ] {
+        state.counter(name);
+    }
+    // Durability telemetry from the replay itself: what the journal went
+    // through before this start.
+    if replay.torn_tail {
+        state.counter("serve.journal_torn_tail").inc();
+        flight::global().record(
+            "journal.torn_tail",
+            None,
+            format!("truncated to {} valid bytes", replay.valid_len),
+        );
+    }
+    state
+        .counter("serve.journal_corrupt_frames")
+        .add(u64::from(replay.corrupt_frames));
+    state.counter("serve.journal_bytes").set(replay.valid_len);
+    state
+        .counter("serve.journal_dropped_jobs")
+        .set(replay.dropped_jobs());
     for (_, outcome) in replay.finished() {
         if let JobOutcome::Done(res) = outcome {
             state.cache.insert(res.digest.clone(), Arc::new(res));

@@ -121,6 +121,14 @@ impl Dashboard {
             ));
         }
         out.push_str(&format!(
+            "journal {:>8}B  ckpts {:>5}   resumes {:>3}   compactions {:>3}   torn tails {:>2}\n",
+            c("serve.journal_bytes"),
+            c("serve.checkpoints_written"),
+            c("serve.resumes"),
+            c("serve.journal_compactions"),
+            c("serve.journal_torn_tail"),
+        ));
+        out.push_str(&format!(
             "events/s {:>8}  {}\n",
             fmt_rate(events_rate),
             sparkline(&self.events_history),
@@ -151,6 +159,14 @@ mod tests {
                     CounterStat {
                         name: "serve.retried".into(),
                         value: 1,
+                    },
+                    CounterStat {
+                        name: "serve.journal_bytes".into(),
+                        value: 4096,
+                    },
+                    CounterStat {
+                        name: "serve.resumes".into(),
+                        value: 2,
                     },
                 ],
                 histograms: vec![],
@@ -198,6 +214,8 @@ mod tests {
         assert!(text.contains("12.0"));
         assert!(text.contains("1.0M"));
         assert!(text.contains("sheds      5"));
+        assert!(text.contains("journal     4096B"));
+        assert!(text.contains("resumes   2"));
         assert!(text.contains('█') || text.contains('▁'));
     }
 

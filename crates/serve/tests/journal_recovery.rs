@@ -76,7 +76,7 @@ fn expected_at(full_records: &[(Record, u64)], len: u64) -> (Vec<u64>, Vec<u64>)
             match rec {
                 Record::Admit { id, .. } => admits.push(*id),
                 Record::Finish { id, .. } => finishes.push(*id),
-                Record::Start { .. } => {}
+                Record::Start { .. } | Record::Compact { .. } => {}
             }
         }
     }

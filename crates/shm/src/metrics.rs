@@ -60,6 +60,12 @@ impl Counter {
         self.value.load(Ordering::Relaxed)
     }
 
+    /// Set to an absolute value — for counters that publish a measured
+    /// level (journal bytes on disk) rather than accumulate deltas.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
     /// Reset to zero.
     pub fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
@@ -668,6 +674,73 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_edge_cases_empty_and_clamped_q() {
+        let h = Histogram::new();
+        // Empty: every quantile in both modes is 0, including the ends.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+            assert_eq!(h.quantile_floor(q), 0);
+        }
+        // Out-of-range q is clamped to [0, 1], never a panic or garbage.
+        h.record(10);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+        assert_eq!(h.quantile_floor(-1.0), h.quantile_floor(0.0));
+        assert_eq!(h.quantile_floor(2.0), h.quantile_floor(1.0));
+    }
+
+    #[test]
+    fn quantile_single_bucket_stays_inside_it() {
+        // All mass in one bucket [8, 16): the legacy floor pins every
+        // quantile to 8; interpolation walks the bucket but never
+        // leaves its closed range.
+        let h = Histogram::new();
+        for v in 8..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_floor(0.0), 8);
+        assert_eq!(h.quantile_floor(0.5), 8);
+        assert_eq!(h.quantile_floor(1.0), 8);
+        assert!(h.quantile(0.0) >= 8);
+        assert!(h.quantile(0.5) > 8, "mid-bucket rank must move the value");
+        assert_eq!(h.quantile(1.0), 16, "closed upper edge of [8, 16)");
+    }
+
+    #[test]
+    fn quantile_all_mass_in_top_bucket_saturates_safely() {
+        // u64::MAX lands in bucket 63 ([2^62, 2^63]); `floor + width`
+        // is exactly 2^63, so the interpolated edge must not overflow.
+        let h = Histogram::new();
+        for _ in 0..4 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.quantile_floor(0.5), 1u64 << 62);
+        assert_eq!(h.quantile(1.0), 1u64 << 63);
+        let mid = h.quantile(0.5);
+        assert!((1u64 << 62..=1u64 << 63).contains(&mid));
+    }
+
+    #[test]
+    fn interpolated_quantile_dominates_the_legacy_floor() {
+        // Ordering invariant across modes: interpolation starts at the
+        // bucket floor and only moves up, so for every q it must be >=
+        // the legacy `quantile_floor` on the same data.
+        let h = Histogram::new();
+        let mut x = 0x5eedu64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ 0x1234;
+            h.record(x % 1_000_000);
+        }
+        for i in 0..=100u32 {
+            let q = f64::from(i) / 100.0;
+            assert!(
+                h.quantile(q) >= h.quantile_floor(q),
+                "q={q}: interpolated understates the legacy floor"
+            );
+        }
     }
 
     #[test]

@@ -839,6 +839,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     cfg.postmortem_dir = arg_value(args, "--postmortem-dir").map(Into::into);
     cfg.max_postmortems = usize_flag("--max-postmortems", cfg.max_postmortems)?;
+    cfg.checkpoint_interval =
+        usize_flag("--checkpoint-interval", cfg.checkpoint_interval as usize)? as u64;
+    cfg.checkpoint_dir = arg_value(args, "--checkpoint-dir").map(Into::into);
+    if let Some(b) = arg_value(args, "--journal-max-bytes") {
+        cfg.journal_max_bytes =
+            parse_bytes(&b).map_err(|e| format!("bad --journal-max-bytes: {e}"))?;
+    }
 
     let handle = start(cfg.clone()).map_err(CliError::io)?;
     println!(
@@ -1172,8 +1179,10 @@ fn main() {
                  dpml integrity --cluster b --nodes 4 --alg dpml:4 --bytes 256K \
                  --corruption 0.05 --drop 0.02 [--shm-flip R] [--budget N] [--seed S]\n     \
                  dpml serve [--addr H:P] [--workers N] [--queue N] [--client-cap N] \
-                 [--journal PATH] [--cache N] [--max-retries N] [--watchdog-preset a|b|c|d] \
-                 [--sample-interval MS] [--postmortem-dir DIR] [--max-postmortems N]\n     \
+                 [--journal PATH] [--journal-max-bytes B] [--checkpoint-interval N] \
+                 [--checkpoint-dir DIR] [--cache N] [--max-retries N] \
+                 [--watchdog-preset a|b|c|d] [--sample-interval MS] [--postmortem-dir DIR] \
+                 [--max-postmortems N]\n     \
                  dpml top [--addr H:P] [--interval MS] [--frames N]\n     \
                  dpml metrics [--addr H:P]\n     \
                  dpml chaos campaign [--seed S] [--budget N] [--random] [--postmortem-dir DIR]\n     \
