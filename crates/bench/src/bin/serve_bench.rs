@@ -120,6 +120,7 @@ fn cold_spec(salt: u64) -> JobSpec {
         sizes: vec![1024 + 8 * (salt % 4096)],
         deadline_ms: 0,
         panic_attempts: 0,
+        parallelism: Default::default(),
     }
 }
 
@@ -134,6 +135,7 @@ fn hot_spec(slot: u64) -> JobSpec {
         sizes: vec![4096 + 1024 * (slot % 8)],
         deadline_ms: 0,
         panic_attempts: 0,
+        parallelism: Default::default(),
     }
 }
 
@@ -148,6 +150,7 @@ fn slow_spec(salt: u64) -> JobSpec {
         sizes: vec![1 << 20, 2 << 20, (3 << 20) + salt * 4096, 4 << 20],
         deadline_ms: 0,
         panic_attempts: 0,
+        parallelism: Default::default(),
     }
 }
 
@@ -163,6 +166,7 @@ fn heavy_spec(salt: u64) -> JobSpec {
         sizes: vec![4 << 20, 8 << 20, (12 << 20) + salt * 4096, 16 << 20],
         deadline_ms: 0,
         panic_attempts: 0,
+        parallelism: Default::default(),
     }
 }
 
@@ -181,6 +185,7 @@ fn durable_spec(salt: u64) -> JobSpec {
             .collect(),
         deadline_ms: 0,
         panic_attempts: 0,
+        parallelism: Default::default(),
     }
 }
 

@@ -260,10 +260,12 @@ impl SweepCheckpoint {
 /// checkpoint already holds every completed cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ChunkControl {
-    /// Run the next chunk under the given engine budgets.
+    /// Run the next chunk under the given engine budgets and
+    /// intra-scenario parallelism mode.
     Proceed {
         event_budget: Option<u64>,
         time_budget_s: Option<f64>,
+        parallelism: dpml_engine::Parallelism,
     },
     /// Stop before the next chunk (cancellation, deadline, shutdown).
     Stop,
@@ -304,23 +306,22 @@ pub fn run_allreduce_checkpointed(
     );
     let chunk = ckpt.chunk.max(1) as usize;
     while (ckpt.next_index as usize) < scenarios.len() {
-        let (event_budget, time_budget_s) = match control(ckpt) {
+        let opts = match control(ckpt) {
             ChunkControl::Stop => return SweepEnd::Stopped,
             ChunkControl::Proceed {
                 event_budget,
                 time_budget_s,
-            } => (event_budget, time_budget_s),
+                parallelism,
+            } => crate::run::RunOpts {
+                event_budget,
+                time_budget_s,
+                parallelism,
+            },
         };
         let start = ckpt.next_index as usize;
         let end = (start + chunk).min(scenarios.len());
         let batch = &scenarios[start..end];
-        let results = crate::run::run_allreduce_batch_budgeted(
-            preset,
-            spec,
-            batch,
-            event_budget,
-            time_budget_s,
-        );
+        let results = crate::run::run_allreduce_batch_with(preset, spec, batch, &opts);
         let cells = batch
             .iter()
             .zip(results.iter())
@@ -372,6 +373,7 @@ mod tests {
                 _ => ChunkControl::Proceed {
                     event_budget: None,
                     time_budget_s: Some(10.0),
+                    parallelism: dpml_engine::Parallelism::Serial,
                 },
             },
             |_| {},
@@ -411,6 +413,7 @@ mod tests {
                 |_| ChunkControl::Proceed {
                     event_budget: None,
                     time_budget_s: Some(10.0),
+                    parallelism: dpml_engine::Parallelism::Intra(2),
                 },
                 |_| executed += 1,
             );
@@ -467,6 +470,7 @@ mod tests {
             |_| ChunkControl::Proceed {
                 event_budget: Some(3),
                 time_budget_s: None,
+                parallelism: dpml_engine::Parallelism::Serial,
             },
             |_| {},
         );

@@ -1,11 +1,36 @@
 //! One-call convenience wrapper: compile, simulate, verify.
 
 use crate::algorithms::Algorithm;
-use dpml_engine::{RunReport, SimConfig, Simulator};
+use dpml_engine::{Parallelism, RunReport, SimConfig, Simulator};
 use dpml_fabric::Preset;
 use dpml_sharp::SharpFabric;
 use dpml_topology::{ClusterSpec, Placement, RankMap};
 use serde::{Deserialize, Serialize};
+
+/// Engine knobs shared by every run entry point: abort budgets plus the
+/// intra-scenario parallelism mode (DESIGN.md §16). `Default` is
+/// unbudgeted serial execution — exactly the engine's historical
+/// behavior, so existing callers and golden digests are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunOpts {
+    /// Abort with `EventBudgetExceeded` after this many events.
+    pub event_budget: Option<u64>,
+    /// Abort with `TimeBudgetExceeded` past this virtual time (seconds).
+    pub time_budget_s: Option<f64>,
+    /// Intra-scenario executor: serial pump or causal-frontier scheduler.
+    /// Bit-identical output either way — this is purely a wall-clock knob.
+    pub parallelism: Parallelism,
+}
+
+impl RunOpts {
+    /// Unbudgeted run under the given parallelism mode.
+    pub fn parallel(parallelism: Parallelism) -> Self {
+        RunOpts {
+            parallelism,
+            ..RunOpts::default()
+        }
+    }
+}
 
 /// The outcome of one verified allreduce simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -115,13 +140,34 @@ pub fn run_allreduce_batch_budgeted(
     event_budget: Option<u64>,
     time_budget_s: Option<f64>,
 ) -> Vec<Result<AllreduceReport, RunError>> {
+    run_allreduce_batch_with(
+        preset,
+        spec,
+        scenarios,
+        &RunOpts {
+            event_budget,
+            time_budget_s,
+            parallelism: Parallelism::Serial,
+        },
+    )
+}
+
+/// [`run_allreduce_with`] over a scenario chunk on the scenario-parallel
+/// runner (order-preserving). With `opts.parallelism` above `Serial`
+/// every scenario additionally runs its own causal-frontier worker pool;
+/// callers compose the two levels via `dpml_bench::runner::PoolPolicy`
+/// so inter × intra stays within the machine.
+pub fn run_allreduce_batch_with(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    scenarios: &[(Algorithm, u64)],
+    opts: &RunOpts,
+) -> Vec<Result<AllreduceReport, RunError>> {
     use rayon::prelude::*;
     scenarios
         .to_vec()
         .into_par_iter()
-        .map(|(alg, bytes)| {
-            run_allreduce_budgeted(preset, spec, alg, bytes, event_budget, time_budget_s)
-        })
+        .map(|(alg, bytes)| run_allreduce_with(preset, spec, alg, bytes, opts))
         .collect()
 }
 
@@ -138,41 +184,30 @@ pub fn run_allreduce_budgeted(
     event_budget: Option<u64>,
     time_budget_s: Option<f64>,
 ) -> Result<AllreduceReport, RunError> {
-    let map = RankMap::block(spec);
-    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)?;
-    let world = alg.build(&map, bytes)?;
-    fn budgeted<'a>(
-        mut sim: Simulator<'a>,
-        events: Option<u64>,
-        secs: Option<f64>,
-    ) -> Simulator<'a> {
-        if let Some(events) = events {
-            sim = sim.with_event_budget(events);
-        }
-        if let Some(s) = secs {
-            sim = sim.with_time_budget(s);
-        }
-        sim
-    }
-    let report = if alg.needs_sharp() {
-        let params = preset.fabric.sharp.ok_or(RunError::NoSharpOnFabric)?;
-        let oracle = SharpFabric::new(params, cfg.tree.clone(), map);
-        budgeted(
-            Simulator::new(&cfg).with_sharp(&oracle),
+    run_allreduce_with(
+        preset,
+        spec,
+        alg,
+        bytes,
+        &RunOpts {
             event_budget,
             time_budget_s,
-        )
-        .run(&world)?
-    } else {
-        budgeted(Simulator::new(&cfg), event_budget, time_budget_s).run(&world)?
-    };
-    report.verify_allreduce()?;
-    Ok(AllreduceReport {
-        algorithm: alg.name(),
-        bytes,
-        latency_us: report.latency_us(),
-        report,
-    })
+            parallelism: Parallelism::Serial,
+        },
+    )
+}
+
+/// [`run_allreduce`] under explicit [`RunOpts`]: abort budgets plus the
+/// intra-scenario parallelism mode. All other entry points are wrappers
+/// over this (block placement) or [`run_allreduce_placed`].
+pub fn run_allreduce_with(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    alg: Algorithm,
+    bytes: u64,
+    opts: &RunOpts,
+) -> Result<AllreduceReport, RunError> {
+    run_opted(preset, spec, Placement::Block, alg, bytes, opts)
 }
 
 /// [`run_allreduce`] with an explicit rank placement (block vs cyclic) —
@@ -185,18 +220,38 @@ pub fn run_allreduce_placed(
     alg: Algorithm,
     bytes: u64,
 ) -> Result<AllreduceReport, RunError> {
+    run_opted(preset, spec, placement, alg, bytes, &RunOpts::default())
+}
+
+fn run_opted(
+    preset: &Preset,
+    spec: &ClusterSpec,
+    placement: Placement,
+    alg: Algorithm,
+    bytes: u64,
+    opts: &RunOpts,
+) -> Result<AllreduceReport, RunError> {
     let map = match placement {
         Placement::Block => RankMap::block(spec),
         Placement::Cyclic => RankMap::cyclic(spec),
     };
     let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)?;
     let world = alg.build(&map, bytes)?;
+    fn opted<'a>(mut sim: Simulator<'a>, opts: &RunOpts) -> Simulator<'a> {
+        if let Some(events) = opts.event_budget {
+            sim = sim.with_event_budget(events);
+        }
+        if let Some(s) = opts.time_budget_s {
+            sim = sim.with_time_budget(s);
+        }
+        sim.with_parallelism(opts.parallelism)
+    }
     let report = if alg.needs_sharp() {
         let params = preset.fabric.sharp.ok_or(RunError::NoSharpOnFabric)?;
         let oracle = SharpFabric::new(params, cfg.tree.clone(), map);
-        Simulator::new(&cfg).with_sharp(&oracle).run(&world)?
+        opted(Simulator::new(&cfg).with_sharp(&oracle), opts).run(&world)?
     } else {
-        Simulator::new(&cfg).run(&world)?
+        opted(Simulator::new(&cfg), opts).run(&world)?
     };
     report.verify_allreduce()?;
     Ok(AllreduceReport {
@@ -270,6 +325,30 @@ mod tests {
             err,
             RunError::Sim(dpml_engine::sim::SimError::TimeBudgetExceeded(_))
         ));
+    }
+
+    #[test]
+    fn intra_parallel_run_is_bit_identical() {
+        let p = cluster_b();
+        let spec = p.spec(4, 4).unwrap();
+        let alg = Algorithm::Dpml {
+            leaders: 4,
+            inner: FlatAlg::Ring,
+        };
+        let serial = run_allreduce(&p, &spec, alg, 65536).unwrap();
+        let par = run_allreduce_with(
+            &p,
+            &spec,
+            alg,
+            65536,
+            &RunOpts::parallel(Parallelism::Intra(4)),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&par.report).unwrap()
+        );
+        assert_eq!(serial.latency_us.to_bits(), par.latency_us.to_bits());
     }
 
     #[test]

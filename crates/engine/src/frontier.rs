@@ -1,0 +1,453 @@
+//! Intra-scenario parallelism: the conservative causal-frontier scheduler's
+//! support types (DESIGN.md §16).
+//!
+//! The scheduler in [`crate::sim`] keeps the serial event loop as the one
+//! and only consumer of the event queue — pop order, and therefore every
+//! observable output, is untouched. What runs in parallel is a *scatter*
+//! pass: each round, the events sitting in the queue within a safe
+//! lookahead window are scanned (non-destructively), and the pure payload
+//! computations they will need — coverage-map snapshots, restrictions,
+//! reduction unions, delivery clones — are precomputed on a worker pool
+//! against the frozen pre-round state. When the serial loop then executes
+//! an event, it consumes the precomputed payload *only if an epoch check
+//! proves the inputs were not mutated by an earlier event in the same
+//! round*; otherwise it recomputes inline (a "merge stall"). Correctness
+//! therefore never depends on the window being a true causal bound — the
+//! window only controls how much useful work each round scatters.
+//!
+//! This module provides the pieces that are independent of the simulator:
+//! the [`Parallelism`] knob threaded from the CLI/serve/bench layers, the
+//! lookahead-window derivation from the fabric model, the persistent
+//! [`WorkerPool`] the scatter pass runs on, and the [`FrontierStats`]
+//! round counters surfaced to benches and the flight recorder.
+
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How a single scenario's event loop executes.
+///
+/// Serialized in job specs as `"Serial"`, `{"Intra": n}`, or `"Auto"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// The plain serial loop (the default; zero scheduling overhead).
+    #[default]
+    Serial,
+    /// Causal-frontier scheduling on `n` threads (the calling thread
+    /// participates; `n = 1` degenerates to frontier bookkeeping on one
+    /// thread and `0` is treated as `1`).
+    Intra(usize),
+    /// Causal-frontier scheduling on every available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// Number of executor threads this setting resolves to.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Intra(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Parse a CLI argument: `serial`, `auto`, or a thread count.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "serial" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::Auto),
+            n => n
+                .parse::<usize>()
+                .map(|n| {
+                    if n <= 1 {
+                        Parallelism::Serial
+                    } else {
+                        Parallelism::Intra(n)
+                    }
+                })
+                .map_err(|_| format!("bad parallelism {s:?}: want serial, auto, or a count")),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Serial => write!(f, "serial"),
+            Parallelism::Intra(n) => write!(f, "intra{n}"),
+            Parallelism::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// The fabric's causal lookahead: the smallest positive delay the speed
+/// model inserts between an event and anything it can schedule. Injection
+/// overhead, copy startup, reduce startup, and single-hop wire latency
+/// all lower-bound event-to-consequence distance; the window is their
+/// minimum. A degenerate fabric with all-zero latencies falls back to the
+/// rate-recompute quantum so rounds still make progress.
+pub fn lookahead_window(fabric: &dpml_fabric::Fabric) -> f64 {
+    const FALLBACK: f64 = 25e-9;
+    [
+        fabric.nic.proc_overhead,
+        fabric.nic.latency_for_hops(1),
+        fabric.mem.copy_latency,
+        fabric.compute.reduce_latency,
+    ]
+    .into_iter()
+    .filter(|&d| d > 0.0)
+    .fold(f64::INFINITY, f64::min)
+    .clamp(FALLBACK, 1.0)
+}
+
+/// Counters from one frontier-scheduled run: how wide the rounds were and
+/// how often the epoch check had to fall back to inline recomputation.
+/// These are deliberately *not* part of [`crate::report::RunStats`] — the
+/// differential contract is that a parallel run's `RunReport` is
+/// byte-identical to serial, so execution telemetry lives here and in the
+/// flight recorder instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierStats {
+    /// Scatter rounds executed (only rounds with ≥ 2 tasks count).
+    pub rounds: u64,
+    /// Payloads precomputed on the pool across all rounds.
+    pub scattered: u64,
+    /// Precomputed payloads consumed after passing the epoch check.
+    pub consumed: u64,
+    /// Merge stalls: payloads invalidated by a same-round mutation and
+    /// recomputed inline.
+    pub stalls: u64,
+    /// Payloads still unconsumed when their round's window closed.
+    pub unused: u64,
+    /// Widest single round (tasks).
+    pub max_width: u64,
+    /// Executor threads the run resolved to.
+    pub threads: u64,
+}
+
+thread_local! {
+    static LAST_FRONTIER: Cell<Option<FrontierStats>> = const { Cell::new(None) };
+}
+
+/// Record the stats of the frontier run that just finished on this thread.
+pub(crate) fn set_last_frontier_stats(stats: FrontierStats) {
+    LAST_FRONTIER.set(Some(stats));
+}
+
+/// Take the [`FrontierStats`] of the most recent frontier-scheduled run on
+/// this thread (benches and tests read this; the engine's public outputs
+/// deliberately exclude it).
+pub fn take_last_frontier_stats() -> Option<FrontierStats> {
+    LAST_FRONTIER.take()
+}
+
+/// A type-erased per-round task: a pointer to the round's closure plus a
+/// monomorphized shim that invokes it with a task index.
+#[derive(Clone, Copy)]
+struct Task {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// The pointer is only dereferenced between a round's publication and its
+// completion barrier; `round` does not return until every task finished,
+// so the closure outlives all uses. The closure itself is `Sync`.
+unsafe impl Send for Task {}
+
+struct Job {
+    /// Bumped once per round; workers wake when it changes.
+    epoch: u64,
+    task: Option<Task>,
+    ntasks: usize,
+    next: usize,
+    completed: usize,
+    /// A task panicked (on any thread); the round's caller re-panics
+    /// after the completion barrier so no stack data is freed while
+    /// workers might still hold pointers into it.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    job: Mutex<Job>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread,
+/// executing one round of indexed tasks at a time. Unlike the vendored
+/// rayon runner (which degrades to serial when the host reports a single
+/// core), the pool honors the requested thread count exactly — the
+/// differential and stress suites rely on exercising real cross-thread
+/// scheduling even on small CI machines.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Pool with `threads` total executors (minimum 1 = calling thread
+    /// only, no spawns).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            job: Mutex::new(Job {
+                epoch: 0,
+                task: None,
+                ntasks: 0,
+                next: 0,
+                completed: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total executor threads (spawned workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0..n)` across the pool and collect the results in index
+    /// order. The calling thread participates; the call returns only when
+    /// every task has finished.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        // One writer per slot (each index is claimed exactly once), reads
+        // happen after the completion barrier.
+        struct Slot<T>(UnsafeCell<Option<T>>);
+        unsafe impl<T: Send> Sync for Slot<T> {}
+        let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let work = |i: usize| {
+            let v = f(i);
+            unsafe { *slots[i].0.get() = Some(v) };
+        };
+        if self.handles.is_empty() {
+            for i in 0..n {
+                work(i);
+            }
+        } else {
+            self.round(n, &work);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("task completed"))
+            .collect()
+    }
+
+    fn round<F: Fn(usize) + Sync>(&self, ntasks: usize, f: &F) {
+        unsafe fn shim<F: Fn(usize)>(p: *const (), i: usize) {
+            let f = unsafe { &*(p as *const F) };
+            f(i);
+        }
+        {
+            let mut g = self.shared.job.lock().expect("pool lock");
+            g.epoch += 1;
+            g.task = Some(Task {
+                data: f as *const F as *const (),
+                call: shim::<F>,
+            });
+            g.ntasks = ntasks;
+            g.next = 0;
+            g.completed = 0;
+            g.panicked = false;
+            self.shared.start.notify_all();
+        }
+        // The caller is executor 0.
+        run_tasks(
+            &self.shared,
+            Task {
+                data: f as *const F as *const (),
+                call: shim::<F>,
+            },
+        );
+        let mut g = self.shared.job.lock().expect("pool lock");
+        while g.completed < g.ntasks {
+            g = self.shared.done.wait(g).expect("pool lock");
+        }
+        g.task = None;
+        let panicked = g.panicked;
+        drop(g);
+        // Safe to unwind now: no worker holds a pointer into `f`.
+        assert!(!panicked, "frontier scatter task panicked");
+    }
+}
+
+/// Claim and execute tasks from the current round until none remain.
+fn run_tasks(shared: &Shared, task: Task) {
+    loop {
+        let i = {
+            let mut g = shared.job.lock().expect("pool lock");
+            if g.next >= g.ntasks {
+                return;
+            }
+            let i = g.next;
+            g.next += 1;
+            i
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.data, i) })).is_ok();
+        let mut g = shared.job.lock().expect("pool lock");
+        if !ok {
+            g.panicked = true;
+        }
+        g.completed += 1;
+        if g.completed == g.ntasks {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut g = shared.job.lock().expect("pool lock");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.epoch != seen {
+                    seen = g.epoch;
+                    // The round may already have been fully drained and
+                    // retired by the other executors before this worker
+                    // woke; in that case there is nothing to claim — keep
+                    // waiting for the next round.
+                    if let Some(t) = g.task {
+                        break t;
+                    }
+                }
+                g = shared.start.wait(g).expect("pool lock");
+            }
+        };
+        run_tasks(shared, task);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.job.lock().expect("pool lock");
+            g.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallelism_parses_and_resolves() {
+        assert_eq!(Parallelism::parse("serial"), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("4"), Ok(Parallelism::Intra(4)));
+        assert_eq!(Parallelism::parse("1"), Ok(Parallelism::Serial));
+        assert!(Parallelism::parse("lots").is_err());
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Intra(0).threads(), 1);
+        assert_eq!(Parallelism::Intra(8).threads(), 8);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn parallelism_serde_round_trips() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Intra(4),
+            Parallelism::Auto,
+        ] {
+            let s = serde_json::to_string(&p).unwrap();
+            let back: Parallelism = serde_json::from_str(&s).unwrap();
+            assert_eq!(p, back);
+        }
+        assert_eq!(
+            serde_json::from_str::<Parallelism>("\"Serial\"").unwrap(),
+            Parallelism::Serial
+        );
+        assert_eq!(
+            serde_json::from_str::<Parallelism>("{\"Intra\":2}").unwrap(),
+            Parallelism::Intra(2)
+        );
+    }
+
+    #[test]
+    fn lookahead_window_is_positive_on_every_preset() {
+        for preset in dpml_fabric::presets::all_presets() {
+            let w = lookahead_window(&preset.fabric);
+            assert!(w > 0.0 && w.is_finite(), "{}: window {w}", preset.id);
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let hits = AtomicUsize::new(0);
+            let out = pool.run(100, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i * i
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 100);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_rounds_and_empty_rounds() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.run::<u32, _>(0, |_| unreachable!()).is_empty());
+        for round in 0..200usize {
+            let out = pool.run(round % 7, |i| i + round);
+            assert_eq!(out.len(), round % 7);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i + round);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_task_panic_is_reported_not_deadlocked() {
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err());
+        // The pool is still usable after a panicked round.
+        assert_eq!(pool.run(4, |i| i).len(), 4);
+    }
+}

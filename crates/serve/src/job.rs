@@ -10,7 +10,8 @@
 
 use dpml_core::algorithms::Algorithm;
 use dpml_core::checkpoint::{run_allreduce_checkpointed, ChunkControl, SweepCheckpoint, SweepEnd};
-use dpml_core::profile::profile_allreduce;
+use dpml_core::profile::profile_allreduce_with;
+use dpml_core::Parallelism;
 use dpml_fabric::Preset;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -69,6 +70,12 @@ pub struct JobSpec {
     /// (exercises the catch_unwind / respawn / retry path end to end).
     #[serde(default)]
     pub panic_attempts: u32,
+    /// Intra-scenario parallelism mode for the engine. An *execution*
+    /// knob like `deadline_ms`: the frontier scheduler is bit-identical
+    /// to serial (DESIGN.md §16), so it is deliberately excluded from
+    /// the content digest and a parallel run hits the same cache line.
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl JobSpec {
@@ -369,7 +376,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
 
     if spec.kind == JobKind::Profile {
         let (alg, bytes) = scenarios[0];
-        return match profile_allreduce(&preset, &cluster, alg, bytes) {
+        return match profile_allreduce_with(&preset, &cluster, alg, bytes, spec.parallelism) {
             Ok(run) => JobOutcome::Done(JobResult {
                 digest: spec.digest(),
                 scenarios: vec![ScenarioResult {
@@ -447,6 +454,7 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx, attempt: u32) -> JobOutcome {
             ChunkControl::Proceed {
                 event_budget,
                 time_budget_s,
+                parallelism: spec.parallelism,
             }
         },
         |ck| {
@@ -532,6 +540,7 @@ mod tests {
             sizes: vec![65536],
             deadline_ms: 0,
             panic_attempts: 0,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -541,6 +550,7 @@ mod tests {
         let mut with_deadline = base.clone();
         with_deadline.deadline_ms = 500;
         with_deadline.panic_attempts = 2;
+        with_deadline.parallelism = Parallelism::Intra(4);
         assert_eq!(base.digest(), with_deadline.digest());
 
         let mut other_size = base.clone();

@@ -1,0 +1,205 @@
+//! Frontier-scheduler stress: tiny windows, maximum thread counts, big
+//! worlds, repeated merges.
+//!
+//! The conservative causal-frontier executor (DESIGN.md §16) keeps its
+//! bit-identity contract *structurally* — the serial pump stays the only
+//! consumer of simulation state — so no amount of scheduling pressure
+//! should ever shake a divergence loose. These tests apply the pressure
+//! anyway:
+//!
+//! * pathologically small lookahead windows force maximal stall/recompute
+//!   churn at the scatter/consume boundary;
+//! * thread counts far beyond the host's cores force constant pool
+//!   wake/sleep races in the round protocol;
+//! * repeated runs of one scenario check run-to-run pool determinism,
+//!   not just serial-vs-parallel agreement.
+//!
+//! The `*_nightly` hammer sweeps the paper-scale `b/16x16/1MB` world and
+//! is `#[ignore]`d out of the tier-1 budget; CI runs it in the nightly
+//! soak job (`cargo test -q -- --ignored`). The smoke variant covers the
+//! same axes at tier-1 scale.
+
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::core::Parallelism;
+use dpml::engine::{take_last_frontier_stats, SimConfig, Simulator};
+use dpml::fabric::presets::{cluster_b, Preset};
+use dpml::faults::FaultPlan;
+use dpml::topology::RankMap;
+use dpml_bench::PoolPolicy;
+
+/// Run one scenario, returning the fully serialized report. `window`
+/// `None` = the fabric-derived default lookahead.
+fn run_json(
+    preset: &Preset,
+    (nodes, ppn): (u32, u32),
+    alg: &Algorithm,
+    bytes: u64,
+    plan: &FaultPlan,
+    parallelism: Parallelism,
+    window: Option<f64>,
+) -> String {
+    let spec = preset.spec(nodes, ppn).expect("spec");
+    let map = RankMap::block(&spec);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch).expect("cfg");
+    let world = alg.build(&map, bytes).expect("build");
+    let mut sim = Simulator::new(&cfg)
+        .with_faults(plan)
+        .with_parallelism(parallelism);
+    if let Some(w) = window {
+        sim = sim.with_frontier_window(w);
+    }
+    let rep = sim.run(&world).expect("run");
+    serde_json::to_string(&rep).expect("serialize")
+}
+
+fn stress_algorithms(ppn: u32) -> Vec<Algorithm> {
+    vec![
+        Algorithm::Ring,
+        Algorithm::Dpml {
+            leaders: ppn.min(4),
+            inner: FlatAlg::RecursiveDoubling,
+        },
+        Algorithm::DpmlPipelined {
+            leaders: ppn.min(2),
+            chunks: 4,
+        },
+    ]
+}
+
+/// Tier-1 smoke: the same axes as the nightly hammer — tiny windows,
+/// oversubscribed pools, fault plans — on a world small enough for the
+/// default test budget.
+#[test]
+fn frontier_stress_smoke() {
+    // Oversubscription is the point here: pin the sweep side down so the
+    // frontier pools are the only source of extra threads (DESIGN.md §16).
+    PoolPolicy::detect(1).apply();
+    let preset = cluster_b();
+    let plans = [FaultPlan::zero(), FaultPlan::canonical(77, 0.5)];
+    for plan in &plans {
+        for alg in stress_algorithms(4) {
+            let baseline = run_json(
+                &preset,
+                (4, 4),
+                &alg,
+                1 << 16,
+                plan,
+                Parallelism::Serial,
+                None,
+            );
+            for threads in [2usize, 8] {
+                for window in [None, Some(1e-12)] {
+                    let got = run_json(
+                        &preset,
+                        (4, 4),
+                        &alg,
+                        1 << 16,
+                        plan,
+                        Parallelism::Intra(threads),
+                        window,
+                    );
+                    assert_eq!(
+                        got,
+                        baseline,
+                        "{} diverged at intra({threads}) window {window:?}",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Nightly: the paper-scale target world (`b/16x16`, 1 MB) across the
+/// full window × thread grid. Every cell must be byte-identical to the
+/// serial baseline.
+#[test]
+#[ignore = "nightly frontier hammer — run with `cargo test -- --ignored`"]
+fn frontier_hammer_paper_scale_nightly() {
+    PoolPolicy::detect(1).apply();
+    let preset = cluster_b();
+    let plan = FaultPlan::zero();
+    let bytes = 1 << 20;
+    for alg in [
+        Algorithm::Ring,
+        Algorithm::Dpml {
+            leaders: 16,
+            inner: FlatAlg::RecursiveDoubling,
+        },
+    ] {
+        let baseline = run_json(
+            &preset,
+            (16, 16),
+            &alg,
+            bytes,
+            &plan,
+            Parallelism::Serial,
+            None,
+        );
+        for threads in [2usize, 4, 8, 16] {
+            for window in [None, Some(1e-6), Some(1e-9), Some(1e-12)] {
+                let got = run_json(
+                    &preset,
+                    (16, 16),
+                    &alg,
+                    bytes,
+                    &plan,
+                    Parallelism::Intra(threads),
+                    window,
+                );
+                assert_eq!(
+                    got,
+                    baseline,
+                    "{} diverged at intra({threads}) window {window:?}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// Nightly: merge determinism under churn. One faulted scenario, rerun
+/// many times at maximum oversubscription with a one-picosecond window —
+/// every repetition must produce the same bytes and actually exercise
+/// the scatter/stall machinery (no silent serial fallback).
+#[test]
+#[ignore = "nightly frontier hammer — run with `cargo test -- --ignored`"]
+fn frontier_merge_churn_is_deterministic_nightly() {
+    PoolPolicy::detect(1).apply();
+    let preset = cluster_b();
+    let plan = FaultPlan::canonical(4242, 0.75);
+    let alg = Algorithm::Dpml {
+        leaders: 8,
+        inner: FlatAlg::Ring,
+    };
+    let baseline = run_json(
+        &preset,
+        (8, 8),
+        &alg,
+        1 << 18,
+        &plan,
+        Parallelism::Serial,
+        None,
+    );
+    for rep in 0..8 {
+        let _ = take_last_frontier_stats();
+        let got = run_json(
+            &preset,
+            (8, 8),
+            &alg,
+            1 << 18,
+            &plan,
+            Parallelism::Intra(16),
+            Some(1e-12),
+        );
+        assert_eq!(got, baseline, "repetition {rep} diverged");
+        let stats = take_last_frontier_stats().expect("frontier ran");
+        assert_eq!(stats.threads, 16);
+        assert!(stats.rounds > 0, "repetition {rep}: {stats:?}");
+        assert_eq!(
+            stats.scattered,
+            stats.consumed + stats.stalls + stats.unused,
+            "repetition {rep} leaked precomputed work: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Differential lockdown of the causal-frontier scheduler (DESIGN.md §16).
+//!
+//! The frontier executor's whole contract is *bit-identity*: for any
+//! world, any fault plan, and any thread count, its output — the full
+//! serialized [`RunReport`] on success, the structured [`SimError`] on
+//! failure — must equal the serial pump's byte for byte. These proptest
+//! families throw randomized geometry × algorithm × seeded fault plans
+//! at both executors and compare the results wholesale; a fourth family
+//! extends the contract through the checkpoint pipeline under injected
+//! storage faults.
+//!
+//! Any divergence is mined into `tests/corpus/` in the chaos
+//! reproducer format (`dpml::chaos::corpus::Reproducer`), so a failing
+//! case becomes a permanent regression fixture replayable by the
+//! nightly corpus job — the panic message names the file.
+//!
+//! Together the families run 256 cases per CI invocation (112 + 64 +
+//! 56 + 24), each case executing serial and parallel variants.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpml::chaos::{Reproducer, Scenario};
+use dpml::core::algorithms::{Algorithm, FlatAlg};
+use dpml::core::{
+    run_allreduce_checkpointed, ChunkControl, Parallelism, SweepCheckpoint, SweepEnd,
+};
+use dpml::engine::sim::SimError;
+use dpml::engine::{SimConfig, Simulator};
+use dpml::fabric::presets::{cluster_b, cluster_c, cluster_d, Preset};
+use dpml::faults::storage::{StorageFaultPlan, StorageFaults};
+use dpml::faults::{DataFaults, FaultPlan, LinkFault, ProcessFault};
+use dpml::serve::checkpoint::CheckpointStore;
+use dpml::topology::RankMap;
+use proptest::prelude::*;
+
+/// Deterministic algorithm pick from small integers, paired with its
+/// `Algorithm::parse` spelling so a mined reproducer replays the exact
+/// same schedule. SHArP designs are excluded: they need an oracle and
+/// are locked down separately by the golden suite at every thread count.
+fn pick_algorithm(
+    alg_pick: usize,
+    flat_pick: usize,
+    leaders: u32,
+    chunks: u32,
+) -> (Algorithm, String) {
+    let (inner, inner_spec) = match flat_pick % 3 {
+        0 => (FlatAlg::RecursiveDoubling, "rd"),
+        1 => (FlatAlg::Rabenseifner, "rab"),
+        _ => (FlatAlg::Ring, "ring"),
+    };
+    match alg_pick % 7 {
+        0 => (Algorithm::RecursiveDoubling, "rd".into()),
+        1 => (Algorithm::Rabenseifner, "rab".into()),
+        2 => (Algorithm::Ring, "ring".into()),
+        3 => (Algorithm::BinomialReduceBcast, "binomial".into()),
+        4 => (
+            Algorithm::SingleLeader { inner },
+            format!("single-leader:{inner_spec}"),
+        ),
+        5 => (
+            Algorithm::Dpml { leaders, inner },
+            format!("dpml:{leaders}:{inner_spec}"),
+        ),
+        _ => (
+            Algorithm::DpmlPipelined { leaders, chunks },
+            format!("dpml-pipelined:{leaders}:{chunks}"),
+        ),
+    }
+}
+
+fn pick_preset(preset_pick: usize) -> Preset {
+    match preset_pick % 3 {
+        0 => cluster_b(),
+        1 => cluster_c(),
+        _ => cluster_d(),
+    }
+}
+
+/// Run one raw engine case under `parallelism`. `Ok` carries the full
+/// serialized report — every field, every per-rank span — so the
+/// comparison can't miss a divergence the way a latency check could;
+/// `Err` carries the structured engine error verbatim.
+fn sim_case(
+    preset: &Preset,
+    nodes: u32,
+    ppn: u32,
+    alg: Algorithm,
+    bytes: u64,
+    plan: &FaultPlan,
+    parallelism: Parallelism,
+) -> Result<String, SimError> {
+    let spec = preset
+        .spec(nodes, ppn)
+        .expect("geometry in generator range");
+    let map = RankMap::block(&spec);
+    let cfg = SimConfig::new(map.clone(), preset.fabric.clone(), preset.switch)
+        .expect("preset fabric is always consistent");
+    let world = alg
+        .build(&map, bytes)
+        .expect("generator picks valid schedules");
+    Simulator::new(&cfg)
+        .with_faults(plan)
+        .with_parallelism(parallelism)
+        .run(&world)
+        .map(|rep| serde_json::to_string(&rep).expect("RunReport serializes"))
+}
+
+/// Compare a serial and a parallel outcome; on divergence, mine the
+/// case into `tests/corpus/` as a chaos reproducer and panic with the
+/// mined path so CI failures arrive with their regression fixture
+/// already written.
+fn expect_identical(
+    sc: &Scenario,
+    plan: &FaultPlan,
+    threads: usize,
+    serial: &Result<String, SimError>,
+    parallel: &Result<String, SimError>,
+) {
+    if serial == parallel {
+        return;
+    }
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let notes = format!(
+        "parallel-differential: serial vs intra({threads}) divergence on {}",
+        sc.id()
+    );
+    let mined = Reproducer::capture(sc, plan, &notes)
+        .save(&corpus)
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|e| format!("<corpus save failed: {e}>"));
+    let clip = |r: &Result<String, SimError>| match r {
+        Ok(json) => {
+            let head: String = json.chars().take(160).collect();
+            format!("Ok({head}…)")
+        }
+        Err(e) => format!("Err({}: {e})", e.label()),
+    };
+    panic!(
+        "frontier scheduler diverged from serial at intra({threads}) on {}\n\
+         reproducer mined to {mined}\n  serial:   {}\n  parallel: {}",
+        sc.id(),
+        clip(serial),
+        clip(parallel),
+    );
+}
+
+fn scenario(preset: &Preset, nodes: u32, ppn: u32, alg_spec: &str, bytes: u64) -> Scenario {
+    Scenario {
+        preset: preset.id.to_string(),
+        nodes,
+        ppn,
+        alg: alg_spec.to_string(),
+        bytes,
+    }
+}
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(112))]
+
+    /// Family 1: clean runs and the canonical chaos plan (OS noise,
+    /// brownout, link flap) across random geometry, algorithms, sizes,
+    /// and thread counts. The happy path and the perturbed-but-successful
+    /// path must both be bit-identical.
+    #[test]
+    fn frontier_matches_serial_on_random_worlds(
+        preset_pick in 0usize..3,
+        nodes in 1u32..6,
+        ppn in 1u32..6,
+        bytes in 1u64..16_384,
+        alg_pick in 0usize..7,
+        flat_pick in 0usize..3,
+        l_seed in 0u32..8,
+        k in 1u32..5,
+        t_pick in 0usize..3,
+        seed in 0u64..1_000_000,
+        intensity_pick in 0usize..4,
+    ) {
+        let preset = pick_preset(preset_pick);
+        let (alg, alg_spec) = pick_algorithm(alg_pick, flat_pick, 1 + l_seed % ppn, k);
+        let plan = if intensity_pick == 0 {
+            FaultPlan::zero()
+        } else {
+            FaultPlan::canonical(seed, 0.25 * intensity_pick as f64)
+        };
+        let threads = THREADS[t_pick];
+        let serial = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Serial);
+        let par = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Intra(threads));
+        expect_identical(&scenario(&preset, nodes, ppn, &alg_spec, bytes), &plan, threads, &serial, &par);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Family 2: silent-data-corruption plans. Wire corruption, drops,
+    /// and shm bit-flips drive the engine's retransmission machinery;
+    /// small retry budgets push some cases onto the
+    /// `RetryBudgetExhausted` error path, so both the recovered-report
+    /// bytes and the structured failures get compared.
+    #[test]
+    fn frontier_matches_serial_under_data_faults(
+        nodes in 1u32..5,
+        ppn in 1u32..5,
+        bytes in 64u64..32_768,
+        alg_pick in 0usize..7,
+        flat_pick in 0usize..3,
+        l_seed in 0u32..8,
+        seed in 0u64..1_000_000,
+        corrupt_pm in 0u32..80,
+        drop_pm in 0u32..40,
+        flip_pm in 0u32..20,
+        retries in 1u32..64,
+        burst_pick in 0usize..3,
+        t_pick in 0usize..3,
+    ) {
+        let preset = cluster_b();
+        let (alg, alg_spec) = pick_algorithm(alg_pick, flat_pick, 1 + l_seed % ppn, 2);
+        let mut data = DataFaults::wire(corrupt_pm as f64 / 1000.0, drop_pm as f64 / 1000.0);
+        data.shm_flip_rate = flip_pm as f64 / 1000.0;
+        data.max_retransmits = retries;
+        data.burst = match burst_pick {
+            0 => None,
+            1 => Some((0.0, 50e-6)),
+            _ => Some((10e-6, 200e-6)),
+        };
+        let plan = FaultPlan { seed, data, ..FaultPlan::zero() };
+        let threads = THREADS[t_pick];
+        let serial = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Serial);
+        let par = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Intra(threads));
+        expect_identical(&scenario(&preset, nodes, ppn, &alg_spec, bytes), &plan, threads, &serial, &par);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(56))]
+
+    /// Family 3: hard failures. Severed links and fail-stop rank
+    /// crashes surface structured `LinkDown` / `RankDead` errors — the
+    /// frontier scheduler must diagnose the identical node/rank at the
+    /// identical virtual time, not merely "an" error. Late crash times
+    /// also exercise the run-completed-before-the-crash success path.
+    #[test]
+    fn frontier_matches_serial_under_link_and_process_faults(
+        preset_pick in 0usize..3,
+        nodes in 2u32..6,
+        ppn in 1u32..5,
+        bytes in 1u64..8_192,
+        alg_pick in 0usize..7,
+        flat_pick in 0usize..3,
+        l_seed in 0u32..8,
+        seed in 0u64..1_000_000,
+        sever_pick in 0usize..3,
+        crash_rank_seed in 0u32..64,
+        crash_at_us in 0u32..400,
+        t_pick in 0usize..3,
+    ) {
+        let preset = pick_preset(preset_pick);
+        let (alg, alg_spec) = pick_algorithm(alg_pick, flat_pick, 1 + l_seed % ppn, 3);
+        let mut plan = FaultPlan { seed, ..FaultPlan::zero() };
+        match sever_pick {
+            // Sever one node's link from t=0.
+            0 => plan.links.push(LinkFault {
+                node: Some(nodes - 1),
+                start: 0.0,
+                end: None,
+                bw_factor: 0.0,
+                msg_rate_factor: 1.0,
+            }),
+            // Crash one rank at a randomized virtual time.
+            1 => plan.process.crashes.push(ProcessFault {
+                rank: crash_rank_seed % (nodes * ppn),
+                crash_at: crash_at_us as f64 * 1e-6,
+            }),
+            // Both at once: whichever fault bites first must win
+            // identically under both executors.
+            _ => {
+                plan.links.push(LinkFault {
+                    node: Some(0),
+                    start: 30e-6,
+                    end: None,
+                    bw_factor: 0.0,
+                    msg_rate_factor: 1.0,
+                });
+                plan.process.crashes.push(ProcessFault {
+                    rank: crash_rank_seed % (nodes * ppn),
+                    crash_at: crash_at_us as f64 * 1e-6,
+                });
+            }
+        }
+        let threads = THREADS[t_pick];
+        let serial = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Serial);
+        let par = sim_case(&preset, nodes, ppn, alg, bytes, &plan, Parallelism::Intra(threads));
+        expect_identical(&scenario(&preset, nodes, ppn, &alg_spec, bytes), &plan, threads, &serial, &par);
+    }
+}
+
+/// Distinguishes the per-case temp dirs of concurrent test binaries and
+/// successive proptest cases.
+static STORE_TAG: AtomicU64 = AtomicU64::new(0);
+
+/// Drive a full checkpointed sweep under `parallelism`, persisting every
+/// chunk through a fault-injected [`CheckpointStore`]. Returns the
+/// serialized final checkpoint, the per-save outcome log, and whatever
+/// the store recovers afterwards — all of which must be invariant under
+/// the parallelism knob, because the storage fault schedule is pure in
+/// `(seed, op, len)` and the frontier scheduler feeds it identical bytes.
+fn checkpointed_sweep(
+    scenarios: &[(Algorithm, u64)],
+    chunk: u32,
+    storage_seed: u64,
+    torn_pm: u32,
+    flip_pm: u32,
+    parallelism: Parallelism,
+) -> (String, Vec<String>, Option<String>) {
+    let preset = cluster_b();
+    let spec = preset.spec(3, 2).unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "dpml-pdiff-{}-{}",
+        std::process::id(),
+        STORE_TAG.fetch_add(1, Ordering::Relaxed)
+    ));
+    let faults = StorageFaults::new(StorageFaultPlan {
+        torn_write_rate: torn_pm as f64 / 100.0,
+        bit_flip_rate: flip_pm as f64 / 100.0,
+        ..StorageFaultPlan::quiet(storage_seed)
+    });
+    let store = CheckpointStore::new(&dir, 1).with_faults(Some(Arc::new(faults)));
+    let mut ckpt = SweepCheckpoint::new("pdiff".into(), scenarios.len() as u32, chunk);
+    let mut saves = Vec::new();
+    let end = run_allreduce_checkpointed(
+        &preset,
+        &spec,
+        scenarios,
+        &mut ckpt,
+        |_| ChunkControl::Proceed {
+            event_budget: None,
+            time_budget_s: None,
+            parallelism,
+        },
+        |snapshot| {
+            saves.push(match store.save(9, snapshot) {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("err: {e}"),
+            });
+        },
+    );
+    assert_eq!(end, SweepEnd::Completed);
+    let recovered = store
+        .load(9, "pdiff", scenarios.len() as u32, chunk)
+        .map(|l| {
+            format!(
+                "fallbacks={} ckpt={}",
+                l.fallbacks,
+                serde_json::to_string(&l.ckpt).unwrap()
+            )
+        });
+    std::fs::remove_dir_all(&dir).ok();
+    (serde_json::to_string(&ckpt).unwrap(), saves, recovered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Family 4: storage-fault plans through the checkpoint pipeline.
+    /// A serial and a frontier-parallel sweep persist their chunks
+    /// through stores driven by the *same* seeded storage-fault plan:
+    /// the save outcome log (which writes tore, which bits flipped),
+    /// the final in-memory checkpoint, and the post-hoc recovery result
+    /// must all be identical — storage chaos composes with intra-run
+    /// parallelism without disturbing determinism.
+    #[test]
+    fn checkpointed_sweep_with_storage_faults_is_parallelism_invariant(
+        storage_seed in 0u64..1_000_000,
+        torn_pm in 0u32..35,
+        flip_pm in 0u32..35,
+        chunk in 1u32..4,
+        size_pick in 0usize..3,
+        t_pick in 0usize..3,
+    ) {
+        let bytes = [512u64, 4_096, 16_384][size_pick];
+        let scenarios = vec![
+            (Algorithm::Ring, bytes),
+            (Algorithm::RecursiveDoubling, bytes),
+            (Algorithm::Dpml { leaders: 2, inner: FlatAlg::RecursiveDoubling }, bytes),
+            (Algorithm::Rabenseifner, bytes / 2 + 1),
+            (Algorithm::DpmlPipelined { leaders: 2, chunks: 2 }, bytes),
+            (Algorithm::BinomialReduceBcast, bytes),
+        ];
+        let threads = THREADS[t_pick];
+        let serial = checkpointed_sweep(&scenarios, chunk, storage_seed, torn_pm, flip_pm, Parallelism::Serial);
+        let par = checkpointed_sweep(&scenarios, chunk, storage_seed, torn_pm, flip_pm, Parallelism::Intra(threads));
+        prop_assert_eq!(
+            &serial.0, &par.0,
+            "final checkpoint diverged under intra({}) with storage seed {}", threads, storage_seed
+        );
+        prop_assert_eq!(
+            &serial.1, &par.1,
+            "storage-fault save log diverged under intra({})", threads
+        );
+        prop_assert_eq!(
+            &serial.2, &par.2,
+            "recovered checkpoint diverged under intra({})", threads
+        );
+    }
+}

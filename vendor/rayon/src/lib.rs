@@ -16,11 +16,26 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
+/// Process-global worker cap; 0 = uncapped (hardware parallelism).
+/// `dpml_bench::runner::PoolPolicy` sets this so inter-scenario workers
+/// compose with the engine's intra-scenario pools without oversubscribing
+/// the machine.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads parallel calls may use (0 = uncapped).
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
 /// Number of worker threads a parallel call will use for `n` items.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
+    let hw = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => hw,
+        cap => hw.min(cap),
+    }
 }
 
 /// An eager "parallel iterator": the items are materialized up front and
