@@ -92,16 +92,23 @@ impl std::fmt::Display for Parallelism {
 /// rate-recompute quantum so rounds still make progress.
 pub fn lookahead_window(fabric: &dpml_fabric::Fabric) -> f64 {
     const FALLBACK: f64 = 25e-9;
-    [
+    let min = [
         fabric.nic.proc_overhead,
         fabric.nic.latency_for_hops(1),
         fabric.mem.copy_latency,
         fabric.compute.reduce_latency,
     ]
     .into_iter()
-    .filter(|&d| d > 0.0)
-    .fold(f64::INFINITY, f64::min)
-    .clamp(FALLBACK, 1.0)
+    .filter(|&d| d > 0.0 && d.is_finite())
+    .fold(f64::INFINITY, f64::min);
+    if min.is_finite() {
+        min.clamp(FALLBACK, 1.0)
+    } else {
+        // All delays zero (or non-finite): no positive bound survived the
+        // filter, so return the quantum itself rather than the clamp's
+        // upper edge.
+        FALLBACK
+    }
 }
 
 /// Counters from one frontier-scheduled run: how wide the rounds were and
@@ -159,16 +166,20 @@ struct Task {
 unsafe impl Send for Task {}
 
 struct Job {
-    /// Bumped once per round; workers wake when it changes.
+    /// Bumped once per round; workers wake when it changes, and every
+    /// claim in [`run_tasks`] re-checks it so a lagging executor can
+    /// never claim indices from a later round through a stale task
+    /// pointer.
     epoch: u64,
     task: Option<Task>,
     ntasks: usize,
     next: usize,
     completed: usize,
-    /// A task panicked (on any thread); the round's caller re-panics
-    /// after the completion barrier so no stack data is freed while
-    /// workers might still hold pointers into it.
-    panicked: bool,
+    /// First panic payload from a scattered task (any thread); the
+    /// round's caller resumes the unwind after the completion barrier so
+    /// no stack data is freed while workers might still hold pointers
+    /// into it, and the original message/location survive.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -202,7 +213,7 @@ impl WorkerPool {
                 ntasks: 0,
                 next: 0,
                 completed: 0,
-                panicked: false,
+                panic: None,
                 shutdown: false,
             }),
             start: Condvar::new(),
@@ -264,7 +275,7 @@ impl WorkerPool {
             let f = unsafe { &*(p as *const F) };
             f(i);
         }
-        {
+        let epoch = {
             let mut g = self.shared.job.lock().expect("pool lock");
             g.epoch += 1;
             g.task = Some(Task {
@@ -274,9 +285,10 @@ impl WorkerPool {
             g.ntasks = ntasks;
             g.next = 0;
             g.completed = 0;
-            g.panicked = false;
+            g.panic = None;
             self.shared.start.notify_all();
-        }
+            g.epoch
+        };
         // The caller is executor 0.
         run_tasks(
             &self.shared,
@@ -284,35 +296,49 @@ impl WorkerPool {
                 data: f as *const F as *const (),
                 call: shim::<F>,
             },
+            epoch,
         );
         let mut g = self.shared.job.lock().expect("pool lock");
         while g.completed < g.ntasks {
             g = self.shared.done.wait(g).expect("pool lock");
         }
         g.task = None;
-        let panicked = g.panicked;
+        let panic = g.panic.take();
         drop(g);
         // Safe to unwind now: no worker holds a pointer into `f`.
-        assert!(!panicked, "frontier scatter task panicked");
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
-/// Claim and execute tasks from the current round until none remain.
-fn run_tasks(shared: &Shared, task: Task) {
+/// Claim and execute tasks from round `epoch` until none remain — or
+/// until the round is over. A lagging executor can reach the claim loop
+/// after the other executors drained its round and the caller published
+/// the next one (new epoch, `next` reset, fresh closure); claiming an
+/// index then would invoke the *old* round's closure pointer, whose
+/// backing `run()` frame is already gone. The epoch re-check on every
+/// claim makes that window a clean return instead of a use-after-free.
+fn run_tasks(shared: &Shared, task: Task, epoch: u64) {
     loop {
         let i = {
             let mut g = shared.job.lock().expect("pool lock");
-            if g.next >= g.ntasks {
+            if g.epoch != epoch || g.next >= g.ntasks {
                 return;
             }
             let i = g.next;
             g.next += 1;
             i
         };
-        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.data, i) })).is_ok();
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (task.call)(task.data, i) }));
+        // The round cannot retire while this claim is uncounted
+        // (`completed < ntasks` holds until the increment below), so the
+        // epoch is still ours here.
         let mut g = shared.job.lock().expect("pool lock");
-        if !ok {
-            g.panicked = true;
+        if let Err(payload) = result {
+            if g.panic.is_none() {
+                g.panic = Some(payload);
+            }
         }
         g.completed += 1;
         if g.completed == g.ntasks {
@@ -343,7 +369,7 @@ fn worker_loop(shared: &Shared) {
                 g = shared.start.wait(g).expect("pool lock");
             }
         };
-        run_tasks(shared, task);
+        run_tasks(shared, task, seen);
     }
 }
 
@@ -408,6 +434,19 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_window_degenerate_fabric_falls_back_to_quantum() {
+        let mut fabric = dpml_fabric::presets::all_presets()[0].fabric.clone();
+        fabric.nic.proc_overhead = 0.0;
+        fabric.nic.base_latency = 0.0;
+        fabric.nic.per_hop_latency = 0.0;
+        fabric.mem.copy_latency = 0.0;
+        fabric.compute.reduce_latency = 0.0;
+        // All-zero delays must yield the 25 ns quantum, not the clamp's
+        // 1 s upper edge.
+        assert_eq!(lookahead_window(&fabric), 25e-9);
+    }
+
+    #[test]
     fn pool_runs_every_task_exactly_once_in_order() {
         for threads in [1, 2, 4, 8] {
             let pool = WorkerPool::new(threads);
@@ -446,7 +485,11 @@ mod tests {
                 i
             })
         }));
-        assert!(r.is_err());
+        // The original payload is resumed, not replaced by a generic
+        // pool-level assert — debugging a panicking ScatterJob needs the
+        // real message.
+        let payload = r.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
         // The pool is still usable after a panicked round.
         assert_eq!(pool.run(4, |i| i).len(), 4);
     }

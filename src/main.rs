@@ -418,6 +418,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         }
     }
     let parallelism = parse_intra(args)?;
+    // Split the machine between the inter-scenario rayon runner and each
+    // scenario's frontier pool (PoolPolicy owns the composition rule) —
+    // without this, `--intra` would oversubscribe hw × hw threads.
+    dpml_bench::PoolPolicy::detect(parallelism.threads()).apply();
     let reports = dpml_core::run::run_allreduce_batch_with(
         &preset,
         &spec,
